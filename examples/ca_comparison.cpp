@@ -1,0 +1,104 @@
+// Side-by-side run of the original and communication-avoiding algorithms
+// on the same initial state: accuracy of the approximation (max state
+// difference), message counts, and wall time — the zero-to-one
+// demonstration of the paper's contribution on a laptop-sized mesh.
+//
+//   ./ca_comparison [nx=48] [ny=32] [nz=8] [steps=8] [ranks=4]
+#include <cstdio>
+
+#include "comm/runtime.hpp"
+#include "core/ca_core.hpp"
+#include "core/exchange.hpp"
+#include "core/original_core.hpp"
+#include "util/config.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ca;
+  const auto cfg_in = util::Config::from_args(argc, argv);
+
+  core::DycoreConfig cfg;
+  cfg.nx = cfg_in.get_int("nx", 48);
+  cfg.ny = cfg_in.get_int("ny", 32);
+  cfg.nz = cfg_in.get_int("nz", 8);
+  cfg.M = cfg_in.get_int("m", 3);
+  cfg.dt_adapt = cfg_in.get_double("dt_adapt", 60.0);
+  cfg.dt_advect = cfg_in.get_double("dt_advect", 300.0);
+  const int steps = cfg_in.get_int("steps", 8);
+  const int ranks = cfg_in.get_int("ranks", 4);
+
+  state::InitialOptions ic;
+  ic.kind = state::InitialCondition::kPlanetaryWave;
+
+  std::printf(
+      "Original vs communication-avoiding, %dx%dx%d, M = %d, %d steps, "
+      "%d ranks (Y-Z)\n\n",
+      cfg.nx, cfg.ny, cfg.nz, cfg.M, steps, ranks);
+
+  state::State orig_global, ca_global;
+  struct RunStats {
+    unsigned long long messages = 0;
+    unsigned long long bytes = 0;
+    unsigned long long collectives = 0;
+    double seconds = 0.0;
+  } orig_stats, ca_stats;
+
+  comm::Runtime::run(ranks, [&](comm::Context& ctx) {
+    core::OriginalCore core(cfg, ctx, core::DecompScheme::kYZ,
+                            {1, ranks, 1});
+    auto xi = core.make_state();
+    core.initialize(xi, ic);
+    util::Timer timer;
+    core.run(xi, steps);
+    const double secs = timer.seconds();
+    auto g = core::gather_global(core.op_context(), ctx, core.topology(),
+                                 xi);
+    if (ctx.world_rank() == 0) {
+      auto t = ctx.stats().grand_totals();
+      orig_stats = {t.p2p_messages, t.p2p_bytes, t.collective_calls, secs};
+      orig_global = std::move(g);
+    }
+  });
+
+  comm::Runtime::run(ranks, [&](comm::Context& ctx) {
+    core::CACore core(cfg, ctx, {1, ranks, 1});
+    auto xi = core.make_state();
+    core.initialize(xi, ic);
+    util::Timer timer;
+    core.run(xi, steps);
+    const double secs = timer.seconds();
+    auto g = core::gather_global(core.op_context(), ctx, core.topology(),
+                                 xi);
+    if (ctx.world_rank() == 0) {
+      auto t = ctx.stats().grand_totals();
+      ca_stats = {t.p2p_messages, t.p2p_bytes, t.collective_calls, secs};
+      ca_global = std::move(g);
+    }
+  });
+
+  const double diff = state::State::max_abs_diff(
+      orig_global, ca_global, orig_global.interior());
+  double scale = 0.0;
+  for (int k = 0; k < cfg.nz; ++k)
+    for (int j = 0; j < cfg.ny; ++j)
+      for (int i = 0; i < cfg.nx; ++i)
+        scale = std::max(scale, std::abs(orig_global.u()(i, j, k)));
+
+  std::printf("%-26s %14s %14s\n", "", "original", "comm-avoiding");
+  std::printf("%-26s %14llu %14llu\n", "halo messages (rank 0)",
+              orig_stats.messages, ca_stats.messages);
+  std::printf("%-26s %14llu %14llu\n", "halo bytes (rank 0)",
+              orig_stats.bytes, ca_stats.bytes);
+  std::printf("%-26s %14llu %14llu\n", "collective calls (rank 0)",
+              orig_stats.collectives, ca_stats.collectives);
+  std::printf("%-26s %14.3f %14.3f\n", "wall time [s]", orig_stats.seconds,
+              ca_stats.seconds);
+  std::printf(
+      "\nmax |original - CA| after %d steps: %.3e  (field scale ~%.1f)\n",
+      steps, diff, scale);
+  std::printf(
+      "The difference is the approximate nonlinear iteration's high-order\n"
+      "perturbation (paper eq. 13); the message count drops from\n"
+      "(3M + 4) x fields to 2 fat exchanges per step.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Quickstart: build a small dynamical core, initialize a planetary-wave
+// state, run a few steps with each algorithm, and print global
+// diagnostics.  Everything here is the public API a downstream user
+// would touch first.
+//
+//   ./quickstart [nx=48] [ny=24] [nz=8] [steps=10]
+#include <cstdio>
+
+#include "comm/runtime.hpp"
+#include "core/ca_core.hpp"
+#include "core/diagnostics.hpp"
+#include "core/exchange.hpp"
+#include "core/original_core.hpp"
+#include "core/serial_core.hpp"
+#include "util/config.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ca;
+  const auto cfg_in = util::Config::from_args(argc, argv);
+
+  core::DycoreConfig cfg;
+  cfg.nx = cfg_in.get_int("nx", 48);
+  cfg.ny = cfg_in.get_int("ny", 24);
+  cfg.nz = cfg_in.get_int("nz", 8);
+  cfg.M = cfg_in.get_int("m", 3);
+  cfg.dt_adapt = cfg_in.get_double("dt_adapt", 60.0);
+  cfg.dt_advect = cfg_in.get_double("dt_advect", 300.0);
+  const int steps = cfg_in.get_int("steps", 10);
+
+  state::InitialOptions ic;
+  ic.kind = state::InitialCondition::kPlanetaryWave;
+
+  std::printf("ca-agcm quickstart: %dx%dx%d mesh, M = %d, %d steps\n\n",
+              cfg.nx, cfg.ny, cfg.nz, cfg.M, steps);
+
+  // 1. Serial reference core.
+  {
+    core::SerialCore core(cfg);
+    auto xi = core.make_state();
+    core.initialize(xi, ic);
+    const auto before = core::local_diagnostics(core.op_context(), xi);
+    core.run(xi, steps);
+    const auto after = core::local_diagnostics(core.op_context(), xi);
+    std::printf("serial reference   : energy %10.3e -> %10.3e,  "
+                "max|u*| %6.2f -> %6.2f\n",
+                before.total_energy(), after.total_energy(),
+                before.max_abs_u, after.max_abs_u);
+  }
+
+  // 2. Distributed original algorithm (Y-Z decomposition, 2 ranks).
+  comm::Runtime::run(2, [&](comm::Context& ctx) {
+    core::OriginalCore core(cfg, ctx, core::DecompScheme::kYZ, {1, 2, 1});
+    auto xi = core.make_state();
+    core.initialize(xi, ic);
+    core.run(xi, steps);
+    auto mine = core::local_diagnostics(core.op_context(), xi);
+    auto global = core::reduce_diagnostics(ctx, ctx.world(), mine);
+    auto stats = ctx.stats().phase_totals("stencil");
+    if (ctx.world_rank() == 0)
+      std::printf("original (2 ranks) : energy %10.3e, "
+                  "%llu halo messages sent per rank\n",
+                  global.total_energy(),
+                  static_cast<unsigned long long>(stats.p2p_messages));
+  });
+
+  // 3. Communication-avoiding algorithm (Algorithm 2, 2 ranks).
+  comm::Runtime::run(2, [&](comm::Context& ctx) {
+    core::CACore core(cfg, ctx, {1, 2, 1});
+    auto xi = core.make_state();
+    core.initialize(xi, ic);
+    core.run(xi, steps);
+    auto mine = core::local_diagnostics(core.op_context(), xi);
+    auto global = core::reduce_diagnostics(ctx, ctx.world(), mine);
+    auto stats = ctx.stats().phase_totals("stencil");
+    if (ctx.world_rank() == 0)
+      std::printf("comm-avoiding      : energy %10.3e, "
+                  "%llu halo messages sent per rank\n",
+                  global.total_energy(),
+                  static_cast<unsigned long long>(stats.p2p_messages));
+  });
+
+  std::printf(
+      "\nThe CA core reaches the same state (up to its high-order\n"
+      "approximation) with a fraction of the messages: 2 exchanges per\n"
+      "step instead of 3M + 4, and 2M instead of 3M vertical collectives.\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "comm/collectives.hpp"
+
+namespace ca::comm {
+
+void barrier(Context& ctx, const Communicator& comm) {
+  detail::CollectiveScope scope(ctx);
+  const int p = comm.size();
+  if (p == 1) return;
+  const int me = comm.rank();
+  // Dissemination barrier: ceil(log2 p) rounds.
+  std::byte token{0};
+  std::span<std::byte> token_span(&token, 1);
+  for (int dist = 1; dist < p; dist <<= 1) {
+    const int dst = (me + dist) % p;
+    const int src = (me - dist % p + p) % p;
+    ctx.send(comm, dst, detail::kTagBarrier,
+             std::span<const std::byte>(&token, 1));
+    ctx.recv(comm, src, detail::kTagBarrier, token_span);
+  }
+}
+
+}  // namespace ca::comm

@@ -1,0 +1,49 @@
+// A communicator is an ordered group of world ranks plus a unique id that
+// isolates its message traffic (the id participates in mailbox matching,
+// so identical tags on different communicators never collide).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ca::comm {
+
+class Communicator {
+ public:
+  Communicator() = default;
+
+  Communicator(std::uint64_t id, std::vector<int> world_ranks, int my_rank)
+      : id_(id), world_ranks_(std::move(world_ranks)), my_rank_(my_rank) {
+    assert(my_rank_ >= 0 &&
+           my_rank_ < static_cast<int>(world_ranks_.size()));
+  }
+
+  std::uint64_t id() const { return id_; }
+  int rank() const { return my_rank_; }
+  int size() const { return static_cast<int>(world_ranks_.size()); }
+
+  /// World rank of communicator-rank r.
+  int world_rank_of(int r) const {
+    assert(r >= 0 && r < size());
+    return world_ranks_[r];
+  }
+
+  /// Communicator rank of a world rank, or -1 if not a member.
+  int rank_of_world(int wr) const {
+    for (int r = 0; r < size(); ++r)
+      if (world_ranks_[r] == wr) return r;
+    return -1;
+  }
+
+  const std::vector<int>& world_ranks() const { return world_ranks_; }
+
+  bool valid() const { return !world_ranks_.empty(); }
+
+ private:
+  std::uint64_t id_ = 0;
+  std::vector<int> world_ranks_;
+  int my_rank_ = -1;
+};
+
+}  // namespace ca::comm

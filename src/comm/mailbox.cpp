@@ -1,0 +1,45 @@
+#include "comm/mailbox.hpp"
+
+namespace ca::comm {
+
+void Mailbox::deliver(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+std::optional<Message> Mailbox::match_locked(std::uint64_t comm_id, int src,
+                                             int tag) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->comm_id != comm_id) continue;
+    if (src != kAnySource && it->src != src) continue;
+    if (tag != kAnyTag && it->tag != tag) continue;
+    Message out = std::move(*it);
+    queue_.erase(it);
+    return out;
+  }
+  return std::nullopt;
+}
+
+Message Mailbox::receive(std::uint64_t comm_id, int src, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (auto m = match_locked(comm_id, src, tag)) return std::move(*m);
+    cv_.wait(lock);
+  }
+}
+
+std::optional<Message> Mailbox::try_receive(std::uint64_t comm_id, int src,
+                                            int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return match_locked(comm_id, src, tag);
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace ca::comm

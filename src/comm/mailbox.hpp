@@ -1,0 +1,40 @@
+// Per-rank mailbox: an unbounded MPSC queue with (comm, src, tag) matching.
+// Senders deliver complete messages (eager protocol); receivers block on a
+// condition variable until a matching message exists.  FIFO order is
+// preserved per (comm, src, tag) triple, which gives the non-overtaking
+// guarantee MPI point-to-point requires.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "comm/message.hpp"
+
+namespace ca::comm {
+
+class Mailbox {
+ public:
+  void deliver(Message msg);
+
+  /// Blocks until a message matching (comm_id, src, tag) is available and
+  /// removes it.  src may be kAnySource; tag may be kAnyTag.
+  Message receive(std::uint64_t comm_id, int src, int tag);
+
+  /// Non-blocking probe-and-take.
+  std::optional<Message> try_receive(std::uint64_t comm_id, int src, int tag);
+
+  /// Number of queued messages (for tests / leak checks).
+  std::size_t pending() const;
+
+ private:
+  std::optional<Message> match_locked(std::uint64_t comm_id, int src, int tag);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace ca::comm

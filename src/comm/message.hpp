@@ -1,0 +1,27 @@
+// Wire format of the mini message-passing runtime: an eagerly buffered
+// message carrying its communicator id, source (world rank), and tag.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ca::comm {
+
+/// Matches any source rank in recv.
+inline constexpr int kAnySource = -1;
+/// Matches any tag in recv.
+inline constexpr int kAnyTag = -1;
+
+/// Tags at or above this value are reserved for internal protocols
+/// (collectives, communicator construction).
+inline constexpr int kInternalTagBase = 1 << 28;
+
+struct Message {
+  std::uint64_t comm_id = 0;
+  int src = -1;  // world rank of the sender
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+}  // namespace ca::comm

@@ -1,0 +1,46 @@
+#include "comm/runtime.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "comm/context.hpp"
+
+namespace ca::comm {
+
+World::World(int nranks) {
+  assert(nranks > 0);
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+std::uint64_t World::allocate_comm_ids(std::uint64_t count) {
+  return next_comm_id_.fetch_add(count, std::memory_order_relaxed);
+}
+
+void Runtime::run(int nranks, const std::function<void(Context&)>& fn) {
+  World world(nranks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&world, &fn, r, &first_error, &error_mutex] {
+      try {
+        Context ctx(&world, r);
+        fn(ctx);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ca::comm

@@ -1,0 +1,40 @@
+// SPMD launcher: Runtime::run(p, fn) executes fn(Context&) on p logical
+// ranks, each backed by a std::thread with its own mailbox.  Exceptions
+// thrown by any rank are captured and the first one is rethrown after all
+// ranks have been joined.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/mailbox.hpp"
+
+namespace ca::comm {
+
+class Context;
+
+/// Shared state of one SPMD execution.
+class World {
+ public:
+  explicit World(int nranks);
+
+  int size() const { return static_cast<int>(mailboxes_.size()); }
+  Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
+
+  /// Allocates `count` consecutive communicator ids; returns the first.
+  std::uint64_t allocate_comm_ids(std::uint64_t count);
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<std::uint64_t> next_comm_id_{1};  // 0 = world communicator
+};
+
+class Runtime {
+ public:
+  /// Runs fn on nranks logical ranks and blocks until all finish.
+  static void run(int nranks, const std::function<void(Context&)>& fn);
+};
+
+}  // namespace ca::comm

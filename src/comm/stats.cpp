@@ -1,0 +1,38 @@
+#include "comm/stats.hpp"
+
+namespace ca::comm {
+
+void CommStats::enter_collective() { ++collective_depth_; }
+
+void CommStats::leave_collective() {
+  if (collective_depth_ > 0) --collective_depth_;
+}
+
+void CommStats::record_send(std::size_t bytes) {
+  PhaseStats& s = stats_[phase_];
+  if (in_collective()) {
+    s.collective_bytes += bytes;
+  } else {
+    ++s.p2p_messages;
+    s.p2p_bytes += bytes;
+  }
+}
+
+void CommStats::record_collective_call() {
+  ++stats_[phase_].collective_calls;
+}
+
+PhaseStats CommStats::phase_totals(const std::string& phase) const {
+  auto it = stats_.find(phase);
+  return it == stats_.end() ? PhaseStats{} : it->second;
+}
+
+PhaseStats CommStats::grand_totals() const {
+  PhaseStats total;
+  for (const auto& [name, s] : stats_) total += s;
+  return total;
+}
+
+void CommStats::clear() { stats_.clear(); }
+
+}  // namespace ca::comm

@@ -1,0 +1,53 @@
+// Per-rank communication statistics, attributed to named phases.  The
+// schedule-level performance model is validated against these counters
+// (tests/schedule_match_test.cpp): the event simulator must predict exactly
+// the message counts and byte volumes the functional runtime incurs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ca::comm {
+
+struct PhaseStats {
+  std::uint64_t p2p_messages = 0;
+  std::uint64_t p2p_bytes = 0;
+  std::uint64_t collective_calls = 0;
+  /// Bytes this rank sent while inside collective algorithms.
+  std::uint64_t collective_bytes = 0;
+
+  PhaseStats& operator+=(const PhaseStats& o) {
+    p2p_messages += o.p2p_messages;
+    p2p_bytes += o.p2p_bytes;
+    collective_calls += o.collective_calls;
+    collective_bytes += o.collective_bytes;
+    return *this;
+  }
+};
+
+class CommStats {
+ public:
+  void set_phase(std::string phase) { phase_ = std::move(phase); }
+  const std::string& phase() const { return phase_; }
+
+  /// Marks subsequent sends as part of a collective algorithm.
+  void enter_collective();
+  void leave_collective();
+  bool in_collective() const { return collective_depth_ > 0; }
+
+  void record_send(std::size_t bytes);
+  void record_collective_call();
+
+  PhaseStats phase_totals(const std::string& phase) const;
+  PhaseStats grand_totals() const;
+  const std::map<std::string, PhaseStats>& by_phase() const { return stats_; }
+  void clear();
+
+ private:
+  std::string phase_ = "default";
+  int collective_depth_ = 0;
+  std::map<std::string, PhaseStats> stats_;
+};
+
+}  // namespace ca::comm

@@ -1,0 +1,81 @@
+#include "comm/topology.hpp"
+
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace ca::comm {
+
+int CartTopology::rank_of(int cx, int cy, int cz) const {
+  std::array<int, 3> c{cx, cy, cz};
+  for (int a = 0; a < 3; ++a) {
+    if (periodic[static_cast<std::size_t>(a)]) {
+      c[static_cast<std::size_t>(a)] =
+          util::pos_mod(c[static_cast<std::size_t>(a)],
+                        dims[static_cast<std::size_t>(a)]);
+    } else if (c[static_cast<std::size_t>(a)] < 0 ||
+               c[static_cast<std::size_t>(a)] >=
+                   dims[static_cast<std::size_t>(a)]) {
+      return -1;
+    }
+  }
+  return c[0] + c[1] * dims[0] + c[2] * dims[0] * dims[1];
+}
+
+CartTopology make_cart(Context& ctx, const Communicator& comm,
+                       std::array<int, 3> dims,
+                       std::array<bool, 3> periodic) {
+  if (dims[0] * dims[1] * dims[2] != comm.size())
+    throw std::invalid_argument("make_cart: dims do not match comm size");
+  CartTopology topo;
+  topo.comm = comm;
+  topo.dims = dims;
+  topo.periodic = periodic;
+  const int me = comm.rank();
+  topo.coords = {me % dims[0], (me / dims[0]) % dims[1],
+                 me / (dims[0] * dims[1])};
+
+  const int cx = topo.coords[0], cy = topo.coords[1], cz = topo.coords[2];
+  // Line along x: fixed (cy, cz).  Key = coordinate along the line so the
+  // sub-communicator rank equals the coordinate.
+  topo.line_x = ctx.split(comm, cy + cz * dims[1], cx);
+  topo.line_y = ctx.split(comm, cx + cz * dims[0], cy);
+  topo.line_z = ctx.split(comm, cx + cy * dims[0], cz);
+  return topo;
+}
+
+namespace {
+
+std::array<int, 2> balanced_pair(int p, int max_a, int max_b) {
+  // Largest factor a of p with a <= max_a and p/a <= max_b, preferring the
+  // most square split.
+  int best_a = -1;
+  for (int a = 1; a <= p; ++a) {
+    if (p % a != 0) continue;
+    const int b = p / a;
+    if (a > max_a || b > max_b) continue;
+    if (best_a < 0 ||
+        std::abs(a - b) < std::abs(best_a - p / best_a))
+      best_a = a;
+  }
+  if (best_a < 0)
+    throw std::invalid_argument("no valid factorization of p under limits");
+  return {best_a, p / best_a};
+}
+
+}  // namespace
+
+std::array<int, 3> balanced_dims_yz(int p, int max_py, int max_pz) {
+  auto [py, pz] = balanced_pair(p, max_py, max_pz);
+  // Prefer more ranks along y (ny is larger than nz in practice).
+  if (py < pz && pz <= max_py && py <= max_pz) std::swap(py, pz);
+  return {1, py, pz};
+}
+
+std::array<int, 3> balanced_dims_xy(int p, int max_px, int max_py) {
+  auto [px, py] = balanced_pair(p, max_px, max_py);
+  if (px < py && py <= max_px && px <= max_py) std::swap(px, py);
+  return {px, py, 1};
+}
+
+}  // namespace ca::comm

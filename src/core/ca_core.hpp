@@ -1,0 +1,122 @@
+// The communication-avoiding algorithm (Algorithm 2) under the Y-Z
+// decomposition:
+//   - F~ is communication-free (p_x = 1, Theorem 4.1's eta_x = 0 choice);
+//   - ONE deep halo exchange covers all 3M adaptation stencil updates
+//     (redundant computation on shrinking extended windows) and carries
+//     the fused smoothing data: post-S1 rows for the stencils plus the
+//     pre-smoothing boundary rows the neighbor's later smoothing S2 needs;
+//   - the exchange is split into begin/compute-inner/finish/compute-outer
+//     to overlap communication with computation;
+//   - the approximate nonlinear iteration (eq. 13) reuses the previous C
+//     products in the first update of every iteration, cutting the z-line
+//     collectives from 3 to 2 per iteration;
+//   - ONE more exchange covers the 3 advection updates.
+// Total: 2 neighbor communications per step instead of 3M + 4.
+#pragma once
+
+#include <functional>
+
+#include "comm/topology.hpp"
+#include "core/dycore_config.hpp"
+#include "core/exchange.hpp"
+#include "mesh/decomp.hpp"
+#include "mesh/latlon.hpp"
+#include "mesh/sigma.hpp"
+#include "ops/filter.hpp"
+#include "ops/tendency.hpp"
+#include "state/initial.hpp"
+#include "state/state.hpp"
+#include "state/stratification.hpp"
+
+namespace ca::core {
+
+struct CAOptions {
+  /// Reuse the previous C products in the first update of each iteration
+  /// (off = fresh C everywhere: 3 collectives per iteration, for the
+  /// ablation benchmarks).
+  bool approximate_iteration = true;
+  /// Split the exchange around the inner computation (off = blocking
+  /// exchange before any computation).
+  bool overlap = true;
+  /// Fuse the split smoothing into the adaptation exchange (off = a
+  /// separate exchange for the smoothing, like the original algorithm).
+  bool fuse_smoothing = true;
+  /// Evaluate the fresh C collectives on the BLOCK face only (the paper's
+  /// scheme: collective volume exactly 2/3 of the original; the extended
+  /// windows' halo rows keep the exchanged stale C products, an error of
+  /// the same class as the approximate iteration).  Off = collectives on
+  /// the full extended faces: larger volume, but the algorithm becomes
+  /// exactly decomposition-invariant (used by the equivalence tests).
+  bool fresh_c_on_block_face = true;
+};
+
+class CACore {
+ public:
+  /// Collective over ctx.world(); dims must be {1, py, pz}.
+  CACore(const DycoreConfig& config, comm::Context& ctx,
+         std::array<int, 3> dims, const CAOptions& options = {});
+
+  void step(state::State& xi);
+  void run(state::State& xi, int n);
+
+  state::State make_state() const;
+  void initialize(state::State& xi, const state::InitialOptions& options);
+
+  const DycoreConfig& config() const { return config_; }
+  const state::Stratification& strat() const { return strat_; }
+  const mesh::DomainDecomp& decomp() const { return decomp_; }
+  const ops::OpContext& op_context() const { return opctx_; }
+  /// Installs a terrain field (see state::make_terrain); the caller keeps
+  /// it alive for the core's lifetime.  Null restores a flat surface.
+  void set_terrain(const util::Array2D<double>* phi_surface) {
+    opctx_.phi_surface = phi_surface;
+  }
+  const comm::CartTopology& topology() const { return topo_; }
+  const CAOptions& options() const { return options_; }
+
+  /// Halo depth of the adaptation exchange (y direction).
+  int adaptation_depth() const { return 3 * config_.M + 1; }
+
+  /// Diagnostic workspace (read-only; exposed for tests).
+  const ops::DiagWorkspace& workspace() const { return ws_; }
+
+  /// Applies the deferred smoothing of the last step (Algorithm 2 line
+  /// 30); run() calls this automatically after its steps.
+  void finalize(state::State& xi);
+
+  /// Test/debug hook: called after every internal update with a label and
+  /// the state holding that update's result.
+  std::function<void(const char*, const state::State&)> debug_observer;
+
+ private:
+  enum class Operator { kAdaptation, kAdvection };
+
+  /// Extended update window: the interior grown by ey/ez toward sides
+  /// that have actual neighbors (physical boundaries are handled by BC
+  /// fills instead).
+  mesh::Box extended_window(int ey, int ez) const;
+  void fill_boundaries(state::State& s);
+  /// Evaluates the filtered tendency of `op` at `input` on `window` into
+  /// tend_.  fresh_c runs the two z-line collectives and records the
+  /// column anchors; otherwise the stale anchors are reused (eq. 13).
+  void eval_tendency(state::State& input, const mesh::Box& window,
+                     Operator op, bool fresh_c);
+
+  DycoreConfig config_;
+  CAOptions options_;
+  comm::Context* comm_ctx_;
+  mesh::LatLonMesh mesh_;
+  mesh::SigmaLevels levels_;
+  state::Stratification strat_;
+  comm::CartTopology topo_;
+  mesh::DomainDecomp decomp_;
+  ops::OpContext opctx_;
+  ops::FourierFilter filter_;
+  ops::DiagWorkspace ws_;
+  HaloExchanger exchanger_;
+  state::State tend_, eta_, mid_, pre_;
+  bool have_stale_c_ = false;
+  int step_count_ = 0;
+};
+
+}  // namespace ca::core

@@ -1,0 +1,69 @@
+// Campaign driver: the operational loop long runs need — time stepping
+// with optional Held-Suarez forcing, periodic global diagnostics, and
+// periodic checkpointing — factored out of the examples into a reusable,
+// core-agnostic template (works with SerialCore, OriginalCore, CACore).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "comm/context.hpp"
+#include "core/diagnostics.hpp"
+#include "mesh/latlon.hpp"
+#include "physics/held_suarez.hpp"
+#include "util/checkpoint.hpp"
+
+namespace ca::core {
+
+struct CampaignOptions {
+  int steps = 0;
+  /// Emit diagnostics every N steps (0 = never); delivered through
+  /// on_diagnostics on every rank (rank 0 carries the global values when
+  /// a comm context is present).
+  int diag_every = 0;
+  std::function<void(int step, const GlobalDiag&)> on_diagnostics;
+  /// Write a checkpoint every N steps (0 = never) under this prefix.
+  int checkpoint_every = 0;
+  std::string checkpoint_prefix = "campaign";
+  /// Optional physics applied after each dynamical step.
+  const physics::HeldSuarezForcing* forcing = nullptr;
+  double forcing_dt = 0.0;  ///< defaults to the core's dt_advect
+};
+
+/// Runs the campaign; returns the number of steps executed.  `comm_ctx`
+/// may be null for serial cores (diagnostics are then block-local).
+/// Checkpoints record the raw prognostic state; for the CA core that
+/// state still carries the deferred final smoothing, which a restarted
+/// CA run applies on its next step — restart transparency holds as long
+/// as the same core type resumes the run.
+template <typename Core>
+int run_campaign(Core& core, comm::Context* comm_ctx, state::State& xi,
+                 const CampaignOptions& options) {
+  const mesh::LatLonMesh mesh(core.config().nx, core.config().ny,
+                              core.config().nz);
+  const double fdt = options.forcing_dt > 0.0 ? options.forcing_dt
+                                              : core.config().dt_advect;
+  for (int step = 1; step <= options.steps; ++step) {
+    core.step(xi);
+    if (options.forcing != nullptr) options.forcing->apply(xi, fdt);
+
+    if (options.diag_every > 0 && step % options.diag_every == 0 &&
+        options.on_diagnostics) {
+      GlobalDiag d = local_diagnostics(core.op_context(), xi);
+      if (comm_ctx != nullptr)
+        d = reduce_diagnostics(*comm_ctx, comm_ctx->world(), d);
+      options.on_diagnostics(step, d);
+    }
+
+    if (options.checkpoint_every > 0 &&
+        step % options.checkpoint_every == 0) {
+      const int rank = comm_ctx != nullptr ? comm_ctx->world_rank() : 0;
+      util::write_checkpoint(
+          util::checkpoint_path(options.checkpoint_prefix, rank), mesh,
+          core.decomp(), xi, step, step * core.config().dt_advect);
+    }
+  }
+  return options.steps;
+}
+
+}  // namespace ca::core

@@ -1,0 +1,48 @@
+// Run configuration shared by the serial, original, and
+// communication-avoiding dynamical-core drivers.
+#pragma once
+
+#include "comm/collectives.hpp"
+#include "ops/context.hpp"
+
+namespace ca::core {
+
+enum class DecompScheme {
+  kXY,   ///< dims {px, py, 1}: F distributed along x, C local
+  kYZ,   ///< dims {1, py, pz}: F local, C collective along z
+  k3D,   ///< dims {px, py, pz}: both F and C distributed (the scheme the
+         ///< paper notes is "always less efficient" than 2-D in practice)
+};
+
+struct DycoreConfig {
+  int nx = 36;
+  int ny = 18;
+  int nz = 8;
+  /// Number of nonlinear iterations of the adaptation process per step.
+  int M = 3;
+  /// Adaptation sub-step dt1 [s] (dt1 << dt2).
+  double dt_adapt = 60.0;
+  /// Advection step dt2 [s].
+  double dt_advect = 360.0;
+  /// Vertically stretched sigma levels instead of uniform.
+  bool stretched_levels = false;
+  ops::ModelParams params;
+  /// Allreduce algorithm for the z-line collectives (kLinearOrdered gives
+  /// bitwise-deterministic sums for equivalence tests).
+  comm::AllreduceAlgorithm z_allreduce = comm::AllreduceAlgorithm::kAuto;
+};
+
+/// Halo layout for a core whose exchange covers D stencil updates
+/// (D = 1 for the original per-update exchange, D = 3M for the
+/// communication-avoiding adaptation phase).
+inline state::StateHalo halos_for_depth(int depth) {
+  state::StateHalo h;
+  // y needs one extra layer beyond the exchange-covered updates: the
+  // divergence on the face ring reads V one row past the deepest window.
+  h.h3 = util::Halo3{3, std::max(depth + 1, 2), std::max(depth, 1)};
+  h.hx2 = 3;
+  h.hy2 = depth + 2;
+  return h;
+}
+
+}  // namespace ca::core

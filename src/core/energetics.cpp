@@ -1,0 +1,90 @@
+#include "core/energetics.hpp"
+
+#include <cmath>
+
+#include "ops/smoothing.hpp"
+
+namespace ca::core {
+namespace {
+
+/// Metric-weighted quadratic energy and inner products.  U and Phi sit on
+/// scalar rows (weight sin(theta_j)); V on the staggered rows
+/// (sin(theta_v)).
+double weighted_energy(const ops::OpContext& ctx, const state::State& xi) {
+  double e = 0.0;
+  const auto& d = *ctx.decomp;
+  for (int k = 0; k < d.lnz(); ++k) {
+    for (int j = 0; j < d.lny(); ++j) {
+      const double wu = ctx.sin_t(j) * ctx.dsig(k);
+      const double wv = ctx.sin_tv(j) * ctx.dsig(k);
+      for (int i = 0; i < d.lnx(); ++i) {
+        e += wu * (xi.u()(i, j, k) * xi.u()(i, j, k) +
+                   xi.phi()(i, j, k) * xi.phi()(i, j, k));
+        e += wv * xi.v()(i, j, k) * xi.v()(i, j, k);
+      }
+    }
+  }
+  return e;
+}
+
+/// 2 <xi, tend> with the same weights: the dE/dt induced by `tend`.
+void weighted_rate(const ops::OpContext& ctx, const state::State& xi,
+                   const state::State& tend, double& rate, double& scale) {
+  rate = 0.0;
+  scale = 0.0;
+  const auto& d = *ctx.decomp;
+  for (int k = 0; k < d.lnz(); ++k) {
+    for (int j = 0; j < d.lny(); ++j) {
+      const double wu = ctx.sin_t(j) * ctx.dsig(k);
+      const double wv = ctx.sin_tv(j) * ctx.dsig(k);
+      for (int i = 0; i < d.lnx(); ++i) {
+        const double cu = wu * xi.u()(i, j, k) * tend.u()(i, j, k);
+        const double cv = wv * xi.v()(i, j, k) * tend.v()(i, j, k);
+        const double cp = wu * xi.phi()(i, j, k) * tend.phi()(i, j, k);
+        rate += 2.0 * (cu + cv + cp);
+        scale += 2.0 * (std::abs(cu) + std::abs(cv) + std::abs(cp));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+EnergyBudget diagnose_energetics(SerialCore& core, const state::State& xi) {
+  const auto& ctx = core.op_context();
+  EnergyBudget budget;
+
+  state::State work = core.make_state();
+  work.assign(xi, work.extended(work.u().halo().x, work.u().halo().y,
+                                work.u().halo().z));
+  core.fill_boundaries(work);
+  budget.energy = weighted_energy(ctx, work);
+
+  state::State tend = core.make_state();
+  double scale = 0.0;
+
+  core.advection_tendency(work, tend);
+  weighted_rate(ctx, work, tend, budget.advection_rate, scale);
+  budget.advection_residual =
+      scale > 0.0 ? std::abs(budget.advection_rate) / scale : 0.0;
+
+  core.adaptation_tendency(work, tend);
+  double ascale = 0.0;
+  weighted_rate(ctx, work, tend, budget.adaptation_rate, ascale);
+
+  // Smoothing: one full application.
+  state::State smoothed = core.make_state();
+  ops::apply_smoothing(ctx, work, smoothed, work.interior());
+  budget.smoothing_delta = weighted_energy(ctx, smoothed) - budget.energy;
+
+  // Filter applied to the STATE (in the algorithm it filters tendencies;
+  // the dissipativity property is the same).
+  state::State filtered = core.make_state();
+  filtered.assign(work, filtered.extended(3, 2, 1));
+  core.filter().apply_local(ctx, filtered, filtered.interior());
+  budget.filter_delta = weighted_energy(ctx, filtered) - budget.energy;
+
+  return budget;
+}
+
+}  // namespace ca::core

@@ -1,0 +1,322 @@
+#include "core/exchange.hpp"
+
+#include "core/dycore_config.hpp"
+
+#include <stdexcept>
+
+#include "comm/collectives.hpp"
+#include "ops/vertical.hpp"
+
+namespace ca::core {
+namespace {
+
+constexpr int kTagExchangeBase = 1 << 20;
+
+/// Direction index of offset (dx, dy, dz) in {-1,0,1}^3.
+int dir_index(int dx, int dy, int dz) {
+  return (dx + 1) + 3 * (dy + 1) + 9 * (dz + 1);
+}
+
+int item_tag(int item, int dx, int dy, int dz) {
+  return kTagExchangeBase + item * 27 + dir_index(dx, dy, dz);
+}
+
+/// 2-D send/recv spans along one axis.
+struct Span2 {
+  int lo, hi;
+};
+
+Span2 send_span(int n, int d, int w) {
+  if (d == 0) return {0, n};
+  return d < 0 ? Span2{0, w} : Span2{n - w, n};
+}
+
+Span2 recv_span(int n, int d, int w) {
+  if (d == 0) return {0, n};
+  return d < 0 ? Span2{-w, 0} : Span2{n, n + w};
+}
+
+}  // namespace
+
+void apply_physical_boundaries(const ops::OpContext& ctx, state::State& s,
+                               int wx, int wy, int wz) {
+  const auto& d = *ctx.decomp;
+  auto clamp3 = [](int w, int h) { return std::min(w, h); };
+  if (d.owns_full_x() && wx > 0) {
+    mesh::fill_x_periodic(s.u(), clamp3(wx, s.u().halo().x));
+    mesh::fill_x_periodic(s.v(), clamp3(wx, s.v().halo().x));
+    mesh::fill_x_periodic(s.phi(), clamp3(wx, s.phi().halo().x));
+    // 2-D field: wrap through a thin 3-D view equivalent.
+    auto& psa = s.psa();
+    const int hw = std::min(wx + ops::kSurfaceRing, psa.hx());
+    for (int j = -psa.hy(); j < psa.ny() + psa.hy(); ++j) {
+      for (int dx = 1; dx <= hw; ++dx) {
+        psa(-dx, j) = psa(psa.nx() - dx, j);
+        psa(psa.nx() - 1 + dx, j) = psa(dx - 1, j);
+      }
+    }
+  }
+  if (wy > 0) {
+    if (d.at_north_pole()) {
+      mesh::fill_pole_north(s.u(), clamp3(wy, s.u().halo().y),
+                            mesh::PoleParity::kSymmetric);
+      mesh::fill_pole_north(s.v(), clamp3(wy, s.v().halo().y),
+                            mesh::PoleParity::kAntisymmetric);
+      mesh::fill_pole_north(s.phi(), clamp3(wy, s.phi().halo().y),
+                            mesh::PoleParity::kSymmetric);
+      auto& psa = s.psa();
+      const int hw = std::min(wy + ops::kSurfaceRing, psa.hy());
+      for (int dd = 1; dd <= hw; ++dd)
+        for (int i = -psa.hx(); i < psa.nx() + psa.hx(); ++i)
+          psa(i, -dd) = psa(i, dd - 1);
+    }
+    if (d.at_south_pole()) {
+      mesh::fill_pole_south(s.u(), clamp3(wy, s.u().halo().y),
+                            mesh::PoleParity::kSymmetric);
+      mesh::fill_pole_south(s.v(), clamp3(wy, s.v().halo().y),
+                            mesh::PoleParity::kAntisymmetric);
+      mesh::fill_pole_south(s.phi(), clamp3(wy, s.phi().halo().y),
+                            mesh::PoleParity::kSymmetric);
+      auto& psa = s.psa();
+      const int hw = std::min(wy + ops::kSurfaceRing, psa.hy());
+      const int ny = psa.ny();
+      for (int dd = 1; dd <= hw; ++dd)
+        for (int i = -psa.hx(); i < psa.nx() + psa.hx(); ++i)
+          psa(i, ny - 1 + dd) = psa(i, ny - dd);
+    }
+  }
+  if (wz > 0) {
+    if (d.at_model_top()) {
+      mesh::fill_z_top(s.u(), clamp3(wz, s.u().halo().z));
+      mesh::fill_z_top(s.v(), clamp3(wz, s.v().halo().z));
+      mesh::fill_z_top(s.phi(), clamp3(wz, s.phi().halo().z));
+    }
+    if (d.at_surface()) {
+      mesh::fill_z_bottom(s.u(), clamp3(wz, s.u().halo().z));
+      mesh::fill_z_bottom(s.v(), clamp3(wz, s.v().halo().z));
+      mesh::fill_z_bottom(s.phi(), clamp3(wz, s.phi().halo().z));
+    }
+  }
+}
+
+void HaloExchanger::begin(const std::vector<ExchangeItem>& items,
+                          const std::string& phase) {
+  ctx_->stats().set_phase(phase);
+  items_ = items;
+  recvs_.clear();
+  sends_.clear();
+  const auto& topo = *topo_;
+  const int self = topo.comm.rank();
+
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const int nbr = topo.neighbor(dx, dy, dz);
+        if (nbr < 0 || nbr == self) continue;
+        for (std::size_t it = 0; it < items_.size(); ++it) {
+          const ExchangeItem& item = items_[it];
+          const int wx = item.wx, wy = item.wy, wz = item.wz;
+          // Skip offsets along axes this item does not exchange.
+          if ((dx != 0 && wx == 0) || (dy != 0 && wy == 0) ||
+              (dz != 0 && (wz == 0 || item.f2 != nullptr)))
+            continue;
+          if (item.f2 != nullptr && dz != 0) continue;
+
+          if (item.f3 != nullptr) {
+            const auto& f = *item.f3;
+            mesh::Box sb = mesh::send_box(f.nx(), f.ny(), f.nz(), dx, dy,
+                                          dz, wx, wy, wz);
+            mesh::Box rb = mesh::recv_box(f.nx(), f.ny(), f.nz(), dx, dy,
+                                          dz, wx, wy, wz);
+            std::vector<double> buf;
+            mesh::pack_box(f, sb, buf);
+            ctx_->send_values<double>(
+                topo.comm, nbr, item_tag(static_cast<int>(it), dx, dy, dz),
+                buf);
+            sends_.push_back(std::move(buf));
+
+            PendingRecv pr;
+            pr.item = static_cast<int>(it);
+            pr.box3 = rb;
+            pr.buffer.resize(static_cast<std::size_t>(rb.volume()));
+            pr.request = ctx_->irecv_values<double>(
+                topo.comm, nbr,
+                item_tag(static_cast<int>(it), -dx, -dy, -dz),
+                pr.buffer);
+            recvs_.push_back(std::move(pr));
+          } else {
+            const auto& f = *item.f2;
+            const Span2 sx = send_span(f.nx(), dx, wx);
+            const Span2 sy = send_span(f.ny(), dy, wy);
+            const Span2 rx = recv_span(f.nx(), dx, wx);
+            const Span2 ry = recv_span(f.ny(), dy, wy);
+            std::vector<double> buf;
+            buf.reserve(static_cast<std::size_t>(sx.hi - sx.lo) *
+                        (sy.hi - sy.lo));
+            for (int j = sy.lo; j < sy.hi; ++j)
+              for (int i = sx.lo; i < sx.hi; ++i) buf.push_back(f(i, j));
+            ctx_->send_values<double>(
+                topo.comm, nbr, item_tag(static_cast<int>(it), dx, dy, dz),
+                buf);
+            sends_.push_back(std::move(buf));
+
+            PendingRecv pr;
+            pr.item = static_cast<int>(it);
+            pr.is2d = true;
+            pr.i0 = rx.lo;
+            pr.i1 = rx.hi;
+            pr.j0 = ry.lo;
+            pr.j1 = ry.hi;
+            pr.buffer.resize(static_cast<std::size_t>(rx.hi - rx.lo) *
+                             (ry.hi - ry.lo));
+            pr.request = ctx_->irecv_values<double>(
+                topo.comm, nbr,
+                item_tag(static_cast<int>(it), -dx, -dy, -dz),
+                pr.buffer);
+            recvs_.push_back(std::move(pr));
+          }
+        }
+      }
+    }
+  }
+}
+
+void HaloExchanger::finish() {
+  for (auto& pr : recvs_) {
+    ctx_->wait(pr.request);
+    if (pr.is2d) {
+      auto& f = *items_[static_cast<std::size_t>(pr.item)].f2;
+      std::size_t idx = 0;
+      for (int j = pr.j0; j < pr.j1; ++j)
+        for (int i = pr.i0; i < pr.i1; ++i) f(i, j) = pr.buffer[idx++];
+    } else {
+      auto& f = *items_[static_cast<std::size_t>(pr.item)].f3;
+      mesh::unpack_box(f, pr.box3, pr.buffer);
+    }
+  }
+  recvs_.clear();
+  sends_.clear();
+}
+
+void HaloExchanger::exchange(const std::vector<ExchangeItem>& items,
+                             const std::string& phase) {
+  begin(items, phase);
+  finish();
+}
+
+void compute_diagnostics(const ops::OpContext& ctx, comm::Context* comm_ctx,
+                         const comm::Communicator* line_z,
+                         const state::State& xi, const mesh::Box& window,
+                         ops::DiagWorkspace& ws, bool stale_vert,
+                         comm::AllreduceAlgorithm alg,
+                         const std::string& phase) {
+  ops::compute_local_diag(ctx, xi, window, ws);
+  if (stale_vert) return;  // ws.vert keeps the last C's products
+
+  const bool distributed = line_z != nullptr && line_z->size() > 1;
+  if (!distributed) {
+    ops::compute_vert_diag_serial(ctx, xi, window, ws);
+    return;
+  }
+
+  const mesh::Box ring = ops::face_ring(window);
+  ops::column_partials(ctx, xi, ring, ws.local, ws.own_div, ws.own_phi);
+
+  // Pack [own_div | own_phi] over the ring face and run the two z-line
+  // collectives (the operator C's communication).
+  const int fi = ring.i1 - ring.i0;
+  const int fj = ring.j1 - ring.j0;
+  const std::size_t face = static_cast<std::size_t>(fi) * fj;
+  std::vector<double> own(2 * face), total(2 * face), prefix(2 * face);
+  std::size_t idx = 0;
+  for (int j = ring.j0; j < ring.j1; ++j) {
+    for (int i = ring.i0; i < ring.i1; ++i) {
+      own[idx] = ws.own_div(i, j);
+      own[idx + face] = ws.own_phi(i, j);
+      ++idx;
+    }
+  }
+  if (comm_ctx == nullptr)
+    throw std::invalid_argument(
+        "compute_diagnostics: distributed path needs a comm context");
+  comm_ctx->stats().set_phase(phase);
+  comm::allreduce<double>(*comm_ctx, *line_z, own, total,
+                          comm::ReduceOp::kSum, alg);
+  comm::exscan<double>(*comm_ctx, *line_z, own, prefix,
+                       comm::ReduceOp::kSum);
+  idx = 0;
+  for (int j = ring.j0; j < ring.j1; ++j) {
+    for (int i = ring.i0; i < ring.i1; ++i) {
+      ws.total_div(i, j) = total[idx];
+      ws.total_phi(i, j) = total[idx + face];
+      ws.base_div(i, j) = prefix[idx];
+      ws.base_phi(i, j) = prefix[idx + face];
+      ++idx;
+    }
+  }
+  ops::column_finish(ctx, xi, ring, ws.local, ws.base_div, ws.total_div,
+                     ws.base_phi, ws.own_phi, ws.total_phi, ws.vert);
+}
+
+state::State gather_global(const ops::OpContext& ctx, comm::Context& cc,
+                           const comm::CartTopology& topo,
+                           const state::State& xi) {
+  constexpr int kTagGatherState = (1 << 20) + (1 << 18);
+  const auto& mesh = *ctx.mesh;
+  const auto& d = *ctx.decomp;
+
+  // Pack this rank's interior: U, V, Phi (x-fastest), then psa.
+  std::vector<double> buf;
+  buf.reserve(static_cast<std::size_t>(d.lnx()) * d.lny() *
+                  (3 * d.lnz()) +
+              static_cast<std::size_t>(d.lnx()) * d.lny());
+  auto pack3 = [&](const util::Array3D<double>& f) {
+    for (int k = 0; k < d.lnz(); ++k)
+      for (int j = 0; j < d.lny(); ++j)
+        for (int i = 0; i < d.lnx(); ++i) buf.push_back(f(i, j, k));
+  };
+  pack3(xi.u());
+  pack3(xi.v());
+  pack3(xi.phi());
+  for (int j = 0; j < d.lny(); ++j)
+    for (int i = 0; i < d.lnx(); ++i) buf.push_back(xi.psa()(i, j));
+
+  if (topo.comm.rank() != 0) {
+    cc.send_values<double>(topo.comm, 0, kTagGatherState, buf);
+    return state::State{};
+  }
+
+  state::State global(mesh.nx(), mesh.ny(), mesh.nz(), halos_for_depth(1));
+  for (int r = 0; r < topo.comm.size(); ++r) {
+    std::array<int, 3> coords{r % topo.dims[0],
+                              (r / topo.dims[0]) % topo.dims[1],
+                              r / (topo.dims[0] * topo.dims[1])};
+    mesh::DomainDecomp rd(mesh, topo.dims, coords);
+    std::vector<double> rbuf;
+    if (r == 0) {
+      rbuf = std::move(buf);
+    } else {
+      rbuf.resize(static_cast<std::size_t>(rd.lnx()) * rd.lny() *
+                      (3 * rd.lnz()) +
+                  static_cast<std::size_t>(rd.lnx()) * rd.lny());
+      cc.recv_values<double>(topo.comm, r, kTagGatherState, rbuf);
+    }
+    std::size_t idx = 0;
+    auto unpack3 = [&](util::Array3D<double>& f) {
+      for (int k = 0; k < rd.lnz(); ++k)
+        for (int j = 0; j < rd.lny(); ++j)
+          for (int i = 0; i < rd.lnx(); ++i)
+            f(rd.gi(i), rd.gj(j), rd.gk(k)) = rbuf[idx++];
+    };
+    unpack3(global.u());
+    unpack3(global.v());
+    unpack3(global.phi());
+    for (int j = 0; j < rd.lny(); ++j)
+      for (int i = 0; i < rd.lnx(); ++i)
+        global.psa()(rd.gi(i), rd.gj(j)) = rbuf[idx++];
+  }
+  return global;
+}
+
+}  // namespace ca::core

@@ -1,0 +1,96 @@
+// Communication engines of the distributed dynamical core:
+//   - physical boundary fills (periodic x, pole reflection, zero-gradient z)
+//   - the neighbor halo exchange (blocking, and split begin/finish for the
+//     communication/computation overlap of Algorithm 2)
+//   - the distributed C operator: column partials + the two z-line
+//     collectives (allreduce + exscan) + column finish
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "comm/topology.hpp"
+#include "mesh/halo.hpp"
+#include "ops/context.hpp"
+#include "ops/tendency.hpp"
+#include "state/state.hpp"
+
+namespace ca::core {
+
+/// Fills the halo sides that have no neighboring rank: x periodic wrap
+/// when the rank owns full circles, pole reflection in y (U/Phi/psa
+/// symmetric, V antisymmetric), zero-gradient in z.  Widths select how
+/// deep to fill (clamped to the allocated halos).
+void apply_physical_boundaries(const ops::OpContext& ctx, state::State& s,
+                               int wx, int wy, int wz);
+
+/// One field (3-D or 2-D) participating in a halo exchange, with
+/// per-axis halo widths.
+struct ExchangeItem {
+  util::Array3D<double>* f3 = nullptr;
+  util::Array2D<double>* f2 = nullptr;
+  int wx = 0, wy = 0, wz = 0;
+};
+
+/// Neighbor halo exchange over the Cartesian topology.  One message per
+/// (neighbor, item) pair — the granularity the paper counts ("about 20
+/// MPI_Isend and MPI_Recv operations ... due to the length of xi being
+/// ten").
+class HaloExchanger {
+ public:
+  HaloExchanger(comm::Context& ctx, const comm::CartTopology& topo,
+                const mesh::DomainDecomp& decomp)
+      : ctx_(&ctx), topo_(&topo), decomp_(&decomp) {}
+
+  /// Posts receives and sends for all items; returns immediately.
+  void begin(const std::vector<ExchangeItem>& items,
+             const std::string& phase);
+  /// Waits for all receives and unpacks them into the halos.
+  void finish();
+  /// begin + finish.
+  void exchange(const std::vector<ExchangeItem>& items,
+                const std::string& phase);
+
+  /// Messages sent by the last begin() (for schedule validation).
+  std::size_t last_message_count() const { return sends_.size(); }
+
+ private:
+  struct PendingRecv {
+    comm::Request request;
+    std::vector<double> buffer;
+    int item = 0;
+    mesh::Box box3{};
+    bool is2d = false;
+    int i0 = 0, i1 = 0, j0 = 0, j1 = 0;  // 2-D box
+  };
+
+  comm::Context* ctx_;
+  const comm::CartTopology* topo_;
+  const mesh::DomainDecomp* decomp_;
+  std::vector<ExchangeItem> items_;
+  std::vector<PendingRecv> recvs_;
+  std::vector<std::vector<double>> sends_;  // keep send buffers alive
+};
+
+/// Computes the full diagnostics (LocalDiag + VertDiag) for an update
+/// window, inserting the two z-line collectives when line_z has more than
+/// one rank.  `stale_vert == true` refreshes only the local part and
+/// leaves ws.vert untouched — the previous C products are reused (the
+/// paper's C(psi^{i-2}) replacement, eq. 13), which is also how the
+/// advection process obtains its sigma-dot without communication.
+void compute_diagnostics(const ops::OpContext& ctx, comm::Context* comm_ctx,
+                         const comm::Communicator* line_z,
+                         const state::State& xi, const mesh::Box& window,
+                         ops::DiagWorkspace& ws, bool stale_vert,
+                         comm::AllreduceAlgorithm alg,
+                         const std::string& phase);
+
+/// Gathers every rank's owned interior into one full-domain state on rank
+/// 0 of the topology's communicator (returned state is empty elsewhere).
+/// Used by the equivalence tests and the examples' global diagnostics.
+state::State gather_global(const ops::OpContext& ctx, comm::Context& cc,
+                           const comm::CartTopology& topo,
+                           const state::State& xi);
+
+}  // namespace ca::core

@@ -1,0 +1,25 @@
+#include "fft/dft.hpp"
+
+#include <cassert>
+
+#include "util/math.hpp"
+
+namespace ca::fft {
+
+void dft(std::span<const cplx> in, std::span<cplx> out, bool inverse) {
+  const std::size_t n = in.size();
+  assert(out.size() == n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t m = 0; m < n; ++m) {
+      const double angle = sign * 2.0 * util::kPi *
+                           static_cast<double>(k * m % n) /
+                           static_cast<double>(n);
+      acc += in[m] * cplx{std::cos(angle), std::sin(angle)};
+    }
+    out[k] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+}
+
+}  // namespace ca::fft

@@ -1,0 +1,15 @@
+// O(n^2) discrete Fourier transform — the correctness reference for the
+// fast transforms and the fallback for tiny sizes.
+#pragma once
+
+#include <complex>
+#include <span>
+
+namespace ca::fft {
+
+using cplx = std::complex<double>;
+
+/// out[k] = sum_n in[n] * exp(-+ 2*pi*i*k*n / N); inverse applies 1/N.
+void dft(std::span<const cplx> in, std::span<cplx> out, bool inverse);
+
+}  // namespace ca::fft

@@ -1,0 +1,184 @@
+#include "fft/fft.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace ca::fft {
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t m = 1;
+  while (m < n) m <<= 1;
+  return m;
+}
+
+}  // namespace
+
+Plan::Plan(std::size_t n) : n_(n) {
+  if (n == 0) throw std::invalid_argument("fft::Plan: n must be positive");
+  pow2_ = is_pow2(n);
+  m_ = pow2_ ? n : next_pow2(2 * n - 1);
+
+  // Bit-reversal permutation for length m_.
+  bitrev_.resize(m_);
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < m_) ++bits;
+  for (std::size_t i = 0; i < m_; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < bits; ++b)
+      if (i & (std::size_t{1} << b)) r |= std::size_t{1} << (bits - 1 - b);
+    bitrev_[i] = r;
+  }
+
+  // Forward twiddles W_m^k = exp(-2*pi*i*k/m) for k < m/2.
+  twiddles_.resize(m_ / 2);
+  for (std::size_t k = 0; k < m_ / 2; ++k) {
+    const double angle =
+        -2.0 * util::kPi * static_cast<double>(k) / static_cast<double>(m_);
+    twiddles_[k] = cplx{std::cos(angle), std::sin(angle)};
+  }
+
+  if (!pow2_) {
+    // Bluestein: x_k * chirp_k convolved with conj(chirp) kernel.
+    chirp_.resize(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+      // k^2 mod 2n keeps the angle argument small and exact.
+      const std::size_t k2 = (k * k) % (2 * n_);
+      const double angle =
+          -util::kPi * static_cast<double>(k2) / static_cast<double>(n_);
+      chirp_[k] = cplx{std::cos(angle), std::sin(angle)};
+    }
+    std::vector<cplx> b(m_, cplx{0.0, 0.0});
+    b[0] = std::conj(chirp_[0]);
+    for (std::size_t k = 1; k < n_; ++k) {
+      b[k] = std::conj(chirp_[k]);
+      b[m_ - k] = std::conj(chirp_[k]);
+    }
+    radix2(b, /*inv=*/false);
+    b_forward_ = std::move(b);
+  }
+}
+
+void Plan::radix2(std::span<cplx> data, bool inv) const {
+  const std::size_t m = m_;
+  assert(data.size() == m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t r = bitrev_[i];
+    if (i < r) std::swap(data[i], data[r]);
+  }
+  for (std::size_t len = 2; len <= m; len <<= 1) {
+    const std::size_t stride = m / len;
+    for (std::size_t base = 0; base < m; base += len) {
+      for (std::size_t off = 0; off < len / 2; ++off) {
+        cplx w = twiddles_[off * stride];
+        if (inv) w = std::conj(w);
+        const cplx u = data[base + off];
+        const cplx t = data[base + off + len / 2] * w;
+        data[base + off] = u + t;
+        data[base + off + len / 2] = u - t;
+      }
+    }
+  }
+}
+
+void Plan::transform(std::span<cplx> data, bool inv) const {
+  assert(data.size() == n_);
+  if (pow2_) {
+    radix2(data, inv);
+    return;
+  }
+  // Bluestein.  The inverse transform of length n is the forward transform
+  // with conjugated inputs/outputs: F^-1(x) = conj(F(conj(x)))/n, with the
+  // 1/n applied by the caller (inverse()).
+  std::vector<cplx> a(m_, cplx{0.0, 0.0});
+  if (inv) {
+    for (std::size_t k = 0; k < n_; ++k)
+      a[k] = std::conj(data[k]) * chirp_[k];
+  } else {
+    for (std::size_t k = 0; k < n_; ++k) a[k] = data[k] * chirp_[k];
+  }
+  radix2(a, /*inv=*/false);
+  for (std::size_t k = 0; k < m_; ++k) a[k] *= b_forward_[k];
+  radix2(a, /*inv=*/true);
+  const double scale = 1.0 / static_cast<double>(m_);
+  if (inv) {
+    for (std::size_t k = 0; k < n_; ++k)
+      data[k] = std::conj(a[k] * chirp_[k] * scale);
+  } else {
+    for (std::size_t k = 0; k < n_; ++k) data[k] = a[k] * chirp_[k] * scale;
+  }
+}
+
+void Plan::forward(std::span<cplx> data) const { transform(data, false); }
+
+void Plan::inverse(std::span<cplx> data) const {
+  transform(data, true);
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (auto& v : data) v *= scale;
+}
+
+RealPlan::RealPlan(std::size_t n) : n_(n), half_(n / 2) {
+  if (n < 2 || n % 2 != 0)
+    throw std::invalid_argument("fft::RealPlan: n must be even and >= 2");
+}
+
+void RealPlan::forward(std::span<const double> input,
+                       std::span<cplx> spectrum) const {
+  assert(input.size() == n_);
+  assert(spectrum.size() == n_ / 2 + 1);
+  const std::size_t h = n_ / 2;
+  std::vector<cplx> z(h);
+  for (std::size_t m = 0; m < h; ++m)
+    z[m] = cplx{input[2 * m], input[2 * m + 1]};
+  half_.forward(z);
+  // Split: X[k] = E[k] + W^k O[k] with E/O recovered from Z and its
+  // reflected conjugate.
+  for (std::size_t k = 0; k <= h; ++k) {
+    const cplx zk = z[k % h];
+    const cplx zr = std::conj(z[(h - k) % h]);
+    const cplx even = 0.5 * (zk + zr);
+    const cplx odd = cplx{0.0, -0.5} * (zk - zr);
+    const double angle =
+        -2.0 * util::kPi * static_cast<double>(k) / static_cast<double>(n_);
+    const cplx w{std::cos(angle), std::sin(angle)};
+    spectrum[k] = even + w * odd;
+  }
+}
+
+void RealPlan::inverse(std::span<const cplx> spectrum,
+                       std::span<double> output) const {
+  assert(spectrum.size() == n_ / 2 + 1);
+  assert(output.size() == n_);
+  const std::size_t h = n_ / 2;
+  std::vector<cplx> z(h);
+  for (std::size_t k = 0; k < h; ++k) {
+    const cplx xk = spectrum[k];
+    const cplx xr = std::conj(spectrum[h - k]);
+    const cplx even = 0.5 * (xk + xr);
+    const double angle =
+        2.0 * util::kPi * static_cast<double>(k) / static_cast<double>(n_);
+    const cplx winv{std::cos(angle), std::sin(angle)};
+    const cplx odd = 0.5 * winv * (xk - xr);
+    z[k] = even + cplx{0.0, 1.0} * odd;
+  }
+  half_.inverse(z);
+  for (std::size_t m = 0; m < h; ++m) {
+    output[2 * m] = z[m].real();
+    output[2 * m + 1] = z[m].imag();
+  }
+}
+
+void fft(std::span<cplx> data, bool inverse) {
+  Plan plan(data.size());
+  if (inverse) {
+    plan.inverse(data);
+  } else {
+    plan.forward(data);
+  }
+}
+
+}  // namespace ca::fft

@@ -1,0 +1,70 @@
+// Fast Fourier transform for arbitrary length n: iterative radix-2 with
+// precomputed twiddles for powers of two, Bluestein's chirp-z algorithm
+// otherwise (n_x = 720 in the 50 km model is 2^4 * 3^2 * 5).  A Plan
+// precomputes everything for a fixed n and is reused across latitude
+// circles and time steps.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ca::fft {
+
+using cplx = std::complex<double>;
+
+class Plan {
+ public:
+  explicit Plan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// In-place forward transform (unnormalized).
+  void forward(std::span<cplx> data) const;
+  /// In-place inverse transform (normalized by 1/n).
+  void inverse(std::span<cplx> data) const;
+
+ private:
+  void transform(std::span<cplx> data, bool inv) const;
+
+  std::size_t n_ = 0;
+  bool pow2_ = false;
+
+  // Radix-2 machinery (for n_ or the Bluestein convolution length m_).
+  std::size_t m_ = 0;  // power-of-two working length
+  std::vector<std::size_t> bitrev_;
+  std::vector<cplx> twiddles_;  // forward twiddles for length m_
+
+  // Bluestein chirp data (empty when n_ is a power of two).
+  std::vector<cplx> chirp_;      // exp(-i*pi*k^2/n)
+  std::vector<cplx> b_forward_;  // FFT_m of the chirp kernel
+
+  void radix2(std::span<cplx> data, bool inv) const;
+};
+
+/// Convenience one-shot transforms (allocate a Plan internally).
+void fft(std::span<cplx> data, bool inverse = false);
+
+/// Real-input transform via the N/2 complex-FFT trick (even n only):
+/// packs adjacent real pairs into complex values, transforms, and
+/// unpacks with the split formula.  spectrum has n/2+1 bins (DC..Nyquist).
+class RealPlan {
+ public:
+  explicit RealPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// spectrum[k] for k in [0, n/2]; bins 1..n/2-1 represent conjugate
+  /// pairs.
+  void forward(std::span<const double> input, std::span<cplx> spectrum) const;
+  /// Inverse of forward (exactly; output scaled by 1/n internally).
+  void inverse(std::span<const cplx> spectrum,
+               std::span<double> output) const;
+
+ private:
+  std::size_t n_ = 0;
+  Plan half_;
+};
+
+}  // namespace ca::fft

@@ -1,0 +1,34 @@
+#include "mesh/decomp.hpp"
+
+#include <stdexcept>
+
+namespace ca::mesh {
+
+Range block_range(int n, int p, int idx) {
+  if (p < 1 || idx < 0 || idx >= p)
+    throw std::invalid_argument("block_range: bad partition index");
+  const int base = n / p;
+  const int extra = n % p;
+  Range r;
+  r.begin = idx * base + (idx < extra ? idx : extra);
+  r.count = base + (idx < extra ? 1 : 0);
+  return r;
+}
+
+DomainDecomp::DomainDecomp(const LatLonMesh& mesh, std::array<int, 3> dims,
+                           std::array<int, 3> coords)
+    : dims_(dims), coords_(coords) {
+  for (int a = 0; a < 3; ++a) {
+    const auto ia = static_cast<std::size_t>(a);
+    if (dims[ia] < 1 || coords[ia] < 0 || coords[ia] >= dims[ia])
+      throw std::invalid_argument("DomainDecomp: bad dims/coords");
+  }
+  xr_ = block_range(mesh.nx(), dims[0], coords[0]);
+  yr_ = block_range(mesh.ny(), dims[1], coords[1]);
+  zr_ = block_range(mesh.nz(), dims[2], coords[2]);
+  if (xr_.count == 0 || yr_.count == 0 || zr_.count == 0)
+    throw std::invalid_argument(
+        "DomainDecomp: more ranks than mesh points along an axis");
+}
+
+}  // namespace ca::mesh

@@ -1,0 +1,63 @@
+// Block domain decomposition of the latitude-longitude mesh over a
+// Cartesian process grid.  The paper's three schemes are instances:
+//   X-Y: dims = {px, py, 1}   (F distributed, C local)
+//   Y-Z: dims = {1, py, pz}   (F local, C distributed along z)
+//   3-D: dims = {px, py, pz}
+#pragma once
+
+#include <array>
+
+#include "mesh/latlon.hpp"
+
+namespace ca::mesh {
+
+struct Range {
+  int begin = 0;
+  int count = 0;
+
+  int end() const { return begin + count; }
+  bool contains(int g) const { return g >= begin && g < end(); }
+
+  friend bool operator==(const Range&, const Range&) = default;
+};
+
+/// Contiguous balanced partition of [0, n) into p blocks; the first
+/// (n mod p) blocks get one extra element.
+Range block_range(int n, int p, int idx);
+
+class DomainDecomp {
+ public:
+  DomainDecomp(const LatLonMesh& mesh, std::array<int, 3> dims,
+               std::array<int, 3> coords);
+
+  const std::array<int, 3>& dims() const { return dims_; }
+  const std::array<int, 3>& coords() const { return coords_; }
+
+  Range xr() const { return xr_; }
+  Range yr() const { return yr_; }
+  Range zr() const { return zr_; }
+
+  int lnx() const { return xr_.count; }
+  int lny() const { return yr_.count; }
+  int lnz() const { return zr_.count; }
+
+  /// Global index of a local index.
+  int gi(int i) const { return xr_.begin + i; }
+  int gj(int j) const { return yr_.begin + j; }
+  int gk(int k) const { return zr_.begin + k; }
+
+  /// True if this rank's block touches the given physical boundary.
+  bool at_north_pole() const { return coords_[1] == 0; }
+  bool at_south_pole() const { return coords_[1] == dims_[1] - 1; }
+  bool at_model_top() const { return coords_[2] == 0; }
+  bool at_surface() const { return coords_[2] == dims_[2] - 1; }
+  /// x is periodic: a rank owning the whole x extent has no x neighbors.
+  bool owns_full_x() const { return dims_[0] == 1; }
+
+ private:
+  std::array<int, 3> dims_{};
+  std::array<int, 3> coords_{};
+  Range xr_{}, yr_{}, zr_{};
+};
+
+}  // namespace ca::mesh

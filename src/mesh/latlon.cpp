@@ -1,0 +1,32 @@
+#include "mesh/latlon.hpp"
+
+#include <stdexcept>
+
+namespace ca::mesh {
+
+LatLonMesh::LatLonMesh(int nx, int ny, int nz) : nx_(nx), ny_(ny), nz_(nz) {
+  if (nx < 4 || ny < 4 || nz < 1)
+    throw std::invalid_argument("LatLonMesh: mesh too small");
+  dlambda_ = 2.0 * util::kPi / nx;
+  dtheta_ = util::kPi / ny;
+  sin_theta_.resize(static_cast<std::size_t>(ny) + 2);
+  cos_theta_.resize(static_cast<std::size_t>(ny) + 2);
+  sin_theta_v_.resize(static_cast<std::size_t>(ny) + 2);
+  for (int j = -1; j <= ny; ++j) {
+    // Ghost rows (j = -1, ny) reflect across the pole: use the interior
+    // row's metric factors so halo-row evaluations stay positive and
+    // finite (the reflection boundary condition pairs them with interior
+    // data anyway).
+    const double th_clamped =
+        j < 0 ? theta(0) : (j >= ny ? theta(ny - 1) : theta(j));
+    sin_theta_[static_cast<std::size_t>(j + 1)] = std::sin(th_clamped);
+    cos_theta_[static_cast<std::size_t>(j + 1)] = std::cos(th_clamped);
+    // V rows: theta_v(-1) = 0 and theta_v(ny-1) = pi are the true poles
+    // (sin = 0 kills the meridional flux there); clamp the ghost row.
+    const double thv_clamped =
+        std::min(std::max(theta_v(j), 0.0), util::kPi);
+    sin_theta_v_[static_cast<std::size_t>(j + 1)] = std::sin(thv_clamped);
+  }
+}
+
+}  // namespace ca::mesh

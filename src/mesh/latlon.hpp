@@ -1,0 +1,72 @@
+// Latitude-longitude mesh geometry with Arakawa C-grid staggering.
+//
+// Conventions (paper Section 2.2):
+//   - x: longitude (lambda), periodic, n_x points, dlambda = 2*pi/n_x
+//   - y: colatitude (theta) from north pole (theta = 0) to south pole
+//     (theta = pi), n_y scalar rows
+//   - z: terrain-following sigma coordinate, n_z levels
+//
+// Scalar points (Phi, p'_sa, P) sit at cell centers theta_j =
+// (j + 1/2) * dtheta, so sin(theta) > 0 at every scalar row and no grid
+// point lies exactly on a pole.  C-grid staggering:
+//   - U at (i - 1/2, j):      longitudes lambda_u(i) = i * dlambda
+//   - V at (i, j + 1/2):      colatitudes theta_v(j) = (j + 1) * dtheta
+// V rows at the pole edges (theta = 0, pi) carry zero meridional flux.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace ca::mesh {
+
+class LatLonMesh {
+ public:
+  LatLonMesh(int nx, int ny, int nz);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+
+  double dlambda() const { return dlambda_; }
+  double dtheta() const { return dtheta_; }
+
+  /// Colatitude of scalar row j (cell center), j in [0, ny).
+  double theta(int j) const { return (j + 0.5) * dtheta_; }
+  /// Colatitude of V row j (cell south edge), j in [-1, ny); theta_v(-1)=0
+  /// (north pole) and theta_v(ny-1)=pi (south pole).
+  double theta_v(int j) const { return (j + 1.0) * dtheta_; }
+
+  /// Longitude of scalar column i (cell center).
+  double lambda(int i) const { return (i + 0.5) * dlambda_; }
+  /// Longitude of U column i (cell west edge).
+  double lambda_u(int i) const { return i * dlambda_; }
+
+  double sin_theta(int j) const { return sin_theta_[static_cast<std::size_t>(j + 1)]; }
+  double sin_theta_v(int j) const { return sin_theta_v_[static_cast<std::size_t>(j + 1)]; }
+  double cos_theta(int j) const { return cos_theta_[static_cast<std::size_t>(j + 1)]; }
+  double cot_theta(int j) const { return cos_theta(j) / sin_theta(j); }
+
+  /// Earth radius used in metric terms [m].
+  double radius() const { return util::kEarthRadius; }
+
+  /// Approximate grid resolution at the equator [m].
+  double equatorial_dx() const { return radius() * dlambda_; }
+  double dy() const { return radius() * dtheta_; }
+
+  /// Spherical cell "area weight" sin(theta_j) * dlambda * dtheta * a^2 of
+  /// scalar cell (i, j) — independent of i.
+  double cell_area(int j) const {
+    return radius() * radius() * sin_theta(j) * dlambda_ * dtheta_;
+  }
+
+ private:
+  int nx_, ny_, nz_;
+  double dlambda_, dtheta_;
+  // Cached per-row trigonometry with one ghost row on each side (j = -1 and
+  // j = ny) so stencil kernels can evaluate metric factors in halo rows.
+  std::vector<double> sin_theta_, cos_theta_, sin_theta_v_;
+};
+
+}  // namespace ca::mesh

@@ -1,0 +1,48 @@
+#include "mesh/sigma.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ca::mesh {
+
+SigmaLevels::SigmaLevels(std::vector<double> half) : half_(std::move(half)) {
+  const int nz = static_cast<int>(half_.size()) - 1;
+  if (nz < 1) throw std::invalid_argument("SigmaLevels: need nz >= 1");
+  full_.resize(static_cast<std::size_t>(nz));
+  dsigma_.resize(static_cast<std::size_t>(nz));
+  for (int k = 0; k < nz; ++k) {
+    const double lo = half_[static_cast<std::size_t>(k)];
+    const double hi = half_[static_cast<std::size_t>(k) + 1];
+    if (hi <= lo)
+      throw std::invalid_argument("SigmaLevels: non-monotone interfaces");
+    full_[static_cast<std::size_t>(k)] = 0.5 * (lo + hi);
+    dsigma_[static_cast<std::size_t>(k)] = hi - lo;
+  }
+}
+
+SigmaLevels SigmaLevels::uniform(int nz) {
+  if (nz < 1) throw std::invalid_argument("SigmaLevels: need nz >= 1");
+  std::vector<double> half(static_cast<std::size_t>(nz) + 1);
+  for (int k = 0; k <= nz; ++k)
+    half[static_cast<std::size_t>(k)] =
+        static_cast<double>(k) / static_cast<double>(nz);
+  return SigmaLevels(std::move(half));
+}
+
+SigmaLevels SigmaLevels::stretched(int nz, double stretch) {
+  if (nz < 1) throw std::invalid_argument("SigmaLevels: need nz >= 1");
+  if (stretch <= 0.0)
+    throw std::invalid_argument("SigmaLevels: stretch must be positive");
+  std::vector<double> half(static_cast<std::size_t>(nz) + 1);
+  for (int k = 0; k <= nz; ++k) {
+    const double s = static_cast<double>(k) / static_cast<double>(nz);
+    // tanh stretching: thin layers near sigma = 1 (the surface).
+    half[static_cast<std::size_t>(k)] =
+        std::tanh(stretch * s) / std::tanh(stretch);
+  }
+  half[0] = 0.0;
+  half[static_cast<std::size_t>(nz)] = 1.0;
+  return SigmaLevels(std::move(half));
+}
+
+}  // namespace ca::mesh

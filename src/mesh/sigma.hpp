@@ -1,0 +1,38 @@
+// Terrain-following sigma vertical coordinate: sigma = (p - p_t)/p_es in
+// (0, 1], discretized into n_z full (mid) levels with n_z + 1 half-level
+// interfaces, sigma_half[0] = 0 (model top) and sigma_half[nz] = 1
+// (surface).
+#pragma once
+
+#include <vector>
+
+namespace ca::mesh {
+
+class SigmaLevels {
+ public:
+  /// Uniformly spaced levels.
+  static SigmaLevels uniform(int nz);
+  /// Levels refined toward the surface (hyperbolic stretching), as
+  /// production AGCMs use for the boundary layer.
+  static SigmaLevels stretched(int nz, double stretch = 2.0);
+
+  int nz() const { return static_cast<int>(full_.size()); }
+
+  /// Mid-level sigma of layer k, k in [0, nz).
+  double full(int k) const { return full_[static_cast<std::size_t>(k)]; }
+  /// Interface sigma, k in [0, nz]; half(0) = 0, half(nz) = 1.
+  double half(int k) const { return half_[static_cast<std::size_t>(k)]; }
+  /// Layer thickness dsigma_k = half(k+1) - half(k).
+  double dsigma(int k) const { return dsigma_[static_cast<std::size_t>(k)]; }
+
+  const std::vector<double>& full_levels() const { return full_; }
+  const std::vector<double>& half_levels() const { return half_; }
+  const std::vector<double>& thicknesses() const { return dsigma_; }
+
+ private:
+  SigmaLevels(std::vector<double> half);
+
+  std::vector<double> full_, half_, dsigma_;
+};
+
+}  // namespace ca::mesh

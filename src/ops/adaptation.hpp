@@ -1,0 +1,73 @@
+// The adaptation-process stencil operator A-hat (paper Table 1): pressure
+// gradient terms, Coriolis terms, the Omega source terms of the Phi
+// equation, and the surface dissipation D_sa.  Each term is exposed as a
+// method at its C-grid location so the footprint tests can probe the
+// exact dependency pattern of Table 1.
+//
+// Array index conventions (see mesh/latlon.hpp): U(i,j,k) at (i-1/2, j),
+// V(i,j,k) at (i, j+1/2), scalars at (i, j).
+#pragma once
+
+#include "mesh/halo.hpp"
+#include "ops/context.hpp"
+#include "state/state.hpp"
+
+namespace ca::ops {
+
+class AdaptationTerms {
+ public:
+  AdaptationTerms(const OpContext& ctx, const state::State& xi,
+                  const LocalDiag& local, const VertDiag& vert)
+      : ctx_(&ctx), xi_(&xi), local_(&local), vert_(&vert) {}
+
+  // --- U equation (at U points) -------------------------------------------
+  /// P_lambda^(1) = P dphi'/(a sin(theta) dlambda).
+  double p_lambda1(int i, int j, int k) const;
+  /// P_lambda^(2) = b Phi (1-delta_p)/p_es * dp_es/(a sin(theta) dlambda).
+  double p_lambda2(int i, int j, int k) const;
+  /// f* V interpolated to the U point (sign applied by tend_u).
+  double coriolis_u(int i, int j, int k) const;
+
+  // --- V equation (at V points) -------------------------------------------
+  /// P_theta^(1) = P dphi'/(a dtheta).
+  double p_theta1(int i, int j, int k) const;
+  /// P_theta^(2) = b Phi (1-delta_p)/p_es * dp_es/(a dtheta).
+  double p_theta2(int i, int j, int k) const;
+  /// f* U interpolated to the V point.
+  double coriolis_v(int i, int j, int k) const;
+
+  // --- Phi equation (at scalar points) -------------------------------------
+  /// Omega^(1) = W/sigma - (1/P)[D(P) + d(PW)/dsigma].
+  double omega1(int i, int j, int k) const;
+  /// Omega_theta^(2) = (V/p_es) dp_es/(a dtheta).
+  double omega2_theta(int i, int j, int k) const;
+  /// Omega_lambda^(2) = (U/p_es) dp_es/(a sin(theta) dlambda).
+  double omega2_lambda(int i, int j, int k) const;
+
+  // --- p'_sa equation (2-D) -------------------------------------------------
+  /// D_sa = div(rho~ k_sa grad(p'_sa/(rho~ p_0))) (spherical Laplacian).
+  double d_sa(int i, int j) const;
+
+  // --- assembled tendencies -------------------------------------------------
+  double tend_u(int i, int j, int k) const;
+  double tend_v(int i, int j, int k) const;
+  double tend_phi(int i, int j, int k) const;
+  /// A-hat part only (p_0 kappa* D_sa); the executor adds C's
+  /// -p_0 * divsum contribution.
+  double tend_psa(int i, int j) const;
+
+ private:
+  const OpContext* ctx_;
+  const state::State* xi_;
+  const LocalDiag* local_;
+  const VertDiag* vert_;
+};
+
+/// Evaluates the A-hat tendency over `window` into `tend`, adding the
+/// C contribution -p_0 * vert.divsum to the p'_sa component (vert may hold
+/// stale vertical integrals in the communication-avoiding algorithm).
+void apply_adaptation(const OpContext& ctx, const state::State& xi,
+                      const LocalDiag& local, const VertDiag& vert,
+                      state::State& tend, const mesh::Box& window);
+
+}  // namespace ca::ops

@@ -1,0 +1,212 @@
+#include "ops/advection.hpp"
+
+namespace ca::ops {
+namespace {
+
+/// Skew-symmetric 1-D advection at point m given the advecting velocity c
+/// at the grid's half points and F at full points, 2nd order:
+///   L = [c_{m+1/2} F_{m+1} - c_{m-1/2} F_{m-1}] / (2 ds)
+/// (the discrete expansion of (2 d(Fc)/ds - F dc/ds)/2 with 2nd-order
+/// flux-form differences).
+inline double skew2(double c_lo, double c_hi, double f_lo, double f_hi,
+                    double inv_2ds) {
+  return (c_hi * f_hi - c_lo * f_lo) * inv_2ds;
+}
+
+}  // namespace
+
+double AdvectionTerms::u_at_u(int i, int j, int k) const {
+  const double pu = 0.5 * (local_->pfac(i - 1, j) + local_->pfac(i, j));
+  return xi_->u()(i, j, k) / pu;
+}
+
+double AdvectionTerms::v_at_v(int i, int j, int k) const {
+  const double pv = 0.5 * (local_->pfac(i, j) + local_->pfac(i, j + 1));
+  return xi_->v()(i, j, k) / pv;
+}
+
+// ---------------------------------------------------------------------------
+// L1: zonal advection.  4th order uses 4th-order interpolated fluxes and a
+// 4th-order flux divergence (footprint i±3); 2nd order is exactly
+// skew-symmetric.
+// ---------------------------------------------------------------------------
+
+double AdvectionTerms::l1_u(int i, int j, int k) const {
+  const double inv_dl = 1.0 / ctx_->mesh->dlambda();
+  const double geom = 1.0 / (ctx_->mesh->radius() * ctx_->sin_t(j));
+  const auto& u = xi_->u();
+  // Advecting u at the U-grid half points = scalar columns; half(i) sits
+  // between U(i) and U(i+1).
+  auto c = [&](int ii) {
+    return 0.5 * (u_at_u(ii, j, k) + u_at_u(ii + 1, j, k));
+  };
+  if (ctx_->params.x_order < 4) {
+    return skew2(c(i - 1), c(i), u(i - 1, j, k), u(i + 1, j, k),
+                 0.5 * inv_dl) *
+           geom;
+  }
+  auto fhat = [&](int ii) {  // 4th-order U interpolated to half(ii)
+    return (9.0 * (u(ii, j, k) + u(ii + 1, j, k)) -
+            (u(ii - 1, j, k) + u(ii + 2, j, k))) /
+           16.0;
+  };
+  auto flux = [&](int ii) { return c(ii) * fhat(ii); };
+  const double dflux = (27.0 * (flux(i) - flux(i - 1)) -
+                        (flux(i + 1) - flux(i - 2))) /
+                       24.0 * inv_dl;
+  const double dc =
+      (27.0 * (c(i) - c(i - 1)) - (c(i + 1) - c(i - 2))) / 24.0 * inv_dl;
+  return 0.5 * (2.0 * dflux - u(i, j, k) * dc) * geom;
+}
+
+double AdvectionTerms::l1_v(int i, int j, int k) const {
+  const double inv_dl = 1.0 / ctx_->mesh->dlambda();
+  const double sv = ctx_->sin_tv(j);
+  if (sv < 1e-12) return 0.0;  // pole-edge V row is identically zero
+  const double geom = 1.0 / (ctx_->mesh->radius() * sv);
+  const auto& v = xi_->v();
+  // Half points of the V grid in x are the U columns at the V row; the
+  // half point WEST of V(i) is U column i.
+  auto c = [&](int ii) {  // u interpolated to (U column ii, V row j)
+    return 0.5 * (u_at_u(ii, j, k) + u_at_u(ii, j + 1, k));
+  };
+  if (ctx_->params.x_order < 4) {
+    return skew2(c(i), c(i + 1), v(i - 1, j, k), v(i + 1, j, k),
+                 0.5 * inv_dl) *
+           geom;
+  }
+  auto fhat = [&](int ii) {  // V interpolated to U column ii at row j+1/2
+    return (9.0 * (v(ii - 1, j, k) + v(ii, j, k)) -
+            (v(ii - 2, j, k) + v(ii + 1, j, k))) /
+           16.0;
+  };
+  auto flux = [&](int ii) { return c(ii) * fhat(ii); };
+  const double dflux = (27.0 * (flux(i + 1) - flux(i)) -
+                        (flux(i + 2) - flux(i - 1))) /
+                       24.0 * inv_dl;
+  const double dc = (27.0 * (c(i + 1) - c(i)) - (c(i + 2) - c(i - 1))) /
+                    24.0 * inv_dl;
+  return 0.5 * (2.0 * dflux - v(i, j, k) * dc) * geom;
+}
+
+double AdvectionTerms::l1_phi(int i, int j, int k) const {
+  const double inv_dl = 1.0 / ctx_->mesh->dlambda();
+  const double geom = 1.0 / (ctx_->mesh->radius() * ctx_->sin_t(j));
+  const auto& f = xi_->phi();
+  auto c = [&](int ii) { return u_at_u(ii, j, k); };  // u at U column ii
+  if (ctx_->params.x_order < 4) {
+    return skew2(c(i), c(i + 1), f(i - 1, j, k), f(i + 1, j, k),
+                 0.5 * inv_dl) *
+           geom;
+  }
+  auto fhat = [&](int ii) {  // Phi interpolated to U column ii
+    return (9.0 * (f(ii - 1, j, k) + f(ii, j, k)) -
+            (f(ii - 2, j, k) + f(ii + 1, j, k))) /
+           16.0;
+  };
+  auto flux = [&](int ii) { return c(ii) * fhat(ii); };
+  const double dflux = (27.0 * (flux(i + 1) - flux(i)) -
+                        (flux(i + 2) - flux(i - 1))) /
+                       24.0 * inv_dl;
+  const double dc = (27.0 * (c(i + 1) - c(i)) - (c(i + 2) - c(i - 1))) /
+                    24.0 * inv_dl;
+  return 0.5 * (2.0 * dflux - f(i, j, k) * dc) * geom;
+}
+
+// ---------------------------------------------------------------------------
+// L2: meridional advection with advecting velocity v*sin(theta), 2nd-order
+// skew-symmetric.
+// ---------------------------------------------------------------------------
+
+double AdvectionTerms::l2_u(int i, int j, int k) const {
+  const double inv_2dt = 0.5 / ctx_->mesh->dtheta();
+  const double geom = 1.0 / (ctx_->mesh->radius() * ctx_->sin_t(j));
+  const auto& u = xi_->u();
+  // v*sin(theta_v) at the U-grid y-half points (V rows, x-averaged to the
+  // U column).
+  auto c = [&](int jj) {
+    return 0.5 * (v_at_v(i - 1, jj, k) + v_at_v(i, jj, k)) *
+           ctx_->sin_tv(jj);
+  };
+  return skew2(c(j - 1), c(j), u(i, j - 1, k), u(i, j + 1, k), inv_2dt) *
+         geom;
+}
+
+double AdvectionTerms::l2_v(int i, int j, int k) const {
+  const double sv = ctx_->sin_tv(j);
+  if (sv < 1e-12) return 0.0;
+  const double inv_2dt = 0.5 / ctx_->mesh->dtheta();
+  const double geom = 1.0 / (ctx_->mesh->radius() * sv);
+  const auto& v = xi_->v();
+  // Half points of the V grid in y are the scalar rows; the half point
+  // NORTH of V(j) is scalar row j.  Interpolate the transformed flux
+  // V*sin(theta_v) first and divide by P at the scalar row, so the
+  // footprint stays within {j, j+-1} (Table 2).
+  auto c = [&](int jj) {  // v*sin(theta) at scalar row jj
+    return 0.5 *
+           (v(i, jj - 1, k) * ctx_->sin_tv(jj - 1) +
+            v(i, jj, k) * ctx_->sin_tv(jj)) /
+           local_->pfac(i, jj);
+  };
+  return skew2(c(j), c(j + 1), v(i, j - 1, k), v(i, j + 1, k), inv_2dt) *
+         geom;
+}
+
+double AdvectionTerms::l2_phi(int i, int j, int k) const {
+  const double inv_2dt = 0.5 / ctx_->mesh->dtheta();
+  const double geom = 1.0 / (ctx_->mesh->radius() * ctx_->sin_t(j));
+  const auto& f = xi_->phi();
+  auto c = [&](int jj) { return v_at_v(i, jj, k) * ctx_->sin_tv(jj); };
+  return skew2(c(j - 1), c(j), f(i, j - 1, k), f(i, j + 1, k), inv_2dt) *
+         geom;
+}
+
+// ---------------------------------------------------------------------------
+// L3: vertical convection with sigma-dot at the interfaces, 2nd-order
+// skew-symmetric:  L3(F)_k = [sd_{k+1} F_{k+1} - sd_k F_{k-1}]/(2 dsigma).
+// ---------------------------------------------------------------------------
+
+double AdvectionTerms::l3_u(int i, int j, int k) const {
+  const auto& u = xi_->u();
+  const double sd_top =
+      0.5 * (vert_->sdot(i - 1, j, k) + vert_->sdot(i, j, k));
+  const double sd_bot =
+      0.5 * (vert_->sdot(i - 1, j, k + 1) + vert_->sdot(i, j, k + 1));
+  return skew2(sd_top, sd_bot, u(i, j, k - 1), u(i, j, k + 1),
+               0.5 / ctx_->dsig(k));
+}
+
+double AdvectionTerms::l3_v(int i, int j, int k) const {
+  const auto& v = xi_->v();
+  const double sd_top =
+      0.5 * (vert_->sdot(i, j, k) + vert_->sdot(i, j + 1, k));
+  const double sd_bot =
+      0.5 * (vert_->sdot(i, j, k + 1) + vert_->sdot(i, j + 1, k + 1));
+  return skew2(sd_top, sd_bot, v(i, j, k - 1), v(i, j, k + 1),
+               0.5 / ctx_->dsig(k));
+}
+
+double AdvectionTerms::l3_phi(int i, int j, int k) const {
+  const auto& f = xi_->phi();
+  return skew2(vert_->sdot(i, j, k), vert_->sdot(i, j, k + 1),
+               f(i, j, k - 1), f(i, j, k + 1), 0.5 / ctx_->dsig(k));
+}
+
+void apply_advection(const OpContext& ctx, const state::State& xi,
+                     const LocalDiag& local, const VertDiag& vert,
+                     state::State& tend, const mesh::Box& window) {
+  AdvectionTerms terms(ctx, xi, local, vert);
+  for (int k = window.k0; k < window.k1; ++k) {
+    for (int j = window.j0; j < window.j1; ++j) {
+      for (int i = window.i0; i < window.i1; ++i) {
+        tend.u()(i, j, k) = terms.tend_u(i, j, k);
+        tend.v()(i, j, k) = terms.tend_v(i, j, k);
+        tend.phi()(i, j, k) = terms.tend_phi(i, j, k);
+      }
+    }
+  }
+  for (int j = window.j0; j < window.j1; ++j)
+    for (int i = window.i0; i < window.i1; ++i) tend.psa()(i, j) = 0.0;
+}
+
+}  // namespace ca::ops

@@ -1,0 +1,64 @@
+// The advection operator L~ = L1 + L2 + L3 (paper eq. 3, Table 2) in the
+// IAP skew-symmetric form  L(F) = (1/2)(2 d(F c)/ds - F dc/ds)  which
+// telescopes under summation by parts: sum_m F_m L(F)_m = boundary terms,
+// the discrete property behind the model's quadratic conservation.
+//
+// x-direction (L1) supports 2nd order (exactly skew-symmetric; used by the
+// conservation tests) and 4th order (the production setting, reproducing
+// the i±3 footprints of Table 2).  y (L2) and z (L3) are 2nd order with
+// footprints {j, j±1} and {k, k±1} as in the table.
+#pragma once
+
+#include "mesh/halo.hpp"
+#include "ops/context.hpp"
+#include "state/state.hpp"
+
+namespace ca::ops {
+
+class AdvectionTerms {
+ public:
+  AdvectionTerms(const OpContext& ctx, const state::State& xi,
+                 const LocalDiag& local, const VertDiag& vert)
+      : ctx_(&ctx), xi_(&xi), local_(&local), vert_(&vert) {}
+
+  double l1_u(int i, int j, int k) const;
+  double l2_u(int i, int j, int k) const;
+  double l3_u(int i, int j, int k) const;
+
+  double l1_v(int i, int j, int k) const;
+  double l2_v(int i, int j, int k) const;
+  double l3_v(int i, int j, int k) const;
+
+  double l1_phi(int i, int j, int k) const;
+  double l2_phi(int i, int j, int k) const;
+  double l3_phi(int i, int j, int k) const;
+
+  double tend_u(int i, int j, int k) const {
+    return -(l1_u(i, j, k) + l2_u(i, j, k) + l3_u(i, j, k));
+  }
+  double tend_v(int i, int j, int k) const {
+    return -(l1_v(i, j, k) + l2_v(i, j, k) + l3_v(i, j, k));
+  }
+  double tend_phi(int i, int j, int k) const {
+    return -(l1_phi(i, j, k) + l2_phi(i, j, k) + l3_phi(i, j, k));
+  }
+
+ private:
+  // Physical velocities at their C-grid points (u = U/P_u etc.).
+  double u_at_u(int i, int j, int k) const;
+  double v_at_v(int i, int j, int k) const;
+
+  const OpContext* ctx_;
+  const state::State* xi_;
+  const LocalDiag* local_;
+  const VertDiag* vert_;
+};
+
+/// Evaluates the advection tendency (-sum L_m applied to U, V, Phi; the
+/// p'_sa component of L~ is zero) over `window`.  local/vert must hold pfac
+/// and sdot on the window (+1 ring).
+void apply_advection(const OpContext& ctx, const state::State& xi,
+                     const LocalDiag& local, const VertDiag& vert,
+                     state::State& tend, const mesh::Box& window);
+
+}  // namespace ca::ops

@@ -1,0 +1,53 @@
+#include "ops/diffusion.hpp"
+
+#include <cmath>
+
+namespace ca::ops {
+
+double laplacian_at(const OpContext& ctx, const util::Array3D<double>& f,
+                    int i, int j, int k) {
+  const double a = ctx.mesh->radius();
+  const double dl = ctx.mesh->dlambda();
+  const double dt = ctx.mesh->dtheta();
+  const double sj = ctx.sin_t(j);
+  const double lap_x =
+      (f(i + 1, j, k) - 2.0 * f(i, j, k) + f(i - 1, j, k)) /
+      (dl * dl * sj * sj);
+  const double flux_s = ctx.sin_tv(j) * (f(i, j + 1, k) - f(i, j, k)) / dt;
+  const double flux_n =
+      ctx.sin_tv(j - 1) * (f(i, j, k) - f(i, j - 1, k)) / dt;
+  const double lap_y = (flux_s - flux_n) / (dt * sj);
+  return (lap_x + lap_y) / (a * a);
+}
+
+void apply_horizontal_diffusion(const OpContext& ctx, state::State& s,
+                                double nu, double dt) {
+  if (nu <= 0.0) return;
+  const auto& d = *ctx.decomp;
+  state::State out(d.lnx(), d.lny(), d.lnz(), s.halo());
+  const double c = nu * dt;
+  for (int k = 0; k < d.lnz(); ++k)
+    for (int j = 0; j < d.lny(); ++j)
+      for (int i = 0; i < d.lnx(); ++i) {
+        out.u()(i, j, k) =
+            s.u()(i, j, k) + c * laplacian_at(ctx, s.u(), i, j, k);
+        out.v()(i, j, k) =
+            s.v()(i, j, k) + c * laplacian_at(ctx, s.v(), i, j, k);
+        out.phi()(i, j, k) =
+            s.phi()(i, j, k) + c * laplacian_at(ctx, s.phi(), i, j, k);
+      }
+  s.assign(out, s.interior());
+}
+
+double diffusion_stable_dt(const OpContext& ctx, double nu) {
+  if (nu <= 0.0) return std::numeric_limits<double>::infinity();
+  const double a = ctx.mesh->radius();
+  // Smallest effective dx: the most polar scalar row.
+  const double sin_min = ctx.mesh->sin_theta(0);
+  const double dx_min = a * sin_min * ctx.mesh->dlambda();
+  const double dy = a * ctx.mesh->dtheta();
+  const double h2 = std::min(dx_min, dy);
+  return 0.25 * h2 * h2 / nu;
+}
+
+}  // namespace ca::ops

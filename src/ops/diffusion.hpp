@@ -1,0 +1,31 @@
+// Optional horizontal diffusion (del-2) of the prognostic fields — the
+// explicit dissipation production dynamical cores add for numerical
+// robustness alongside (or instead of) stronger smoothing.  Kept separate
+// from the paper's operators so the reproduction stays faithful by
+// default (coefficient 0 = off); exposed for stability experiments and
+// the dissipation ablation.
+#pragma once
+
+#include "mesh/halo.hpp"
+#include "ops/context.hpp"
+#include "state/state.hpp"
+
+namespace ca::ops {
+
+/// Applies one explicit diffusion step q += dt * nu * del2(q) to U, V and
+/// Phi over the owned interior (halos must be valid; callers re-exchange
+/// afterwards).  nu in m^2/s; stability requires
+/// nu * dt / min(dx)^2 <= 1/4.
+void apply_horizontal_diffusion(const OpContext& ctx, state::State& s,
+                                double nu, double dt);
+
+/// The spherical del-2 of a scalar-point field at (i, j, k):
+/// (1/a^2)[ (1/sin^2) d2/dlambda^2 + (1/sin) d/dtheta (sin d/dtheta) ].
+double laplacian_at(const OpContext& ctx, const util::Array3D<double>& f,
+                    int i, int j, int k);
+
+/// Largest stable dt for a given nu on this mesh (the min-dx constraint
+/// at the most polar scalar row).
+double diffusion_stable_dt(const OpContext& ctx, double nu);
+
+}  // namespace ca::ops

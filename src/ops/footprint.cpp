@@ -1,0 +1,85 @@
+#include "ops/footprint.hpp"
+
+#include <cmath>
+
+namespace ca::ops {
+namespace {
+
+constexpr double kPerturb = 1e-3;
+
+bool changes(const FootprintProbe& probe, double baseline, double& slot) {
+  const double saved = slot;
+  slot = saved + kPerturb * (std::abs(saved) + 1.0);
+  const double perturbed = probe.eval();
+  slot = saved;
+  // Relative comparison: a dependency shows as a change well above
+  // round-off of the baseline magnitude.
+  const double scale = std::abs(baseline) + std::abs(perturbed) + 1e-30;
+  return std::abs(perturbed - baseline) > 1e-9 * scale;
+}
+
+}  // namespace
+
+std::set<Offset> measure_footprint(const FootprintProbe& probe, int i0,
+                                   int j0, int k0, int radius) {
+  std::set<Offset> result;
+  const double baseline = probe.eval();
+  for (int dk = -radius; dk <= radius; ++dk) {
+    for (int dj = -radius; dj <= radius; ++dj) {
+      for (int di = -radius; di <= radius; ++di) {
+        bool hit = false;
+        for (auto* a : probe.inputs3d) {
+          if (!a->in_bounds(i0 + di, j0 + dj, k0 + dk)) continue;
+          if (changes(probe, baseline, (*a)(i0 + di, j0 + dj, k0 + dk))) {
+            hit = true;
+            break;
+          }
+        }
+        if (!hit && dk == 0) {
+          for (auto* a : probe.inputs2d) {
+            if (!a->in_bounds(i0 + di, j0 + dj)) continue;
+            if (changes(probe, baseline, (*a)(i0 + di, j0 + dj))) {
+              hit = true;
+              break;
+            }
+          }
+        }
+        if (hit) result.insert(Offset{di, dj, dk});
+      }
+    }
+  }
+  return result;
+}
+
+FootprintExtent extent(const std::set<Offset>& offsets) {
+  FootprintExtent e;
+  for (const auto& o : offsets) {
+    e.di_min = std::min(e.di_min, o[0]);
+    e.di_max = std::max(e.di_max, o[0]);
+    e.dj_min = std::min(e.dj_min, o[1]);
+    e.dj_max = std::max(e.dj_max, o[1]);
+    e.dk_min = std::min(e.dk_min, o[2]);
+    e.dk_max = std::max(e.dk_max, o[2]);
+  }
+  return e;
+}
+
+std::set<int> x_offsets(const std::set<Offset>& offsets) {
+  std::set<int> out;
+  for (const auto& o : offsets) out.insert(o[0]);
+  return out;
+}
+
+std::set<int> y_offsets(const std::set<Offset>& offsets) {
+  std::set<int> out;
+  for (const auto& o : offsets) out.insert(o[1]);
+  return out;
+}
+
+std::set<int> z_offsets(const std::set<Offset>& offsets) {
+  std::set<int> out;
+  for (const auto& o : offsets) out.insert(o[2]);
+  return out;
+}
+
+}  // namespace ca::ops

@@ -1,0 +1,47 @@
+// Stencil footprint measurement by perturbation probing: evaluates a term
+// at a fixed point, perturbs one input array cell at a time, and records
+// which offsets change the result.  The footprint tests use this to
+// verify the dependency patterns of the paper's Tables 1-3 against the
+// actual kernels (no hand-maintained offset lists that could drift from
+// the code).
+#pragma once
+
+#include <array>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "util/array3d.hpp"
+
+namespace ca::ops {
+
+using Offset = std::array<int, 3>;  // (di, dj, dk)
+
+struct FootprintProbe {
+  /// Arrays the term may read; each is perturbed in turn.
+  std::vector<util::Array3D<double>*> inputs3d;
+  std::vector<util::Array2D<double>*> inputs2d;
+  /// Re-evaluates the term at the fixed probe point.
+  std::function<double()> eval;
+};
+
+/// Offsets (relative to (i0, j0, k0)) whose perturbation changes eval().
+/// Probes the cube of radius `radius` around the point.  2-D inputs are
+/// probed in the (di, dj) plane and reported with dk = 0.
+std::set<Offset> measure_footprint(const FootprintProbe& probe, int i0,
+                                   int j0, int k0, int radius);
+
+/// Per-axis extents of a footprint: {min_di, max_di, min_dj, ...}.
+struct FootprintExtent {
+  int di_min = 0, di_max = 0;
+  int dj_min = 0, dj_max = 0;
+  int dk_min = 0, dk_max = 0;
+};
+FootprintExtent extent(const std::set<Offset>& offsets);
+
+/// The set of distinct x offsets (resp. y, z) appearing in the footprint.
+std::set<int> x_offsets(const std::set<Offset>& offsets);
+std::set<int> y_offsets(const std::set<Offset>& offsets);
+std::set<int> z_offsets(const std::set<Offset>& offsets);
+
+}  // namespace ca::ops

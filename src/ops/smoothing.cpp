@@ -1,0 +1,177 @@
+#include "ops/smoothing.hpp"
+
+#include <cmath>
+
+namespace ca::ops {
+namespace {
+
+/// X factor (1 - beta/16 * dlambda^4) of a 3-D field at (i, j, k).
+inline double x_factor3(const util::Array3D<double>& f, double b, int i,
+                        int j, int k) {
+  const double d4 = f(i - 2, j, k) - 4.0 * f(i - 1, j, k) +
+                    6.0 * f(i, j, k) - 4.0 * f(i + 1, j, k) +
+                    f(i + 2, j, k);
+  return f(i, j, k) - b * d4;
+}
+
+inline double x_factor2(const util::Array2D<double>& f, double b, int i,
+                        int j) {
+  const double d4 = f(i - 2, j) - 4.0 * f(i - 1, j) + 6.0 * f(i, j) -
+                    4.0 * f(i + 1, j) + f(i + 2, j);
+  return f(i, j) - b * d4;
+}
+
+}  // namespace
+
+double smoothing_y_coeff(const ModelParams& params, int d) {
+  const double b = params.smooth_beta / 16.0;
+  switch (d < 0 ? -d : d) {
+    case 0:
+      return 1.0 - 6.0 * b;
+    case 1:
+      return 4.0 * b;
+    case 2:
+      return -b;
+    default:
+      return 0.0;
+  }
+}
+
+void apply_smoothing(const OpContext& ctx, const state::State& in,
+                     state::State& out, const mesh::Box& window) {
+  const double b = ctx.params.smooth_beta / 16.0;
+  for (int k = window.k0; k < window.k1; ++k) {
+    for (int j = window.j0; j < window.j1; ++j) {
+      for (int i = window.i0; i < window.i1; ++i) {
+        out.u()(i, j, k) = x_factor3(in.u(), b, i, j, k);
+        out.v()(i, j, k) = x_factor3(in.v(), b, i, j, k);
+        double acc = 0.0;
+        for (int d = -2; d <= 2; ++d)
+          acc += smoothing_y_coeff(ctx.params, d) *
+                 x_factor3(in.phi(), b, i, j + d, k);
+        out.phi()(i, j, k) = acc;
+      }
+    }
+  }
+  for (int j = window.j0; j < window.j1; ++j) {
+    for (int i = window.i0; i < window.i1; ++i) {
+      double acc = 0.0;
+      for (int d = -2; d <= 2; ++d)
+        acc += smoothing_y_coeff(ctx.params, d) *
+               x_factor2(in.psa(), b, i, j + d);
+      out.psa()(i, j) = acc;
+    }
+  }
+}
+
+namespace {
+
+/// Offset range [dlo, dhi] available for row j in former smoothing.
+void available_offsets(int j, int lny, bool split_north, bool split_south,
+                       int& dlo, int& dhi) {
+  dlo = -2;
+  dhi = 2;
+  if (split_north && j < 2) dlo = -j;
+  if (split_south && j > lny - 3) dhi = lny - 1 - j;
+}
+
+}  // namespace
+
+void apply_smoothing_former(const OpContext& ctx, state::State& s,
+                            const mesh::Box& window, bool split_north,
+                            bool split_south) {
+  const double b = ctx.params.smooth_beta / 16.0;
+  const int lny = s.lny();
+  // Out-of-place per row group into temporaries: P2 rows read +-2 rows of
+  // the ORIGINAL field, so we buffer the full window result then write
+  // back.
+  state::State tmp(s.lnx(), s.lny(), s.lnz(), s.halo());
+  for (int k = window.k0; k < window.k1; ++k) {
+    for (int j = window.j0; j < window.j1; ++j) {
+      int dlo, dhi;
+      available_offsets(j, lny, split_north, split_south, dlo, dhi);
+      for (int i = window.i0; i < window.i1; ++i) {
+        tmp.u()(i, j, k) = x_factor3(s.u(), b, i, j, k);
+        tmp.v()(i, j, k) = x_factor3(s.v(), b, i, j, k);
+        double acc = 0.0;
+        for (int d = dlo; d <= dhi; ++d)
+          acc += smoothing_y_coeff(ctx.params, d) *
+                 x_factor3(s.phi(), b, i, j + d, k);
+        tmp.phi()(i, j, k) = acc;
+      }
+    }
+  }
+  for (int j = window.j0; j < window.j1; ++j) {
+    int dlo, dhi;
+    available_offsets(j, lny, split_north, split_south, dlo, dhi);
+    for (int i = window.i0; i < window.i1; ++i) {
+      double acc = 0.0;
+      for (int d = dlo; d <= dhi; ++d)
+        acc += smoothing_y_coeff(ctx.params, d) *
+               x_factor2(s.psa(), b, i, j + d);
+      tmp.psa()(i, j) = acc;
+    }
+  }
+  s.assign(tmp, window);
+}
+
+void apply_smoothing_later(const OpContext& ctx, const state::State& pre,
+                           state::State& s, const mesh::Box& window,
+                           bool split_north, bool split_south) {
+  const double b = ctx.params.smooth_beta / 16.0;
+  const int lny = s.lny();
+
+  // Row -> missing offset range, for own partial rows and received halo
+  // rows.  Halo row -1 was the neighbor's row lny-1 (it was missing its
+  // southward offsets, which are OUR rows 0..1); halo row -2 misses d=+2.
+  auto add_missing_3d = [&](util::Array3D<double>& field,
+                            const util::Array3D<double>& pre_field, int j,
+                            int dlo, int dhi, int k, int i0, int i1) {
+    for (int i = i0; i < i1; ++i) {
+      double acc = 0.0;
+      for (int d = dlo; d <= dhi; ++d)
+        acc += smoothing_y_coeff(ctx.params, d) *
+               x_factor3(pre_field, b, i, j + d, k);
+      field(i, j, k) += acc;
+    }
+  };
+  auto add_missing_2d = [&](util::Array2D<double>& field,
+                            const util::Array2D<double>& pre_field, int j,
+                            int dlo, int dhi, int i0, int i1) {
+    for (int i = i0; i < i1; ++i) {
+      double acc = 0.0;
+      for (int d = dlo; d <= dhi; ++d)
+        acc += smoothing_y_coeff(ctx.params, d) *
+               x_factor2(pre_field, b, i, j + d);
+      field(i, j) += acc;
+    }
+  };
+
+  struct RowFix {
+    int j;
+    int dlo, dhi;  // the MISSING offsets to add now
+  };
+  std::vector<RowFix> fixes;
+  if (split_north) {
+    fixes.push_back({0, -2, -1});
+    fixes.push_back({1, -2, -2});
+    fixes.push_back({-1, 1, 2});   // neighbor's last row
+    fixes.push_back({-2, 2, 2});   // neighbor's second-to-last row
+  }
+  if (split_south) {
+    fixes.push_back({lny - 1, 1, 2});
+    fixes.push_back({lny - 2, 2, 2});
+    fixes.push_back({lny, -2, -1});
+    fixes.push_back({lny + 1, -2, -2});
+  }
+
+  for (const RowFix& fix : fixes) {
+    for (int k = window.k0; k < window.k1; ++k)
+      add_missing_3d(s.phi(), pre.phi(), fix.j, fix.dlo, fix.dhi, k,
+                     window.i0, window.i1);
+    add_missing_2d(s.psa(), pre.psa(), fix.j, fix.dlo, fix.dhi, window.i0,
+                   window.i1);
+  }
+}
+
+}  // namespace ca::ops

@@ -1,0 +1,42 @@
+#include "ops/tendency.hpp"
+
+#include "ops/vertical.hpp"
+
+namespace ca::ops {
+
+mesh::Box face_ring(const mesh::Box& window) {
+  // x needs two extra columns: the 4th-order staggered x-derivative of
+  // phi' at a U point reads {i-2 .. i+1}; y needs one (staggered averages
+  // and j+-1 stencils).
+  mesh::Box b = window;
+  b.i0 -= 2;
+  b.i1 += 2;
+  b.j0 -= 1;
+  b.j1 += 1;
+  return b;
+}
+
+void compute_local_diag(const OpContext& ctx, const state::State& xi,
+                        const mesh::Box& window, DiagWorkspace& ws) {
+  const mesh::Box ring = face_ring(window);
+  compute_surface_factors(ctx, xi.psa(), ring, 1, ws.local);
+  compute_divergence(ctx, xi, ring, ws.local);
+}
+
+void compute_vert_diag_serial(const OpContext& ctx, const state::State& xi,
+                              const mesh::Box& window, DiagWorkspace& ws) {
+  const mesh::Box ring = face_ring(window);
+  column_partials(ctx, xi, ring, ws.local, ws.own_div, ws.own_phi);
+  for (int j = ring.j0; j < ring.j1; ++j) {
+    for (int i = ring.i0; i < ring.i1; ++i) {
+      ws.base_div(i, j) = 0.0;
+      ws.base_phi(i, j) = 0.0;
+      ws.total_div(i, j) = ws.own_div(i, j);
+      ws.total_phi(i, j) = ws.own_phi(i, j);
+    }
+  }
+  column_finish(ctx, xi, ring, ws.local, ws.base_div, ws.total_div,
+                ws.base_phi, ws.own_phi, ws.total_phi, ws.vert);
+}
+
+}  // namespace ca::ops

@@ -1,0 +1,195 @@
+#include "ops/vertical.hpp"
+
+#include <cmath>
+
+#include "state/transforms.hpp"
+#include "util/math.hpp"
+
+namespace ca::ops {
+
+void compute_surface_factors(const OpContext& ctx,
+                             const util::Array2D<double>& psa,
+                             const mesh::Box& window, int ring,
+                             LocalDiag& local) {
+  const double ps_ref = ctx.strat->ps_ref();
+  for (int j = window.j0 - ring; j < window.j1 + ring; ++j) {
+    for (int i = window.i0 - ring; i < window.i1 + ring; ++i) {
+      const double pes = ps_ref + psa(i, j) - util::kPressureTop;
+      local.pes(i, j) = pes;
+      local.pfac(i, j) = std::sqrt(pes / util::kPressureRef);
+    }
+  }
+}
+
+void compute_divergence(const OpContext& ctx, const state::State& xi,
+                        const mesh::Box& window, LocalDiag& local) {
+  const auto& mesh = *ctx.mesh;
+  const double a = mesh.radius();
+  const double dl = mesh.dlambda();
+  const double dt = mesh.dtheta();
+  for (int k = window.k0; k < window.k1; ++k) {
+    for (int j = window.j0; j < window.j1; ++j) {
+      const double sj = ctx.sin_t(j);
+      const double svn = ctx.sin_tv(j - 1);  // north edge of cell j
+      const double svs = ctx.sin_tv(j);      // south edge
+      for (int i = window.i0; i < window.i1; ++i) {
+        // Fluxes P*U at the U points bounding cell i and P*V*sin(theta_v)
+        // at the V rows bounding cell j (C-grid divergence).
+        const double pu_w =
+            0.5 * (local.pfac(i - 1, j) + local.pfac(i, j)) * xi.u()(i, j, k);
+        const double pu_e = 0.5 * (local.pfac(i, j) + local.pfac(i + 1, j)) *
+                            xi.u()(i + 1, j, k);
+        const double pv_n = 0.5 *
+                            (local.pfac(i, j - 1) + local.pfac(i, j)) *
+                            xi.v()(i, j - 1, k) * svn;
+        const double pv_s = 0.5 * (local.pfac(i, j) + local.pfac(i, j + 1)) *
+                            xi.v()(i, j, k) * svs;
+        local.div(i, j, k) =
+            ((pu_e - pu_w) / dl + (pv_s - pv_n) / dt) / (a * sj);
+      }
+    }
+  }
+}
+
+double hydrostatic_increment(const OpContext& ctx, const state::State& xi,
+                             const LocalDiag& local, int i, int j, int m) {
+  const double b = util::kGravityWaveSpeed;
+  const double p = local.pfac(i, j);
+  const int gm = ctx.gk(m);
+  const int nz_global = ctx.levels->nz();
+  if (gm >= nz_global) {
+    // Surface half-step: from sigma = 1 down to the lowest full level.
+    const int kl = m - 1;  // local index of the lowest full level
+    const double sig_low = ctx.sig(kl);
+    const double sig_mid = 0.5 * (1.0 + sig_low);
+    return b * xi.phi()(i, j, kl) / (p * sig_mid) * (1.0 - sig_low);
+  }
+  // Interface between full levels m-1 and m.
+  const double phi_mid = 0.5 * (xi.phi()(i, j, m - 1) + xi.phi()(i, j, m));
+  const double sig_if = ctx.sig_half(m);
+  return b * phi_mid / (p * sig_if) * (ctx.sig(m) - ctx.sig(m - 1));
+}
+
+void column_partials(const OpContext& ctx, const state::State& xi,
+                     const mesh::Box& window, const LocalDiag& local,
+                     util::Array2D<double>& out_div,
+                     util::Array2D<double>& out_phi) {
+  const int lnz = ctx.decomp->lnz();
+  const bool bottom = ctx.decomp->at_surface();
+  for (int j = window.j0; j < window.j1; ++j) {
+    for (int i = window.i0; i < window.i1; ++i) {
+      double dsum = 0.0;
+      for (int k = 0; k < lnz; ++k)
+        dsum += ctx.dsig(k) * local.div(i, j, k);
+      out_div(i, j) = dsum;
+      // Hydrostatic contributions grouped PER LEVEL so each rank reads
+      // only levels it owns (interface increments straddle the z-line
+      // boundary; splitting each increment's two halves between the
+      // owners of its two levels keeps the collective's inputs local —
+      // the sum over ranks equals the sum of all interface increments
+      // plus the surface half-step exactly, up to reassociation).
+      const double b = util::kGravityWaveSpeed;
+      const double p = local.pfac(i, j);
+      const int nz_global = ctx.levels->nz();
+      double psum = 0.0;
+      for (int k = 0; k < lnz; ++k) {
+        const int gk = ctx.gk(k);
+        const double phi = xi.phi()(i, j, k);
+        // Half-contribution to the interface ABOVE (gk), if it exists.
+        if (gk >= 1)
+          psum += 0.5 * b * phi / (p * ctx.sig_half(k)) *
+                  (ctx.sig(k) - ctx.sig(k - 1));
+        // Half-contribution to the interface BELOW (gk+1), if interior.
+        if (gk + 1 <= nz_global - 1)
+          psum += 0.5 * b * phi / (p * ctx.sig_half(k + 1)) *
+                  (ctx.sig(k + 1) - ctx.sig(k));
+      }
+      if (bottom)
+        psum += hydrostatic_increment(ctx, xi, local, i, j, lnz) +
+                ctx.phi_s(i, j);
+      out_phi(i, j) = psum;
+    }
+  }
+}
+
+void column_finish(const OpContext& ctx, const state::State& xi,
+                   const mesh::Box& window, const LocalDiag& local,
+                   const util::Array2D<double>& div_prefix,
+                   const util::Array2D<double>& div_total,
+                   const util::Array2D<double>& phi_prefix,
+                   const util::Array2D<double>& phi_own,
+                   const util::Array2D<double>& phi_total,
+                   VertDiag& vert) {
+  const int lnz = ctx.decomp->lnz();
+  const double p0 = util::kPressureRef;
+  for (int j = window.j0; j < window.j1; ++j) {
+    for (int i = window.i0; i < window.i1; ++i) {
+      vert.divsum(i, j) = div_total(i, j);
+
+      // Partial sums PS(m) = sum over global full levels above interface
+      // m, anchored at the first owned level (PS = exscan prefix there),
+      // integrated down into the below-halo and up into the above-halo.
+      const double anchor = div_prefix(i, j);
+      double ps = anchor;
+      for (int m = 0; m <= window.k1; ++m) {
+        // Walking down from the anchor at m=0.
+        if (m > 0) ps += ctx.dsig(m - 1) * local.div(i, j, m - 1);
+        if (m >= window.k0) {
+          const double sig_if = ctx.sig_half(m);
+          const double sdot =
+              p0 * (sig_if * div_total(i, j) - ps) / local.pes(i, j);
+          vert.sdot(i, j, m) = sdot;
+          vert.w(i, j, m) = local.pfac(i, j) * sdot;
+        }
+      }
+      if (window.k0 < 0) {
+        double ps_up = anchor;
+        for (int m = -1; m >= window.k0; --m) {
+          ps_up -= ctx.dsig(m) * local.div(i, j, m);
+          const double sig_if = ctx.sig_half(m);
+          const double sdot =
+              p0 * (sig_if * div_total(i, j) - ps_up) / local.pes(i, j);
+          vert.sdot(i, j, m) = sdot;
+          vert.w(i, j, m) = local.pfac(i, j) * sdot;
+        }
+      }
+
+      // phi': anchored at the deepest owned level (local lnz-1).  For a
+      // non-bottom rank, phi'(lnz-1) equals the suffix of contributions of
+      // the ranks below (total - prefix - own); the bottom rank anchors
+      // directly at the surface half-step (its own contribution includes
+      // that step, so the suffix would be 0 there).
+      const bool bottom = ctx.decomp->at_surface();
+      // Non-bottom anchor: the suffix of the per-LEVEL contributions of
+      // the ranks below covers everything below our deepest level EXCEPT
+      // our own level's half-share of the boundary interface — add it
+      // back (it is computable from owned data; see column_partials).
+      const double boundary_half =
+          bottom ? 0.0
+                 : 0.5 * util::kGravityWaveSpeed *
+                       xi.phi()(i, j, lnz - 1) /
+                       (local.pfac(i, j) * ctx.sig_half(lnz)) *
+                       (ctx.sig(lnz) - ctx.sig(lnz - 1));
+      const double anchor_phi =
+          bottom ? hydrostatic_increment(ctx, xi, local, i, j, lnz) +
+                       ctx.phi_s(i, j)
+                 : phi_total(i, j) - phi_prefix(i, j) - phi_own(i, j) +
+                       boundary_half;
+      double phi_val = anchor_phi;
+      vert.phi_geo(i, j, lnz - 1) = phi_val;
+      for (int m = lnz - 2; m >= window.k0; --m) {
+        phi_val += hydrostatic_increment(ctx, xi, local, i, j, m + 1);
+        vert.phi_geo(i, j, m) = phi_val;
+      }
+      if (window.k1 > lnz) {
+        double phi_dn = anchor_phi;
+        for (int m = lnz; m < window.k1; ++m) {
+          phi_dn -= hydrostatic_increment(ctx, xi, local, i, j, m);
+          vert.phi_geo(i, j, m) = phi_dn;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ca::ops

@@ -1,0 +1,69 @@
+// The vertical (collective-along-z) computations of the operator C:
+// surface pressure factors, the horizontal divergence D(P), and the
+// column integrals that yield the divergence sum, sigma-dot, W, and the
+// hydrostatic geopotential deviation phi'.
+//
+// The cross-rank step is exactly two z-line collectives per C execution
+// (one allreduce of the per-rank column totals, one exclusive scan),
+// performed by the core executors; everything in this header is local.
+//
+// Index conventions: full levels k in [k0, k1) of the evaluation window;
+// interface arrays (sdot, w) at index k = interface sigma_half(k), valid
+// for k in [k0, k1].
+#pragma once
+
+#include "mesh/halo.hpp"
+#include "ops/context.hpp"
+#include "state/state.hpp"
+
+namespace ca::ops {
+
+/// Fills local.pes and local.pfac over the (i, j) face of `window` expanded
+/// by `ring` extra cells on each side (staggered averages and x/y
+/// derivatives of p_es read neighbors).  psa must be valid there.
+void compute_surface_factors(const OpContext& ctx,
+                             const util::Array2D<double>& psa,
+                             const mesh::Box& window, int ring,
+                             LocalDiag& local);
+
+/// D(P) at scalar points over `window`.  Reads U at {i, i+1}, V at
+/// {j-1, j} (and pfac averages), so inputs must be valid one cell beyond
+/// the window in x and y.
+void compute_divergence(const OpContext& ctx, const state::State& xi,
+                        const mesh::Box& window, LocalDiag& local);
+
+/// Per-rank column contributions over the OWNED z range, evaluated on the
+/// (i, j) face of `window`:
+///   out_div(i,j) = sum_{k owned} dsigma_k * D(P)
+///   out_phi(i,j) = sum of this rank's hydrostatic increments
+/// local.div must already hold D(P) on the owned z range of the face.
+void column_partials(const OpContext& ctx, const state::State& xi,
+                     const mesh::Box& window, const LocalDiag& local,
+                     util::Array2D<double>& out_div,
+                     util::Array2D<double>& out_phi);
+
+/// Hydrostatic increment between full levels m-1 and m (interface m), or
+/// the surface half-step when m == nz (global).  Used by column_partials
+/// and column_finish; exposed for tests.
+double hydrostatic_increment(const OpContext& ctx, const state::State& xi,
+                             const LocalDiag& local, int i, int j, int m);
+
+/// Given the cross-rank bases —
+///   div_prefix(i,j): sum of dsigma*D(P) over all GLOBAL levels above this
+///     rank's first owned level (exscan result),
+///   div_total(i,j): the global column sum (allreduce result),
+///   phi_prefix(i,j): sum of hydrostatic increments of ranks ABOVE
+///     (smaller cz; exscan result),
+///   phi_own(i,j): this rank's own contribution —
+/// fills vert.divsum, vert.sdot, vert.w (interfaces [k0, k1]) and
+/// vert.phi_geo (full levels [k0, k1)) over `window`.
+void column_finish(const OpContext& ctx, const state::State& xi,
+                   const mesh::Box& window, const LocalDiag& local,
+                   const util::Array2D<double>& div_prefix,
+                   const util::Array2D<double>& div_total,
+                   const util::Array2D<double>& phi_prefix,
+                   const util::Array2D<double>& phi_own,
+                   const util::Array2D<double>& phi_total,
+                   VertDiag& vert);
+
+}  // namespace ca::ops

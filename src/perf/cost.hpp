@@ -1,0 +1,41 @@
+// Closed-form communication costs of the primitives the dynamical core
+// uses, in the alpha-beta model.  These are the per-call costs the event
+// simulator charges for collective operations, and they follow the
+// algorithms of Thakur, Rabenseifner & Gropp [19] that src/comm implements.
+#pragma once
+
+#include <cstddef>
+
+#include "perf/machine.hpp"
+
+namespace ca::perf {
+
+/// One point-to-point message of `bytes` bytes.
+double p2p_time(const MachineModel& m, std::size_t bytes);
+
+/// Ring allreduce over p ranks of a `bytes`-byte vector:
+/// 2(p-1) rounds, 2*(p-1)/p*bytes moved per rank.
+double ring_allreduce_time(const MachineModel& m, int p, std::size_t bytes);
+
+/// Recursive-doubling allreduce: ceil(log2 p) rounds of full-vector
+/// exchange.
+double recursive_doubling_allreduce_time(const MachineModel& m, int p,
+                                         std::size_t bytes);
+
+/// Cost-optimal allreduce choice (mirrors comm::allreduce kAuto).
+double allreduce_time(const MachineModel& m, int p, std::size_t bytes);
+
+/// Binomial broadcast.
+double bcast_time(const MachineModel& m, int p, std::size_t bytes);
+
+/// Distributed 1-D FFT of an n-point line spread over p ranks using
+/// butterfly exchanges: log2(p) rounds each moving the local slab, plus
+/// the local n/p log2(n) butterfly work.  `lines` independent transforms
+/// share the rounds (messages are aggregated per round).
+double distributed_fft_time(const MachineModel& m, int p, std::size_t n,
+                            std::size_t lines);
+
+/// Bytes a rank sends during a ring allreduce (for volume accounting).
+std::size_t ring_allreduce_bytes(int p, std::size_t bytes);
+
+}  // namespace ca::perf

@@ -1,0 +1,64 @@
+// Discrete-event execution of a Schedule under a MachineModel.
+//
+// Timeline semantics (the "maximum over any execution path" accounting of
+// Solomonik et al., the model the paper's Section 5.3 analysis uses):
+//   - kCompute     : clock += flops * flop_time
+//   - kIsend       : clock += alpha (injection); the message arrives at the
+//                    receiver at clock + beta*bytes
+//   - kIrecv       : posts a pending receive (free)
+//   - kWaitAll     : clock = max(clock, latest pending arrival) plus the
+//                    receiver-side overhead per consumed message
+//   - kCollective  : all members rendezvous; everyone leaves at
+//                    max(entry clocks) + collective_seconds
+//
+// Per-phase accounting: every clock advancement is attributed to the
+// active op's phase label, and message/byte counters are kept per phase so
+// the schedule can be validated against the functional runtime's
+// comm::CommStats.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "perf/machine.hpp"
+#include "perf/schedule.hpp"
+
+namespace ca::perf {
+
+struct PhaseAccount {
+  double seconds = 0.0;
+  std::uint64_t messages = 0;      ///< p2p messages sent
+  std::uint64_t bytes = 0;         ///< p2p bytes sent
+  std::uint64_t collectives = 0;   ///< collective calls entered
+  std::uint64_t collective_bytes = 0;
+};
+
+struct RankResult {
+  double total_seconds = 0.0;
+  std::map<std::string, PhaseAccount> phases;
+};
+
+struct SimResult {
+  std::vector<RankResult> ranks;
+  /// Latest rank completion time (the quantity the paper's runtime plots
+  /// report).
+  double makespan = 0.0;
+
+  /// Max across ranks of the per-phase time (0 if the phase never ran).
+  double phase_max_seconds(const std::string& phase) const;
+  /// Mean across ranks of the per-phase time.
+  double phase_avg_seconds(const std::string& phase) const;
+  /// Sum across ranks of per-phase p2p messages / bytes.
+  std::uint64_t phase_total_messages(const std::string& phase) const;
+  std::uint64_t phase_total_bytes(const std::string& phase) const;
+  std::uint64_t phase_total_collective_bytes(const std::string& phase) const;
+  /// All phase labels seen.
+  std::vector<std::string> phase_names() const;
+};
+
+/// Runs the schedule to completion.  Throws std::runtime_error on deadlock
+/// (a rank blocked forever — mismatched sends/receives or collectives).
+SimResult simulate(const Schedule& schedule, const MachineModel& machine);
+
+}  // namespace ca::perf

@@ -1,0 +1,62 @@
+#include "perf/lower_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ca::perf {
+
+double fourier_filter_lower_bound_words(long long nx, int px) {
+  if (nx <= 1 || px < 1) throw std::invalid_argument("bad nx/px");
+  if (px == 1) return 0.0;  // eta_x = 0
+  const double n = static_cast<double>(nx);
+  const double p = static_cast<double>(std::min<long long>(px, nx));
+  const double denom = std::log2(std::max(2.0, n / p));
+  return 2.0 * n * std::log2(n) / (p * denom);
+}
+
+double summation_lower_bound_words(const MeshShape& mesh, int pz) {
+  if (pz < 1) throw std::invalid_argument("bad pz");
+  return 2.0 * static_cast<double>(pz - 1) * static_cast<double>(mesh.nx) *
+         static_cast<double>(mesh.ny);
+}
+
+namespace {
+
+double log2_clamped(int p) {
+  return std::log2(std::max(2.0, static_cast<double>(p)));
+}
+
+}  // namespace
+
+double w_ca(const MeshShape& mesh, const ProcGrid& grid, int M, long long K) {
+  return 2.0 * M * static_cast<double>(K) * static_cast<double>(mesh.nx) *
+         (static_cast<double>(mesh.ny) / grid.py) *
+         (static_cast<double>(mesh.nz) / grid.pz) * log2_clamped(grid.pz);
+}
+
+double w_yz(const MeshShape& mesh, const ProcGrid& grid, int M, long long K) {
+  return 3.0 * M * static_cast<double>(K) * static_cast<double>(mesh.nx) *
+         (static_cast<double>(mesh.ny) / grid.py) *
+         (static_cast<double>(mesh.nz) / grid.pz) * log2_clamped(grid.pz);
+}
+
+double w_xy(const MeshShape& mesh, const ProcGrid& grid, int M, long long K) {
+  return 6.0 * M * static_cast<double>(K) * static_cast<double>(mesh.nz) *
+         (static_cast<double>(mesh.ny) / grid.py) *
+         (static_cast<double>(mesh.nx) / grid.px) * log2_clamped(grid.px);
+}
+
+double s_ca(int M, long long K) {
+  return (2.0 * M + 2.0) * static_cast<double>(K);
+}
+
+double s_yz(int M, long long K) {
+  return (6.0 * M + 4.0) * static_cast<double>(K);
+}
+
+double s_xy(int M, long long K) {
+  return (9.0 * M + 10.0) * static_cast<double>(K);
+}
+
+}  // namespace ca::perf

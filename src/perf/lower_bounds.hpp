@@ -1,0 +1,52 @@
+// The paper's communication lower bounds and asymptotic cost formulas.
+//
+//   Theorem 4.1 — Fourier filtering of an n_x-input line over p_x ranks
+//   moves W = Omega(2 n_x log n_x / (p_x log(n_x/p_x)) * eta_x) words,
+//   eta_x = 0 iff p_x = 1 (the observation behind choosing the Y-Z
+//   decomposition: one rank per latitude circle makes F communication-free).
+//
+//   Theorem 4.2 — the vertical summation C moves W = Omega(2 (p_z-1) n_x
+//   n_y) words in total, attained by ring algorithms.
+//
+//   Section 5.3 — per-rank data movement W and synchronization count S of
+//   the three algorithm variants over K steps with M adaptation iterations:
+//     W_CA = Theta(2 M K (n_x * n_y/p_y * n_z/p_z * log p_z))
+//     W_YZ = Theta(3 M K (n_x * n_y/p_y * n_z/p_z * log p_z))
+//     W_XY = Theta(6 M K (n_z * n_y/p_y * n_x/p_x * log p_x))
+//     S_CA = Theta((2M + 2) K), S_YZ = Theta((6M + 4) K),
+//     S_XY = Theta((9M + 10) K)
+#pragma once
+
+namespace ca::perf {
+
+struct MeshShape {
+  long long nx = 0;
+  long long ny = 0;
+  long long nz = 0;
+};
+
+struct ProcGrid {
+  int px = 1;
+  int py = 1;
+  int pz = 1;
+
+  int total() const { return px * py * pz; }
+};
+
+/// Theorem 4.1 lower bound in words per rank (0 when px == 1).
+double fourier_filter_lower_bound_words(long long nx, int px);
+
+/// Theorem 4.2 lower bound in words (total data movement of one C).
+double summation_lower_bound_words(const MeshShape& mesh, int pz);
+
+/// Section 5.3 per-rank word counts over a K-step run.
+double w_ca(const MeshShape& mesh, const ProcGrid& grid, int M, long long K);
+double w_yz(const MeshShape& mesh, const ProcGrid& grid, int M, long long K);
+double w_xy(const MeshShape& mesh, const ProcGrid& grid, int M, long long K);
+
+/// Section 5.3 synchronization counts over a K-step run.
+double s_ca(int M, long long K);
+double s_yz(int M, long long K);
+double s_xy(int M, long long K);
+
+}  // namespace ca::perf

@@ -1,0 +1,68 @@
+#include "physics/held_suarez.hpp"
+
+#include <cmath>
+
+#include "state/transforms.hpp"
+#include "util/math.hpp"
+
+namespace ca::physics {
+
+double HeldSuarezForcing::k_v(double sigma) const {
+  const double w =
+      std::max(0.0, (sigma - params_.sigma_b) / (1.0 - params_.sigma_b));
+  return params_.k_f * w;
+}
+
+double HeldSuarezForcing::k_t(int gj, double sigma) const {
+  // Latitude phi = pi/2 - theta, so cos(phi) = sin(theta).
+  const double cos_phi = ctx_->mesh->sin_theta(gj);
+  const double w =
+      std::max(0.0, (sigma - params_.sigma_b) / (1.0 - params_.sigma_b));
+  return params_.k_a +
+         (params_.k_s - params_.k_a) * w * std::pow(cos_phi, 4);
+}
+
+double HeldSuarezForcing::t_eq(int gj, double p) const {
+  const double cos_phi = ctx_->mesh->sin_theta(gj);
+  const double sin_phi = ctx_->mesh->cos_theta(gj);  // sin(phi) = cos(theta)
+  const double pr = p / util::kPressureRef;
+  const double t = (params_.t_peak - params_.delta_t_y * sin_phi * sin_phi -
+                    params_.delta_theta_z * std::log(pr) * cos_phi *
+                        cos_phi) *
+                   std::pow(pr, util::kKappa);
+  return std::max(params_.t_floor, t);
+}
+
+void HeldSuarezForcing::apply(state::State& xi, double dt) const {
+  const auto& decomp = *ctx_->decomp;
+  const auto& strat = *ctx_->strat;
+  const double b = util::kGravityWaveSpeed;
+  for (int k = 0; k < decomp.lnz(); ++k) {
+    const double sigma = ctx_->sig(k);
+    const double friction = std::exp(-k_v(sigma) * dt);
+    for (int j = 0; j < decomp.lny(); ++j) {
+      const int gj = decomp.gj(j);
+      const double relax = std::exp(-k_t(gj, sigma) * dt);
+      for (int i = 0; i < decomp.lnx(); ++i) {
+        // Friction acts on the physical u, v; U = P u with P unchanged by
+        // the forcing, so the transformed fields damp identically.
+        xi.u()(i, j, k) *= friction;
+        xi.v()(i, j, k) *= friction;
+        // Newtonian relaxation of T, expressed in Phi = P R (T - T~)/b.
+        const double pc = state::p_factor_s(xi.psa(), strat, i, j);
+        const double p =
+            util::kPressureTop +
+            sigma * (strat.ps_ref() + xi.psa()(i, j) - util::kPressureTop);
+        const double t_now =
+            strat.t_ref(ctx_->gk(k)) + b * xi.phi()(i, j, k) /
+                                           (pc * util::kRd);
+        const double t_new =
+            t_eq(gj, p) + (t_now - t_eq(gj, p)) * relax;
+        xi.phi()(i, j, k) =
+            pc * util::kRd * (t_new - strat.t_ref(ctx_->gk(k))) / b;
+      }
+    }
+  }
+}
+
+}  // namespace ca::physics

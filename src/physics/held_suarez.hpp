@@ -1,0 +1,48 @@
+// Held & Suarez (1994) idealized dry forcing — the benchmark the paper's
+// evaluation runs ("idealized dry-model experiments proposed by Held and
+// Suarez, referred to as H-S"): Rayleigh friction on the low-level winds
+// and Newtonian relaxation of temperature toward a prescribed radiative
+// equilibrium, applied as a physics step between dynamical-core steps.
+#pragma once
+
+#include "ops/context.hpp"
+#include "state/state.hpp"
+
+namespace ca::physics {
+
+struct HeldSuarezParams {
+  double sigma_b = 0.7;           ///< boundary-layer top
+  double k_f = 1.0 / 86400.0;     ///< friction rate [1/s] (1/day)
+  double k_a = 1.0 / (40 * 86400.0);  ///< free-atmosphere relaxation
+  double k_s = 1.0 / (4 * 86400.0);   ///< surface relaxation
+  double delta_t_y = 60.0;        ///< equator-pole T_eq contrast [K]
+  double delta_theta_z = 10.0;    ///< vertical potential-T contrast [K]
+  double t_floor = 200.0;         ///< stratospheric floor [K]
+  double t_peak = 315.0;          ///< equatorial surface T_eq [K]
+};
+
+class HeldSuarezForcing {
+ public:
+  HeldSuarezForcing(const ops::OpContext& ctx,
+                    const HeldSuarezParams& params = {})
+      : ctx_(&ctx), params_(params) {}
+
+  /// Rayleigh friction coefficient k_v(sigma) [1/s].
+  double k_v(double sigma) const;
+  /// Thermal relaxation coefficient k_T(latitude via global row, sigma).
+  double k_t(int gj, double sigma) const;
+  /// Radiative equilibrium temperature at global row gj and pressure p.
+  double t_eq(int gj, double p) const;
+
+  /// Applies one forcing step of length dt to the owned interior of xi
+  /// (analytic exponential relaxation, unconditionally stable).
+  void apply(state::State& xi, double dt) const;
+
+  const HeldSuarezParams& params() const { return params_; }
+
+ private:
+  const ops::OpContext* ctx_;
+  HeldSuarezParams params_;
+};
+
+}  // namespace ca::physics

@@ -1,0 +1,68 @@
+// Initial conditions, all defined by analytic formulas of the GLOBAL
+// coordinates so every decomposition produces the identical global state
+// (the parallel-equivalence tests depend on this).
+#pragma once
+
+#include <functional>
+
+#include "mesh/decomp.hpp"
+#include "mesh/latlon.hpp"
+#include "mesh/sigma.hpp"
+#include "state/state.hpp"
+#include "state/stratification.hpp"
+
+namespace ca::state {
+
+enum class InitialCondition {
+  /// u = v = 0, T = T~, p_s = p~_s: an exact rest state of the continuous
+  /// equations (all transformed fields vanish).
+  kRestIsothermal,
+  /// A balanced-ish mid-latitude zonal jet with a weak thermal anomaly.
+  kZonalJet,
+  /// A wavenumber-4 planetary-wave pattern superposed on the jet
+  /// (Rossby-Haurwitz-like) to exercise all stencil directions.
+  kPlanetaryWave,
+  /// The rest state plus small deterministic pseudo-random perturbations
+  /// of Phi and p'_sa.
+  kRandomPerturbation,
+};
+
+struct InitialOptions {
+  InitialCondition kind = InitialCondition::kZonalJet;
+  double jet_speed = 30.0;          ///< peak zonal wind [m/s]
+  double wave_amplitude = 0.3;      ///< relative wave amplitude
+  double random_amplitude = 1e-3;   ///< perturbation scale (transformed units)
+  unsigned seed = 12345;
+};
+
+/// Fills the owned interior of xi from the analytic initial condition.
+/// Halos are NOT filled (exchange/boundary fill is the caller's job).
+void initialize(State& xi, const mesh::LatLonMesh& mesh,
+                const mesh::SigmaLevels& levels, const Stratification& strat,
+                const mesh::DomainDecomp& decomp,
+                const InitialOptions& options);
+
+/// Builds a terrain field (surface geopotential, m^2/s^2) by evaluating a
+/// global analytic function phi_s(lambda, theta) over the owned block AND
+/// its halos — every rank sees consistent values without communication.
+/// hx/hy should match the state's 2-D halo sizes (halos_for_depth).
+util::Array2D<double> make_terrain(
+    const mesh::LatLonMesh& mesh, const mesh::DomainDecomp& decomp, int hx,
+    int hy, const std::function<double(double, double)>& phi_s);
+
+/// A Gaussian mountain of the given peak height [m] centered at
+/// (lambda0, theta0) with angular half-width `width` [rad].
+std::function<double(double, double)> gaussian_mountain(double height_m,
+                                                        double lambda0,
+                                                        double theta0,
+                                                        double width);
+
+/// The hydrostatically balanced surface pressure over terrain:
+/// p_s = p~_s exp(-phi_s / (R T~_s)); writes the corresponding p'_sa into
+/// xi (interior + nothing else) so a resting isothermal state over
+/// mountains starts near balance.
+void apply_terrain_surface_pressure(State& xi, const Stratification& strat,
+                                    const util::Array2D<double>& phi_s,
+                                    const mesh::DomainDecomp& decomp);
+
+}  // namespace ca::state

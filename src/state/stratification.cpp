@@ -1,0 +1,33 @@
+#include "state/stratification.hpp"
+
+#include <cmath>
+
+namespace ca::state {
+namespace {
+
+constexpr double kT0 = 288.15;       // surface temperature [K]
+constexpr double kLapse = 6.5e-3;    // tropospheric lapse rate [K/m]
+constexpr double kTStrat = 216.65;   // isothermal stratosphere [K]
+
+}  // namespace
+
+double Stratification::t_standard(double p) {
+  // Inverting the hydrostatic relation of the constant-lapse layer:
+  // T = T0 * (p/p0)^(R*Gamma/g), floored by the stratosphere temperature.
+  const double exponent = util::kRd * kLapse / util::kGravity;
+  const double t =
+      kT0 * std::pow(std::max(p, 1.0) / util::kPressureRef, exponent);
+  return std::max(t, kTStrat);
+}
+
+Stratification::Stratification(const mesh::SigmaLevels& levels) {
+  p_factor_ref_ = std::sqrt(pes_ref() / util::kPressureRef);
+  t_surface_ = t_standard(ps_ref_);
+  t_ref_.resize(static_cast<std::size_t>(levels.nz()));
+  for (int k = 0; k < levels.nz(); ++k) {
+    const double p = util::kPressureTop + levels.full(k) * pes_ref();
+    t_ref_[static_cast<std::size_t>(k)] = t_standard(p);
+  }
+}
+
+}  // namespace ca::state

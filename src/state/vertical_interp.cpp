@@ -1,0 +1,47 @@
+#include "state/vertical_interp.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace ca::state {
+
+double level_pressure(const ops::OpContext& ctx,
+                      const util::Array2D<double>& psa, int i, int j,
+                      int k) {
+  const double pes =
+      ctx.strat->ps_ref() + psa(i, j) - util::kPressureTop;
+  return util::kPressureTop + ctx.sig(k) * pes;
+}
+
+util::Array2D<double> interpolate_to_pressure(
+    const ops::OpContext& ctx, const util::Array2D<double>& psa,
+    const util::Array3D<double>& field, double pressure) {
+  const auto& d = *ctx.decomp;
+  util::Array2D<double> out(d.lnx(), d.lny());
+  const double logp = std::log(pressure);
+  for (int j = 0; j < d.lny(); ++j) {
+    for (int i = 0; i < d.lnx(); ++i) {
+      // Model-level pressures increase with k.
+      const double p_top = level_pressure(ctx, psa, i, j, 0);
+      const double p_bot = level_pressure(ctx, psa, i, j, d.lnz() - 1);
+      if (pressure <= p_top) {
+        out(i, j) = field(i, j, 0);
+        continue;
+      }
+      if (pressure >= p_bot) {
+        out(i, j) = field(i, j, d.lnz() - 1);
+        continue;
+      }
+      int k = 0;
+      while (level_pressure(ctx, psa, i, j, k + 1) < pressure) ++k;
+      const double lp0 = std::log(level_pressure(ctx, psa, i, j, k));
+      const double lp1 = std::log(level_pressure(ctx, psa, i, j, k + 1));
+      const double w = (logp - lp0) / (lp1 - lp0);
+      out(i, j) = (1.0 - w) * field(i, j, k) + w * field(i, j, k + 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace ca::state

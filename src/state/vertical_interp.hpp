@@ -1,0 +1,29 @@
+// Sigma-to-pressure interpolation of model fields: the standard
+// post-processing step for AGCM diagnostics (the classic "u at 500 hPa"
+// maps).  Each column's sigma levels map to pressures p = p_t + sigma *
+// p_es(i, j), so the target pressure falls between two model levels that
+// vary with the surface pressure; values are interpolated linearly in
+// log(p) (the conventional choice for smooth thermodynamic profiles).
+#pragma once
+
+#include <vector>
+
+#include "ops/context.hpp"
+#include "state/state.hpp"
+
+namespace ca::state {
+
+/// Interpolates a 3-D field at scalar columns to the given pressure
+/// level [Pa].  Columns whose surface pressure is below the target (the
+/// level is "underground") or whose top is above it get the nearest model
+/// level's value (constant extrapolation).  Returns an (lnx x lny) array.
+util::Array2D<double> interpolate_to_pressure(
+    const ops::OpContext& ctx, const util::Array2D<double>& psa,
+    const util::Array3D<double>& field, double pressure);
+
+/// Pressure of full level k in column (i, j) [Pa].
+double level_pressure(const ops::OpContext& ctx,
+                      const util::Array2D<double>& psa, int i, int j,
+                      int k);
+
+}  // namespace ca::state

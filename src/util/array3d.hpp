@@ -1,0 +1,173 @@
+// Dense 3-D field container with halo (ghost) storage.
+//
+// The dynamical core stores every prognostic/diagnostic field on a local
+// block of the latitude-longitude mesh plus a halo frame whose width is a
+// per-direction property of the array.  Indexing is logical: the owned block
+// is [0, nx) x [0, ny) x [0, nz); halo cells carry negative / >= n indices.
+// Storage is x-fastest so latitude circles (FFT lines, x-stencils) are
+// contiguous.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ca::util {
+
+/// Halo widths per direction (symmetric low/high).
+struct Halo3 {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+
+  friend bool operator==(const Halo3&, const Halo3&) = default;
+};
+
+template <typename T>
+class Array3D {
+ public:
+  Array3D() = default;
+
+  Array3D(int nx, int ny, int nz, Halo3 halo = {})
+      : nx_(nx),
+        ny_(ny),
+        nz_(nz),
+        halo_(halo),
+        sx_(1),
+        sy_(static_cast<std::ptrdiff_t>(nx + 2 * halo.x)),
+        sz_(static_cast<std::ptrdiff_t>(nx + 2 * halo.x) *
+            (ny + 2 * halo.y)),
+        data_(static_cast<std::size_t>(nx + 2 * halo.x) *
+                  (ny + 2 * halo.y) * (nz + 2 * halo.z),
+              T{}) {
+    assert(nx > 0 && ny > 0 && nz > 0);
+    assert(halo.x >= 0 && halo.y >= 0 && halo.z >= 0);
+  }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  Halo3 halo() const { return halo_; }
+
+  /// Total allocated extent per direction (owned + both halos).
+  int ex() const { return nx_ + 2 * halo_.x; }
+  int ey() const { return ny_ + 2 * halo_.y; }
+  int ez() const { return nz_ + 2 * halo_.z; }
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(int i, int j, int k) {
+    assert(in_bounds(i, j, k));
+    return data_[index(i, j, k)];
+  }
+  const T& operator()(int i, int j, int k) const {
+    assert(in_bounds(i, j, k));
+    return data_[index(i, j, k)];
+  }
+
+  /// Raw storage (halo-inclusive), x-fastest.
+  std::span<T> raw() { return data_; }
+  std::span<const T> raw() const { return data_; }
+
+  /// Contiguous latitude line: all owned x at fixed (j, k) (halo-exclusive).
+  std::span<T> line(int j, int k) {
+    return std::span<T>(&data_[index(0, j, k)], static_cast<std::size_t>(nx_));
+  }
+  std::span<const T> line(int j, int k) const {
+    return std::span<const T>(&data_[index(0, j, k)],
+                              static_cast<std::size_t>(nx_));
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Copies the owned block (not halos) from another array of the same
+  /// owned shape; halo widths may differ.
+  void copy_interior_from(const Array3D& o) {
+    assert(o.nx_ == nx_ && o.ny_ == ny_ && o.nz_ == nz_);
+    for (int k = 0; k < nz_; ++k)
+      for (int j = 0; j < ny_; ++j)
+        for (int i = 0; i < nx_; ++i) (*this)(i, j, k) = o(i, j, k);
+  }
+
+  friend bool operator==(const Array3D& a, const Array3D& b) {
+    return a.nx_ == b.nx_ && a.ny_ == b.ny_ && a.nz_ == b.nz_ &&
+           a.halo_ == b.halo_ && a.data_ == b.data_;
+  }
+
+  std::size_t index(int i, int j, int k) const {
+    return static_cast<std::size_t>((i + halo_.x) * sx_ +
+                                    (j + halo_.y) * sy_ +
+                                    (k + halo_.z) * sz_);
+  }
+
+  bool in_bounds(int i, int j, int k) const {
+    return i >= -halo_.x && i < nx_ + halo_.x && j >= -halo_.y &&
+           j < ny_ + halo_.y && k >= -halo_.z && k < nz_ + halo_.z;
+  }
+
+ private:
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  Halo3 halo_{};
+  std::ptrdiff_t sx_ = 0, sy_ = 0, sz_ = 0;
+  std::vector<T> data_;
+};
+
+template <typename T>
+class Array2D {
+ public:
+  Array2D() = default;
+
+  Array2D(int nx, int ny, int hx = 0, int hy = 0)
+      : nx_(nx),
+        ny_(ny),
+        hx_(hx),
+        hy_(hy),
+        sy_(static_cast<std::ptrdiff_t>(nx + 2 * hx)),
+        data_(static_cast<std::size_t>(nx + 2 * hx) * (ny + 2 * hy), T{}) {
+    assert(nx > 0 && ny > 0 && hx >= 0 && hy >= 0);
+  }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int hx() const { return hx_; }
+  int hy() const { return hy_; }
+  std::size_t size() const { return data_.size(); }
+
+  T& operator()(int i, int j) {
+    assert(in_bounds(i, j));
+    return data_[index(i, j)];
+  }
+  const T& operator()(int i, int j) const {
+    assert(in_bounds(i, j));
+    return data_[index(i, j)];
+  }
+
+  std::span<T> raw() { return data_; }
+  std::span<const T> raw() const { return data_; }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  friend bool operator==(const Array2D& a, const Array2D& b) {
+    return a.nx_ == b.nx_ && a.ny_ == b.ny_ && a.hx_ == b.hx_ &&
+           a.hy_ == b.hy_ && a.data_ == b.data_;
+  }
+
+  std::size_t index(int i, int j) const {
+    return static_cast<std::size_t>((i + hx_) + (j + hy_) * sy_);
+  }
+
+  bool in_bounds(int i, int j) const {
+    return i >= -hx_ && i < nx_ + hx_ && j >= -hy_ && j < ny_ + hy_;
+  }
+
+ private:
+  int nx_ = 0, ny_ = 0, hx_ = 0, hy_ = 0;
+  std::ptrdiff_t sy_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace ca::util

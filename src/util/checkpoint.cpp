@@ -1,0 +1,122 @@
+#include "util/checkpoint.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace ca::util {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_all(std::FILE* f, const void* data, std::size_t bytes,
+               const std::string& path) {
+  if (std::fwrite(data, 1, bytes, f) != bytes)
+    throw std::runtime_error("checkpoint write failed: " + path);
+}
+
+void read_all(std::FILE* f, void* data, std::size_t bytes,
+              const std::string& path) {
+  if (std::fread(data, 1, bytes, f) != bytes)
+    throw std::runtime_error("checkpoint read failed (truncated?): " +
+                             path);
+}
+
+std::vector<double> pack_state(const mesh::DomainDecomp& d,
+                               const state::State& xi) {
+  std::vector<double> buf;
+  buf.reserve(static_cast<std::size_t>(d.lnx()) * d.lny() *
+              (3 * d.lnz() + 1));
+  auto pack3 = [&](const util::Array3D<double>& f) {
+    for (int k = 0; k < d.lnz(); ++k)
+      for (int j = 0; j < d.lny(); ++j)
+        for (int i = 0; i < d.lnx(); ++i) buf.push_back(f(i, j, k));
+  };
+  pack3(xi.u());
+  pack3(xi.v());
+  pack3(xi.phi());
+  for (int j = 0; j < d.lny(); ++j)
+    for (int i = 0; i < d.lnx(); ++i) buf.push_back(xi.psa()(i, j));
+  return buf;
+}
+
+}  // namespace
+
+std::string checkpoint_path(const std::string& prefix, int rank) {
+  return prefix + ".rank" + std::to_string(rank) + ".ckpt";
+}
+
+void write_checkpoint(const std::string& path,
+                      const mesh::LatLonMesh& mesh,
+                      const mesh::DomainDecomp& decomp,
+                      const state::State& xi, std::int64_t step,
+                      double time_seconds) {
+  CheckpointHeader hdr;
+  hdr.nx = mesh.nx();
+  hdr.ny = mesh.ny();
+  hdr.nz = mesh.nz();
+  hdr.lnx = decomp.lnx();
+  hdr.lny = decomp.lny();
+  hdr.lnz = decomp.lnz();
+  hdr.x0 = decomp.xr().begin;
+  hdr.y0 = decomp.yr().begin;
+  hdr.z0 = decomp.zr().begin;
+  hdr.step = step;
+  hdr.time_seconds = time_seconds;
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("cannot open checkpoint: " + path);
+  write_all(f.get(), &hdr, sizeof(hdr), path);
+  const auto buf = pack_state(decomp, xi);
+  write_all(f.get(), buf.data(), buf.size() * sizeof(double), path);
+}
+
+CheckpointHeader read_checkpoint(const std::string& path,
+                                 const mesh::LatLonMesh& mesh,
+                                 const mesh::DomainDecomp& decomp,
+                                 state::State& xi) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot open checkpoint: " + path);
+  CheckpointHeader hdr;
+  read_all(f.get(), &hdr, sizeof(hdr), path);
+
+  CheckpointHeader expect;
+  if (hdr.magic != expect.magic)
+    throw std::runtime_error("not a ca-agcm checkpoint: " + path);
+  if (hdr.version != expect.version)
+    throw std::runtime_error("unsupported checkpoint version: " + path);
+  if (hdr.nx != mesh.nx() || hdr.ny != mesh.ny() || hdr.nz != mesh.nz())
+    throw std::runtime_error("checkpoint mesh mismatch: " + path);
+  if (hdr.lnx != decomp.lnx() || hdr.lny != decomp.lny() ||
+      hdr.lnz != decomp.lnz() || hdr.x0 != decomp.xr().begin ||
+      hdr.y0 != decomp.yr().begin || hdr.z0 != decomp.zr().begin)
+    throw std::runtime_error(
+        "checkpoint block/decomposition mismatch: " + path);
+
+  const std::size_t count = static_cast<std::size_t>(hdr.lnx) * hdr.lny *
+                                (3 * static_cast<std::size_t>(hdr.lnz)) +
+                            static_cast<std::size_t>(hdr.lnx) * hdr.lny;
+  std::vector<double> buf(count);
+  read_all(f.get(), buf.data(), buf.size() * sizeof(double), path);
+
+  std::size_t idx = 0;
+  auto unpack3 = [&](util::Array3D<double>& fld) {
+    for (int k = 0; k < decomp.lnz(); ++k)
+      for (int j = 0; j < decomp.lny(); ++j)
+        for (int i = 0; i < decomp.lnx(); ++i) fld(i, j, k) = buf[idx++];
+  };
+  unpack3(xi.u());
+  unpack3(xi.v());
+  unpack3(xi.phi());
+  for (int j = 0; j < decomp.lny(); ++j)
+    for (int i = 0; i < decomp.lnx(); ++i) xi.psa()(i, j) = buf[idx++];
+  return hdr;
+}
+
+}  // namespace ca::util

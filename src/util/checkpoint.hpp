@@ -1,0 +1,45 @@
+// Binary checkpoint/restart of the model state: a versioned header with
+// the mesh shape and this rank's block coordinates, followed by the four
+// prognostic fields' owned interiors.  Each rank writes its own file
+// (the standard file-per-rank pattern); restart validates every header
+// field so a mismatched configuration fails loudly instead of silently
+// reading garbage.
+#pragma once
+
+#include <string>
+
+#include "mesh/decomp.hpp"
+#include "state/state.hpp"
+
+namespace ca::util {
+
+struct CheckpointHeader {
+  std::uint64_t magic = 0x434141474D435031ull;  // "CAAGMCP1"
+  std::uint32_t version = 1;
+  std::int32_t nx = 0, ny = 0, nz = 0;        ///< global mesh
+  std::int32_t lnx = 0, lny = 0, lnz = 0;     ///< this block
+  std::int32_t x0 = 0, y0 = 0, z0 = 0;        ///< block origin
+  std::int64_t step = 0;                       ///< model step count
+  double time_seconds = 0.0;                   ///< model time
+};
+
+/// Writes the owned interior of xi to `path`.  Throws std::runtime_error
+/// on I/O failure.
+void write_checkpoint(const std::string& path,
+                      const mesh::LatLonMesh& mesh,
+                      const mesh::DomainDecomp& decomp,
+                      const state::State& xi, std::int64_t step,
+                      double time_seconds);
+
+/// Reads a checkpoint into xi (halos untouched; callers re-exchange).
+/// Returns the header.  Throws std::runtime_error on I/O failure or any
+/// mesh/block mismatch.
+CheckpointHeader read_checkpoint(const std::string& path,
+                                 const mesh::LatLonMesh& mesh,
+                                 const mesh::DomainDecomp& decomp,
+                                 state::State& xi);
+
+/// Conventional per-rank file name: <prefix>.rank<r>.ckpt
+std::string checkpoint_path(const std::string& prefix, int rank);
+
+}  // namespace ca::util

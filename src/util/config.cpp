@@ -1,0 +1,107 @@
+#include "util/config.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace ca::util {
+namespace {
+
+std::string trim(std::string_view s) {
+  const char* ws = " \t\r\n";
+  auto b = s.find_first_not_of(ws);
+  if (b == std::string_view::npos) return {};
+  auto e = s.find_last_not_of(ws);
+  return std::string(s.substr(b, e - b + 1));
+}
+
+}  // namespace
+
+Config Config::from_text(std::string_view text) {
+  Config c;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  while (std::getline(in, raw)) {
+    std::string line = raw.substr(0, raw.find('#'));
+    auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = trim(line.substr(0, eq));
+    std::string value = trim(line.substr(eq + 1));
+    if (!key.empty()) c.set(std::move(key), std::move(value));
+  }
+  return c;
+}
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config c;
+  for (int a = 1; a < argc; ++a) {
+    std::string_view tok = argv[a];
+    auto eq = tok.find('=');
+    if (eq == std::string_view::npos) continue;
+    c.set(trim(tok.substr(0, eq)), trim(tok.substr(eq + 1)));
+  }
+  return c;
+}
+
+void Config::set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool Config::has(const std::string& key) const {
+  return lookup(key).has_value();
+}
+
+std::optional<std::string> Config::lookup(const std::string& key) const {
+  std::string env_name = "CA_AGCM_";
+  for (char ch : key)
+    env_name += static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+  if (const char* env = std::getenv(env_name.c_str())) return std::string(env);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) return it->second;
+  return std::nullopt;
+}
+
+std::string Config::get_string(const std::string& key,
+                               std::string fallback) const {
+  auto v = lookup(key);
+  return v ? *v : fallback;
+}
+
+int Config::get_int(const std::string& key, int fallback) const {
+  auto v = lookup(key);
+  if (!v) return fallback;
+  try {
+    return std::stoi(*v);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+long long Config::get_long(const std::string& key, long long fallback) const {
+  auto v = lookup(key);
+  if (!v) return fallback;
+  try {
+    return std::stoll(*v);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  auto v = lookup(key);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  auto v = lookup(key);
+  if (!v) return fallback;
+  if (*v == "1" || *v == "true" || *v == "yes" || *v == "on") return true;
+  if (*v == "0" || *v == "false" || *v == "no" || *v == "off") return false;
+  return fallback;
+}
+
+}  // namespace ca::util

@@ -1,0 +1,44 @@
+// Minimal key=value configuration with typed getters and environment
+// overrides (CA_AGCM_<KEY>).  Used by examples and benches so full-scale
+// parameters can be adjusted without recompiling.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ca::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key=value" lines; '#' starts a comment; blank lines ignored.
+  static Config from_text(std::string_view text);
+
+  /// Parses argv-style "key=value" tokens (skips tokens without '=').
+  static Config from_args(int argc, const char* const* argv);
+
+  void set(std::string key, std::string value);
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         std::string fallback = "") const;
+  int get_int(const std::string& key, int fallback) const;
+  long long get_long(const std::string& key, long long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  /// Env var CA_AGCM_<KEY> (uppercased) wins over the stored entry.
+  std::optional<std::string> lookup(const std::string& key) const;
+
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace ca::util

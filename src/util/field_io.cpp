@@ -1,0 +1,78 @@
+#include "util/field_io.hpp"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+namespace ca::util {
+namespace {
+
+void write_grid(std::ostream& out, const std::string& label, int nx,
+                int ny, const std::function<double(int, int)>& value) {
+  out << "# " << label << "\n# nx " << nx << " ny " << ny << "\n";
+  out.precision(12);
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      if (i > 0) out << ' ';
+      out << value(i, j);
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace
+
+void write_text_field(const std::string& path, const std::string& label,
+                      const Array2D<double>& f) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_grid(out, label, f.nx(), f.ny(),
+             [&](int i, int j) { return f(i, j); });
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+void write_text_level(const std::string& path, const std::string& label,
+                      const Array3D<double>& f, int k) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_grid(out, label, f.nx(), f.ny(),
+             [&](int i, int j) { return f(i, j, k); });
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Array2D<double> read_text_field(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::string line;
+  int nx = -1, ny = -1;
+  // Header: skip the label comment, parse the dimension comment.
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] != '#') break;
+    std::istringstream hdr(line);
+    std::string hash, key;
+    hdr >> hash >> key;
+    if (key == "nx") {
+      hdr >> nx >> key >> ny;
+      if (key != "ny" || nx <= 0 || ny <= 0)
+        throw std::runtime_error("malformed field header: " + path);
+    }
+  }
+  if (nx <= 0 || ny <= 0)
+    throw std::runtime_error("missing dimension header: " + path);
+  Array2D<double> f(nx, ny);
+  // `line` currently holds the first data row.
+  for (int j = 0; j < ny; ++j) {
+    if (j > 0 && !std::getline(in, line))
+      throw std::runtime_error("truncated field file: " + path);
+    std::istringstream row(line);
+    for (int i = 0; i < nx; ++i) {
+      if (!(row >> f(i, j)))
+        throw std::runtime_error("malformed field row: " + path);
+    }
+  }
+  return f;
+}
+
+}  // namespace ca::util

@@ -1,0 +1,25 @@
+// Plain-text field dumps loadable by gnuplot/numpy: one whitespace-
+// separated value grid per file with a comment header.  Used by the
+// examples to leave plottable artifacts behind.
+#pragma once
+
+#include <string>
+
+#include "util/array3d.hpp"
+
+namespace ca::util {
+
+/// Writes a 2-D field (owned interior) as ny rows of nx values, with a
+/// '#'-comment header carrying the label and dimensions.
+void write_text_field(const std::string& path, const std::string& label,
+                      const Array2D<double>& f);
+
+/// Writes one level of a 3-D field.
+void write_text_level(const std::string& path, const std::string& label,
+                      const Array3D<double>& f, int k);
+
+/// Reads a field written by write_text_field back (dimensions from the
+/// header).  Throws std::runtime_error on malformed input.
+Array2D<double> read_text_field(const std::string& path);
+
+}  // namespace ca::util

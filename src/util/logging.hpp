@@ -1,0 +1,52 @@
+// Tiny leveled logger.  Thread-safe line-at-a-time output; level settable
+// at runtime (default warn so tests stay quiet).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ca::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, out_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+
+}  // namespace detail
+
+inline detail::LogStream log_debug() {
+  return detail::LogStream(LogLevel::kDebug);
+}
+inline detail::LogStream log_info() {
+  return detail::LogStream(LogLevel::kInfo);
+}
+inline detail::LogStream log_warn() {
+  return detail::LogStream(LogLevel::kWarn);
+}
+inline detail::LogStream log_error() {
+  return detail::LogStream(LogLevel::kError);
+}
+
+}  // namespace ca::util

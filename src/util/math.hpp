@@ -1,0 +1,52 @@
+// Physical and numerical constants of the IAP-AGCM dynamical core.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace ca::util {
+
+inline constexpr double kPi = std::numbers::pi;
+
+/// Earth radius [m].
+inline constexpr double kEarthRadius = 6.371e6;
+/// Earth rotation angular velocity [rad/s].
+inline constexpr double kOmega = 7.292e-5;
+/// Gas constant for dry air [J/(kg K)].
+inline constexpr double kRd = 287.04;
+/// Specific heat at constant pressure [J/(kg K)].
+inline constexpr double kCp = 1004.64;
+/// kappa = R/cp.
+inline constexpr double kKappa = kRd / kCp;
+/// Gravity [m/s^2].
+inline constexpr double kGravity = 9.80616;
+/// Characteristic gravity-wave speed of the standard atmosphere [m/s]
+/// (paper: b = 87.8 m/s).
+inline constexpr double kGravityWaveSpeed = 87.8;
+/// Model-top pressure p_t [Pa] (paper: 2.2 hPa).
+inline constexpr double kPressureTop = 220.0;
+/// Reference pressure p_0 [Pa] (paper: 1000 hPa).
+inline constexpr double kPressureRef = 1.0e5;
+/// Surface dissipation coefficient k_sa (paper: 0.1).
+inline constexpr double kDissipationKsa = 0.1;
+
+/// True if |a-b| <= atol + rtol*max(|a|,|b|).
+inline bool close(double a, double b, double rtol = 1e-12,
+                  double atol = 1e-14) {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+/// Floor division for possibly negative numerators.
+inline int floor_div(int a, int b) {
+  int q = a / b;
+  int r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+
+/// Positive modulo.
+inline int pos_mod(int a, int b) {
+  int r = a % b;
+  return r < 0 ? r + b : r;
+}
+
+}  // namespace ca::util

@@ -1,0 +1,166 @@
+// Checkpoint/restart: round-trip exactness, header validation, and a
+// bitwise-identical restarted run across ranks.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "comm/runtime.hpp"
+#include "core/exchange.hpp"
+#include "core/original_core.hpp"
+#include "util/checkpoint.hpp"
+
+namespace ca::util {
+namespace {
+
+std::string temp_prefix(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("ca_agcm_") + tag))
+      .string();
+}
+
+core::DycoreConfig cfg() {
+  core::DycoreConfig c;
+  c.nx = 24;
+  c.ny = 16;
+  c.nz = 8;
+  c.M = 2;
+  return c;
+}
+
+TEST(Checkpoint, RoundTripIsBitwise) {
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  mesh::DomainDecomp d(mesh, {1, 1, 1}, {0, 0, 0});
+  state::State a(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  for (int k = 0; k < c.nz; ++k)
+    for (int j = 0; j < c.ny; ++j)
+      for (int i = 0; i < c.nx; ++i) {
+        a.u()(i, j, k) = 0.1 * i - 0.2 * j + k;
+        a.v()(i, j, k) = std::sin(0.3 * i * j);
+        a.phi()(i, j, k) = 1e-7 * i + 1e7 * k;
+      }
+  for (int j = 0; j < c.ny; ++j)
+    for (int i = 0; i < c.nx; ++i) a.psa()(i, j) = 13.75 * i - j;
+
+  const std::string path = temp_prefix("roundtrip") + ".ckpt";
+  write_checkpoint(path, mesh, d, a, 42, 12600.0);
+  state::State b(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  const auto hdr = read_checkpoint(path, mesh, d, b);
+  EXPECT_EQ(hdr.step, 42);
+  EXPECT_DOUBLE_EQ(hdr.time_seconds, 12600.0);
+  EXPECT_DOUBLE_EQ(state::State::max_abs_diff(a, b, a.interior()), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsWrongMesh) {
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  mesh::DomainDecomp d(mesh, {1, 1, 1}, {0, 0, 0});
+  state::State a(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  a.fill(1.0);
+  const std::string path = temp_prefix("wrongmesh") + ".ckpt";
+  write_checkpoint(path, mesh, d, a, 0, 0.0);
+
+  mesh::LatLonMesh other(48, 16, 8);
+  mesh::DomainDecomp od(other, {1, 1, 1}, {0, 0, 0});
+  state::State b(48, 16, 8, core::halos_for_depth(1));
+  EXPECT_THROW(read_checkpoint(path, other, od, b), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsWrongDecomposition) {
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  mesh::DomainDecomp d(mesh, {1, 2, 1}, {0, 0, 0});
+  state::State a(c.nx, d.lny(), c.nz, core::halos_for_depth(1));
+  a.fill(2.0);
+  const std::string path = temp_prefix("wrongdecomp") + ".ckpt";
+  write_checkpoint(path, mesh, d, a, 0, 0.0);
+
+  mesh::DomainDecomp other(mesh, {1, 2, 1}, {0, 1, 0});  // other block
+  state::State b(c.nx, other.lny(), c.nz, core::halos_for_depth(1));
+  EXPECT_THROW(read_checkpoint(path, mesh, other, b), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsGarbageAndTruncation) {
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  mesh::DomainDecomp d(mesh, {1, 1, 1}, {0, 0, 0});
+  state::State b(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+
+  const std::string garbage = temp_prefix("garbage") + ".ckpt";
+  {
+    std::FILE* f = std::fopen(garbage.c_str(), "wb");
+    std::fputs("not a checkpoint at all", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(read_checkpoint(garbage, mesh, d, b), std::runtime_error);
+  std::remove(garbage.c_str());
+
+  const std::string truncated = temp_prefix("trunc") + ".ckpt";
+  state::State a(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  a.fill(1.0);
+  write_checkpoint(truncated, mesh, d, a, 0, 0.0);
+  std::filesystem::resize_file(truncated,
+                               std::filesystem::file_size(truncated) / 2);
+  EXPECT_THROW(read_checkpoint(truncated, mesh, d, b), std::runtime_error);
+  std::remove(truncated.c_str());
+
+  EXPECT_THROW(read_checkpoint("/nonexistent/dir/x.ckpt", mesh, d, b),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, RestartedDistributedRunIsIdentical) {
+  // run 4 steps == run 2, checkpoint, restore into fresh cores, run 2.
+  const auto c = cfg();
+  const std::string prefix = temp_prefix("restart");
+  state::State straight, restarted;
+
+  comm::Runtime::run(2, [&](comm::Context& ctx) {
+    core::OriginalCore core(c, ctx, core::DecompScheme::kYZ, {1, 2, 1});
+    auto xi = core.make_state();
+    state::InitialOptions ic;
+    ic.kind = state::InitialCondition::kPlanetaryWave;
+    core.initialize(xi, ic);
+    core.run(xi, 4);
+    auto g = core::gather_global(core.op_context(), ctx, core.topology(),
+                                 xi);
+    if (ctx.world_rank() == 0) straight = std::move(g);
+  });
+
+  comm::Runtime::run(2, [&](comm::Context& ctx) {
+    core::OriginalCore core(c, ctx, core::DecompScheme::kYZ, {1, 2, 1});
+    auto xi = core.make_state();
+    state::InitialOptions ic;
+    ic.kind = state::InitialCondition::kPlanetaryWave;
+    core.initialize(xi, ic);
+    core.run(xi, 2);
+    write_checkpoint(checkpoint_path(prefix, ctx.world_rank()),
+                     mesh::LatLonMesh(c.nx, c.ny, c.nz), core.decomp(), xi,
+                     2, 2 * c.dt_advect);
+  });
+  comm::Runtime::run(2, [&](comm::Context& ctx) {
+    core::OriginalCore core(c, ctx, core::DecompScheme::kYZ, {1, 2, 1});
+    auto xi = core.make_state();
+    mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+    const auto hdr = read_checkpoint(
+        checkpoint_path(prefix, ctx.world_rank()), mesh, core.decomp(), xi);
+    EXPECT_EQ(hdr.step, 2);
+    core.refresh_halos(xi, "restart");
+    core.run(xi, 2);
+    auto g = core::gather_global(core.op_context(), ctx, core.topology(),
+                                 xi);
+    if (ctx.world_rank() == 0) restarted = std::move(g);
+    std::remove(checkpoint_path(prefix, ctx.world_rank()).c_str());
+  });
+
+  EXPECT_DOUBLE_EQ(
+      state::State::max_abs_diff(straight, restarted, straight.interior()),
+      0.0)
+      << "a restart must be bitwise transparent";
+}
+
+}  // namespace
+}  // namespace ca::util

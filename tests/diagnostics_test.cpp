@@ -1,0 +1,123 @@
+// Diagnostics extensions (zonal spectra vs the polar filter) and the
+// scan/sendrecv collectives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/collectives.hpp"
+#include "comm/runtime.hpp"
+#include "core/diagnostics.hpp"
+#include "core/serial_core.hpp"
+#include "ops/filter.hpp"
+#include "util/math.hpp"
+
+namespace ca {
+namespace {
+
+TEST(ZonalSpectrum, IdentifiesPureTone) {
+  core::DycoreConfig c;
+  c.nx = 48;
+  c.ny = 16;
+  c.nz = 4;
+  core::SerialCore core(c);
+  auto xi = core.make_state();
+  xi.fill(0.0);
+  const int tone = 7, row = 8, lev = 1;
+  for (int i = 0; i < c.nx; ++i)
+    xi.phi()(i, row, lev) = 3.0 * std::cos(2.0 * util::kPi * tone * i / c.nx);
+  auto power = core::zonal_spectrum(core.op_context(), xi.phi(), row, lev);
+  // Parseval-normalized power of A*cos: A^2/2 in the m = tone bin.
+  EXPECT_NEAR(power[tone], 4.5, 1e-9);
+  for (int m = 0; m <= c.nx / 2; ++m) {
+    if (m == tone) continue;
+    EXPECT_NEAR(power[static_cast<std::size_t>(m)], 0.0, 1e-9) << "m=" << m;
+  }
+}
+
+TEST(ZonalSpectrum, FilterDampsPolarHighWavenumbers) {
+  core::DycoreConfig c;
+  c.nx = 48;
+  c.ny = 24;
+  c.nz = 4;
+  core::SerialCore core(c);
+  ops::FourierFilter filt(core.op_context());
+  auto xi = core.make_state();
+  xi.fill(0.0);
+  const int polar_row = 1;  // near the north pole: active
+  ASSERT_TRUE(filt.row_active(polar_row));
+  const int m_high = 20;
+  for (int i = 0; i < c.nx; ++i)
+    xi.phi()(i, polar_row, 0) =
+        std::cos(2.0 * util::kPi * m_high * i / c.nx) + 2.0;
+  auto before =
+      core::zonal_spectrum(core.op_context(), xi.phi(), polar_row, 0);
+  filt.apply_local(core.op_context(), xi, xi.interior());
+  auto after =
+      core::zonal_spectrum(core.op_context(), xi.phi(), polar_row, 0);
+  EXPECT_LT(after[m_high], 0.05 * before[m_high])
+      << "high zonal wavenumber must be damped at a polar row";
+  EXPECT_NEAR(after[0], before[0], 1e-10) << "zonal mean preserved";
+}
+
+TEST(Scan, InclusivePrefix) {
+  comm::Runtime::run(6, [](comm::Context& ctx) {
+    const int me = ctx.world_rank();
+    std::vector<double> in{static_cast<double>(me + 1)};
+    std::vector<double> out(1, -1.0);
+    comm::scan<double>(ctx, ctx.world(), in, out, comm::ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(out[0], (me + 1) * (me + 2) / 2.0);
+  });
+}
+
+TEST(Scan, MaxOperator) {
+  comm::Runtime::run(5, [](comm::Context& ctx) {
+    const int me = ctx.world_rank();
+    // Values 3, 1, 4, 1, 5 -> running max 3, 3, 4, 4, 5.
+    const double vals[] = {3, 1, 4, 1, 5};
+    const double expect[] = {3, 3, 4, 4, 5};
+    std::vector<double> in{vals[me]};
+    std::vector<double> out(1);
+    comm::scan<double>(ctx, ctx.world(), in, out, comm::ReduceOp::kMax);
+    EXPECT_DOUBLE_EQ(out[0], expect[me]);
+  });
+}
+
+TEST(Scan, MatchesExscanPlusOwn) {
+  comm::Runtime::run(7, [](comm::Context& ctx) {
+    std::vector<double> in{1.5 * ctx.world_rank() + 0.25};
+    std::vector<double> inc(1), exc(1);
+    comm::scan<double>(ctx, ctx.world(), in, inc, comm::ReduceOp::kSum);
+    comm::exscan<double>(ctx, ctx.world(), in, exc, comm::ReduceOp::kSum);
+    EXPECT_NEAR(inc[0], exc[0] + in[0], 1e-12);
+  });
+}
+
+TEST(SendRecv, RingRotation) {
+  comm::Runtime::run(5, [](comm::Context& ctx) {
+    const int me = ctx.world_rank();
+    const int p = ctx.world_size();
+    std::vector<int> out{me * 10};
+    std::vector<int> in(1);
+    comm::sendrecv<int>(ctx, ctx.world(), (me + 1) % p, 3, out,
+                        (me - 1 + p) % p, 3, in);
+    EXPECT_EQ(in[0], ((me - 1 + p) % p) * 10);
+  });
+}
+
+TEST(SendRecv, SelfExchangeThroughNeighbors) {
+  // Two half-rotations return the original value.
+  comm::Runtime::run(4, [](comm::Context& ctx) {
+    const int me = ctx.world_rank();
+    const int p = ctx.world_size();
+    std::vector<double> v{me + 0.5};
+    std::vector<double> tmp(1);
+    comm::sendrecv<double>(ctx, ctx.world(), (me + 2) % p, 9, v,
+                           (me + 2) % p, 9, tmp);
+    comm::sendrecv<double>(ctx, ctx.world(), (me + 2) % p, 10, tmp,
+                           (me + 2) % p, 10, v);
+    EXPECT_DOUBLE_EQ(v[0], me + 0.5);
+  });
+}
+
+}  // namespace
+}  // namespace ca

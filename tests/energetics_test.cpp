@@ -1,0 +1,112 @@
+// Energy-budget diagnostics: the operator roles the IAP scheme is built
+// around, measured.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/energetics.hpp"
+
+namespace ca::core {
+namespace {
+
+DycoreConfig cfg(int x_order, double filter_band) {
+  DycoreConfig c;
+  c.nx = 32;
+  c.ny = 16;
+  c.nz = 8;
+  c.params.x_order = x_order;
+  c.params.filter_band = filter_band;
+  return c;
+}
+
+state::State wave_state(SerialCore& core) {
+  auto xi = core.make_state();
+  state::InitialOptions opt;
+  opt.kind = state::InitialCondition::kPlanetaryWave;
+  core.initialize(xi, opt);
+  return xi;
+}
+
+TEST(Energetics, AdvectionConservesExactlyWithoutFilter) {
+  SerialCore core(cfg(/*x_order=*/2, /*filter_band=*/0.0));
+  auto xi = wave_state(core);
+  const auto budget = diagnose_energetics(core, xi);
+  EXPECT_GT(budget.energy, 0.0);
+  EXPECT_LT(budget.advection_residual, 1e-10)
+      << "skew-symmetric advection must conserve the invariant";
+}
+
+TEST(Energetics, FilteredAdvectionNearlyConserves) {
+  SerialCore core(cfg(4, 1.0));
+  auto xi = wave_state(core);
+  const auto budget = diagnose_energetics(core, xi);
+  EXPECT_LT(budget.advection_residual, 0.05)
+      << "filter + 4th order may only perturb conservation slightly";
+}
+
+TEST(Energetics, SmoothingIsDissipative) {
+  SerialCore core(cfg(4, 1.0));
+  auto xi = wave_state(core);
+  // Add grid-scale noise the smoothing exists to remove.
+  for (int k = 0; k < 8; ++k)
+    for (int j = 0; j < 16; ++j)
+      for (int i = 0; i < 32; ++i)
+        xi.phi()(i, j, k) += 0.5 * (((i + j) % 2 == 0) ? 1.0 : -1.0);
+  const auto budget = diagnose_energetics(core, xi);
+  EXPECT_LT(budget.smoothing_delta, 0.0);
+  EXPECT_GT(budget.smoothing_delta, -budget.energy)
+      << "dissipation must be a fraction of the total";
+}
+
+TEST(Energetics, FilterIsDissipative) {
+  SerialCore core(cfg(4, 1.2));
+  auto xi = wave_state(core);
+  // Polar grid-scale noise.
+  for (int k = 0; k < 8; ++k)
+    for (int j : {0, 1, 14, 15})
+      for (int i = 0; i < 32; ++i)
+        xi.u()(i, j, k) += 2.0 * ((i % 2 == 0) ? 1.0 : -1.0);
+  const auto budget = diagnose_energetics(core, xi);
+  EXPECT_LT(budget.filter_delta, 0.0);
+}
+
+TEST(Energetics, RestStateHasTrivialBudget) {
+  SerialCore core(cfg(4, 1.0));
+  auto xi = core.make_state();
+  state::InitialOptions opt;
+  opt.kind = state::InitialCondition::kRestIsothermal;
+  core.initialize(xi, opt);
+  const auto budget = diagnose_energetics(core, xi);
+  EXPECT_DOUBLE_EQ(budget.energy, 0.0);
+  EXPECT_DOUBLE_EQ(budget.advection_rate, 0.0);
+  EXPECT_DOUBLE_EQ(budget.adaptation_rate, 0.0);
+  EXPECT_DOUBLE_EQ(budget.smoothing_delta, 0.0);
+  EXPECT_DOUBLE_EQ(budget.filter_delta, 0.0);
+}
+
+TEST(Energetics, AdaptationExchangeIsBounded) {
+  // The adaptation terms exchange energy (gravity waves); over one
+  // evaluation the rate must be bounded relative to E / dt scales.
+  SerialCore core(cfg(4, 1.0));
+  auto xi = wave_state(core);
+  const auto budget = diagnose_energetics(core, xi);
+  EXPECT_TRUE(std::isfinite(budget.adaptation_rate));
+  // E-folding time must be much longer than one adaptation step (60 s).
+  const double efold =
+      budget.energy / (std::abs(budget.adaptation_rate) + 1e-300);
+  EXPECT_GT(efold, 600.0)
+      << "adaptation must not create/destroy energy on the step scale";
+}
+
+TEST(Energetics, DoesNotModifyInput) {
+  SerialCore core(cfg(4, 1.0));
+  auto xi = wave_state(core);
+  auto copy = core.make_state();
+  copy.assign(xi, xi.interior());
+  (void)diagnose_energetics(core, xi);
+  EXPECT_DOUBLE_EQ(state::State::max_abs_diff(xi, copy, xi.interior()),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace ca::core

@@ -1,0 +1,172 @@
+// End-to-end integration: the full Held-Suarez configuration (dynamical
+// core + physics) running distributed over multiple steps, checking
+// stability, conservation behavior, and cross-algorithm agreement on the
+// final climate diagnostics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/runtime.hpp"
+#include "core/ca_core.hpp"
+#include "core/diagnostics.hpp"
+#include "core/exchange.hpp"
+#include "core/original_core.hpp"
+#include "physics/held_suarez.hpp"
+
+namespace ca {
+namespace {
+
+core::DycoreConfig hs_config() {
+  core::DycoreConfig c;
+  c.nx = 36;
+  c.ny = 24;
+  c.nz = 10;
+  c.M = 3;
+  c.dt_adapt = 60.0;
+  c.dt_advect = 300.0;
+  return c;
+}
+
+TEST(Integration, HeldSuarezRunsStablyWithCACore) {
+  const auto cfg = hs_config();
+  comm::Runtime::run(2, [&](comm::Context& ctx) {
+    core::CACore core(cfg, ctx, {1, 2, 1});
+    physics::HeldSuarezForcing forcing(core.op_context());
+    auto xi = core.make_state();
+    state::InitialOptions ic;
+    ic.kind = state::InitialCondition::kRandomPerturbation;
+    ic.random_amplitude = 1e-2;
+    core.initialize(xi, ic);
+    for (int s = 0; s < 30; ++s) {
+      core.step(xi);
+      forcing.apply(xi, cfg.dt_advect);
+    }
+    core.finalize(xi);
+    auto d = core::reduce_diagnostics(
+        ctx, ctx.world(), core::local_diagnostics(core.op_context(), xi));
+    EXPECT_TRUE(std::isfinite(d.total_energy()));
+    EXPECT_LT(d.max_abs_u, 300.0) << "winds must stay physical";
+    EXPECT_LT(d.max_abs_psa, 3.0e4) << "surface pressure must stay bounded";
+    // The forcing must have begun building the H-S thermal structure:
+    // warmer tropics than poles at the surface.
+    auto t_surf = core::zonal_mean_t(core.op_context(), xi,
+                                     core.decomp().lnz() - 1);
+    const bool has_equator = !core.decomp().at_north_pole();
+    if (has_equator) {
+      // rank 1 owns the southern half incl. the equator-adjacent rows.
+    }
+    // Compare the rank's extreme rows: the row closest to the equator must
+    // be at least as warm as the row closest to its pole.
+    const int lny = core.decomp().lny();
+    const double t_near_pole =
+        core.decomp().at_north_pole() ? t_surf[0] : t_surf[static_cast<std::size_t>(lny - 1)];
+    const double t_near_equator =
+        core.decomp().at_north_pole() ? t_surf[static_cast<std::size_t>(lny - 1)] : t_surf[0];
+    EXPECT_GE(t_near_equator, t_near_pole - 0.5)
+        << "H-S forcing must warm the tropics relative to the poles";
+  });
+}
+
+TEST(Integration, OriginalAndCAProduceSameClimateStatistics) {
+  // Over a forced run the two algorithms must agree on integrated
+  // diagnostics to within the approximation error.
+  const auto cfg = hs_config();
+  double e_orig = 0.0, e_ca = 0.0, u_orig = 0.0, u_ca = 0.0;
+
+  comm::Runtime::run(2, [&](comm::Context& ctx) {
+    core::OriginalCore core(cfg, ctx, core::DecompScheme::kYZ, {1, 2, 1});
+    physics::HeldSuarezForcing forcing(core.op_context());
+    auto xi = core.make_state();
+    state::InitialOptions ic;
+    ic.kind = state::InitialCondition::kZonalJet;
+    core.initialize(xi, ic);
+    for (int s = 0; s < 15; ++s) {
+      core.step(xi);
+      forcing.apply(xi, cfg.dt_advect);
+    }
+    auto d = core::reduce_diagnostics(
+        ctx, ctx.world(), core::local_diagnostics(core.op_context(), xi));
+    if (ctx.world_rank() == 0) {
+      e_orig = d.total_energy();
+      u_orig = d.max_abs_u;
+    }
+  });
+  comm::Runtime::run(2, [&](comm::Context& ctx) {
+    core::CACore core(cfg, ctx, {1, 2, 1});
+    physics::HeldSuarezForcing forcing(core.op_context());
+    auto xi = core.make_state();
+    state::InitialOptions ic;
+    ic.kind = state::InitialCondition::kZonalJet;
+    core.initialize(xi, ic);
+    for (int s = 0; s < 15; ++s) {
+      core.step(xi);
+      forcing.apply(xi, cfg.dt_advect);
+    }
+    core.finalize(xi);
+    auto d = core::reduce_diagnostics(
+        ctx, ctx.world(), core::local_diagnostics(core.op_context(), xi));
+    if (ctx.world_rank() == 0) {
+      e_ca = d.total_energy();
+      u_ca = d.max_abs_u;
+    }
+  });
+  ASSERT_GT(e_orig, 0.0);
+  EXPECT_NEAR(e_ca / e_orig, 1.0, 0.02)
+      << "energy must agree to the approximation error";
+  EXPECT_NEAR(u_ca / u_orig, 1.0, 0.05);
+}
+
+TEST(Integration, LongUnforcedRunConservesMassAnomaly) {
+  // With no forcing, the area-integrated p'_sa (mass anomaly) must stay
+  // near its initial value: the psa tendency is a divergence plus a
+  // diffusion, both of which integrate to ~0 over the sphere.
+  auto cfg = hs_config();
+  cfg.params.x_order = 2;  // exactly conservative advection
+  comm::Runtime::run(2, [&](comm::Context& ctx) {
+    core::OriginalCore core(cfg, ctx, core::DecompScheme::kYZ, {1, 2, 1});
+    auto xi = core.make_state();
+    state::InitialOptions ic;
+    ic.kind = state::InitialCondition::kPlanetaryWave;
+    core.initialize(xi, ic);
+    auto d0 = core::reduce_diagnostics(
+        ctx, ctx.world(), core::local_diagnostics(core.op_context(), xi));
+    core.run(xi, 20);
+    auto d1 = core::reduce_diagnostics(
+        ctx, ctx.world(), core::local_diagnostics(core.op_context(), xi));
+    if (ctx.world_rank() == 0) {
+      // Scale: total area * a typical p'_sa magnitude that develops.
+      const double area = 4.0 * 3.14159 * 6.371e6 * 6.371e6;
+      const double scale = area * std::max(1.0, d1.max_abs_psa);
+      EXPECT_LT(std::abs(d1.mass_anomaly - d0.mass_anomaly), 0.02 * scale)
+          << "global mass anomaly must be nearly conserved";
+    }
+  });
+}
+
+TEST(Integration, RestStateSurvivesForcedEquilibriumSpinup) {
+  // Rest + H-S forcing: pressure stays flat, winds develop only through
+  // the thermal forcing (thermal wind), everything finite.
+  const auto cfg = hs_config();
+  comm::Runtime::run(2, [&](comm::Context& ctx) {
+    core::CACore core(cfg, ctx, {1, 2, 1});
+    physics::HeldSuarezForcing forcing(core.op_context());
+    auto xi = core.make_state();
+    state::InitialOptions ic;
+    ic.kind = state::InitialCondition::kRestIsothermal;
+    core.initialize(xi, ic);
+    for (int s = 0; s < 20; ++s) {
+      core.step(xi);
+      forcing.apply(xi, cfg.dt_advect);
+    }
+    core.finalize(xi);
+    auto d = core::reduce_diagnostics(
+        ctx, ctx.world(), core::local_diagnostics(core.op_context(), xi));
+    EXPECT_TRUE(std::isfinite(d.total_energy()));
+    EXPECT_GT(d.max_abs_phi, 0.0)
+        << "thermal forcing must create temperature structure";
+    EXPECT_LT(d.max_abs_u, 150.0);
+  });
+}
+
+}  // namespace
+}  // namespace ca

@@ -1,0 +1,163 @@
+// Mesh geometry, sigma levels, and block decomposition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/decomp.hpp"
+#include "mesh/latlon.hpp"
+#include "mesh/sigma.hpp"
+#include "util/math.hpp"
+
+namespace ca::mesh {
+namespace {
+
+TEST(LatLon, SpacingAndStaggering) {
+  LatLonMesh mesh(720, 360, 30);
+  EXPECT_DOUBLE_EQ(mesh.dlambda(), 2.0 * util::kPi / 720);
+  EXPECT_DOUBLE_EQ(mesh.dtheta(), util::kPi / 360);
+  // Scalar rows avoid the poles.
+  EXPECT_GT(mesh.theta(0), 0.0);
+  EXPECT_LT(mesh.theta(359), util::kPi);
+  // C-grid staggering: U west of scalar, V south of scalar.
+  EXPECT_DOUBLE_EQ(mesh.lambda(0) - mesh.lambda_u(0), 0.5 * mesh.dlambda());
+  EXPECT_DOUBLE_EQ(mesh.theta_v(0) - mesh.theta(0), 0.5 * mesh.dtheta());
+  // V edge rows reach the poles exactly.
+  EXPECT_DOUBLE_EQ(mesh.theta_v(-1), 0.0);
+  EXPECT_DOUBLE_EQ(mesh.theta_v(359), util::kPi);
+}
+
+TEST(LatLon, TrigCachesMatchDirectEvaluation) {
+  LatLonMesh mesh(90, 45, 10);
+  for (int j = 0; j < 45; ++j) {
+    EXPECT_NEAR(mesh.sin_theta(j), std::sin(mesh.theta(j)), 1e-15);
+    EXPECT_NEAR(mesh.cos_theta(j), std::cos(mesh.theta(j)), 1e-15);
+    EXPECT_NEAR(mesh.cot_theta(j),
+                std::cos(mesh.theta(j)) / std::sin(mesh.theta(j)), 1e-12);
+  }
+  // V rows at the physical poles have vanishing sin(theta_v).
+  EXPECT_NEAR(mesh.sin_theta_v(-1), 0.0, 1e-15);
+  EXPECT_NEAR(mesh.sin_theta_v(44), 0.0, 1e-12);
+  // All scalar rows have strictly positive sin(theta).
+  for (int j = -1; j <= 45; ++j) EXPECT_GT(mesh.sin_theta(j), 0.0);
+}
+
+TEST(LatLon, TotalAreaApproximatesSphere) {
+  LatLonMesh mesh(180, 90, 5);
+  double total = 0.0;
+  for (int j = 0; j < mesh.ny(); ++j)
+    total += mesh.cell_area(j) * mesh.nx();
+  const double sphere = 4.0 * util::kPi * mesh.radius() * mesh.radius();
+  EXPECT_NEAR(total / sphere, 1.0, 1e-3);
+}
+
+TEST(LatLon, TooSmallThrows) {
+  EXPECT_THROW(LatLonMesh(2, 45, 10), std::invalid_argument);
+  EXPECT_THROW(LatLonMesh(90, 2, 10), std::invalid_argument);
+  EXPECT_THROW(LatLonMesh(90, 45, 0), std::invalid_argument);
+}
+
+TEST(Sigma, UniformLevels) {
+  auto levels = SigmaLevels::uniform(30);
+  EXPECT_EQ(levels.nz(), 30);
+  EXPECT_DOUBLE_EQ(levels.half(0), 0.0);
+  EXPECT_DOUBLE_EQ(levels.half(30), 1.0);
+  double sum = 0.0;
+  for (int k = 0; k < 30; ++k) {
+    EXPECT_NEAR(levels.dsigma(k), 1.0 / 30, 1e-15);
+    EXPECT_DOUBLE_EQ(levels.full(k),
+                     0.5 * (levels.half(k) + levels.half(k + 1)));
+    sum += levels.dsigma(k);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-14);
+}
+
+TEST(Sigma, StretchedLevelsRefineTowardSurface) {
+  auto levels = SigmaLevels::stretched(20, 2.0);
+  EXPECT_DOUBLE_EQ(levels.half(0), 0.0);
+  EXPECT_DOUBLE_EQ(levels.half(20), 1.0);
+  // Thickness decreases toward the surface (k = nz-1).
+  EXPECT_GT(levels.dsigma(0), levels.dsigma(19));
+  double sum = 0.0;
+  for (int k = 0; k < 20; ++k) {
+    EXPECT_GT(levels.dsigma(k), 0.0);
+    sum += levels.dsigma(k);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-14);
+}
+
+TEST(Sigma, InvalidArgsThrow) {
+  EXPECT_THROW(SigmaLevels::uniform(0), std::invalid_argument);
+  EXPECT_THROW(SigmaLevels::stretched(10, -1.0), std::invalid_argument);
+}
+
+class BlockRangeSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BlockRangeSweep, PartitionCoversWithoutOverlap) {
+  const auto [n, p] = GetParam();
+  int covered = 0;
+  int prev_end = 0;
+  for (int idx = 0; idx < p; ++idx) {
+    Range r = block_range(n, p, idx);
+    EXPECT_EQ(r.begin, prev_end) << "blocks must be contiguous";
+    EXPECT_GE(r.count, n / p);
+    EXPECT_LE(r.count, n / p + 1);
+    covered += r.count;
+    prev_end = r.end();
+  }
+  EXPECT_EQ(covered, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockRangeSweep,
+    ::testing::Values(std::pair{10, 1}, std::pair{10, 2}, std::pair{10, 3},
+                      std::pair{360, 128}, std::pair{30, 8},
+                      std::pair{30, 15}, std::pair{7, 7},
+                      std::pair{719, 64}),
+    [](const ::testing::TestParamInfo<std::pair<int, int>>& i) {
+      return "n" + std::to_string(i.param.first) + "_p" +
+             std::to_string(i.param.second);
+    });
+
+TEST(BlockRange, BadArgsThrow) {
+  EXPECT_THROW(block_range(10, 0, 0), std::invalid_argument);
+  EXPECT_THROW(block_range(10, 2, 2), std::invalid_argument);
+  EXPECT_THROW(block_range(10, 2, -1), std::invalid_argument);
+}
+
+TEST(DomainDecomp, YZSchemeProperties) {
+  LatLonMesh mesh(90, 46, 12);
+  DomainDecomp d(mesh, {1, 4, 3}, {0, 1, 2});
+  EXPECT_EQ(d.lnx(), 90) << "Y-Z decomposition keeps full latitude circles";
+  EXPECT_TRUE(d.owns_full_x());
+  EXPECT_FALSE(d.at_north_pole());
+  EXPECT_FALSE(d.at_south_pole());
+  EXPECT_TRUE(d.at_surface());
+  EXPECT_FALSE(d.at_model_top());
+  // Global index mapping.
+  EXPECT_EQ(d.gj(0), block_range(46, 4, 1).begin);
+  EXPECT_EQ(d.gk(0), block_range(12, 3, 2).begin);
+}
+
+TEST(DomainDecomp, BoundaryFlags) {
+  LatLonMesh mesh(32, 16, 8);
+  DomainDecomp nw(mesh, {2, 2, 2}, {0, 0, 0});
+  EXPECT_TRUE(nw.at_north_pole());
+  EXPECT_TRUE(nw.at_model_top());
+  EXPECT_FALSE(nw.at_south_pole());
+  EXPECT_FALSE(nw.owns_full_x());
+  DomainDecomp se(mesh, {2, 2, 2}, {1, 1, 1});
+  EXPECT_TRUE(se.at_south_pole());
+  EXPECT_TRUE(se.at_surface());
+}
+
+TEST(DomainDecomp, OversubscriptionThrows) {
+  LatLonMesh mesh(8, 4, 2);
+  EXPECT_THROW(DomainDecomp(mesh, {1, 8, 1}, {0, 7, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(DomainDecomp(mesh, {1, 2, 2}, {0, 2, 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ca::mesh

@@ -1,0 +1,130 @@
+// Held-Suarez forcing: coefficient profiles, equilibrium temperature
+// structure, and relaxation behavior.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/serial_core.hpp"
+#include "physics/held_suarez.hpp"
+#include "state/transforms.hpp"
+#include "util/math.hpp"
+
+namespace ca::physics {
+namespace {
+
+core::DycoreConfig cfg() {
+  core::DycoreConfig c;
+  c.nx = 24;
+  c.ny = 16;
+  c.nz = 10;
+  return c;
+}
+
+TEST(HeldSuarez, FrictionOnlyInBoundaryLayer) {
+  core::SerialCore core(cfg());
+  HeldSuarezForcing hs(core.op_context());
+  EXPECT_DOUBLE_EQ(hs.k_v(0.2), 0.0);
+  EXPECT_DOUBLE_EQ(hs.k_v(0.7), 0.0);
+  EXPECT_GT(hs.k_v(0.85), 0.0);
+  EXPECT_NEAR(hs.k_v(1.0), hs.params().k_f, 1e-18);
+  EXPECT_LT(hs.k_v(0.85), hs.k_v(0.95));
+}
+
+TEST(HeldSuarez, ThermalRelaxationFasterAtTropicalSurface) {
+  core::SerialCore core(cfg());
+  HeldSuarezForcing hs(core.op_context());
+  const int equator = 8, pole = 0;
+  // Free atmosphere: uniform k_a.
+  EXPECT_NEAR(hs.k_t(equator, 0.3), hs.params().k_a, 1e-18);
+  EXPECT_NEAR(hs.k_t(pole, 0.3), hs.params().k_a, 1e-18);
+  // Surface layer: much faster at the equator (cos^4 phi).
+  EXPECT_GT(hs.k_t(equator, 1.0), 5.0 * hs.k_t(pole, 1.0));
+  EXPECT_LE(hs.k_t(equator, 1.0), hs.params().k_s + 1e-18);
+}
+
+TEST(HeldSuarez, EquilibriumTemperatureStructure) {
+  core::SerialCore core(cfg());
+  HeldSuarezForcing hs(core.op_context());
+  const int equator = 8, pole = 0;
+  const double p_sfc = 1.0e5;
+  // Warm equator, cold pole at the surface, with the H-S 60 K contrast.
+  const double te_eq = hs.t_eq(equator, p_sfc);
+  const double te_po = hs.t_eq(pole, p_sfc);
+  EXPECT_GT(te_eq, te_po);
+  EXPECT_NEAR(te_eq, 315.0, 2.0);  // sin(phi)~0 at the equator row
+  // Stratospheric floor.
+  EXPECT_DOUBLE_EQ(hs.t_eq(equator, 5.0e3), 200.0);
+  // Colder aloft than at the surface.
+  EXPECT_LT(hs.t_eq(equator, 5.0e4), te_eq);
+}
+
+TEST(HeldSuarez, FrictionDampsLowLevelWindsOnly) {
+  core::SerialCore core(cfg());
+  HeldSuarezForcing hs(core.op_context());
+  auto xi = core.make_state();
+  xi.fill(0.0);
+  for (int k = 0; k < 10; ++k)
+    for (int j = 0; j < 16; ++j)
+      for (int i = 0; i < 24; ++i) xi.u()(i, j, k) = 10.0;
+  hs.apply(xi, 86400.0);
+  // sigma(k=0) ~ 0.05: untouched; sigma(k=9) ~ 0.95: damped.
+  EXPECT_NEAR(xi.u()(3, 3, 0), 10.0, 1e-9);
+  EXPECT_LT(xi.u()(3, 3, 9), 10.0 * std::exp(-0.5));
+  EXPECT_GT(xi.u()(3, 3, 9), 0.0);
+}
+
+TEST(HeldSuarez, TemperatureRelaxesTowardEquilibrium) {
+  core::SerialCore core(cfg());
+  HeldSuarezForcing hs(core.op_context());
+  auto xi = core.make_state();
+  xi.fill(0.0);  // T = T~ everywhere
+  const auto& ctx = core.op_context();
+  const int i = 5, j = 8, k = 9;
+  const double sigma = ctx.sig(k);
+  const double p = util::kPressureTop +
+                   sigma * (core.strat().ps_ref() - util::kPressureTop);
+  const double t0 = core.strat().t_ref(k);
+  const double te = hs.t_eq(j, p);
+  // Long relaxation: T must approach T_eq monotonically.
+  double prev_gap = std::abs(t0 - te);
+  for (int step = 0; step < 4; ++step) {
+    hs.apply(xi, 10.0 * 86400.0);
+    const double pc = state::p_factor_s(xi.psa(), core.strat(), i, j);
+    const double t_now =
+        t0 + util::kGravityWaveSpeed * xi.phi()(i, j, k) /
+                 (pc * util::kRd);
+    const double gap = std::abs(t_now - te);
+    EXPECT_LT(gap, prev_gap + 1e-12);
+    prev_gap = gap;
+  }
+  EXPECT_LT(prev_gap, 0.2 * std::abs(t0 - te))
+      << "40 days at k_s-scale rates must close most of the gap";
+}
+
+TEST(HeldSuarez, EquilibriumStateIsSteadyUnderForcing) {
+  // A state already at T_eq with no winds must be (exactly) unchanged.
+  core::SerialCore core(cfg());
+  HeldSuarezForcing hs(core.op_context());
+  auto xi = core.make_state();
+  xi.fill(0.0);
+  const auto& ctx = core.op_context();
+  for (int k = 0; k < 10; ++k)
+    for (int j = 0; j < 16; ++j)
+      for (int i = 0; i < 24; ++i) {
+        const double sigma = ctx.sig(k);
+        const double p =
+            util::kPressureTop +
+            sigma * (core.strat().ps_ref() - util::kPressureTop);
+        const double pc = state::p_factor_s(xi.psa(), core.strat(), i, j);
+        xi.phi()(i, j, k) = pc * util::kRd *
+                            (hs.t_eq(j, p) - core.strat().t_ref(k)) /
+                            util::kGravityWaveSpeed;
+      }
+  auto before = core.make_state();
+  before.assign(xi, xi.interior());
+  hs.apply(xi, 86400.0);
+  EXPECT_LT(state::State::max_abs_diff(xi, before, xi.interior()), 1e-10);
+}
+
+}  // namespace
+}  // namespace ca::physics

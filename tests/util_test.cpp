@@ -1,0 +1,147 @@
+// Array containers, config parsing, timers, math helpers.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/array3d.hpp"
+#include "util/config.hpp"
+#include "util/math.hpp"
+#include "util/timer.hpp"
+
+namespace ca::util {
+namespace {
+
+TEST(Array3D, IndexingWithHalos) {
+  Array3D<double> a(4, 3, 2, {2, 1, 1});
+  EXPECT_EQ(a.ex(), 8);
+  EXPECT_EQ(a.ey(), 5);
+  EXPECT_EQ(a.ez(), 4);
+  EXPECT_EQ(a.size(), 8u * 5u * 4u);
+  a(-2, -1, -1) = 1.0;
+  a(5, 3, 2) = 2.0;
+  a(0, 0, 0) = 3.0;
+  EXPECT_DOUBLE_EQ(a(-2, -1, -1), 1.0);
+  EXPECT_DOUBLE_EQ(a(5, 3, 2), 2.0);
+  EXPECT_DOUBLE_EQ(a(0, 0, 0), 3.0);
+}
+
+TEST(Array3D, XIsContiguous) {
+  Array3D<double> a(5, 3, 2, {1, 0, 0});
+  EXPECT_EQ(a.index(1, 0, 0) - a.index(0, 0, 0), 1u);
+  auto line = a.line(1, 1);
+  EXPECT_EQ(line.size(), 5u);
+  line[2] = 42.0;
+  EXPECT_DOUBLE_EQ(a(2, 1, 1), 42.0);
+}
+
+TEST(Array3D, FillAndEquality) {
+  Array3D<int> a(3, 3, 3), b(3, 3, 3);
+  a.fill(7);
+  b.fill(7);
+  EXPECT_EQ(a, b);
+  b(1, 1, 1) = 8;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Array3D, CopyInteriorIgnoresHalos) {
+  Array3D<double> src(3, 3, 2, {1, 1, 1});
+  src.fill(-1.0);
+  for (int k = 0; k < 2; ++k)
+    for (int j = 0; j < 3; ++j)
+      for (int i = 0; i < 3; ++i) src(i, j, k) = i + 10 * j + 100 * k;
+  Array3D<double> dst(3, 3, 2, {2, 2, 2});
+  dst.copy_interior_from(src);
+  for (int k = 0; k < 2; ++k)
+    for (int j = 0; j < 3; ++j)
+      for (int i = 0; i < 3; ++i)
+        EXPECT_DOUBLE_EQ(dst(i, j, k), i + 10 * j + 100 * k);
+  EXPECT_DOUBLE_EQ(dst(-1, 0, 0), 0.0) << "halos must stay untouched";
+}
+
+TEST(Array2D, IndexingWithHalos) {
+  Array2D<double> a(4, 3, 1, 2);
+  a(-1, -2) = 5.0;
+  a(4, 4) = 6.0;
+  EXPECT_DOUBLE_EQ(a(-1, -2), 5.0);
+  EXPECT_DOUBLE_EQ(a(4, 4), 6.0);
+  EXPECT_EQ(a.size(), 6u * 7u);
+}
+
+TEST(Config, ParsesTextWithComments) {
+  auto cfg = Config::from_text(R"(
+# run parameters
+nx = 720
+dt = 450.0   # seconds
+name = hs_test
+verbose = true
+)");
+  EXPECT_EQ(cfg.get_int("nx", -1), 720);
+  EXPECT_DOUBLE_EQ(cfg.get_double("dt", 0.0), 450.0);
+  EXPECT_EQ(cfg.get_string("name"), "hs_test");
+  EXPECT_TRUE(cfg.get_bool("verbose", false));
+  EXPECT_FALSE(cfg.has("missing"));
+  EXPECT_EQ(cfg.get_int("missing", 9), 9);
+}
+
+TEST(Config, ParsesArgs) {
+  const char* argv[] = {"prog", "nx=100", "flag", "ratio=0.5"};
+  auto cfg = Config::from_args(4, argv);
+  EXPECT_EQ(cfg.get_int("nx", -1), 100);
+  EXPECT_DOUBLE_EQ(cfg.get_double("ratio", 0.0), 0.5);
+  EXPECT_FALSE(cfg.has("flag"));
+}
+
+TEST(Config, EnvOverrideWins) {
+  setenv("CA_AGCM_STEPS", "77", 1);
+  auto cfg = Config::from_text("steps = 5");
+  EXPECT_EQ(cfg.get_int("steps", -1), 77);
+  unsetenv("CA_AGCM_STEPS");
+  EXPECT_EQ(cfg.get_int("steps", -1), 5);
+}
+
+TEST(Config, MalformedValuesFallBack) {
+  auto cfg = Config::from_text("n = abc\nb = maybe");
+  EXPECT_EQ(cfg.get_int("n", 3), 3);
+  EXPECT_TRUE(cfg.get_bool("b", true));
+  EXPECT_FALSE(cfg.get_bool("b", false));
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(t.seconds(), 0.005);
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.005);
+}
+
+TEST(PhaseTimers, AccumulatesByPhase) {
+  PhaseTimers pt;
+  pt.start("a");
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  pt.start("b");  // implicitly stops "a"
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  pt.stop();
+  EXPECT_GE(pt.total("a"), 0.002);
+  EXPECT_GE(pt.total("b"), 0.002);
+  EXPECT_DOUBLE_EQ(pt.total("c"), 0.0);
+  pt.clear();
+  EXPECT_DOUBLE_EQ(pt.total("a"), 0.0);
+}
+
+TEST(Math, FloorDivAndMod) {
+  EXPECT_EQ(floor_div(7, 3), 2);
+  EXPECT_EQ(floor_div(-7, 3), -3);
+  EXPECT_EQ(floor_div(-6, 3), -2);
+  EXPECT_EQ(pos_mod(7, 3), 1);
+  EXPECT_EQ(pos_mod(-7, 3), 2);
+  EXPECT_EQ(pos_mod(-6, 3), 0);
+}
+
+TEST(Math, CloseHelper) {
+  EXPECT_TRUE(close(1.0, 1.0 + 1e-15));
+  EXPECT_FALSE(close(1.0, 1.001));
+  EXPECT_TRUE(close(0.0, 1e-15));
+}
+
+}  // namespace
+}  // namespace ca::util
