@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ca.dir/bench_ablation_ca.cpp.o"
+  "CMakeFiles/bench_ablation_ca.dir/bench_ablation_ca.cpp.o.d"
+  "bench_ablation_ca"
+  "bench_ablation_ca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_collective.dir/bench_fig6_collective.cpp.o"
+  "CMakeFiles/bench_fig6_collective.dir/bench_fig6_collective.cpp.o.d"
+  "bench_fig6_collective"
+  "bench_fig6_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

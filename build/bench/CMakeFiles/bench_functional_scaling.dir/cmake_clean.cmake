@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_functional_scaling.dir/bench_functional_scaling.cpp.o"
+  "CMakeFiles/bench_functional_scaling.dir/bench_functional_scaling.cpp.o.d"
+  "bench_functional_scaling"
+  "bench_functional_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_functional_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

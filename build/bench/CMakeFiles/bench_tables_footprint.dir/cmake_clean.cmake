@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tables_footprint.dir/bench_tables_footprint.cpp.o"
+  "CMakeFiles/bench_tables_footprint.dir/bench_tables_footprint.cpp.o.d"
+  "bench_tables_footprint"
+  "bench_tables_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

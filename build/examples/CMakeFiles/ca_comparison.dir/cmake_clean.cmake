@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_comparison.dir/ca_comparison.cpp.o"
+  "CMakeFiles/ca_comparison.dir/ca_comparison.cpp.o.d"
+  "ca_comparison"
+  "ca_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

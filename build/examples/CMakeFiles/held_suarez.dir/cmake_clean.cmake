@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/held_suarez.dir/held_suarez.cpp.o"
+  "CMakeFiles/held_suarez.dir/held_suarez.cpp.o.d"
+  "held_suarez"
+  "held_suarez.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/held_suarez.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

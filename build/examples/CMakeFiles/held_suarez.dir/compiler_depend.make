@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for held_suarez.
+# This may be replaced when dependencies are built.

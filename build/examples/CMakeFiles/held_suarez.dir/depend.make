@@ -1,0 +1,2 @@
+# Empty dependencies file for held_suarez.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracer_transport.dir/tracer_transport.cpp.o"
+  "CMakeFiles/tracer_transport.dir/tracer_transport.cpp.o.d"
+  "tracer_transport"
+  "tracer_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracer_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

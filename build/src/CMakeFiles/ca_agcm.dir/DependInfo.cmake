@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/collectives.cpp" "src/CMakeFiles/ca_agcm.dir/comm/collectives.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/comm/collectives.cpp.o.d"
+  "/root/repo/src/comm/context.cpp" "src/CMakeFiles/ca_agcm.dir/comm/context.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/comm/context.cpp.o.d"
+  "/root/repo/src/comm/mailbox.cpp" "src/CMakeFiles/ca_agcm.dir/comm/mailbox.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/comm/mailbox.cpp.o.d"
+  "/root/repo/src/comm/runtime.cpp" "src/CMakeFiles/ca_agcm.dir/comm/runtime.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/comm/runtime.cpp.o.d"
+  "/root/repo/src/comm/stats.cpp" "src/CMakeFiles/ca_agcm.dir/comm/stats.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/comm/stats.cpp.o.d"
+  "/root/repo/src/comm/topology.cpp" "src/CMakeFiles/ca_agcm.dir/comm/topology.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/comm/topology.cpp.o.d"
+  "/root/repo/src/core/ca_core.cpp" "src/CMakeFiles/ca_agcm.dir/core/ca_core.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/core/ca_core.cpp.o.d"
+  "/root/repo/src/core/diagnostics.cpp" "src/CMakeFiles/ca_agcm.dir/core/diagnostics.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/core/diagnostics.cpp.o.d"
+  "/root/repo/src/core/energetics.cpp" "src/CMakeFiles/ca_agcm.dir/core/energetics.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/core/energetics.cpp.o.d"
+  "/root/repo/src/core/exchange.cpp" "src/CMakeFiles/ca_agcm.dir/core/exchange.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/core/exchange.cpp.o.d"
+  "/root/repo/src/core/original_core.cpp" "src/CMakeFiles/ca_agcm.dir/core/original_core.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/core/original_core.cpp.o.d"
+  "/root/repo/src/core/schedule_builders.cpp" "src/CMakeFiles/ca_agcm.dir/core/schedule_builders.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/core/schedule_builders.cpp.o.d"
+  "/root/repo/src/core/serial_core.cpp" "src/CMakeFiles/ca_agcm.dir/core/serial_core.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/core/serial_core.cpp.o.d"
+  "/root/repo/src/fft/dft.cpp" "src/CMakeFiles/ca_agcm.dir/fft/dft.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/fft/dft.cpp.o.d"
+  "/root/repo/src/fft/fft.cpp" "src/CMakeFiles/ca_agcm.dir/fft/fft.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/fft/fft.cpp.o.d"
+  "/root/repo/src/mesh/decomp.cpp" "src/CMakeFiles/ca_agcm.dir/mesh/decomp.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/mesh/decomp.cpp.o.d"
+  "/root/repo/src/mesh/halo.cpp" "src/CMakeFiles/ca_agcm.dir/mesh/halo.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/mesh/halo.cpp.o.d"
+  "/root/repo/src/mesh/latlon.cpp" "src/CMakeFiles/ca_agcm.dir/mesh/latlon.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/mesh/latlon.cpp.o.d"
+  "/root/repo/src/mesh/sigma.cpp" "src/CMakeFiles/ca_agcm.dir/mesh/sigma.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/mesh/sigma.cpp.o.d"
+  "/root/repo/src/ops/adaptation.cpp" "src/CMakeFiles/ca_agcm.dir/ops/adaptation.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/ops/adaptation.cpp.o.d"
+  "/root/repo/src/ops/advection.cpp" "src/CMakeFiles/ca_agcm.dir/ops/advection.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/ops/advection.cpp.o.d"
+  "/root/repo/src/ops/diffusion.cpp" "src/CMakeFiles/ca_agcm.dir/ops/diffusion.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/ops/diffusion.cpp.o.d"
+  "/root/repo/src/ops/filter.cpp" "src/CMakeFiles/ca_agcm.dir/ops/filter.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/ops/filter.cpp.o.d"
+  "/root/repo/src/ops/footprint.cpp" "src/CMakeFiles/ca_agcm.dir/ops/footprint.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/ops/footprint.cpp.o.d"
+  "/root/repo/src/ops/smoothing.cpp" "src/CMakeFiles/ca_agcm.dir/ops/smoothing.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/ops/smoothing.cpp.o.d"
+  "/root/repo/src/ops/tendency.cpp" "src/CMakeFiles/ca_agcm.dir/ops/tendency.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/ops/tendency.cpp.o.d"
+  "/root/repo/src/ops/tracer.cpp" "src/CMakeFiles/ca_agcm.dir/ops/tracer.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/ops/tracer.cpp.o.d"
+  "/root/repo/src/ops/vertical.cpp" "src/CMakeFiles/ca_agcm.dir/ops/vertical.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/ops/vertical.cpp.o.d"
+  "/root/repo/src/perf/cost.cpp" "src/CMakeFiles/ca_agcm.dir/perf/cost.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/perf/cost.cpp.o.d"
+  "/root/repo/src/perf/event_sim.cpp" "src/CMakeFiles/ca_agcm.dir/perf/event_sim.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/perf/event_sim.cpp.o.d"
+  "/root/repo/src/perf/lower_bounds.cpp" "src/CMakeFiles/ca_agcm.dir/perf/lower_bounds.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/perf/lower_bounds.cpp.o.d"
+  "/root/repo/src/perf/machine.cpp" "src/CMakeFiles/ca_agcm.dir/perf/machine.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/perf/machine.cpp.o.d"
+  "/root/repo/src/perf/report.cpp" "src/CMakeFiles/ca_agcm.dir/perf/report.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/perf/report.cpp.o.d"
+  "/root/repo/src/perf/schedule.cpp" "src/CMakeFiles/ca_agcm.dir/perf/schedule.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/perf/schedule.cpp.o.d"
+  "/root/repo/src/physics/held_suarez.cpp" "src/CMakeFiles/ca_agcm.dir/physics/held_suarez.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/physics/held_suarez.cpp.o.d"
+  "/root/repo/src/state/initial.cpp" "src/CMakeFiles/ca_agcm.dir/state/initial.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/state/initial.cpp.o.d"
+  "/root/repo/src/state/state.cpp" "src/CMakeFiles/ca_agcm.dir/state/state.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/state/state.cpp.o.d"
+  "/root/repo/src/state/stratification.cpp" "src/CMakeFiles/ca_agcm.dir/state/stratification.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/state/stratification.cpp.o.d"
+  "/root/repo/src/state/transforms.cpp" "src/CMakeFiles/ca_agcm.dir/state/transforms.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/state/transforms.cpp.o.d"
+  "/root/repo/src/state/vertical_interp.cpp" "src/CMakeFiles/ca_agcm.dir/state/vertical_interp.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/state/vertical_interp.cpp.o.d"
+  "/root/repo/src/swe/shallow_water.cpp" "src/CMakeFiles/ca_agcm.dir/swe/shallow_water.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/swe/shallow_water.cpp.o.d"
+  "/root/repo/src/util/checkpoint.cpp" "src/CMakeFiles/ca_agcm.dir/util/checkpoint.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/util/checkpoint.cpp.o.d"
+  "/root/repo/src/util/config.cpp" "src/CMakeFiles/ca_agcm.dir/util/config.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/util/config.cpp.o.d"
+  "/root/repo/src/util/field_io.cpp" "src/CMakeFiles/ca_agcm.dir/util/field_io.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/util/field_io.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/ca_agcm.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/ca_agcm.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/ca_agcm.dir/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

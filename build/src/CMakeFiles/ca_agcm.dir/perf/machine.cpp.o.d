@@ -1,0 +1,3 @@
+src/CMakeFiles/ca_agcm.dir/perf/machine.cpp.o: \
+ /root/repo/src/perf/machine.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/perf/machine.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_p2p_test.dir/comm_p2p_test.cpp.o"
+  "CMakeFiles/comm_p2p_test.dir/comm_p2p_test.cpp.o.d"
+  "comm_p2p_test"
+  "comm_p2p_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_p2p_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_topology_test.dir/comm_topology_test.cpp.o"
+  "CMakeFiles/comm_topology_test.dir/comm_topology_test.cpp.o.d"
+  "comm_topology_test"
+  "comm_topology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

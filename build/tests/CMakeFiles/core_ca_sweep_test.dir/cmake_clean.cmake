@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ca_sweep_test.dir/core_ca_sweep_test.cpp.o"
+  "CMakeFiles/core_ca_sweep_test.dir/core_ca_sweep_test.cpp.o.d"
+  "core_ca_sweep_test"
+  "core_ca_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ca_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

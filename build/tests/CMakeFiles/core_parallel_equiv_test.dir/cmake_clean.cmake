@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_parallel_equiv_test.dir/core_parallel_equiv_test.cpp.o"
+  "CMakeFiles/core_parallel_equiv_test.dir/core_parallel_equiv_test.cpp.o.d"
+  "core_parallel_equiv_test"
+  "core_parallel_equiv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_parallel_equiv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_serial_test.dir/core_serial_test.cpp.o"
+  "CMakeFiles/core_serial_test.dir/core_serial_test.cpp.o.d"
+  "core_serial_test"
+  "core_serial_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_serial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energetics_test.dir/energetics_test.cpp.o"
+  "CMakeFiles/energetics_test.dir/energetics_test.cpp.o.d"
+  "energetics_test"
+  "energetics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energetics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

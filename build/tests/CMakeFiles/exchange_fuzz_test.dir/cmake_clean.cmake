@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exchange_fuzz_test.dir/exchange_fuzz_test.cpp.o"
+  "CMakeFiles/exchange_fuzz_test.dir/exchange_fuzz_test.cpp.o.d"
+  "exchange_fuzz_test"
+  "exchange_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exchange_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_io_test.dir/field_io_test.cpp.o"
+  "CMakeFiles/field_io_test.dir/field_io_test.cpp.o.d"
+  "field_io_test"
+  "field_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_test.dir/halo_test.cpp.o"
+  "CMakeFiles/halo_test.dir/halo_test.cpp.o.d"
+  "halo_test"
+  "halo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

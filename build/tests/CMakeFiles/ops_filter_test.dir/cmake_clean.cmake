@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_filter_test.dir/ops_filter_test.cpp.o"
+  "CMakeFiles/ops_filter_test.dir/ops_filter_test.cpp.o.d"
+  "ops_filter_test"
+  "ops_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_vertical_test.dir/ops_vertical_test.cpp.o"
+  "CMakeFiles/ops_vertical_test.dir/ops_vertical_test.cpp.o.d"
+  "ops_vertical_test"
+  "ops_vertical_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_vertical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

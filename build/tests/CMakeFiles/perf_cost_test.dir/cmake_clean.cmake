@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_cost_test.dir/perf_cost_test.cpp.o"
+  "CMakeFiles/perf_cost_test.dir/perf_cost_test.cpp.o.d"
+  "perf_cost_test"
+  "perf_cost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

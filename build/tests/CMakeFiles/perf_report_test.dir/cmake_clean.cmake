@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_report_test.dir/perf_report_test.cpp.o"
+  "CMakeFiles/perf_report_test.dir/perf_report_test.cpp.o.d"
+  "perf_report_test"
+  "perf_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_match_test.dir/schedule_match_test.cpp.o"
+  "CMakeFiles/schedule_match_test.dir/schedule_match_test.cpp.o.d"
+  "schedule_match_test"
+  "schedule_match_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swe_test.dir/swe_test.cpp.o"
+  "CMakeFiles/swe_test.dir/swe_test.cpp.o.d"
+  "swe_test"
+  "swe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrain_test.dir/terrain_test.cpp.o"
+  "CMakeFiles/terrain_test.dir/terrain_test.cpp.o.d"
+  "terrain_test"
+  "terrain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
