@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "comm/collectives.hpp"
+#include "comm/fault.hpp"
 #include "comm/runtime.hpp"
 #include "comm/topology.hpp"
 #include "core/dycore_config.hpp"
@@ -106,6 +107,49 @@ void BM_HaloExchangeDeep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HaloExchangeDeep);
+
+// Fault-injection overhead probes: compare BM_PingPong (no RunOptions at
+// all) against the same traffic with (a) a null/disabled plan — this must
+// be indistinguishable from the baseline — and (b) an active plan with
+// zero-probability rules, which pays the per-message stamping (seq,
+// checksum) and the receiver poll bookkeeping but injects nothing.
+void pingpong_under(benchmark::State& state, const comm::RunOptions& opts) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    comm::Runtime::run(2, opts, [n](comm::Context& ctx) {
+      std::vector<double> buf(n, 1.0);
+      const auto& w = ctx.world();
+      for (int round = 0; round < 8; ++round) {
+        if (ctx.world_rank() == 0) {
+          ctx.send_values<double>(w, 1, 0, buf);
+          ctx.recv_values<double>(w, 1, 1, buf);
+        } else {
+          ctx.recv_values<double>(w, 0, 0, buf);
+          ctx.send_values<double>(w, 0, 1, buf);
+        }
+      }
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * 16 *
+                          static_cast<long>(n * sizeof(double)));
+}
+
+void BM_PingPongFaultLayerDisabled(benchmark::State& state) {
+  pingpong_under(state, comm::RunOptions{});
+}
+BENCHMARK(BM_PingPongFaultLayerDisabled)->Arg(16)->Arg(1024)->Arg(65536);
+
+void BM_PingPongFaultLayerArmedZeroProb(benchmark::State& state) {
+  comm::FaultPlan plan(1);
+  comm::FaultRule r;
+  r.kind = comm::FaultKind::kDrop;
+  r.probability = 0.0;  // armed but never fires
+  plan.add_rule(r);
+  comm::RunOptions opts;
+  opts.faults = &plan;
+  pingpong_under(state, opts);
+}
+BENCHMARK(BM_PingPongFaultLayerArmedZeroProb)->Arg(16)->Arg(1024)->Arg(65536);
 
 void BM_CommunicatorSplit(benchmark::State& state) {
   for (auto _ : state) {

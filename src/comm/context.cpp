@@ -4,7 +4,9 @@
 #include <cstring>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
+#include "comm/fault.hpp"
 #include "comm/runtime.hpp"
 
 namespace ca::comm {
@@ -33,13 +35,48 @@ void Context::send(const Communicator& comm, int dst, int tag,
                    std::span<const std::byte> data) {
   if (dst < 0 || dst >= comm.size())
     throw std::out_of_range("send: destination rank out of range");
+  const int dst_world = comm.world_rank_of(dst);
   Message msg;
   msg.comm_id = comm.id();
   msg.src = world_rank_;
   msg.tag = tag;
   msg.payload.assign(data.begin(), data.end());
   stats_.record_send(data.size());
-  mailbox_of(comm.world_rank_of(dst)).deliver(std::move(msg));
+
+  FaultPlan* plan = world_->fault_plan();
+  if (plan == nullptr || !plan->enabled()) {
+    mailbox_of(dst_world).deliver(std::move(msg));
+    return;
+  }
+
+  // Fault layer active: stamp sequence + checksum, then let the plan
+  // decide what happens to this message on the "wire".
+  msg.seq = ++send_seq_[{dst_world, msg.comm_id, tag}];
+  msg.checksum = payload_checksum(msg.payload);
+  FaultPlan::Injection inj =
+      plan->decide(stats_.phase(), world_rank_, dst_world, tag, msg.seq);
+  if (inj.corrupt_bytes > 0 && !msg.payload.empty()) {
+    // Flip bytes at seed-determined positions AFTER the checksum was
+    // computed, so verification at the receiver fails.
+    std::uint64_t pos = msg.seq * 0x9e3779b97f4a7c15ull + plan->seed();
+    for (int b = 0; b < inj.corrupt_bytes; ++b) {
+      pos = pos * 6364136223846793005ull + 1442695040888963407ull;
+      msg.payload[pos % msg.payload.size()] ^= std::byte{0xFF};
+    }
+  }
+  if (inj.any())
+    mailbox_of(dst_world).deliver(std::move(msg), inj);
+  else
+    mailbox_of(dst_world).deliver(std::move(msg));
+}
+
+void Context::notify_step() {
+  const std::uint64_t step = step_count_++;
+  FaultPlan* plan = world_->fault_plan();
+  if (plan == nullptr || !plan->enabled()) return;
+  const int polls = plan->stall_polls(world_rank_, step);
+  if (polls > 0)
+    std::this_thread::sleep_for(world_->options().poll_interval * polls);
 }
 
 void Context::recv(const Communicator& comm, int src, int tag,

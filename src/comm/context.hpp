@@ -6,8 +6,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
+#include <tuple>
 #include <vector>
 
 #include "comm/communicator.hpp"
@@ -94,6 +96,12 @@ class Context {
   CommStats& stats() { return stats_; }
   const CommStats& stats() const { return stats_; }
 
+  /// Step boundary hook for the fault-injection layer (cores call this
+  /// once per time step): a kStall fault scheduled for (rank, step) puts
+  /// this rank to sleep for the injected number of poll intervals.  A
+  /// no-op without an active FaultPlan.
+  void notify_step();
+
  private:
   Mailbox& mailbox_of(int world_rank);
 
@@ -101,6 +109,10 @@ class Context {
   int world_rank_ = -1;
   Communicator world_comm_;
   CommStats stats_;
+  /// Next sequence number per (dst world rank, comm, tag); only used (and
+  /// only grows) while a FaultPlan is active.
+  std::map<std::tuple<int, std::uint64_t, int>, std::uint64_t> send_seq_;
+  std::uint64_t step_count_ = 0;
 };
 
 }  // namespace ca::comm

@@ -1,0 +1,52 @@
+// Typed errors of the message-passing runtime.  Every blocking wait in the
+// comm layer is bounded: instead of spinning forever on a message that will
+// never arrive, receives raise TimeoutError after the configured deadline,
+// and corrupted payloads (detected via the Message checksum) raise
+// ChecksumError.  Both derive from CommError so callers can catch the
+// whole family.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ca::comm {
+
+struct CommError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// A blocking receive exceeded its deadline (dropped message without
+/// retransmission, stalled peer, or a genuine deadlock).
+struct TimeoutError : CommError {
+  TimeoutError(std::uint64_t comm_id, int src, int tag, long waited_ms)
+      : CommError("recv timeout after " + std::to_string(waited_ms) +
+                  " ms (comm " + std::to_string(comm_id) + ", src " +
+                  std::to_string(src) + ", tag " + std::to_string(tag) + ")"),
+        comm_id(comm_id),
+        src(src),
+        tag(tag),
+        waited_ms(waited_ms) {}
+
+  std::uint64_t comm_id;
+  int src;
+  int tag;
+  long waited_ms;
+};
+
+/// A received payload failed checksum verification (corrupted in flight).
+struct ChecksumError : CommError {
+  ChecksumError(std::uint64_t comm_id, int src, int tag)
+      : CommError("payload checksum mismatch (comm " +
+                  std::to_string(comm_id) + ", src " + std::to_string(src) +
+                  ", tag " + std::to_string(tag) + ")"),
+        comm_id(comm_id),
+        src(src),
+        tag(tag) {}
+
+  std::uint64_t comm_id;
+  int src;
+  int tag;
+};
+
+}  // namespace ca::comm

@@ -1,0 +1,147 @@
+#include "comm/fault.hpp"
+
+#include <algorithm>
+
+#include "util/config.hpp"
+
+namespace ca::comm {
+namespace {
+
+/// splitmix64: the standard 64-bit mixer; statistically uniform output
+/// for sequential or hashed inputs.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from (seed, rule index, message identity).
+/// Pure function: decisions are reproducible across runs and independent
+/// of thread scheduling.
+double roll(std::uint64_t seed, std::size_t rule, std::uint64_t a,
+            std::uint64_t b, std::uint64_t c, std::uint64_t d) {
+  std::uint64_t h = mix64(seed ^ mix64(rule + 1));
+  h = mix64(h ^ a);
+  h = mix64(h ^ b);
+  h = mix64(h ^ c);
+  h = mix64(h ^ d);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool scope_matches(const FaultRule& r, std::string_view phase, int src,
+                   int dst, int tag) {
+  if (!r.phase.empty() && r.phase != phase) return false;
+  if (r.tag != kAnyTag && r.tag != tag) return false;
+  if (r.src != kAnySource && r.src != src) return false;
+  if (r.dst != kAnySource && r.dst != dst) return false;
+  return true;
+}
+
+}  // namespace
+
+FaultSummary FaultCounters::summary() const {
+  FaultSummary s;
+  s.injected_delay = injected_delay.load();
+  s.injected_duplicate = injected_duplicate.load();
+  s.injected_drop = injected_drop.load();
+  s.injected_corrupt = injected_corrupt.load();
+  s.injected_stall = injected_stall.load();
+  s.detected_checksum = detected_checksum.load();
+  s.detected_timeout = detected_timeout.load();
+  s.recovered_delay = recovered_delay.load();
+  s.recovered_duplicate = recovered_duplicate.load();
+  s.recovered_drop = recovered_drop.load();
+  return s;
+}
+
+FaultPlan::Injection FaultPlan::decide(std::string_view phase, int src,
+                                       int dst, int tag,
+                                       std::uint64_t seq) const {
+  Injection inj;
+  if (!enabled()) return inj;
+  const auto key_a = static_cast<std::uint64_t>(src) + 1;
+  const auto key_b = static_cast<std::uint64_t>(dst) + 1;
+  const auto key_c = static_cast<std::uint64_t>(tag) + (1ull << 32);
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& r = rules_[i];
+    if (r.kind == FaultKind::kStall) continue;
+    if (r.probability <= 0.0) continue;
+    if (!scope_matches(r, phase, src, dst, tag)) continue;
+    if (roll(seed_, i, key_a, key_b, key_c, seq) >= r.probability) continue;
+    switch (r.kind) {
+      case FaultKind::kDelay:
+        inj.delay_polls = std::max(inj.delay_polls, std::max(1, r.param));
+        counters_->injected_delay.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case FaultKind::kDuplicate:
+        if (!inj.duplicate) {
+          inj.duplicate = true;
+          counters_->injected_duplicate.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        }
+        break;
+      case FaultKind::kDrop:
+        if (!inj.drop) {
+          inj.drop = true;
+          counters_->injected_drop.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      case FaultKind::kCorrupt:
+        if (inj.corrupt_bytes == 0) {
+          inj.corrupt_bytes = std::max(1, r.param);
+          counters_->injected_corrupt.fetch_add(1,
+                                               std::memory_order_relaxed);
+        }
+        break;
+      case FaultKind::kStall:
+        break;
+    }
+  }
+  return inj;
+}
+
+int FaultPlan::stall_polls(int rank, std::uint64_t step) const {
+  if (!enabled()) return 0;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& r = rules_[i];
+    if (r.kind != FaultKind::kStall || r.probability <= 0.0) continue;
+    if (r.src != kAnySource && r.src != rank) continue;
+    if (roll(seed_, i, static_cast<std::uint64_t>(rank) + 1, step,
+             0x5741ull, 0) >= r.probability)
+      continue;
+    counters_->injected_stall.fetch_add(1, std::memory_order_relaxed);
+    return std::max(1, r.param);
+  }
+  return 0;
+}
+
+FaultPlan FaultPlan::from_config(const util::Config& cfg) {
+  const util::Config f = cfg.subset("faults.");
+  FaultPlan plan(static_cast<std::uint64_t>(f.get_long("seed", 0)));
+  plan.set_enabled(f.get_bool("enabled", true));
+
+  FaultRule scope;
+  scope.phase = f.get_string("phase", "");
+  scope.tag = f.get_int("tag", kAnyTag);
+  scope.src = f.get_int("src", kAnySource);
+  scope.dst = f.get_int("dst", kAnySource);
+
+  auto add = [&](FaultKind kind, const char* key, int param) {
+    const double p = f.get_double(key, 0.0);
+    if (p <= 0.0) return;
+    FaultRule r = scope;
+    r.kind = kind;
+    r.probability = p;
+    r.param = param;
+    plan.add_rule(r);
+  };
+  add(FaultKind::kDelay, "delay", f.get_int("delay_polls", 3));
+  add(FaultKind::kDuplicate, "duplicate", 1);
+  add(FaultKind::kDrop, "drop", 1);
+  add(FaultKind::kCorrupt, "corrupt", f.get_int("corrupt_bytes", 1));
+  add(FaultKind::kStall, "stall", f.get_int("stall_polls", 50));
+  return plan;
+}
+
+}  // namespace ca::comm

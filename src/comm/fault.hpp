@@ -1,0 +1,120 @@
+// Deterministic, seedable fault injection for the comm runtime.  A
+// FaultPlan holds a set of rules scoped by sender phase, tag, and world
+// rank pair; every injection decision is a pure hash of (seed, rule,
+// message identity), so two runs with the same seed and the same traffic
+// inject exactly the same faults regardless of thread interleaving.
+//
+// Faults are injected at the mailbox boundary:
+//   - kDelay:     the message becomes visible only after `param` receive
+//                 polls of the destination mailbox.
+//   - kDuplicate: a second copy is enqueued; the receiver suppresses it
+//                 via the sequence number.
+//   - kDrop:      the message is withheld ("dropped once") until the
+//                 receiver's poll loop requests retransmission; with
+//                 retries disabled the receive times out instead.
+//   - kCorrupt:   `param` payload bytes are flipped after the checksum is
+//                 computed, so verification fails with ChecksumError.
+//   - kStall:     the matching rank sleeps `param` poll intervals at the
+//                 step boundary (Context::notify_step).
+//
+// The plan also owns the injected/detected/recovered counters (shared by
+// all ranks of a run) summarized as comm::FaultSummary for perf/report.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "comm/message.hpp"
+#include "comm/stats.hpp"
+
+namespace ca::util {
+class Config;
+}
+
+namespace ca::comm {
+
+enum class FaultKind { kDelay, kDuplicate, kDrop, kCorrupt, kStall };
+
+/// One injection rule.  Unset scopes (empty phase, kAnyTag, kAnySource)
+/// match everything; src/dst are world ranks.
+struct FaultRule {
+  FaultKind kind = FaultKind::kDrop;
+  double probability = 0.0;
+  std::string phase;       // sender's stats phase; empty = any
+  int tag = kAnyTag;       // exact tag; kAnyTag = any
+  int src = kAnySource;    // sender world rank (for kStall: the stalled rank)
+  int dst = kAnySource;    // destination world rank
+  /// kDelay: visibility delay in polls; kCorrupt: bytes flipped;
+  /// kStall: poll intervals slept per stalled step.
+  int param = 1;
+};
+
+/// Shared event counters (atomic: senders inject, receivers detect and
+/// recover on different threads).
+struct FaultCounters {
+  std::atomic<std::uint64_t> injected_delay{0};
+  std::atomic<std::uint64_t> injected_duplicate{0};
+  std::atomic<std::uint64_t> injected_drop{0};
+  std::atomic<std::uint64_t> injected_corrupt{0};
+  std::atomic<std::uint64_t> injected_stall{0};
+  std::atomic<std::uint64_t> detected_checksum{0};
+  std::atomic<std::uint64_t> detected_timeout{0};
+  std::atomic<std::uint64_t> recovered_delay{0};
+  std::atomic<std::uint64_t> recovered_duplicate{0};
+  std::atomic<std::uint64_t> recovered_drop{0};
+
+  FaultSummary summary() const;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  /// Builds a plan from a `faults.*` config block (see README):
+  /// faults.enabled, faults.seed, per-kind probabilities faults.drop /
+  /// duplicate / delay / corrupt / stall, the shared scope faults.phase /
+  /// tag / src / dst, and the parameters faults.delay_polls /
+  /// corrupt_bytes / stall_polls.
+  static FaultPlan from_config(const util::Config& cfg);
+
+  void add_rule(FaultRule rule) { rules_.push_back(std::move(rule)); }
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_ && !rules_.empty(); }
+  std::uint64_t seed() const { return seed_; }
+  const std::vector<FaultRule>& rules() const { return rules_; }
+
+  /// Message-level decision, evaluated by the sender.  Independent rules
+  /// compose: a message can be both delayed and duplicated.
+  struct Injection {
+    bool drop = false;
+    bool duplicate = false;
+    int delay_polls = 0;
+    int corrupt_bytes = 0;
+    bool any() const {
+      return drop || duplicate || delay_polls > 0 || corrupt_bytes > 0;
+    }
+  };
+  Injection decide(std::string_view phase, int src, int dst, int tag,
+                   std::uint64_t seq) const;
+
+  /// Poll intervals rank `rank` must sleep at step `step` (0 = no stall).
+  int stall_polls(int rank, std::uint64_t step) const;
+
+  FaultCounters& counters() const { return *counters_; }
+  FaultSummary summary() const { return counters_->summary(); }
+
+ private:
+  bool enabled_ = true;
+  std::uint64_t seed_ = 0;
+  std::vector<FaultRule> rules_;
+  /// Shared so FaultPlan stays copyable (copies share the counters).
+  std::shared_ptr<FaultCounters> counters_ =
+      std::make_shared<FaultCounters>();
+};
+
+}  // namespace ca::comm

@@ -1,9 +1,14 @@
 // Wire format of the mini message-passing runtime: an eagerly buffered
 // message carrying its communicator id, source (world rank), and tag.
+// When the fault-injection layer is active, messages additionally carry a
+// per-(sender, comm, tag) sequence number (duplicate suppression and
+// in-order retransmission) and an FNV-1a payload checksum (corruption
+// detection); both stay zero on the fault-free fast path.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace ca::comm {
@@ -21,7 +26,22 @@ struct Message {
   std::uint64_t comm_id = 0;
   int src = -1;  // world rank of the sender
   int tag = 0;
+  /// 1-based per (src, dst, comm, tag) sequence; 0 = fault layer inactive.
+  std::uint64_t seq = 0;
+  /// FNV-1a of the payload at send time; 0 = not computed.
+  std::uint64_t checksum = 0;
   std::vector<std::byte> payload;
 };
+
+/// FNV-1a 64-bit over the payload bytes (never returns 0 so a stored 0
+/// can mean "no checksum").
+inline std::uint64_t payload_checksum(std::span<const std::byte> data) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ull;
+  }
+  return h == 0 ? 1 : h;
+}
 
 }  // namespace ca::comm

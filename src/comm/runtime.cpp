@@ -7,14 +7,30 @@
 #include <thread>
 
 #include "comm/context.hpp"
+#include "comm/fault.hpp"
+#include "util/config.hpp"
 
 namespace ca::comm {
 
-World::World(int nranks) {
+RunOptions RunOptions::from_config(const util::Config& cfg) {
+  RunOptions opts;
+  opts.recv_timeout = std::chrono::milliseconds(
+      cfg.get_long("comm.timeout_ms", 120000));
+  opts.poll_interval =
+      std::chrono::microseconds(cfg.get_long("comm.poll_us", 200));
+  opts.max_resends = cfg.get_int("comm.max_resends", 1);
+  return opts;
+}
+
+World::World(int nranks, const RunOptions& options) : options_(options) {
   assert(nranks > 0);
+  FaultCounters* counters =
+      options_.faults != nullptr ? &options_.faults->counters() : nullptr;
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r)
+  for (int r = 0; r < nranks; ++r) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
+    mailboxes_.back()->configure(&options_, counters);
+  }
 }
 
 std::uint64_t World::allocate_comm_ids(std::uint64_t count) {
@@ -22,7 +38,12 @@ std::uint64_t World::allocate_comm_ids(std::uint64_t count) {
 }
 
 void Runtime::run(int nranks, const std::function<void(Context&)>& fn) {
-  World world(nranks);
+  run(nranks, RunOptions{}, fn);
+}
+
+void Runtime::run(int nranks, const RunOptions& options,
+                  const std::function<void(Context&)>& fn) {
+  World world(nranks, options);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
   std::exception_ptr first_error;

@@ -2,8 +2,14 @@
 // ranks, each backed by a std::thread with its own mailbox.  Exceptions
 // thrown by any rank are captured and the first one is rethrown after all
 // ranks have been joined.
+//
+// The RunOptions overload threads a FaultPlan and the bounded-wait
+// parameters (receive timeout, poll interval, retry budget) through every
+// mailbox of the run; the default overload runs fault-free with the
+// default (generous but finite) timeout.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -11,22 +17,49 @@
 
 #include "comm/mailbox.hpp"
 
+namespace ca::util {
+class Config;
+}
+
 namespace ca::comm {
 
 class Context;
+class FaultPlan;
+
+/// Run-wide communication knobs.  Defaults keep the fault-free fast path:
+/// no injection, no per-message bookkeeping, one bounded wait per recv.
+struct RunOptions {
+  /// Fault-injection plan (not owned); null disables injection entirely.
+  FaultPlan* faults = nullptr;
+  /// Deadline of every blocking receive; beyond it TimeoutError is raised.
+  std::chrono::milliseconds recv_timeout{120000};
+  /// Receive poll period while a FaultPlan is active (delay aging and
+  /// retransmission run on this cadence; also the unit of kStall sleeps).
+  std::chrono::microseconds poll_interval{200};
+  /// Retransmissions a receiver may request for a withheld ("dropped")
+  /// message; 0 turns drop recovery off so drops surface as timeouts.
+  int max_resends = 1;
+
+  /// Reads comm.timeout_ms / comm.poll_us / comm.max_resends (the fault
+  /// plan itself comes from FaultPlan::from_config).
+  static RunOptions from_config(const util::Config& cfg);
+};
 
 /// Shared state of one SPMD execution.
 class World {
  public:
-  explicit World(int nranks);
+  explicit World(int nranks, const RunOptions& options = {});
 
   int size() const { return static_cast<int>(mailboxes_.size()); }
   Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
+  const RunOptions& options() const { return options_; }
+  FaultPlan* fault_plan() const { return options_.faults; }
 
   /// Allocates `count` consecutive communicator ids; returns the first.
   std::uint64_t allocate_comm_ids(std::uint64_t count);
 
  private:
+  RunOptions options_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::atomic<std::uint64_t> next_comm_id_{1};  // 0 = world communicator
 };
@@ -35,6 +68,9 @@ class Runtime {
  public:
   /// Runs fn on nranks logical ranks and blocks until all finish.
   static void run(int nranks, const std::function<void(Context&)>& fn);
+  /// As above with explicit communication options (fault plan, timeouts).
+  static void run(int nranks, const RunOptions& options,
+                  const std::function<void(Context&)>& fn);
 };
 
 }  // namespace ca::comm

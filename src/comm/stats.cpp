@@ -2,6 +2,19 @@
 
 namespace ca::comm {
 
+std::uint64_t FaultSummary::injected_total() const {
+  return injected_delay + injected_duplicate + injected_drop +
+         injected_corrupt + injected_stall;
+}
+
+std::uint64_t FaultSummary::detected_total() const {
+  return detected_checksum + detected_timeout;
+}
+
+std::uint64_t FaultSummary::recovered_total() const {
+  return recovered_delay + recovered_duplicate + recovered_drop;
+}
+
 void CommStats::enter_collective() { ++collective_depth_; }
 
 void CommStats::leave_collective() {

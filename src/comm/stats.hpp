@@ -26,6 +26,27 @@ struct PhaseStats {
   }
 };
 
+/// Snapshot of the fault-injection layer's event counters (see
+/// comm/fault.hpp).  `injected` events were placed by the FaultPlan,
+/// `detected` ones surfaced as typed errors, `recovered` ones were healed
+/// transparently (retransmission, duplicate suppression, late delivery).
+struct FaultSummary {
+  std::uint64_t injected_delay = 0;
+  std::uint64_t injected_duplicate = 0;
+  std::uint64_t injected_drop = 0;
+  std::uint64_t injected_corrupt = 0;
+  std::uint64_t injected_stall = 0;
+  std::uint64_t detected_checksum = 0;
+  std::uint64_t detected_timeout = 0;
+  std::uint64_t recovered_delay = 0;
+  std::uint64_t recovered_duplicate = 0;
+  std::uint64_t recovered_drop = 0;
+
+  std::uint64_t injected_total() const;
+  std::uint64_t detected_total() const;
+  std::uint64_t recovered_total() const;
+};
+
 class CommStats {
  public:
   void set_phase(std::string phase) { phase_ = std::move(phase); }

@@ -201,6 +201,9 @@ void carry_psa(const state::State& base, state::State& out) {
 }  // namespace
 
 void CACore::step(state::State& xi) {
+  // Step boundary of the fault-injection layer: a scheduled kStall fault
+  // pauses this rank here, before the step's exchanges.
+  comm_ctx_->notify_step();
   const int M = config_.M;
   const int depth_y = 3 * M + 1;
   const double dt1 = config_.dt_adapt;

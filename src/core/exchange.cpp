@@ -3,8 +3,10 @@
 #include "core/dycore_config.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "comm/collectives.hpp"
+#include "comm/error.hpp"
 #include "ops/vertical.hpp"
 
 namespace ca::core {
@@ -183,8 +185,18 @@ void HaloExchanger::begin(const std::vector<ExchangeItem>& items,
 }
 
 void HaloExchanger::finish() {
+  // Every wait below is bounded by the runtime's receive timeout (see
+  // comm::RunOptions): a lost neighbor message surfaces as a typed
+  // TimeoutError annotated with the exchange item instead of an infinite
+  // spin on the request.
   for (auto& pr : recvs_) {
-    ctx_->wait(pr.request);
+    try {
+      ctx_->wait(pr.request);
+    } catch (const comm::TimeoutError& e) {
+      throw comm::CommError(std::string("halo exchange item ") +
+                            std::to_string(pr.item) +
+                            " timed out: " + e.what());
+    }
     if (pr.is2d) {
       auto& f = *items_[static_cast<std::size_t>(pr.item)].f2;
       std::size_t idx = 0;

@@ -110,6 +110,8 @@ void OriginalCore::advection_tendency(state::State& psi,
 }
 
 void OriginalCore::step(state::State& xi) {
+  // Step boundary of the fault-injection layer (kStall faults).
+  comm_ctx_->notify_step();
   const mesh::Box interior = xi.interior();
   const double dt1 = config_.dt_adapt;
   const double dt2 = config_.dt_advect;

@@ -14,6 +14,7 @@
 // V rows at the pole edges (theta = 0, pi) carry zero meridional flux.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -43,9 +44,9 @@ class LatLonMesh {
   /// Longitude of U column i (cell west edge).
   double lambda_u(int i) const { return i * dlambda_; }
 
-  double sin_theta(int j) const { return sin_theta_[static_cast<std::size_t>(j + 1)]; }
-  double sin_theta_v(int j) const { return sin_theta_v_[static_cast<std::size_t>(j + 1)]; }
-  double cos_theta(int j) const { return cos_theta_[static_cast<std::size_t>(j + 1)]; }
+  double sin_theta(int j) const { return sin_theta_[row_cache_index(j)]; }
+  double sin_theta_v(int j) const { return sin_theta_v_[row_cache_index(j)]; }
+  double cos_theta(int j) const { return cos_theta_[row_cache_index(j)]; }
   double cot_theta(int j) const { return cos_theta(j) / sin_theta(j); }
 
   /// Earth radius used in metric terms [m].
@@ -62,6 +63,14 @@ class LatLonMesh {
   }
 
  private:
+  /// Deep-halo stencil kernels evaluate metric factors in redundant rows
+  /// that can reach beyond the pole ghost rows; those rows carry no
+  /// physical flux, so clamp them to the cached pole values instead of
+  /// reading past the cache.
+  std::size_t row_cache_index(int j) const {
+    return static_cast<std::size_t>(std::clamp(j, -1, ny_) + 1);
+  }
+
   int nx_, ny_, nz_;
   double dlambda_, dtheta_;
   // Cached per-row trigonometry with one ghost row on each side (j = -1 and

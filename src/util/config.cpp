@@ -50,6 +50,14 @@ bool Config::has(const std::string& key) const {
   return lookup(key).has_value();
 }
 
+Config Config::subset(const std::string& prefix) const {
+  Config sub;
+  for (const auto& [key, value] : entries_)
+    if (key.size() > prefix.size() && key.compare(0, prefix.size(), prefix) == 0)
+      sub.set(key.substr(prefix.size()), value);
+  return sub;
+}
+
 std::optional<std::string> Config::lookup(const std::string& key) const {
   std::string env_name = "CA_AGCM_";
   for (char ch : key)

@@ -23,6 +23,11 @@ class Config {
   void set(std::string key, std::string value);
   bool has(const std::string& key) const;
 
+  /// New Config holding every entry whose key starts with `prefix`, with
+  /// the prefix stripped ("faults.drop" -> "drop" for prefix "faults.").
+  /// Used to hand sub-systems their own config block.
+  Config subset(const std::string& prefix) const;
+
   std::string get_string(const std::string& key,
                          std::string fallback = "") const;
   int get_int(const std::string& key, int fallback) const;

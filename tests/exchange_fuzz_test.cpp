@@ -5,6 +5,7 @@
 
 #include <random>
 
+#include "comm/fault.hpp"
 #include "comm/runtime.hpp"
 #include "comm/topology.hpp"
 #include "core/exchange.hpp"
@@ -25,82 +26,126 @@ struct FuzzCase {
   int nfields;
 };
 
+FuzzCase random_case(std::mt19937& rng) {
+  auto pick = [&](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+  FuzzCase c;
+  c.dims = {pick(1, 2), pick(1, 3), pick(1, 2)};
+  c.wx = c.dims[0] > 1 ? pick(1, 3) : 0;
+  c.wy = pick(1, 3);
+  c.wz = pick(1, 2);
+  // Blocks must be at least as wide as the widths they send.
+  c.nx = c.dims[0] * std::max(4, c.wx + 1) * 2;
+  c.ny = c.dims[1] * std::max(4, c.wy + 1);
+  c.nz = c.dims[2] * std::max(3, c.wz + 1);
+  c.nfields = pick(1, 3);
+  return c;
+}
+
+/// Runs one decomposition/width/field-count case under `opts` and checks
+/// every received halo cell against its owner's label.
+void run_fuzz_case(const FuzzCase& c, const comm::RunOptions& opts) {
+  const int p = c.dims[0] * c.dims[1] * c.dims[2];
+
+  comm::Runtime::run(p, opts, [&](comm::Context& ctx) {
+    mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+    auto topo = comm::make_cart(ctx, ctx.world(), c.dims,
+                                {true, false, false});
+    mesh::DomainDecomp d(mesh, c.dims, topo.coords);
+    ops::OpContext opctx;  // only used for decomp flags in fills
+
+    std::vector<util::Array3D<double>> fields;
+    for (int f = 0; f < c.nfields; ++f) {
+      fields.emplace_back(d.lnx(), d.lny(), d.lnz(),
+                          util::Halo3{3, 3, 2});
+      for (int k = 0; k < d.lnz(); ++k)
+        for (int j = 0; j < d.lny(); ++j)
+          for (int i = 0; i < d.lnx(); ++i)
+            fields.back()(i, j, k) =
+                label(f, d.gi(i), d.gj(j), d.gk(k));
+    }
+    (void)opctx;
+
+    HaloExchanger ex(ctx, topo, d);
+    std::vector<ExchangeItem> items;
+    for (auto& f : fields)
+      items.push_back({&f, nullptr, c.wx, c.wy, c.wz});
+    ex.exchange(items, "fuzz");
+
+    // Every halo cell whose global owner exists must match the label.
+    for (int f = 0; f < c.nfields; ++f) {
+      for (int k = -c.wz; k < d.lnz() + c.wz; ++k) {
+        for (int j = -c.wy; j < d.lny() + c.wy; ++j) {
+          for (int i = -c.wx; i < d.lnx() + c.wx; ++i) {
+            const bool interior = i >= 0 && i < d.lnx() && j >= 0 &&
+                                  j < d.lny() && k >= 0 && k < d.lnz();
+            if (interior) continue;
+            // Which neighbor owns this halo cell?
+            const int gj = d.gj(j), gk = d.gk(k);
+            int gi = d.gi(i);
+            // x is periodic.
+            gi = ((gi % c.nx) + c.nx) % c.nx;
+            if (gj < 0 || gj >= c.ny || gk < 0 || gk >= c.nz)
+              continue;  // beyond a physical boundary: BC territory
+            // Cells in "diagonal" directions are only exchanged when
+            // both offsets are within the exchanged widths, which the
+            // loop bounds already enforce.
+            const double got =
+                fields[static_cast<std::size_t>(f)](i, j, k);
+            EXPECT_DOUBLE_EQ(got, label(f, gi, gj, gk))
+                << "field " << f << " halo (" << i << "," << j << ","
+                << k << ") dims " << c.dims[0] << "x" << c.dims[1]
+                << "x" << c.dims[2] << " widths " << c.wx << "/" << c.wy
+                << "/" << c.wz;
+          }
+        }
+      }
+    }
+  });
+}
+
 class ExchangeFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(ExchangeFuzz, HalosMatchOwners) {
   std::mt19937 rng(static_cast<unsigned>(GetParam()));
-  auto pick = [&](int lo, int hi) {
-    return std::uniform_int_distribution<int>(lo, hi)(rng);
-  };
-
   for (int trial = 0; trial < 4; ++trial) {
-    FuzzCase c;
-    c.dims = {pick(1, 2), pick(1, 3), pick(1, 2)};
-    c.wx = c.dims[0] > 1 ? pick(1, 3) : 0;
-    c.wy = pick(1, 3);
-    c.wz = pick(1, 2);
-    // Blocks must be at least as wide as the widths they send.
-    c.nx = c.dims[0] * std::max(4, c.wx + 1) * 2;
-    c.ny = c.dims[1] * std::max(4, c.wy + 1);
-    c.nz = c.dims[2] * std::max(3, c.wz + 1);
-    c.nfields = pick(1, 3);
-    const int p = c.dims[0] * c.dims[1] * c.dims[2];
+    SCOPED_TRACE(::testing::Message()
+                 << "replay: fuzz seed " << GetParam() << " trial " << trial);
+    run_fuzz_case(random_case(rng), comm::RunOptions{});
+  }
+}
 
-    comm::Runtime::run(p, [&](comm::Context& ctx) {
-      mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
-      auto topo = comm::make_cart(ctx, ctx.world(), c.dims,
-                                  {true, false, false});
-      mesh::DomainDecomp d(mesh, c.dims, topo.coords);
-      ops::OpContext opctx;  // only used for decomp flags in fills
+TEST_P(ExchangeFuzz, HalosMatchOwnersUnderFaults) {
+  // Same property with an active FaultPlan: recoverable faults (drop with
+  // retransmission, duplicates, delays) must leave every halo cell intact.
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) ^ 0x9e3779b9u);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::uint64_t fault_seed =
+        static_cast<std::uint64_t>(GetParam()) * 1000u +
+        static_cast<std::uint64_t>(trial);
+    // Both seeds logged so any counterexample replays from ctest output.
+    SCOPED_TRACE(::testing::Message()
+                 << "replay: fuzz seed " << GetParam() << " trial " << trial
+                 << " fault seed " << fault_seed);
+    comm::FaultPlan plan(fault_seed);
+    auto add = [&](comm::FaultKind kind, double prob, int param) {
+      comm::FaultRule r;
+      r.kind = kind;
+      r.probability = prob;
+      r.param = param;
+      plan.add_rule(r);
+    };
+    add(comm::FaultKind::kDrop, 0.05, 1);
+    add(comm::FaultKind::kDuplicate, 0.05, 1);
+    add(comm::FaultKind::kDelay, 0.05, 2);
 
-      std::vector<util::Array3D<double>> fields;
-      for (int f = 0; f < c.nfields; ++f) {
-        fields.emplace_back(d.lnx(), d.lny(), d.lnz(),
-                            util::Halo3{3, 3, 2});
-        for (int k = 0; k < d.lnz(); ++k)
-          for (int j = 0; j < d.lny(); ++j)
-            for (int i = 0; i < d.lnx(); ++i)
-              fields.back()(i, j, k) =
-                  label(f, d.gi(i), d.gj(j), d.gk(k));
-      }
-      (void)opctx;
-
-      HaloExchanger ex(ctx, topo, d);
-      std::vector<ExchangeItem> items;
-      for (auto& f : fields)
-        items.push_back({&f, nullptr, c.wx, c.wy, c.wz});
-      ex.exchange(items, "fuzz");
-
-      // Every halo cell whose global owner exists must match the label.
-      for (int f = 0; f < c.nfields; ++f) {
-        for (int k = -c.wz; k < d.lnz() + c.wz; ++k) {
-          for (int j = -c.wy; j < d.lny() + c.wy; ++j) {
-            for (int i = -c.wx; i < d.lnx() + c.wx; ++i) {
-              const bool interior = i >= 0 && i < d.lnx() && j >= 0 &&
-                                    j < d.lny() && k >= 0 && k < d.lnz();
-              if (interior) continue;
-              // Which neighbor owns this halo cell?
-              const int gj = d.gj(j), gk = d.gk(k);
-              int gi = d.gi(i);
-              // x is periodic.
-              gi = ((gi % c.nx) + c.nx) % c.nx;
-              if (gj < 0 || gj >= c.ny || gk < 0 || gk >= c.nz)
-                continue;  // beyond a physical boundary: BC territory
-              // Cells in "diagonal" directions are only exchanged when
-              // both offsets are within the exchanged widths, which the
-              // loop bounds already enforce.
-              const double got =
-                  fields[static_cast<std::size_t>(f)](i, j, k);
-              EXPECT_DOUBLE_EQ(got, label(f, gi, gj, gk))
-                  << "field " << f << " halo (" << i << "," << j << ","
-                  << k << ") dims " << c.dims[0] << "x" << c.dims[1]
-                  << "x" << c.dims[2] << " widths " << c.wx << "/" << c.wy
-                  << "/" << c.wz;
-            }
-          }
-        }
-      }
-    });
+    comm::RunOptions opts;
+    opts.faults = &plan;
+    run_fuzz_case(random_case(rng), opts);
+    EXPECT_EQ(plan.summary().detected_total(), 0u)
+        << "recoverable faults must not surface as errors (fault seed "
+        << fault_seed << ")";
   }
 }
 
