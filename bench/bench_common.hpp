@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -28,13 +29,39 @@ struct EvalSetup {
     return static_cast<long long>(model_years * 365.0 * 86400.0 / dt_step);
   }
 
-  /// Y-Z process grid for p ranks (pz = 8 as in nz = 30 practice).
-  perf::ProcGrid yz_grid(int p) const { return {1, p / 8, 8}; }
-  /// X-Y grid: most-square factorization with px a power of two.
+  /// Y-Z process grid for p ranks.  Prefers pz = 8 (nz = 30 practice);
+  /// when 8 does not divide p (or nz < 8) it falls back to the largest
+  /// divisor of p that is <= min(nz, 8), so py * pz == p always holds.
+  perf::ProcGrid yz_grid(int p) const {
+    if (p <= 0)
+      throw std::invalid_argument("yz_grid: rank count must be positive");
+    const int pz_cap = mesh.nz < 8 ? mesh.nz : 8;
+    int pz = 1;
+    for (int d = pz_cap; d >= 1; --d) {
+      if (p % d == 0) {
+        pz = d;
+        break;
+      }
+    }
+    const perf::ProcGrid g{1, p / pz, pz};
+    if (g.py * g.pz != p)
+      throw std::logic_error("yz_grid: py * pz != p for p = " +
+                             std::to_string(p));
+    return g;
+  }
+  /// X-Y grid: most-square factorization with px a power of two, halved
+  /// until it divides p so px * py == p always holds.
   perf::ProcGrid xy_grid(int p) const {
+    if (p <= 0)
+      throw std::invalid_argument("xy_grid: rank count must be positive");
     int px = 1;
     while (px * px < p) px *= 2;
-    return {px, p / px, 1};
+    while (px > 1 && p % px != 0) px /= 2;
+    const perf::ProcGrid g{px, p / px, 1};
+    if (g.px * g.py != p)
+      throw std::logic_error("xy_grid: px * py != p for p = " +
+                             std::to_string(p));
+    return g;
   }
 
   core::ScheduleParams params(perf::ProcGrid grid) const {

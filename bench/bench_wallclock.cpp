@@ -1,0 +1,414 @@
+// Real-time (wall-clock) benchmark of the functional cores: steps the
+// serial, original, and communication-avoiding dynamical cores on a small
+// mesh across 1xN / Nx1 / NxM process grids, in both halo-exchange
+// granularities (per-item and coalesced) and with the fault-injection
+// layer off and on, then emits BENCH_wallclock.json.
+//
+// Unlike the figure benches this measures THIS machine, not the event
+// simulator: per-phase seconds come from each rank's util::PhaseTimers,
+// message/byte counts from comm::CommStats, and buffer-pool behavior from
+// CommStats::pool().  Every coalesced run is checked bitwise against its
+// per-item twin, and the steady-state window (after warm-up) must perform
+// zero pool-growing acquires.
+//
+// Configuration (key=value args, or CA_AGCM_* env — see README):
+//   nx, ny, nz, m   mesh and iteration count     (default 32x32x8, M=2;
+//                   ny/py must stay >= 3M + 1 for the CA core's halos)
+//   steps           measured steps               (default 2)
+//   warmup          warm-up steps before measure (default 2)
+//   ranks           logical ranks of the parallel runs (default 4)
+//   out             output path                  (default BENCH_wallclock.json)
+// The emitted file is re-parsed and schema-checked before exit, so a
+// nonzero status means the bench (or its JSON) is broken — this is what
+// the bench-smoke ctest target runs.
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "comm/fault.hpp"
+#include "comm/runtime.hpp"
+#include "core/ca_core.hpp"
+#include "core/exchange.hpp"
+#include "core/original_core.hpp"
+#include "core/serial_core.hpp"
+#include "util/config.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ca;
+
+constexpr const char* kSchema = "ca-agcm/bench-wallclock/v1";
+
+enum class CoreKind { kSerial, kOriginal, kCA };
+
+struct BenchCase {
+  std::string label;
+  CoreKind core = CoreKind::kSerial;
+  core::DecompScheme scheme = core::DecompScheme::kYZ;
+  std::array<int, 3> dims{1, 1, 1};
+  bool coalesce = false;
+  bool faults = false;
+};
+
+struct RunResult {
+  double wall = 0.0;       // slowest rank's measured-step seconds
+  double exchange = 0.0;   // max over ranks
+  double collective = 0.0; // max over ranks
+  std::uint64_t messages = 0, bytes = 0, collectives = 0;  // summed
+  std::uint64_t pool_allocations = 0, pool_reuses = 0;     // summed
+  std::uint64_t steady_allocations = 0;  // pool growth after warm-up
+  std::uint64_t exchange_messages = 0;   // one begin()'s sends, summed
+  state::State global;  // gathered final state (parallel runs)
+};
+
+RunResult run_case(const core::DycoreConfig& cfg, const BenchCase& bc,
+                   int warmup, int steps, comm::FaultPlan* plan) {
+  RunResult res;
+  state::InitialOptions ic;
+  ic.kind = state::InitialCondition::kPlanetaryWave;
+
+  if (bc.core == CoreKind::kSerial) {
+    core::SerialCore core(cfg);
+    auto xi = core.make_state();
+    core.initialize(xi, ic);
+    core.run(xi, warmup);
+    util::Timer timer;
+    core.run(xi, steps);
+    res.wall = timer.seconds();
+    res.global = std::move(xi);
+    return res;
+  }
+
+  const int p = bc.dims[0] * bc.dims[1] * bc.dims[2];
+  comm::RunOptions opts;
+  opts.faults = plan;
+  std::mutex mu;
+  comm::Runtime::run(p, opts, [&](comm::Context& ctx) {
+    core::DycoreConfig c = cfg;
+    c.coalesce_exchange = bc.coalesce;
+    auto drive = [&](auto& core) {
+      auto xi = core.make_state();
+      core.initialize(xi, ic);
+      core.run(xi, warmup);
+      // Steady-state window: pool growth beyond this point is a
+      // regression (capacities converged during warm-up).
+      const std::uint64_t allocs_after_warmup =
+          ctx.stats().pool().allocations;
+      ctx.timers().clear();
+      util::Timer timer;
+      core.run(xi, steps);
+      const double wall = timer.seconds();
+      state::State global =
+          core::gather_global(core.op_context(), ctx, core.topology(), xi);
+      const auto totals = ctx.stats().grand_totals();
+      const auto& pool = ctx.stats().pool();
+      std::lock_guard<std::mutex> lock(mu);
+      res.wall = std::max(res.wall, wall);
+      res.exchange = std::max(res.exchange, ctx.timers().total("exchange"));
+      res.collective =
+          std::max(res.collective, ctx.timers().total("collective"));
+      res.messages += totals.p2p_messages;
+      res.bytes += totals.p2p_bytes;
+      res.collectives += totals.collective_calls;
+      res.pool_allocations += pool.allocations;
+      res.pool_reuses += pool.reuses;
+      res.steady_allocations += pool.allocations - allocs_after_warmup;
+      res.exchange_messages += core.exchanger().last_message_count();
+      if (ctx.world_rank() == 0) res.global = std::move(global);
+    };
+    if (bc.core == CoreKind::kOriginal) {
+      core::OriginalCore core(c, ctx, bc.scheme, bc.dims);
+      drive(core);
+    } else {
+      core::CACore core(c, ctx, bc.dims);
+      drive(core);
+    }
+  });
+  return res;
+}
+
+const char* core_name(CoreKind k) {
+  switch (k) {
+    case CoreKind::kSerial:
+      return "serial";
+    case CoreKind::kOriginal:
+      return "original";
+    default:
+      return "ca";
+  }
+}
+
+const char* scheme_name(const BenchCase& bc) {
+  if (bc.core == CoreKind::kSerial) return "serial";
+  if (bc.core == CoreKind::kCA) return "yz";
+  switch (bc.scheme) {
+    case core::DecompScheme::kXY:
+      return "xy";
+    case core::DecompScheme::kYZ:
+      return "yz";
+    default:
+      return "3d";
+  }
+}
+
+/// Schema check of an emitted document; returns a description of the
+/// first problem, or empty on success.
+std::string validate(const util::Json& doc) {
+  if (!doc.is_object()) return "root is not an object";
+  const util::Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kSchema)
+    return "missing/wrong schema tag";
+  const util::Json* configs = doc.find("configs");
+  if (configs == nullptr || !configs->is_array() || configs->size() == 0)
+    return "missing configs array";
+  for (const auto& c : configs->items()) {
+    for (const char* key : {"label", "core", "scheme", "wall_seconds"})
+      if (c.find(key) == nullptr)
+        return std::string("config missing '") + key + "'";
+    const util::Json* phases = c.find("phases");
+    if (phases == nullptr || !phases->is_object())
+      return "config missing phases object";
+    for (const char* key : {"exchange", "collective", "compute"})
+      if (phases->find(key) == nullptr)
+        return std::string("phases missing '") + key + "'";
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Config cfg_in = util::Config::from_args(argc, argv);
+  core::DycoreConfig cfg;
+  cfg.nx = cfg_in.get_int("nx", 32);
+  cfg.ny = cfg_in.get_int("ny", 32);
+  cfg.nz = cfg_in.get_int("nz", 8);
+  cfg.M = cfg_in.get_int("m", 2);
+  // Ordered z reduction keeps the per-item/coalesced comparison bitwise.
+  cfg.z_allreduce = comm::AllreduceAlgorithm::kLinearOrdered;
+  const int steps = cfg_in.get_int("steps", 2);
+  // Two warm-up steps: the CA core's first step exchanges a smaller item
+  // set (no previous state yet), so pool capacities converge at step 2.
+  const int warmup = cfg_in.get_int("warmup", 2);
+  const int ranks = cfg_in.get_int("ranks", 4);
+  const std::string out_path =
+      cfg_in.get_string("out", "BENCH_wallclock.json");
+
+  if (ranks < 2 || ranks % 2 != 0) {
+    std::fprintf(stderr, "ranks must be even and >= 2 (got %d)\n", ranks);
+    return 1;
+  }
+
+  // 1xN, Nx1, and NxM grids (the CA core requires px == 1, so the Nx1
+  // x-decomposition runs on the original core).  Labels carry the full
+  // px x py x pz so per-item/coalesced twins pair up unambiguously.
+  auto dims_tag = [](std::array<int, 3> d) {
+    return std::to_string(d[0]) + "x" + std::to_string(d[1]) + "x" +
+           std::to_string(d[2]);
+  };
+  std::vector<BenchCase> cases;
+  cases.push_back({"serial", CoreKind::kSerial});
+  for (bool coalesce : {false, true}) {
+    const char* tag = coalesce ? "_coalesced" : "";
+    const std::array<int, 3> yz1{1, ranks, 1};
+    const std::array<int, 3> xy{ranks, 1, 1};
+    const std::array<int, 3> yz2{1, ranks / 2, 2};
+    cases.push_back({"original_yz_" + dims_tag(yz1) + tag,
+                     CoreKind::kOriginal, core::DecompScheme::kYZ, yz1,
+                     coalesce});
+    cases.push_back({"original_xy_" + dims_tag(xy) + tag,
+                     CoreKind::kOriginal, core::DecompScheme::kXY, xy,
+                     coalesce});
+    cases.push_back({"original_yz_" + dims_tag(yz2) + tag,
+                     CoreKind::kOriginal, core::DecompScheme::kYZ, yz2,
+                     coalesce});
+    cases.push_back({"ca_yz_" + dims_tag(yz1) + tag, CoreKind::kCA,
+                     core::DecompScheme::kYZ, yz1, coalesce});
+  }
+  // Fault-layer overhead: recoverable delay + duplicate injection on the
+  // CA core, both granularities (recovery must preserve the answer).
+  for (bool coalesce : {false, true}) {
+    cases.push_back({"ca_yz_" + dims_tag({1, ranks, 1}) +
+                         (coalesce ? "_coalesced" : "") + "_faults",
+                     CoreKind::kCA, core::DecompScheme::kYZ, {1, ranks, 1},
+                     coalesce, /*faults=*/true});
+  }
+
+  std::printf("wall-clock bench: %dx%dx%d, M=%d, %d+%d steps, %d ranks\n\n",
+              cfg.nx, cfg.ny, cfg.nz, cfg.M, warmup, steps, ranks);
+  std::printf("%-28s %10s %10s %10s %10s %8s\n", "config", "wall[ms]",
+              "exch[ms]", "coll[ms]", "msgs", "pool+");
+
+  util::Json doc = util::Json::object();
+  doc["schema"] = kSchema;
+  util::Json mesh = util::Json::object();
+  mesh["nx"] = cfg.nx;
+  mesh["ny"] = cfg.ny;
+  mesh["nz"] = cfg.nz;
+  doc["mesh"] = std::move(mesh);
+  doc["M"] = cfg.M;
+  doc["steps"] = steps;
+  doc["warmup"] = warmup;
+  doc["ranks"] = ranks;
+  util::Json configs = util::Json::array();
+
+  // Per-item twins of each coalesced case, for the bitwise check.
+  std::vector<std::pair<std::string, const state::State*>> references;
+  std::vector<RunResult> results(cases.size());
+  bool ok = true;
+
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const BenchCase& bc = cases[i];
+    comm::FaultPlan plan(/*seed=*/42);
+    if (bc.faults) {
+      comm::FaultRule delay;
+      delay.kind = comm::FaultKind::kDelay;
+      delay.probability = 0.05;
+      delay.param = 2;
+      plan.add_rule(delay);
+      comm::FaultRule dup;
+      dup.kind = comm::FaultKind::kDuplicate;
+      dup.probability = 0.05;
+      plan.add_rule(dup);
+    }
+    results[i] =
+        run_case(cfg, bc, warmup, steps, bc.faults ? &plan : nullptr);
+    RunResult& r = results[i];
+
+    // Compare against the per-item twin: same case label minus the
+    // "_coalesced" / "_faults" decorations.
+    double diff_vs_per_item = -1.0;
+    if (bc.core != CoreKind::kSerial) {
+      std::string base = bc.label;
+      auto strip = [&](const std::string& suffix) {
+        const auto at = base.find(suffix);
+        if (at != std::string::npos) base.erase(at, suffix.size());
+      };
+      strip("_faults");
+      strip("_coalesced");
+      if (base == bc.label) {
+        references.emplace_back(base, &r.global);
+      } else {
+        for (const auto& [label, ref] : references) {
+          if (label != base) continue;
+          diff_vs_per_item = state::State::max_abs_diff(
+              r.global, *ref, ref->interior());
+          if (diff_vs_per_item != 0.0) {
+            std::fprintf(stderr,
+                         "FAIL: %s differs from %s (max |diff| = %g)\n",
+                         bc.label.c_str(), base.c_str(), diff_vs_per_item);
+            ok = false;
+          }
+          break;
+        }
+      }
+    }
+
+    const double compute =
+        std::max(0.0, r.wall - r.exchange - r.collective);
+    std::printf("%-28s %10.2f %10.2f %10.2f %10llu %8llu\n",
+                bc.label.c_str(), 1e3 * r.wall, 1e3 * r.exchange,
+                1e3 * r.collective,
+                static_cast<unsigned long long>(r.messages),
+                static_cast<unsigned long long>(r.steady_allocations));
+
+    util::Json entry = util::Json::object();
+    entry["label"] = bc.label;
+    entry["core"] = core_name(bc.core);
+    entry["scheme"] = scheme_name(bc);
+    util::Json dims = util::Json::array();
+    for (int d : bc.dims) dims.push_back(d);
+    entry["dims"] = std::move(dims);
+    entry["coalesce"] = bc.coalesce;
+    entry["faults"] = bc.faults;
+    entry["wall_seconds"] = r.wall;
+    entry["per_step_seconds"] = r.wall / steps;
+    util::Json phases = util::Json::object();
+    phases["exchange"] = r.exchange;
+    phases["collective"] = r.collective;
+    phases["compute"] = compute;
+    entry["phases"] = std::move(phases);
+    util::Json comm = util::Json::object();
+    comm["messages"] = r.messages;
+    comm["bytes"] = r.bytes;
+    comm["collective_calls"] = r.collectives;
+    comm["exchange_messages_last_round"] = r.exchange_messages;
+    entry["comm"] = std::move(comm);
+    util::Json pool = util::Json::object();
+    pool["allocations"] = r.pool_allocations;
+    pool["reuses"] = r.pool_reuses;
+    pool["steady_state_allocations"] = r.steady_allocations;
+    entry["pool"] = std::move(pool);
+    if (diff_vs_per_item >= 0.0) {
+      entry["max_abs_diff_vs_per_item"] = diff_vs_per_item;
+      entry["bitwise_identical"] = diff_vs_per_item == 0.0;
+    }
+    configs.push_back(std::move(entry));
+  }
+  doc["configs"] = std::move(configs);
+
+  // Cross-mode invariants beyond the bitwise check: coalescing must cut
+  // messages per exchange round, and the steady-state window must not
+  // grow any pool.
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    if (cases[i].core == CoreKind::kSerial || cases[i].faults) continue;
+    if (results[i].steady_allocations != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %s grew exchange pools after warm-up (%llu)\n",
+                   cases[i].label.c_str(),
+                   static_cast<unsigned long long>(
+                       results[i].steady_allocations));
+      ok = false;
+    }
+    if (!cases[i].coalesce) continue;
+    for (std::size_t j = 0; j < cases.size(); ++j) {
+      if (cases[j].faults || cases[j].coalesce) continue;
+      if (cases[j].core != cases[i].core ||
+          cases[j].dims != cases[i].dims ||
+          cases[j].scheme != cases[i].scheme)
+        continue;
+      if (results[j].exchange_messages > 0 &&
+          results[i].exchange_messages >= results[j].exchange_messages) {
+        std::fprintf(
+            stderr, "FAIL: %s did not reduce messages (%llu vs %llu)\n",
+            cases[i].label.c_str(),
+            static_cast<unsigned long long>(results[i].exchange_messages),
+            static_cast<unsigned long long>(results[j].exchange_messages));
+        ok = false;
+      }
+    }
+  }
+
+  {
+    std::ofstream out(out_path);
+    out << doc.dump(2) << "\n";
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  // Self-check: the file must re-parse and satisfy the schema.
+  std::ifstream in(out_path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  try {
+    const util::Json parsed = util::Json::parse(buf.str());
+    const std::string problem = validate(parsed);
+    if (!problem.empty()) {
+      std::fprintf(stderr, "FAIL: emitted JSON invalid: %s\n",
+                   problem.c_str());
+      ok = false;
+    }
+  } catch (const util::JsonError& e) {
+    std::fprintf(stderr, "FAIL: emitted JSON does not parse: %s\n",
+                 e.what());
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -3,7 +3,7 @@
 // difference), message counts, and wall time — the zero-to-one
 // demonstration of the paper's contribution on a laptop-sized mesh.
 //
-//   ./ca_comparison [nx=48] [ny=32] [nz=8] [steps=8] [ranks=4]
+//   ./ca_comparison [nx=48] [ny=48] [nz=8] [steps=8] [ranks=4]
 #include <cstdio>
 
 #include "comm/runtime.hpp"
@@ -19,7 +19,9 @@ int main(int argc, char** argv) {
 
   core::DycoreConfig cfg;
   cfg.nx = cfg_in.get_int("nx", 48);
-  cfg.ny = cfg_in.get_int("ny", 32);
+  // 48 rows keep ny/ranks >= 3M + 1 (the CA core's deep-halo floor)
+  // at the default M = 3, ranks = 4.
+  cfg.ny = cfg_in.get_int("ny", 48);
   cfg.nz = cfg_in.get_int("nz", 8);
   cfg.M = cfg_in.get_int("m", 3);
   cfg.dt_adapt = cfg_in.get_double("dt_adapt", 60.0);

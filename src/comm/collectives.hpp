@@ -66,19 +66,28 @@ void apply_op(std::span<T> acc, std::span<const T> in, ReduceOp op) {
   }
 }
 
-/// RAII marker: traffic inside a collective is attributed separately.
+/// RAII marker: traffic inside a collective is attributed separately, and
+/// the outermost collective charges its wall-clock time to the context's
+/// "collective" timer (nested collectives, e.g. the bcast inside the
+/// linear-ordered allreduce, must not double-charge).
 class CollectiveScope {
  public:
-  explicit CollectiveScope(Context& ctx) : ctx_(ctx) {
+  explicit CollectiveScope(Context& ctx)
+      : ctx_(ctx), outermost_(!ctx.stats().in_collective()) {
     ctx_.stats().record_collective_call();
     ctx_.stats().enter_collective();
+    if (outermost_) ctx_.timers().start("collective");
   }
-  ~CollectiveScope() { ctx_.stats().leave_collective(); }
+  ~CollectiveScope() {
+    ctx_.stats().leave_collective();
+    if (outermost_) ctx_.timers().stop();
+  }
   CollectiveScope(const CollectiveScope&) = delete;
   CollectiveScope& operator=(const CollectiveScope&) = delete;
 
  private:
   Context& ctx_;
+  bool outermost_;
 };
 
 }  // namespace detail

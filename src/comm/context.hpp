@@ -15,6 +15,7 @@
 #include "comm/communicator.hpp"
 #include "comm/mailbox.hpp"
 #include "comm/stats.hpp"
+#include "util/timer.hpp"
 
 namespace ca::comm {
 
@@ -96,6 +97,13 @@ class Context {
   CommStats& stats() { return stats_; }
   const CommStats& stats() const { return stats_; }
 
+  /// Wall-clock phase attribution of this rank's communication: the halo
+  /// exchange engine and the collectives charge their real elapsed time
+  /// here ("exchange" / "collective"), which the wall-clock bench reads
+  /// alongside the message counters.
+  util::PhaseTimers& timers() { return timers_; }
+  const util::PhaseTimers& timers() const { return timers_; }
+
   /// Step boundary hook for the fault-injection layer (cores call this
   /// once per time step): a kStall fault scheduled for (rank, step) puts
   /// this rank to sleep for the injected number of poll intervals.  A
@@ -109,6 +117,7 @@ class Context {
   int world_rank_ = -1;
   Communicator world_comm_;
   CommStats stats_;
+  util::PhaseTimers timers_;
   /// Next sequence number per (dst world rank, comm, tag); only used (and
   /// only grows) while a FaultPlan is active.
   std::map<std::tuple<int, std::uint64_t, int>, std::uint64_t> send_seq_;

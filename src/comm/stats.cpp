@@ -35,6 +35,13 @@ void CommStats::record_collective_call() {
   ++stats_[phase_].collective_calls;
 }
 
+void CommStats::record_pool_acquire(bool grew) {
+  if (grew)
+    ++pool_.allocations;
+  else
+    ++pool_.reuses;
+}
+
 PhaseStats CommStats::phase_totals(const std::string& phase) const {
   auto it = stats_.find(phase);
   return it == stats_.end() ? PhaseStats{} : it->second;
@@ -46,6 +53,9 @@ PhaseStats CommStats::grand_totals() const {
   return total;
 }
 
-void CommStats::clear() { stats_.clear(); }
+void CommStats::clear() {
+  stats_.clear();
+  pool_ = PoolStats{};
+}
 
 }  // namespace ca::comm

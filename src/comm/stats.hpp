@@ -47,6 +47,16 @@ struct FaultSummary {
   std::uint64_t recovered_total() const;
 };
 
+/// Buffer-pool behavior of the hot communication paths (halo pack/recv
+/// buffers).  Steady-state tests assert that after warm-up every acquire
+/// is a reuse: a growing pool in the step loop is a perf regression.
+struct PoolStats {
+  /// Pool acquires that had to grow a buffer's heap capacity.
+  std::uint64_t allocations = 0;
+  /// Pool acquires served entirely from existing capacity.
+  std::uint64_t reuses = 0;
+};
+
 class CommStats {
  public:
   void set_phase(std::string phase) { phase_ = std::move(phase); }
@@ -60,6 +70,10 @@ class CommStats {
   void record_send(std::size_t bytes);
   void record_collective_call();
 
+  /// One exchange-pool buffer acquire; `grew` marks a heap allocation.
+  void record_pool_acquire(bool grew);
+  const PoolStats& pool() const { return pool_; }
+
   PhaseStats phase_totals(const std::string& phase) const;
   PhaseStats grand_totals() const;
   const std::map<std::string, PhaseStats>& by_phase() const { return stats_; }
@@ -69,6 +83,7 @@ class CommStats {
   std::string phase_ = "default";
   int collective_depth_ = 0;
   std::map<std::string, PhaseStats> stats_;
+  PoolStats pool_;
 };
 
 }  // namespace ca::comm

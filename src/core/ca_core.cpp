@@ -72,7 +72,7 @@ CACore::CACore(const DycoreConfig& config, comm::Context& ctx,
       filter_(opctx_),
       ws_(decomp_.lnx(), decomp_.lny(), decomp_.lnz(),
           halos_for_depth(3 * config.M)),
-      exchanger_(ctx, topo_, decomp_),
+      exchanger_(ctx, topo_, decomp_, config.coalesce_exchange),
       tend_(make_state()),
       eta_(make_state()),
       mid_(make_state()),

@@ -30,6 +30,11 @@ struct DycoreConfig {
   /// Allreduce algorithm for the z-line collectives (kLinearOrdered gives
   /// bitwise-deterministic sums for equivalence tests).
   comm::AllreduceAlgorithm z_allreduce = comm::AllreduceAlgorithm::kAuto;
+  /// Coalesce all halo-exchange items bound for one neighbor into a single
+  /// message (config key comm.coalesce_exchange).  Off by default: the
+  /// per-(neighbor, item) granularity is what the paper's message counts
+  /// describe.  Both modes produce bitwise-identical halos.
+  bool coalesce_exchange = false;
 };
 
 /// Halo layout for a core whose exchange covers D stencil updates

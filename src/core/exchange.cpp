@@ -13,6 +13,9 @@ namespace ca::core {
 namespace {
 
 constexpr int kTagExchangeBase = 1 << 20;
+/// Coalesced messages get their own tag block, clear of the per-item tags
+/// (base + item*27 + dir) and of gather_global's base + (1 << 18).
+constexpr int kTagCoalescedBase = kTagExchangeBase + (1 << 19);
 
 /// Direction index of offset (dx, dy, dz) in {-1,0,1}^3.
 int dir_index(int dx, int dy, int dz) {
@@ -21,6 +24,10 @@ int dir_index(int dx, int dy, int dz) {
 
 int item_tag(int item, int dx, int dy, int dz) {
   return kTagExchangeBase + item * 27 + dir_index(dx, dy, dz);
+}
+
+int coalesced_tag(int dx, int dy, int dz) {
+  return kTagCoalescedBase + dir_index(dx, dy, dz);
 }
 
 /// 2-D send/recv spans along one axis.
@@ -36,6 +43,54 @@ Span2 send_span(int n, int d, int w) {
 Span2 recv_span(int n, int d, int w) {
   if (d == 0) return {0, n};
   return d < 0 ? Span2{-w, 0} : Span2{n, n + w};
+}
+
+/// Whether `item` exchanges data with the neighbor at offset (dx, dy, dz):
+/// every nonzero offset axis must carry a nonzero halo width, and 2-D
+/// fields never exchange along z.  Identical on the send and receive
+/// sides, which is what keeps the coalesced message layout in agreement
+/// between peers.
+bool participates(const ExchangeItem& item, int dx, int dy, int dz) {
+  if ((dx != 0 && item.wx == 0) || (dy != 0 && item.wy == 0)) return false;
+  if (dz != 0 && (item.wz == 0 || item.f2 != nullptr)) return false;
+  return true;
+}
+
+/// Doubles `item` sends toward offset (dx, dy, dz).  Neighbor blocks share
+/// local extents along zero-offset axes, so this is also the neighbor's
+/// matching receive volume.
+std::size_t send_volume(const ExchangeItem& item, int dx, int dy, int dz) {
+  if (item.f3 != nullptr) {
+    const auto& f = *item.f3;
+    return static_cast<std::size_t>(
+        mesh::send_box(f.nx(), f.ny(), f.nz(), dx, dy, dz, item.wx, item.wy,
+                       item.wz)
+            .volume());
+  }
+  const auto& f = *item.f2;
+  const Span2 sx = send_span(f.nx(), dx, item.wx);
+  const Span2 sy = send_span(f.ny(), dy, item.wy);
+  return static_cast<std::size_t>(sx.hi - sx.lo) *
+         static_cast<std::size_t>(sy.hi - sy.lo);
+}
+
+/// Packs `item`'s send region toward (dx, dy, dz) into dst (exactly
+/// send_volume doubles, x-fastest).
+void pack_item(const ExchangeItem& item, int dx, int dy, int dz,
+               std::span<double> dst) {
+  if (item.f3 != nullptr) {
+    const auto& f = *item.f3;
+    const mesh::Box sb = mesh::send_box(f.nx(), f.ny(), f.nz(), dx, dy, dz,
+                                        item.wx, item.wy, item.wz);
+    mesh::pack_box(f, sb, dst);
+    return;
+  }
+  const auto& f = *item.f2;
+  const Span2 sx = send_span(f.nx(), dx, item.wx);
+  const Span2 sy = send_span(f.ny(), dy, item.wy);
+  std::size_t idx = 0;
+  for (int j = sy.lo; j < sy.hi; ++j)
+    for (int i = sx.lo; i < sx.hi; ++i) dst[idx++] = f(i, j);
 }
 
 }  // namespace
@@ -101,12 +156,121 @@ void apply_physical_boundaries(const ops::OpContext& ctx, state::State& s,
   }
 }
 
+std::span<double> HaloExchanger::acquire(
+    std::vector<std::vector<double>>& pool, std::size_t& cursor,
+    std::size_t n) {
+  if (cursor == pool.size()) pool.emplace_back();
+  std::vector<double>& buf = pool[cursor++];
+  // resize() within capacity touches no heap; steady state means every
+  // slot has already seen its largest message.
+  const bool grew = n > buf.capacity();
+  buf.resize(n);
+  ctx_->stats().record_pool_acquire(grew);
+  return {buf.data(), n};
+}
+
+HaloExchanger::UnpackSeg HaloExchanger::recv_seg(const ExchangeItem& item,
+                                                 int it, int dx, int dy,
+                                                 int dz) const {
+  UnpackSeg seg;
+  seg.item = it;
+  if (item.f3 != nullptr) {
+    const auto& f = *item.f3;
+    seg.box3 = mesh::recv_box(f.nx(), f.ny(), f.nz(), dx, dy, dz, item.wx,
+                              item.wy, item.wz);
+    seg.count = static_cast<std::size_t>(seg.box3.volume());
+  } else {
+    const auto& f = *item.f2;
+    const Span2 rx = recv_span(f.nx(), dx, item.wx);
+    const Span2 ry = recv_span(f.ny(), dy, item.wy);
+    seg.is2d = true;
+    seg.i0 = rx.lo;
+    seg.i1 = rx.hi;
+    seg.j0 = ry.lo;
+    seg.j1 = ry.hi;
+    seg.count = static_cast<std::size_t>(rx.hi - rx.lo) *
+                static_cast<std::size_t>(ry.hi - ry.lo);
+  }
+  return seg;
+}
+
+void HaloExchanger::post_per_item(int nbr, int dx, int dy, int dz) {
+  const auto& topo = *topo_;
+  for (std::size_t it = 0; it < items_.size(); ++it) {
+    const ExchangeItem& item = items_[it];
+    if (!participates(item, dx, dy, dz)) continue;
+
+    auto sbuf = acquire(send_pool_, send_cursor_,
+                        send_volume(item, dx, dy, dz));
+    pack_item(item, dx, dy, dz, sbuf);
+    ctx_->send_values<double>(topo.comm, nbr,
+                              item_tag(static_cast<int>(it), dx, dy, dz),
+                              sbuf);
+    ++last_message_count_;
+
+    PendingRecv pr;
+    pr.nbr = nbr;
+    pr.seg_begin = segs_.size();
+    segs_.push_back(recv_seg(item, static_cast<int>(it), dx, dy, dz));
+    pr.seg_end = segs_.size();
+    pr.buffer = acquire(recv_pool_, recv_cursor_, segs_.back().count);
+    pr.request = ctx_->irecv_values<double>(
+        topo.comm, nbr, item_tag(static_cast<int>(it), -dx, -dy, -dz),
+        pr.buffer);
+    recvs_.push_back(std::move(pr));
+  }
+}
+
+void HaloExchanger::post_coalesced(int nbr, int dx, int dy, int dz) {
+  const auto& topo = *topo_;
+  // Send: concatenate every participating item's pack region, item order.
+  std::size_t total = 0;
+  for (const ExchangeItem& item : items_)
+    if (participates(item, dx, dy, dz)) total += send_volume(item, dx, dy, dz);
+  if (total == 0) return;
+
+  auto sbuf = acquire(send_pool_, send_cursor_, total);
+  std::size_t offset = 0;
+  for (const ExchangeItem& item : items_) {
+    if (!participates(item, dx, dy, dz)) continue;
+    const std::size_t n = send_volume(item, dx, dy, dz);
+    pack_item(item, dx, dy, dz, sbuf.subspan(offset, n));
+    offset += n;
+  }
+  ctx_->send_values<double>(topo.comm, nbr, coalesced_tag(dx, dy, dz), sbuf);
+  ++last_message_count_;
+
+  // Receive: the neighbor's message toward us uses the mirrored layout
+  // (participation and volumes agree by construction).
+  PendingRecv pr;
+  pr.nbr = nbr;
+  pr.seg_begin = segs_.size();
+  std::size_t rtotal = 0;
+  for (std::size_t it = 0; it < items_.size(); ++it) {
+    const ExchangeItem& item = items_[it];
+    if (!participates(item, dx, dy, dz)) continue;
+    UnpackSeg seg = recv_seg(item, static_cast<int>(it), dx, dy, dz);
+    seg.offset = rtotal;
+    rtotal += seg.count;
+    segs_.push_back(seg);
+  }
+  pr.seg_end = segs_.size();
+  pr.buffer = acquire(recv_pool_, recv_cursor_, rtotal);
+  pr.request = ctx_->irecv_values<double>(
+      topo.comm, nbr, coalesced_tag(-dx, -dy, -dz), pr.buffer);
+  recvs_.push_back(std::move(pr));
+}
+
 void HaloExchanger::begin(const std::vector<ExchangeItem>& items,
                           const std::string& phase) {
   ctx_->stats().set_phase(phase);
+  ctx_->timers().start("exchange");
   items_ = items;
   recvs_.clear();
-  sends_.clear();
+  segs_.clear();
+  send_cursor_ = 0;
+  recv_cursor_ = 0;
+  last_message_count_ = 0;
   const auto& topo = *topo_;
   const int self = topo.comm.rank();
 
@@ -116,72 +280,14 @@ void HaloExchanger::begin(const std::vector<ExchangeItem>& items,
         if (dx == 0 && dy == 0 && dz == 0) continue;
         const int nbr = topo.neighbor(dx, dy, dz);
         if (nbr < 0 || nbr == self) continue;
-        for (std::size_t it = 0; it < items_.size(); ++it) {
-          const ExchangeItem& item = items_[it];
-          const int wx = item.wx, wy = item.wy, wz = item.wz;
-          // Skip offsets along axes this item does not exchange.
-          if ((dx != 0 && wx == 0) || (dy != 0 && wy == 0) ||
-              (dz != 0 && (wz == 0 || item.f2 != nullptr)))
-            continue;
-          if (item.f2 != nullptr && dz != 0) continue;
-
-          if (item.f3 != nullptr) {
-            const auto& f = *item.f3;
-            mesh::Box sb = mesh::send_box(f.nx(), f.ny(), f.nz(), dx, dy,
-                                          dz, wx, wy, wz);
-            mesh::Box rb = mesh::recv_box(f.nx(), f.ny(), f.nz(), dx, dy,
-                                          dz, wx, wy, wz);
-            std::vector<double> buf;
-            mesh::pack_box(f, sb, buf);
-            ctx_->send_values<double>(
-                topo.comm, nbr, item_tag(static_cast<int>(it), dx, dy, dz),
-                buf);
-            sends_.push_back(std::move(buf));
-
-            PendingRecv pr;
-            pr.item = static_cast<int>(it);
-            pr.box3 = rb;
-            pr.buffer.resize(static_cast<std::size_t>(rb.volume()));
-            pr.request = ctx_->irecv_values<double>(
-                topo.comm, nbr,
-                item_tag(static_cast<int>(it), -dx, -dy, -dz),
-                pr.buffer);
-            recvs_.push_back(std::move(pr));
-          } else {
-            const auto& f = *item.f2;
-            const Span2 sx = send_span(f.nx(), dx, wx);
-            const Span2 sy = send_span(f.ny(), dy, wy);
-            const Span2 rx = recv_span(f.nx(), dx, wx);
-            const Span2 ry = recv_span(f.ny(), dy, wy);
-            std::vector<double> buf;
-            buf.reserve(static_cast<std::size_t>(sx.hi - sx.lo) *
-                        (sy.hi - sy.lo));
-            for (int j = sy.lo; j < sy.hi; ++j)
-              for (int i = sx.lo; i < sx.hi; ++i) buf.push_back(f(i, j));
-            ctx_->send_values<double>(
-                topo.comm, nbr, item_tag(static_cast<int>(it), dx, dy, dz),
-                buf);
-            sends_.push_back(std::move(buf));
-
-            PendingRecv pr;
-            pr.item = static_cast<int>(it);
-            pr.is2d = true;
-            pr.i0 = rx.lo;
-            pr.i1 = rx.hi;
-            pr.j0 = ry.lo;
-            pr.j1 = ry.hi;
-            pr.buffer.resize(static_cast<std::size_t>(rx.hi - rx.lo) *
-                             (ry.hi - ry.lo));
-            pr.request = ctx_->irecv_values<double>(
-                topo.comm, nbr,
-                item_tag(static_cast<int>(it), -dx, -dy, -dz),
-                pr.buffer);
-            recvs_.push_back(std::move(pr));
-          }
-        }
+        if (coalesce_)
+          post_coalesced(nbr, dx, dy, dz);
+        else
+          post_per_item(nbr, dx, dy, dz);
       }
     }
   }
+  ctx_->timers().stop();
 }
 
 void HaloExchanger::finish() {
@@ -189,26 +295,36 @@ void HaloExchanger::finish() {
   // comm::RunOptions): a lost neighbor message surfaces as a typed
   // TimeoutError annotated with the exchange item instead of an infinite
   // spin on the request.
+  ctx_->timers().start("exchange");
   for (auto& pr : recvs_) {
     try {
       ctx_->wait(pr.request);
     } catch (const comm::TimeoutError& e) {
-      throw comm::CommError(std::string("halo exchange item ") +
-                            std::to_string(pr.item) +
-                            " timed out: " + e.what());
+      ctx_->timers().stop();
+      const UnpackSeg& first = segs_[pr.seg_begin];
+      throw comm::CommError(
+          std::string("halo exchange item ") + std::to_string(first.item) +
+          (coalesce_ ? " (coalesced message)" : "") + " from rank " +
+          std::to_string(pr.nbr) + " timed out: " + e.what());
     }
-    if (pr.is2d) {
-      auto& f = *items_[static_cast<std::size_t>(pr.item)].f2;
-      std::size_t idx = 0;
-      for (int j = pr.j0; j < pr.j1; ++j)
-        for (int i = pr.i0; i < pr.i1; ++i) f(i, j) = pr.buffer[idx++];
-    } else {
-      auto& f = *items_[static_cast<std::size_t>(pr.item)].f3;
-      mesh::unpack_box(f, pr.box3, pr.buffer);
+    for (std::size_t s = pr.seg_begin; s < pr.seg_end; ++s) {
+      const UnpackSeg& seg = segs_[s];
+      const std::span<const double> data =
+          pr.buffer.subspan(seg.offset, seg.count);
+      if (seg.is2d) {
+        auto& f = *items_[static_cast<std::size_t>(seg.item)].f2;
+        std::size_t idx = 0;
+        for (int j = seg.j0; j < seg.j1; ++j)
+          for (int i = seg.i0; i < seg.i1; ++i) f(i, j) = data[idx++];
+      } else {
+        auto& f = *items_[static_cast<std::size_t>(seg.item)].f3;
+        mesh::unpack_box(f, seg.box3, data);
+      }
     }
   }
   recvs_.clear();
-  sends_.clear();
+  segs_.clear();
+  ctx_->timers().stop();
 }
 
 void HaloExchanger::exchange(const std::vector<ExchangeItem>& items,

@@ -34,7 +34,7 @@ OriginalCore::OriginalCore(const DycoreConfig& config, comm::Context& ctx,
       opctx_{&mesh_, &levels_, &strat_, &decomp_, config.params},
       filter_(opctx_),
       ws_(decomp_.lnx(), decomp_.lny(), decomp_.lnz(), halos_for_depth(1)),
-      exchanger_(ctx, topo_, decomp_),
+      exchanger_(ctx, topo_, decomp_, config.coalesce_exchange),
       tend_(make_state()),
       eta_(make_state()),
       mid_(make_state()) {

@@ -43,6 +43,11 @@ class OriginalCore {
   }
   const comm::CartTopology& topology() const { return topo_; }
   DecompScheme scheme() const { return scheme_; }
+  /// Halo-exchange engine and polar filter (read-only; exposed so tests
+  /// and the wall-clock bench can inspect message counts and workspace
+  /// reuse counters).
+  const HaloExchanger& exchanger() const { return exchanger_; }
+  const ops::FourierFilter& filter() const { return filter_; }
 
   /// Exchange + physical boundary fill of every halo this core uses.
   void refresh_halos(state::State& s, const std::string& phase);

@@ -1,7 +1,9 @@
 #include "fft/fft.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <vector>
 
 #include "util/math.hpp"
 
@@ -85,7 +87,8 @@ void Plan::radix2(std::span<cplx> data, bool inv) const {
   }
 }
 
-void Plan::transform(std::span<cplx> data, bool inv) const {
+void Plan::transform(std::span<cplx> data, bool inv,
+                     std::span<cplx> scratch) const {
   assert(data.size() == n_);
   if (pow2_) {
     radix2(data, inv);
@@ -94,7 +97,9 @@ void Plan::transform(std::span<cplx> data, bool inv) const {
   // Bluestein.  The inverse transform of length n is the forward transform
   // with conjugated inputs/outputs: F^-1(x) = conj(F(conj(x)))/n, with the
   // 1/n applied by the caller (inverse()).
-  std::vector<cplx> a(m_, cplx{0.0, 0.0});
+  assert(scratch.size() == m_);
+  std::span<cplx> a = scratch;
+  std::fill(a.begin(), a.end(), cplx{0.0, 0.0});
   if (inv) {
     for (std::size_t k = 0; k < n_; ++k)
       a[k] = std::conj(data[k]) * chirp_[k];
@@ -113,10 +118,22 @@ void Plan::transform(std::span<cplx> data, bool inv) const {
   }
 }
 
-void Plan::forward(std::span<cplx> data) const { transform(data, false); }
+void Plan::forward(std::span<cplx> data) const {
+  std::vector<cplx> scratch(scratch_size());
+  transform(data, false, scratch);
+}
 
 void Plan::inverse(std::span<cplx> data) const {
-  transform(data, true);
+  std::vector<cplx> scratch(scratch_size());
+  inverse(data, scratch);
+}
+
+void Plan::forward(std::span<cplx> data, std::span<cplx> scratch) const {
+  transform(data, false, scratch);
+}
+
+void Plan::inverse(std::span<cplx> data, std::span<cplx> scratch) const {
+  transform(data, true, scratch);
   const double scale = 1.0 / static_cast<double>(n_);
   for (auto& v : data) v *= scale;
 }
@@ -128,13 +145,21 @@ RealPlan::RealPlan(std::size_t n) : n_(n), half_(n / 2) {
 
 void RealPlan::forward(std::span<const double> input,
                        std::span<cplx> spectrum) const {
+  std::vector<cplx> scratch(scratch_size());
+  forward(input, spectrum, scratch);
+}
+
+void RealPlan::forward(std::span<const double> input,
+                       std::span<cplx> spectrum,
+                       std::span<cplx> scratch) const {
   assert(input.size() == n_);
   assert(spectrum.size() == n_ / 2 + 1);
+  assert(scratch.size() == scratch_size());
   const std::size_t h = n_ / 2;
-  std::vector<cplx> z(h);
+  std::span<cplx> z = scratch.first(h);
   for (std::size_t m = 0; m < h; ++m)
     z[m] = cplx{input[2 * m], input[2 * m + 1]};
-  half_.forward(z);
+  half_.forward(z, scratch.subspan(h));
   // Split: X[k] = E[k] + W^k O[k] with E/O recovered from Z and its
   // reflected conjugate.
   for (std::size_t k = 0; k <= h; ++k) {
@@ -151,10 +176,18 @@ void RealPlan::forward(std::span<const double> input,
 
 void RealPlan::inverse(std::span<const cplx> spectrum,
                        std::span<double> output) const {
+  std::vector<cplx> scratch(scratch_size());
+  inverse(spectrum, output, scratch);
+}
+
+void RealPlan::inverse(std::span<const cplx> spectrum,
+                       std::span<double> output,
+                       std::span<cplx> scratch) const {
   assert(spectrum.size() == n_ / 2 + 1);
   assert(output.size() == n_);
+  assert(scratch.size() == scratch_size());
   const std::size_t h = n_ / 2;
-  std::vector<cplx> z(h);
+  std::span<cplx> z = scratch.first(h);
   for (std::size_t k = 0; k < h; ++k) {
     const cplx xk = spectrum[k];
     const cplx xr = std::conj(spectrum[h - k]);
@@ -165,7 +198,7 @@ void RealPlan::inverse(std::span<const cplx> spectrum,
     const cplx odd = 0.5 * winv * (xk - xr);
     z[k] = even + cplx{0.0, 1.0} * odd;
   }
-  half_.inverse(z);
+  half_.inverse(z, scratch.subspan(h));
   for (std::size_t m = 0; m < h; ++m) {
     output[2 * m] = z[m].real();
     output[2 * m + 1] = z[m].imag();

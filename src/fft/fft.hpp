@@ -25,8 +25,16 @@ class Plan {
   /// In-place inverse transform (normalized by 1/n).
   void inverse(std::span<cplx> data) const;
 
+  /// Scratch elements one transform needs (Bluestein working buffer;
+  /// zero for power-of-two lengths).  The scratch overloads below are
+  /// allocation-free when given a caller-owned buffer of this size.
+  std::size_t scratch_size() const { return pow2_ ? 0 : m_; }
+  void forward(std::span<cplx> data, std::span<cplx> scratch) const;
+  void inverse(std::span<cplx> data, std::span<cplx> scratch) const;
+
  private:
-  void transform(std::span<cplx> data, bool inv) const;
+  void transform(std::span<cplx> data, bool inv,
+                 std::span<cplx> scratch) const;
 
   std::size_t n_ = 0;
   bool pow2_ = false;
@@ -61,6 +69,15 @@ class RealPlan {
   /// Inverse of forward (exactly; output scaled by 1/n internally).
   void inverse(std::span<const cplx> spectrum,
                std::span<double> output) const;
+
+  /// Scratch elements one real transform needs (pair-packing buffer plus
+  /// the half-length plan's own scratch).
+  std::size_t scratch_size() const { return n_ / 2 + half_.scratch_size(); }
+  /// Allocation-free variants: scratch must hold scratch_size() elements.
+  void forward(std::span<const double> input, std::span<cplx> spectrum,
+               std::span<cplx> scratch) const;
+  void inverse(std::span<const cplx> spectrum, std::span<double> output,
+               std::span<cplx> scratch) const;
 
  private:
   std::size_t n_ = 0;

@@ -40,6 +40,11 @@ Box recv_box(int lnx, int lny, int lnz, int dx, int dy, int dz, int wx,
 void pack_box(const util::Array3D<double>& a, const Box& box,
               std::vector<double>& out);
 
+/// Same into a caller-owned buffer of exactly box.volume() doubles — the
+/// allocation-free variant the pooled halo exchange uses.
+void pack_box(const util::Array3D<double>& a, const Box& box,
+              std::span<double> out);
+
 /// Writes buffer contents into the box (must match pack order/volume).
 void unpack_box(util::Array3D<double>& a, const Box& box,
                 std::span<const double> in);

@@ -26,18 +26,30 @@ int FourierFilter::active_rows(int gj0, int gj1) const {
   return n;
 }
 
+template <typename T>
+std::span<T> FourierFilter::acquire(std::vector<T>& buf,
+                                    std::size_t n) const {
+  if (n > buf.capacity())
+    ++ws_.allocations;
+  else
+    ++ws_.reuses;
+  buf.resize(n);
+  return {buf.data(), n};
+}
+
 void FourierFilter::filter_line(std::span<double> line,
                                 double sin_theta) const {
   const std::size_t n = static_cast<std::size_t>(nx_);
-  std::vector<fft::cplx> spec(n / 2 + 1);
-  plan_.forward(std::span<const double>(line.data(), n), spec);
+  auto spec = acquire(ws_.spec, n / 2 + 1);
+  auto scratch = acquire(ws_.fft_scratch, plan_.scratch_size());
+  plan_.forward(std::span<const double>(line.data(), n), spec, scratch);
   for (std::size_t m = 1; m <= n / 2; ++m) {
     const double smn = std::sin(util::kPi * static_cast<double>(m) /
                                 static_cast<double>(n));
     const double d = std::min(1.0, sin_theta * aspect_ / smn);
     spec[m] *= d;
   }
-  plan_.inverse(spec, line);
+  plan_.inverse(spec, line, scratch);
 }
 
 void FourierFilter::apply_local(const OpContext& ctx, state::State& s,
@@ -52,8 +64,8 @@ void FourierFilter::apply_local(const OpContext& ctx, state::State& s,
       if (svv > 1e-12) filter_line(s.v().line(j, k), svv);
       filter_line(s.phi().line(j, k), sc);
     }
-    // psa line (2-D): build a contiguous view.
-    std::vector<double> row(static_cast<std::size_t>(nx_));
+    // psa line (2-D): stage a contiguous copy in the reusable row buffer.
+    auto row = acquire(ws_.row, static_cast<std::size_t>(nx_));
     for (int i = 0; i < nx_; ++i)
       row[static_cast<std::size_t>(i)] = s.psa()(i, j);
     filter_line(row, sc);
@@ -70,12 +82,8 @@ void FourierFilter::apply_distributed(const OpContext& ctx,
   const int lnx = s.lnx();
   const int px = line_x.size();
   // Collect the active (field, j, k) lines of this window.
-  struct LineRef {
-    int field;  // 0=U, 1=V, 2=Phi, 3=psa
-    int j, k;
-    double sin_theta;
-  };
-  std::vector<LineRef> lines;
+  ws_.lines.clear();
+  std::vector<LineRef>& lines = ws_.lines;
   for (int j = window.j0; j < window.j1; ++j) {
     const int gj = ctx.gj(j);
     if (gj < 0 || gj >= ny_ || !row_active(gj)) continue;
@@ -94,7 +102,7 @@ void FourierFilter::apply_distributed(const OpContext& ctx,
   }
 
   const std::size_t nlines = lines.size();
-  std::vector<double> local(nlines * static_cast<std::size_t>(lnx));
+  auto local = acquire(ws_.local, nlines * static_cast<std::size_t>(lnx));
   auto value = [&](const LineRef& ref, int i) -> double& {
     switch (ref.field) {
       case 0:
@@ -112,12 +120,12 @@ void FourierFilter::apply_distributed(const OpContext& ctx,
       local[l * static_cast<std::size_t>(lnx) +
             static_cast<std::size_t>(i)] = value(lines[l], i);
 
-  std::vector<double> gathered(local.size() *
-                               static_cast<std::size_t>(px));
+  auto gathered =
+      acquire(ws_.gathered, local.size() * static_cast<std::size_t>(px));
   comm::allgather<double>(comm_ctx, line_x, local, gathered);
 
   // Reassemble each full line (rank blocks are contiguous in `gathered`).
-  std::vector<double> full(static_cast<std::size_t>(nx_));
+  auto full = acquire(ws_.full, static_cast<std::size_t>(nx_));
   const int me = line_x.rank();
   for (std::size_t l = 0; l < nlines; ++l) {
     for (int r = 0; r < px; ++r) {

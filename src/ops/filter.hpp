@@ -16,6 +16,7 @@
 // lat-lon mesh is).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "comm/collectives.hpp"
@@ -53,12 +54,47 @@ class FourierFilter {
   /// Number of active rows in [gj0, gj1) (for cost accounting/tests).
   int active_rows(int gj0, int gj1) const;
 
+  /// Workspace heap behavior: acquires that grew a buffer's capacity vs
+  /// acquires served from existing capacity.  After the first filtered
+  /// line/window every acquire must be a reuse — the steady-state perf
+  /// tests assert workspace_allocations() stops growing.
+  std::uint64_t workspace_allocations() const { return ws_.allocations; }
+  std::uint64_t workspace_reuses() const { return ws_.reuses; }
+
  private:
+  /// One x line scheduled for filtering (distributed path).
+  struct LineRef {
+    int field;  // 0=U, 1=V, 2=Phi, 3=psa
+    int j, k;
+    double sin_theta;
+  };
+
+  /// Reusable scratch of the filter hot path: FFT spectrum + transform
+  /// scratch for every line, psa row staging (apply_local), and the line
+  /// assembly buffers of the distributed path.  Mutable because filtering
+  /// is logically const on the filter; each rank owns its filter so there
+  /// is no sharing.
+  struct Workspace {
+    std::vector<fft::cplx> spec;
+    std::vector<fft::cplx> fft_scratch;
+    std::vector<double> row;       // psa line staging
+    std::vector<double> full;      // assembled full line (distributed)
+    std::vector<double> local;     // packed local segments (distributed)
+    std::vector<double> gathered;  // allgather target (distributed)
+    std::vector<LineRef> lines;
+    std::uint64_t allocations = 0;
+    std::uint64_t reuses = 0;
+  };
+
+  template <typename T>
+  std::span<T> acquire(std::vector<T>& buf, std::size_t n) const;
+
   fft::RealPlan plan_;
   int nx_ = 0;
   int ny_ = 0;
   double band_ = 0.0;
   double aspect_ = 0.0;  ///< nx / (2 ny)
+  mutable Workspace ws_;
 };
 
 }  // namespace ca::ops

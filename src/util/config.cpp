@@ -1,6 +1,9 @@
 #include "util/config.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 
 namespace ca::util {
@@ -12,6 +15,28 @@ std::string trim(std::string_view s) {
   if (b == std::string_view::npos) return {};
   auto e = s.find_last_not_of(ws);
   return std::string(s.substr(b, e - b + 1));
+}
+
+/// Full-token integer parse: the trimmed value must be exactly one
+/// integer (no trailing garbage, no "3.5" truncation, no overflow).
+std::optional<long long> parse_long(const std::string& raw) {
+  const std::string tok = trim(raw);
+  if (tok.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (errno == ERANGE || end != tok.c_str() + tok.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double(const std::string& raw) {
+  const std::string tok = trim(raw);
+  if (tok.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (errno == ERANGE || end != tok.c_str() + tok.size()) return std::nullopt;
+  return v;
 }
 
 }  // namespace
@@ -58,11 +83,23 @@ Config Config::subset(const std::string& prefix) const {
   return sub;
 }
 
+std::string Config::env_name(const std::string& key) {
+  std::string name = "CA_AGCM_";
+  for (char ch : key) {
+    // '.' and '-' are common in namespaced keys but illegal in POSIX
+    // environment names; fold both to '_' so every key stays exportable.
+    if (ch == '.' || ch == '-')
+      name += '_';
+    else
+      name +=
+          static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+  }
+  return name;
+}
+
 std::optional<std::string> Config::lookup(const std::string& key) const {
-  std::string env_name = "CA_AGCM_";
-  for (char ch : key)
-    env_name += static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
-  if (const char* env = std::getenv(env_name.c_str())) return std::string(env);
+  if (const char* env = std::getenv(env_name(key).c_str()))
+    return std::string(env);
   auto it = entries_.find(key);
   if (it != entries_.end()) return it->second;
   return std::nullopt;
@@ -77,31 +114,27 @@ std::string Config::get_string(const std::string& key,
 int Config::get_int(const std::string& key, int fallback) const {
   auto v = lookup(key);
   if (!v) return fallback;
-  try {
-    return std::stoi(*v);
-  } catch (...) {
-    return fallback;
-  }
+  auto parsed = parse_long(*v);
+  if (!parsed || *parsed < std::numeric_limits<int>::min() ||
+      *parsed > std::numeric_limits<int>::max())
+    throw ConfigError(key, *v, "int");
+  return static_cast<int>(*parsed);
 }
 
 long long Config::get_long(const std::string& key, long long fallback) const {
   auto v = lookup(key);
   if (!v) return fallback;
-  try {
-    return std::stoll(*v);
-  } catch (...) {
-    return fallback;
-  }
+  auto parsed = parse_long(*v);
+  if (!parsed) throw ConfigError(key, *v, "integer");
+  return *parsed;
 }
 
 double Config::get_double(const std::string& key, double fallback) const {
   auto v = lookup(key);
   if (!v) return fallback;
-  try {
-    return std::stod(*v);
-  } catch (...) {
-    return fallback;
-  }
+  auto parsed = parse_double(*v);
+  if (!parsed) throw ConfigError(key, *v, "double");
+  return *parsed;
 }
 
 bool Config::get_bool(const std::string& key, bool fallback) const {

@@ -1,0 +1,98 @@
+// Minimal JSON value: build, serialize, and parse the small documents the
+// benches emit (BENCH_*.json).  Objects preserve insertion order so the
+// emitted files diff cleanly run to run.  Not a general-purpose library:
+// numbers are doubles, strings are assumed UTF-8, and parse errors raise
+// JsonError with a byte offset.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ca::util {
+
+struct JsonError : std::runtime_error {
+  JsonError(const std::string& what, std::size_t offset)
+      : std::runtime_error("json: " + what + " at byte " +
+                           std::to_string(offset)),
+        offset(offset) {}
+  std::size_t offset;
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  /// Any arithmetic type (counts, seconds) stores as a double.
+  template <typename T, std::enable_if_t<std::is_arithmetic_v<T> &&
+                                             !std::is_same_v<T, bool>,
+                                         int> = 0>
+  Json(T v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(const char* s) : Json(std::string(s)) {}
+
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  double as_double() const { return num_; }
+  bool as_bool() const { return bool_; }
+  const std::string& as_string() const { return str_; }
+
+  /// Object access; inserts a null member when the key is absent.
+  Json& operator[](const std::string& key);
+  /// Pointer to the member, or nullptr when absent / not an object.
+  const Json* find(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  void push_back(Json v) {
+    type_ = Type::kArray;
+    items_.push_back(std::move(v));
+  }
+  const std::vector<Json>& items() const { return items_; }
+  std::size_t size() const {
+    return is_object() ? members_.size() : items_.size();
+  }
+
+  /// Serializes with `indent` spaces per level (0 = compact single line).
+  std::string dump(int indent = 2) const;
+
+  /// Parses one JSON document (throws JsonError on malformed input or
+  /// trailing garbage).
+  static Json parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace ca::util

@@ -1,0 +1,71 @@
+// Process-grid selection of the evaluation benches: yz_grid/xy_grid must
+// return factorizations of p for EVERY p, not only multiples of 8 /
+// perfect squares (regression: p = 100 used to yield py * pz = 96, i.e.
+// four ranks silently dropped from the modeled machine).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "bench_common.hpp"
+
+namespace ca::bench {
+namespace {
+
+TEST(EvalSetupGrids, YzGridPrefersPzEightWhenDivisible) {
+  EvalSetup s;
+  for (int p : {8, 16, 128, 256, 512, 1024}) {
+    const auto g = s.yz_grid(p);
+    EXPECT_EQ(g.px, 1);
+    EXPECT_EQ(g.pz, 8) << "p = " << p;
+    EXPECT_EQ(g.py * g.pz, p) << "p = " << p;
+  }
+}
+
+TEST(EvalSetupGrids, YzGridFactorizesEveryRankCount) {
+  EvalSetup s;
+  for (int p = 1; p <= 300; ++p) {
+    const auto g = s.yz_grid(p);
+    EXPECT_EQ(g.px, 1) << "p = " << p;
+    EXPECT_EQ(g.py * g.pz, p) << "yz_grid dropped ranks at p = " << p;
+    EXPECT_GE(g.pz, 1);
+    EXPECT_LE(g.pz, 8);
+  }
+  // The old hardcoded {1, p/8, 8} returned 96 ranks for p = 100.
+  const auto g = s.yz_grid(100);
+  EXPECT_EQ(g.py * g.pz, 100);
+  EXPECT_EQ(g.pz, 5);  // largest divisor of 100 that is <= 8
+}
+
+TEST(EvalSetupGrids, YzGridRespectsShallowMeshes) {
+  EvalSetup s;
+  s.mesh.nz = 4;  // fewer levels than the preferred pz of 8
+  const auto g = s.yz_grid(64);
+  EXPECT_LE(g.pz, 4) << "pz must not exceed the level count";
+  EXPECT_EQ(g.py * g.pz, 64);
+}
+
+TEST(EvalSetupGrids, XyGridFactorizesEveryRankCount) {
+  EvalSetup s;
+  for (int p = 1; p <= 300; ++p) {
+    const auto g = s.xy_grid(p);
+    EXPECT_EQ(g.pz, 1) << "p = " << p;
+    EXPECT_EQ(g.px * g.py, p) << "xy_grid dropped ranks at p = " << p;
+  }
+  // Power-of-two counts keep the near-square split.
+  const auto g = s.xy_grid(256);
+  EXPECT_EQ(g.px, 16);
+  EXPECT_EQ(g.py, 16);
+  // Non-squares halve px until it divides p.
+  const auto h = s.xy_grid(24);
+  EXPECT_EQ(h.px * h.py, 24);
+}
+
+TEST(EvalSetupGrids, RejectsNonPositiveRankCounts) {
+  EvalSetup s;
+  EXPECT_THROW(s.yz_grid(0), std::invalid_argument);
+  EXPECT_THROW(s.yz_grid(-8), std::invalid_argument);
+  EXPECT_THROW(s.xy_grid(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ca::bench

@@ -1,10 +1,12 @@
-// Array containers, config parsing, timers, math helpers.
+// Array containers, config parsing, JSON, timers, math helpers.
 #include <gtest/gtest.h>
 
 #include <thread>
 
+#include "comm/runtime.hpp"
 #include "util/array3d.hpp"
 #include "util/config.hpp"
+#include "util/json.hpp"
 #include "util/math.hpp"
 #include "util/timer.hpp"
 
@@ -99,11 +101,107 @@ TEST(Config, EnvOverrideWins) {
   EXPECT_EQ(cfg.get_int("steps", -1), 5);
 }
 
-TEST(Config, MalformedValuesFallBack) {
-  auto cfg = Config::from_text("n = abc\nb = maybe");
-  EXPECT_EQ(cfg.get_int("n", 3), 3);
+TEST(Config, MalformedValuesRaiseTypedErrors) {
+  // A PRESENT but unparseable value must raise, not silently become the
+  // fallback: "n = 1O" is a typo the user needs to hear about.
+  auto cfg = Config::from_text(
+      "n = abc\ntrail = 10x\nfrac = 3.5\nd = 1.5ghz\nb = maybe");
+  EXPECT_THROW(cfg.get_int("n", 3), ConfigError);
+  EXPECT_THROW(cfg.get_int("trail", 3), ConfigError);
+  EXPECT_THROW(cfg.get_int("frac", 3), ConfigError);   // no truncation
+  EXPECT_THROW(cfg.get_long("trail", 3), ConfigError);
+  EXPECT_THROW(cfg.get_double("d", 1.0), ConfigError);
+  // The error carries the key and offending value.
+  try {
+    cfg.get_int("trail", 3);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.key, "trail");
+    EXPECT_EQ(e.value, "10x");
+  }
+  // Missing keys still fall back quietly.
+  EXPECT_EQ(cfg.get_int("absent", 9), 9);
+  EXPECT_DOUBLE_EQ(cfg.get_double("absent", 2.5), 2.5);
+  // Bools keep their permissive fallback behavior.
   EXPECT_TRUE(cfg.get_bool("b", true));
   EXPECT_FALSE(cfg.get_bool("b", false));
+}
+
+TEST(Config, WellFormedValuesStillParse) {
+  auto cfg = Config::from_text("n = 42\nneg = -7\nd =  2.5e3 ");
+  EXPECT_EQ(cfg.get_int("n", -1), 42);
+  EXPECT_EQ(cfg.get_int("neg", -1), -7);
+  EXPECT_DOUBLE_EQ(cfg.get_double("d", 0.0), 2500.0);
+}
+
+TEST(Config, EnvNameFoldsSeparators) {
+  // '.' and '-' are illegal in POSIX env names; both must fold to '_'.
+  EXPECT_EQ(Config::env_name("comm.max_resends"), "CA_AGCM_COMM_MAX_RESENDS");
+  EXPECT_EQ(Config::env_name("faults.delay-polls"),
+            "CA_AGCM_FAULTS_DELAY_POLLS");
+  EXPECT_EQ(Config::env_name("steps"), "CA_AGCM_STEPS");
+}
+
+TEST(Config, NamespacedEnvOverrideWins) {
+  // Regression: namespaced keys used to map to CA_AGCM_COMM.MAX_RESENDS,
+  // which no shell can export, so the override silently never applied.
+  setenv("CA_AGCM_COMM_MAX_RESENDS", "7", 1);
+  auto cfg = Config::from_text("comm.max_resends = 2");
+  EXPECT_EQ(cfg.get_int("comm.max_resends", -1), 7);
+  unsetenv("CA_AGCM_COMM_MAX_RESENDS");
+  EXPECT_EQ(cfg.get_int("comm.max_resends", -1), 2);
+}
+
+TEST(Config, EnvOverrideReachesCommRuntime) {
+  // End-to-end: the exported name must reach RunOptions::from_config.
+  setenv("CA_AGCM_COMM_MAX_RESENDS", "5", 1);
+  setenv("CA_AGCM_COMM_TIMEOUT_MS", "1234", 1);
+  Config cfg;  // empty: everything comes from the environment
+  const auto opts = comm::RunOptions::from_config(cfg);
+  EXPECT_EQ(opts.max_resends, 5);
+  EXPECT_EQ(opts.recv_timeout, std::chrono::milliseconds(1234));
+  unsetenv("CA_AGCM_COMM_MAX_RESENDS");
+  unsetenv("CA_AGCM_COMM_TIMEOUT_MS");
+}
+
+TEST(Json, BuildAndDump) {
+  Json doc = Json::object();
+  doc["name"] = "bench";
+  doc["count"] = 3;
+  doc["ratio"] = 0.5;
+  doc["ok"] = true;
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  doc["items"] = std::move(arr);
+  const std::string text = doc.dump(0);
+  EXPECT_EQ(text,
+            "{\"name\":\"bench\",\"count\":3,\"ratio\":0.5,\"ok\":true,"
+            "\"items\":[1,\"two\"]}");
+}
+
+TEST(Json, ParseRoundTrip) {
+  const std::string text =
+      R"({"a": 1, "b": [true, null, -2.5e2], "s": "x\nyA"})";
+  const Json doc = Json::parse(text);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.find("a")->as_double(), 1.0);
+  const Json* b = doc.find("b");
+  ASSERT_TRUE(b != nullptr && b->is_array());
+  EXPECT_TRUE(b->items()[0].as_bool());
+  EXPECT_TRUE(b->items()[1].is_null());
+  EXPECT_DOUBLE_EQ(b->items()[2].as_double(), -250.0);
+  EXPECT_EQ(doc.find("s")->as_string(), "x\nyA");
+  // dump -> parse -> dump is a fixed point.
+  const std::string once = doc.dump(2);
+  EXPECT_EQ(Json::parse(once).dump(2), once);
+}
+
+TEST(Json, ParseErrorsCarryOffset) {
+  EXPECT_THROW(Json::parse("{\"a\": }"), JsonError);
+  EXPECT_THROW(Json::parse("[1, 2"), JsonError);
+  EXPECT_THROW(Json::parse("{} trailing"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
 }
 
 TEST(Timer, MeasuresElapsed) {
