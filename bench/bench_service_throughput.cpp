@@ -1,0 +1,423 @@
+// Wall-clock benchmark of the ensemble service: three job mixes over one
+// rank pool, emitting BENCH_service.json.
+//
+//   uniform        identical medium jobs; measures raw multiplexing
+//                  throughput and must keep >= 2 jobs in flight at once
+//   bimodal        one long, preemptible, low-priority run plus a stream
+//                  of short high-priority jobs; the long job must be
+//                  preempted at least once, resume from its checkpoint,
+//                  and still finish bit-for-bit identical to a solo
+//                  (uninterrupted) run of the same spec
+//   fault_injected a transient-fault job that must fail once and complete
+//                  on the reseeded retry, plus a doomed probability-1
+//                  corruption job that must exhaust its attempt budget
+//                  and end terminally failed
+//
+// Each mix runs through a fresh EnsembleService; the per-mix service
+// report (schema ca-agcm/service-report/v1) is embedded verbatim in the
+// output and re-validated after the emitted file is parsed back, so a
+// nonzero exit status means the service, the invariants above, or the
+// JSON are broken — this is what the bench-service-smoke ctest runs.
+//
+// Configuration (key=value args, or CA_AGCM_* env — see README):
+//   nx, ny, nz, m   mesh                        (default 24x16x8, M=2)
+//   slots           worker slots                (default 3)
+//   budget          rank budget of the pool     (default 4)
+//   jobs            uniform-mix job count       (default 6)
+//   steps           steps per uniform job       (default 6)
+//   long_steps      steps of the bimodal long job (default 20)
+//   out             output path                 (default BENCH_service.json)
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/fault.hpp"
+#include "service/runner.hpp"
+#include "service/service.hpp"
+#include "util/config.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace ca;
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kSchema = "ca-agcm/bench-service/v1";
+
+/// Seed shared with tests/service_soak_test.cpp: with a corrupt rule of
+/// p = 0.02 scoped src 0 -> dst 1 on the original {1,2,1} core, attempt 1
+/// (seed 11) injects one corruption and dies, attempt 2 (seed 12) is
+/// clean.  Found by scanning; stable while the cores' traffic pattern is.
+constexpr std::uint64_t kTransientSeed = 11;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+core::DycoreConfig base_config(const util::Config& in) {
+  core::DycoreConfig c;
+  c.nx = in.get_int("nx", 24);
+  c.ny = in.get_int("ny", 16);
+  c.nz = in.get_int("nz", 8);
+  c.M = in.get_int("m", 2);
+  c.z_allreduce = comm::AllreduceAlgorithm::kLinearOrdered;
+  return c;
+}
+
+service::JobSpec original_job(const core::DycoreConfig& cfg,
+                              const std::string& name, int steps,
+                              std::array<int, 3> dims, int priority) {
+  service::JobSpec j;
+  j.name = name;
+  j.core = service::CoreKind::kOriginal;
+  j.config = cfg;
+  j.dims = dims;
+  j.steps = steps;
+  j.priority = priority;
+  return j;
+}
+
+/// Solo reference through the identical attempt machinery, fault-free
+/// and uninterrupted.
+state::State solo_state(service::JobSpec spec, const std::string& prefix) {
+  spec.faults = comm::FaultPlan();
+  spec.checkpoint_every = 0;
+  spec.comm = comm::RunOptions{};
+  auto r = service::run_attempt(spec, 1, 0, prefix, {});
+  if (!r.completed(spec.steps)) {
+    std::fprintf(stderr, "FAIL: solo reference '%s' broke: %s\n",
+                 spec.name.c_str(), r.error.c_str());
+    std::exit(1);
+  }
+  return std::move(r.global);
+}
+
+bool await_running(service::EnsembleService& svc, int id) {
+  const auto start = Clock::now();
+  while (svc.state(id) == service::JobState::kQueued) {
+    if (seconds_since(start) > 30.0) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return svc.state(id) == service::JobState::kRunning;
+}
+
+struct MixOutcome {
+  std::string name;
+  double wall = 0.0;
+  int submitted = 0;
+  int completed = 0;
+  int failed = 0;
+  std::int64_t steps_done = 0;
+  util::Json report = util::Json::object();
+  bool ok = true;
+};
+
+void summarize(MixOutcome& mix, service::EnsembleService& svc,
+               const std::vector<int>& ids) {
+  for (int id : ids) {
+    const auto st = svc.state(id);
+    mix.completed += st == service::JobState::kCompleted;
+    mix.failed += st == service::JobState::kFailed;
+  }
+  mix.submitted = static_cast<int>(ids.size());
+  mix.report = svc.report();
+  const std::string problem = service::validate_report(mix.report);
+  if (!problem.empty()) {
+    std::fprintf(stderr, "FAIL: %s report invalid: %s\n", mix.name.c_str(),
+                 problem.c_str());
+    mix.ok = false;
+  }
+  for (const auto& e : mix.report.find("jobs")->items())
+    mix.steps_done +=
+        static_cast<std::int64_t>(e.find("steps_done")->as_double());
+}
+
+double service_metric(const MixOutcome& mix, const char* key) {
+  return mix.report.find("service")->find(key)->as_double();
+}
+
+std::string validate_bench(const util::Json& doc) {
+  if (!doc.is_object()) return "root is not an object";
+  const util::Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kSchema)
+    return "missing/wrong schema tag";
+  const util::Json* mixes = doc.find("mixes");
+  if (mixes == nullptr || !mixes->is_array() || mixes->size() != 3)
+    return "expected exactly three mixes";
+  for (const auto& m : mixes->items()) {
+    const util::Json* name = m.find("name");
+    if (name == nullptr || !name->is_string()) return "mix missing name";
+    for (const char* key :
+         {"wall_seconds", "jobs_submitted", "jobs_completed", "jobs_failed",
+          "jobs_per_second", "steps_per_second", "max_concurrent_jobs",
+          "preemptions", "retries", "utilization"})
+      if (m.find(key) == nullptr || !m.find(key)->is_number())
+        return name->as_string() + " missing numeric '" + key + "'";
+    const util::Json* report = m.find("report");
+    if (report == nullptr) return "mix missing embedded service report";
+    const std::string problem = service::validate_report(*report);
+    if (!problem.empty())
+      return name->as_string() + " embedded report: " + problem;
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Config in = util::Config::from_args(argc, argv);
+  const core::DycoreConfig cfg = base_config(in);
+  const int slots = in.get_int("slots", 3);
+  const int budget = in.get_int("budget", 4);
+  const int uniform_jobs = in.get_int("jobs", 6);
+  const int uniform_steps = in.get_int("steps", 6);
+  const int long_steps = in.get_int("long_steps", 20);
+  const std::string out_path = in.get_string("out", "BENCH_service.json");
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ca_bench_service").string();
+  std::filesystem::create_directories(dir);
+
+  std::printf(
+      "service bench: %dx%dx%d M=%d, %d slots, %d-rank budget\n\n",
+      cfg.nx, cfg.ny, cfg.nz, cfg.M, slots, budget);
+
+  service::ServiceOptions opt;
+  opt.slots = slots;
+  opt.rank_budget = budget;
+  opt.queue_capacity = 64;
+  opt.checkpoint_dir = dir;
+
+  bool ok = true;
+  std::vector<MixOutcome> mixes;
+
+  // --- mix 1: uniform -------------------------------------------------
+  {
+    MixOutcome mix;
+    mix.name = "uniform";
+    service::EnsembleService svc(opt);
+    const auto start = Clock::now();
+    std::vector<int> ids;
+    for (int i = 0; i < uniform_jobs; ++i)
+      ids.push_back(svc.submit(original_job(
+          cfg, "uniform" + std::to_string(i), uniform_steps, {1, 2, 1}, 0)));
+    svc.drain();
+    mix.wall = seconds_since(start);
+    summarize(mix, svc, ids);
+    if (mix.completed != uniform_jobs) {
+      std::fprintf(stderr, "FAIL: uniform completed %d/%d jobs\n",
+                   mix.completed, uniform_jobs);
+      mix.ok = false;
+    }
+    if (service_metric(mix, "max_concurrent_jobs") < 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: uniform never had >= 2 jobs in flight\n");
+      mix.ok = false;
+    }
+    mixes.push_back(std::move(mix));
+  }
+
+  // --- mix 2: bimodal (long preemptible + short high-priority) --------
+  {
+    MixOutcome mix;
+    mix.name = "bimodal";
+    service::JobSpec longj =
+        original_job(cfg, "long", long_steps, {1, 2, 2}, 0);
+    longj.checkpoint_every = 1;
+    const state::State solo = solo_state(longj, dir + "/solo_long");
+
+    service::EnsembleService svc(opt);
+    const auto start = Clock::now();
+    std::vector<int> ids;
+    ids.push_back(svc.submit(longj));
+    // Let the long job own the whole budget before the short stream
+    // arrives, so the first high-priority submission must preempt it.
+    if (!await_running(svc, ids.front())) {
+      std::fprintf(stderr, "FAIL: bimodal long job never started\n");
+      mix.ok = false;
+    }
+    for (int i = 0; i < 4; ++i)
+      ids.push_back(svc.submit(
+          original_job(cfg, "short" + std::to_string(i), 2, {1, 2, 1}, 10)));
+    svc.drain();
+    mix.wall = seconds_since(start);
+    summarize(mix, svc, ids);
+
+    const service::JobResult r = svc.result(ids.front());
+    if (r.state != service::JobState::kCompleted) {
+      std::fprintf(stderr, "FAIL: bimodal long job did not complete: %s\n",
+                   r.error.c_str());
+      mix.ok = false;
+    } else {
+      if (r.metrics.preemptions < 1) {
+        std::fprintf(stderr,
+                     "FAIL: bimodal long job was never preempted\n");
+        mix.ok = false;
+      }
+      const double diff = state::State::max_abs_diff(r.final_state, solo,
+                                                     solo.interior());
+      if (diff != 0.0) {
+        std::fprintf(stderr,
+                     "FAIL: preempt/resume diverged (max |diff| = %g)\n",
+                     diff);
+        mix.ok = false;
+      }
+    }
+    if (mix.completed != static_cast<int>(ids.size())) {
+      std::fprintf(stderr, "FAIL: bimodal completed %d/%zu jobs\n",
+                   mix.completed, ids.size());
+      mix.ok = false;
+    }
+    mixes.push_back(std::move(mix));
+  }
+
+  // --- mix 3: fault_injected ------------------------------------------
+  {
+    MixOutcome mix;
+    mix.name = "fault_injected";
+    service::JobSpec transient =
+        original_job(cfg, "transient", 2, {1, 2, 1}, 0);
+    {
+      comm::FaultPlan plan(kTransientSeed);
+      comm::FaultRule r;
+      r.kind = comm::FaultKind::kCorrupt;
+      r.probability = 0.02;
+      r.src = 0;
+      r.dst = 1;
+      plan.add_rule(r);
+      transient.faults = plan;
+    }
+    transient.max_attempts = 3;
+    transient.retry_backoff_seconds = 0.001;
+    transient.comm.recv_timeout = std::chrono::milliseconds(400);
+    const state::State solo = solo_state(transient, dir + "/solo_transient");
+
+    service::JobSpec doomed = original_job(cfg, "doomed", 2, {1, 2, 1}, 0);
+    {
+      comm::FaultPlan plan(7u);
+      comm::FaultRule r;
+      r.kind = comm::FaultKind::kCorrupt;
+      r.probability = 1.0;
+      plan.add_rule(r);
+      doomed.faults = plan;
+    }
+    doomed.max_attempts = 2;
+    doomed.retry_backoff_seconds = 0.001;
+    doomed.comm.recv_timeout = std::chrono::milliseconds(400);
+
+    service::EnsembleService svc(opt);
+    const auto start = Clock::now();
+    std::vector<int> ids;
+    ids.push_back(svc.submit(transient));
+    ids.push_back(svc.submit(doomed));
+    for (int i = 0; i < 2; ++i)
+      ids.push_back(svc.submit(
+          original_job(cfg, "clean" + std::to_string(i), 3, {1, 2, 1}, 0)));
+    svc.drain();
+    mix.wall = seconds_since(start);
+    summarize(mix, svc, ids);
+
+    const service::JobResult rt = svc.result(ids[0]);
+    if (rt.state != service::JobState::kCompleted ||
+        rt.metrics.attempts < 2 || rt.faults.injected_corrupt < 1) {
+      std::fprintf(stderr,
+                   "FAIL: transient job must complete via retry "
+                   "(state=%s attempts=%d injected=%llu): %s\n",
+                   service::to_string(rt.state), rt.metrics.attempts,
+                   static_cast<unsigned long long>(
+                       rt.faults.injected_corrupt),
+                   rt.error.c_str());
+      mix.ok = false;
+    } else {
+      const double diff = state::State::max_abs_diff(rt.final_state, solo,
+                                                     solo.interior());
+      if (diff != 0.0) {
+        std::fprintf(stderr,
+                     "FAIL: retried job diverged (max |diff| = %g)\n", diff);
+        mix.ok = false;
+      }
+    }
+    const service::JobResult rd = svc.result(ids[1]);
+    if (rd.state != service::JobState::kFailed ||
+        rd.metrics.attempts != doomed.max_attempts ||
+        rd.faults.injected_corrupt < 1) {
+      std::fprintf(stderr,
+                   "FAIL: doomed job must exhaust its attempts and fail "
+                   "(state=%s attempts=%d)\n",
+                   service::to_string(rd.state), rd.metrics.attempts);
+      mix.ok = false;
+    }
+    mixes.push_back(std::move(mix));
+  }
+
+  // --- emit ------------------------------------------------------------
+  util::Json doc = util::Json::object();
+  doc["schema"] = kSchema;
+  util::Json mesh = util::Json::object();
+  mesh["nx"] = cfg.nx;
+  mesh["ny"] = cfg.ny;
+  mesh["nz"] = cfg.nz;
+  doc["mesh"] = std::move(mesh);
+  doc["M"] = cfg.M;
+  doc["slots"] = slots;
+  doc["rank_budget"] = budget;
+  util::Json arr = util::Json::array();
+
+  std::printf("%-16s %10s %6s %6s %8s %8s %8s %8s\n", "mix", "wall[ms]",
+              "done", "fail", "jobs/s", "steps/s", "preempt", "util");
+  for (const MixOutcome& mix : mixes) {
+    ok = ok && mix.ok;
+    const double jps = mix.wall > 0.0 ? mix.completed / mix.wall : 0.0;
+    const double sps = mix.wall > 0.0 ? mix.steps_done / mix.wall : 0.0;
+    std::printf("%-16s %10.1f %6d %6d %8.2f %8.1f %8.0f %8.2f\n",
+                mix.name.c_str(), 1e3 * mix.wall, mix.completed, mix.failed,
+                jps, sps, service_metric(mix, "preemptions"),
+                service_metric(mix, "utilization"));
+    util::Json e = util::Json::object();
+    e["name"] = mix.name;
+    e["wall_seconds"] = mix.wall;
+    e["jobs_submitted"] = mix.submitted;
+    e["jobs_completed"] = mix.completed;
+    e["jobs_failed"] = mix.failed;
+    e["jobs_per_second"] = jps;
+    e["steps_per_second"] = sps;
+    e["max_concurrent_jobs"] = service_metric(mix, "max_concurrent_jobs");
+    e["preemptions"] = service_metric(mix, "preemptions");
+    e["retries"] = service_metric(mix, "retries");
+    e["utilization"] = service_metric(mix, "utilization");
+    e["report"] = mix.report;
+    arr.push_back(std::move(e));
+  }
+  doc["mixes"] = std::move(arr);
+
+  {
+    std::ofstream out(out_path);
+    out << doc.dump(2) << "\n";
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  // Self-check: the emitted file must re-parse, match the bench schema,
+  // and every embedded service report must satisfy ITS schema too.
+  std::ifstream fin(out_path);
+  std::stringstream buf;
+  buf << fin.rdbuf();
+  try {
+    const std::string problem = validate_bench(util::Json::parse(buf.str()));
+    if (!problem.empty()) {
+      std::fprintf(stderr, "FAIL: emitted JSON invalid: %s\n",
+                   problem.c_str());
+      ok = false;
+    }
+  } catch (const util::JsonError& e) {
+    std::fprintf(stderr, "FAIL: emitted JSON does not parse: %s\n",
+                 e.what());
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -2,11 +2,19 @@
 // with optional Held-Suarez forcing, periodic global diagnostics, and
 // periodic checkpointing — factored out of the examples into a reusable,
 // core-agnostic template (works with SerialCore, OriginalCore, CACore).
+//
+// A campaign can resume a checkpointed run (start_step / start time
+// forwarding) and can yield cooperatively at checkpoint boundaries, which
+// is what the ensemble service's preemption rides on: a preempted job
+// stops at its last checkpoint and a later campaign continues from it
+// with identical step numbering and checkpoint cadence.
 #pragma once
 
 #include <functional>
 #include <string>
+#include <vector>
 
+#include "comm/collectives.hpp"
 #include "comm/context.hpp"
 #include "core/diagnostics.hpp"
 #include "mesh/latlon.hpp"
@@ -16,7 +24,19 @@
 namespace ca::core {
 
 struct CampaignOptions {
+  /// Target absolute step count: the campaign runs steps
+  /// start_step + 1 .. steps (inclusive).
   int steps = 0;
+  /// Resume offset: the number of steps an earlier campaign already
+  /// executed (a restarted run passes the checkpoint header's `step`).
+  /// Step numbering, diagnostics cadence, and checkpoint cadence all use
+  /// the absolute step, so a resumed run is indistinguishable from an
+  /// uninterrupted one.
+  int start_step = 0;
+  /// Model time at start_step [s]; negative derives it as
+  /// start_step * dt_advect (a restarted run passes the header's
+  /// `time_seconds` so forwarded time survives dt changes).
+  double start_time_seconds = -1.0;
   /// Emit diagnostics every N steps (0 = never); delivered through
   /// on_diagnostics on every rank (rank 0 carries the global values when
   /// a comm context is present).
@@ -28,14 +48,23 @@ struct CampaignOptions {
   /// Optional physics applied after each dynamical step.
   const physics::HeldSuarezForcing* forcing = nullptr;
   double forcing_dt = 0.0;  ///< defaults to the core's dt_advect
+  /// Cooperative preemption: polled right after every checkpoint write;
+  /// returning true ends the campaign at that checkpoint so a later
+  /// campaign can resume from it.  Distributed runs agree on the decision
+  /// with a world allreduce (any rank's yield preempts all), so ranks
+  /// never part ways mid-exchange.  Ignored when checkpoint_every == 0:
+  /// without a checkpoint there is nothing to resume from.
+  std::function<bool()> should_yield;
 };
 
-/// Runs the campaign; returns the number of steps executed.  `comm_ctx`
-/// may be null for serial cores (diagnostics are then block-local).
-/// Checkpoints record the raw prognostic state; for the CA core that
-/// state still carries the deferred final smoothing, which a restarted
-/// CA run applies on its next step — restart transparency holds as long
-/// as the same core type resumes the run.
+/// Runs the campaign; returns the number of steps executed by THIS call
+/// (steps - start_step when it runs to completion, fewer after a yield;
+/// the absolute step reached is start_step + the return value).
+/// `comm_ctx` may be null for serial cores (diagnostics are then
+/// block-local).  Checkpoints record the raw prognostic state; for the CA
+/// core that state still carries the deferred final smoothing, which a
+/// restarted CA run applies on its next step — restart transparency holds
+/// as long as the same core type resumes the run.
 template <typename Core>
 int run_campaign(Core& core, comm::Context* comm_ctx, state::State& xi,
                  const CampaignOptions& options) {
@@ -43,9 +72,14 @@ int run_campaign(Core& core, comm::Context* comm_ctx, state::State& xi,
                               core.config().nz);
   const double fdt = options.forcing_dt > 0.0 ? options.forcing_dt
                                               : core.config().dt_advect;
-  for (int step = 1; step <= options.steps; ++step) {
+  const double t0 = options.start_time_seconds >= 0.0
+                        ? options.start_time_seconds
+                        : options.start_step * core.config().dt_advect;
+  int executed = 0;
+  for (int step = options.start_step + 1; step <= options.steps; ++step) {
     core.step(xi);
     if (options.forcing != nullptr) options.forcing->apply(xi, fdt);
+    ++executed;
 
     if (options.diag_every > 0 && step % options.diag_every == 0 &&
         options.on_diagnostics) {
@@ -58,12 +92,30 @@ int run_campaign(Core& core, comm::Context* comm_ctx, state::State& xi,
     if (options.checkpoint_every > 0 &&
         step % options.checkpoint_every == 0) {
       const int rank = comm_ctx != nullptr ? comm_ctx->world_rank() : 0;
+      const double t =
+          t0 + (step - options.start_step) * core.config().dt_advect;
       util::write_checkpoint(
           util::checkpoint_path(options.checkpoint_prefix, rank), mesh,
-          core.decomp(), xi, step, step * core.config().dt_advect);
+          core.decomp(), xi, step, t);
+
+      if (options.should_yield && step < options.steps) {
+        // Collective yield decision: every rank contributes its local
+        // flag and all stop together iff any rank wants to.
+        double want = options.should_yield() ? 1.0 : 0.0;
+        if (comm_ctx != nullptr && comm_ctx->world().size() > 1) {
+          double agreed = 0.0;
+          comm_ctx->stats().set_phase("service");
+          comm::allreduce<double>(*comm_ctx, comm_ctx->world(),
+                                  std::span<const double>(&want, 1),
+                                  std::span<double>(&agreed, 1),
+                                  comm::ReduceOp::kMax);
+          want = agreed;
+        }
+        if (want > 0.0) break;
+      }
     }
   }
-  return options.steps;
+  return executed;
 }
 
 }  // namespace ca::core

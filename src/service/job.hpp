@@ -1,0 +1,155 @@
+// Job model of the ensemble service: what a simulation request looks
+// like (JobSpec), the lifecycle it moves through (JobState), and what the
+// service reports back (JobMetrics / JobResult).  Validation happens at
+// submit time so malformed requests are rejected before they ever reach a
+// worker slot's rank group.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "comm/fault.hpp"
+#include "comm/runtime.hpp"
+#include "comm/stats.hpp"
+#include "core/dycore_config.hpp"
+#include "state/initial.hpp"
+#include "state/state.hpp"
+
+namespace ca::service {
+
+enum class CoreKind { kSerial, kOriginal, kCA };
+
+/// One simulation request.  The service copies the spec at submit; later
+/// mutation by the caller has no effect on the queued job.
+struct JobSpec {
+  std::string name = "job";
+  CoreKind core = CoreKind::kSerial;
+  core::DycoreConfig config;
+  /// Decomposition scheme (original core only; CA is always Y-Z).
+  core::DecompScheme scheme = core::DecompScheme::kYZ;
+  /// Process grid {px, py, pz}; its product is the job's rank demand on
+  /// the pool.  Must be {1,1,1} for the serial core.
+  std::array<int, 3> dims{1, 1, 1};
+  /// Target absolute step count.
+  int steps = 1;
+  state::InitialOptions initial;
+  /// Apply Held-Suarez forcing after every step (forcing_dt <= 0 uses the
+  /// core's dt_advect).
+  bool held_suarez = false;
+  double forcing_dt = 0.0;
+
+  /// Larger runs first; FIFO within a priority level.
+  int priority = 0;
+  /// Soft wall-clock deadline from submit [s] (0 = none).  Purely an SLO
+  /// marker: the report flags jobs that finished late.
+  double deadline_seconds = 0.0;
+
+  /// Checkpoint cadence in steps; > 0 makes the job preemptible (it can
+  /// yield its ranks at checkpoint boundaries and resume later).  The CA
+  /// core must keep this 0: its cross-step carry state (deferred
+  /// smoothing, stale C products) is not checkpointed, so a resumed CA
+  /// run is not bitwise identical to an uninterrupted one.
+  int checkpoint_every = 0;
+
+  /// Fault-injection plan for this job's rank group (enabled() drives
+  /// injection).  Every attempt reseeds the plan with seed + attempt - 1:
+  /// the deterministic injector would otherwise replay the identical
+  /// fault on every retry, which models a hard fault — with reseeding an
+  /// injected fault is transient and a retry can succeed.
+  comm::FaultPlan faults;
+  /// Attempt budget (>= 1).  A failed attempt is retried with exponential
+  /// backoff until the budget is exhausted, then the job ends kFailed
+  /// with the accumulated FaultSummary.
+  int max_attempts = 1;
+  /// Base backoff before attempt n+1 [s]; doubles per retry.
+  double retry_backoff_seconds = 0.0;
+
+  /// Bounded-wait knobs of the job's rank group (comm.faults is ignored;
+  /// the plan above travels separately).  Fault-injected jobs should keep
+  /// recv_timeout short: after one rank dies of a detected fault, the
+  /// surviving ranks take a full timeout to unwind.
+  comm::RunOptions comm;
+
+  int ranks() const { return dims[0] * dims[1] * dims[2]; }
+};
+
+/// Lifecycle: kQueued -> kRunning -> kCompleted | kFailed, with kRunning
+/// -> kPreempted -> kRunning loops (checkpoint yield) and kRunning ->
+/// kBackoff -> kRunning loops (failed attempt awaiting retry).
+enum class JobState {
+  kQueued,
+  kRunning,
+  kPreempted,
+  kBackoff,
+  kCompleted,
+  kFailed,
+};
+
+const char* to_string(JobState s);
+const char* to_string(CoreKind k);
+
+/// Per-job service metrics (all attempts accumulated).
+struct JobMetrics {
+  double queue_wait_seconds = 0.0;  ///< total time spent waiting in queue
+  double run_seconds = 0.0;         ///< total time on a worker slot
+  double backoff_seconds = 0.0;     ///< scheduled retry backoff
+  double steps_per_second = 0.0;    ///< steps executed / run_seconds
+  std::uint64_t messages = 0;       ///< p2p messages, summed over ranks
+  std::uint64_t bytes = 0;
+  std::uint64_t collective_calls = 0;
+  int attempts = 0;
+  int preemptions = 0;
+  bool deadline_missed = false;
+};
+
+/// Terminal snapshot of a job, returned by EnsembleService::result().
+struct JobResult {
+  int id = -1;
+  std::string name;
+  JobState state = JobState::kQueued;
+  int steps_done = 0;
+  JobMetrics metrics;
+  comm::FaultSummary faults;
+  std::string error;  ///< terminal failure message (kFailed only)
+  /// Gathered full-domain final state (kCompleted only) — what tests and
+  /// the bench compare bitwise against a solo run.
+  state::State final_state;
+};
+
+/// Checks a spec against the pool's rank budget; returns an empty string
+/// when valid, otherwise a description of the first problem.  Mirrors the
+/// cores' constructor preconditions so bad jobs are rejected at submit,
+/// not by an exception inside a worker's rank group.
+std::string validate(const JobSpec& spec, int rank_budget);
+
+/// Internal job record shared by scheduler, worker pool, and service.
+/// Mutable fields are guarded by the owning WorkerPool's mutex, except
+/// yield_requested which workers' rank groups poll lock-free.
+struct Job {
+  Job(int id, JobSpec s) : id(id), spec(std::move(s)) {}
+
+  const int id;
+  const JobSpec spec;
+
+  /// Preemption flag: set by the pool, polled (and collectively agreed
+  /// on) by the job's campaign at checkpoint boundaries.
+  std::atomic<bool> yield_requested{false};
+
+  // --- guarded by the pool mutex ---
+  JobState state = JobState::kQueued;
+  std::uint64_t sequence = 0;  ///< FIFO order within a priority level
+  std::chrono::steady_clock::time_point submitted_at{};
+  std::chrono::steady_clock::time_point last_queued_at{};
+  std::chrono::steady_clock::time_point ready_at{};  ///< backoff gate
+  int steps_done = 0;       ///< last checkpointed absolute step
+  JobMetrics metrics;
+  comm::FaultSummary faults;
+  std::string error;
+  state::State final_state;
+  std::string checkpoint_prefix;
+};
+
+}  // namespace ca::service

@@ -1,0 +1,135 @@
+#include "service/runner.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "comm/runtime.hpp"
+#include "core/ca_core.hpp"
+#include "core/campaign.hpp"
+#include "core/exchange.hpp"
+#include "core/original_core.hpp"
+#include "core/serial_core.hpp"
+#include "physics/held_suarez.hpp"
+#include "util/checkpoint.hpp"
+#include "util/timer.hpp"
+
+namespace ca::service {
+namespace {
+
+core::CampaignOptions campaign_options(
+    const JobSpec& spec, int start_step, const std::string& prefix,
+    const physics::HeldSuarezForcing* forcing,
+    const std::function<bool()>& should_yield) {
+  core::CampaignOptions opt;
+  opt.steps = spec.steps;
+  opt.start_step = start_step;
+  opt.checkpoint_every = spec.checkpoint_every;
+  opt.checkpoint_prefix = prefix;
+  if (spec.held_suarez) {
+    opt.forcing = forcing;
+    opt.forcing_dt = spec.forcing_dt;
+  }
+  if (spec.checkpoint_every > 0) opt.should_yield = should_yield;
+  return opt;
+}
+
+}  // namespace
+
+AttemptResult run_attempt(const JobSpec& spec, int attempt, int start_step,
+                          const std::string& checkpoint_prefix,
+                          const std::function<bool()>& should_yield) {
+  AttemptResult res;
+
+  // Per-attempt plan: same rules, reseeded so the deterministic injector
+  // treats retries as a fresh fault environment (transient faults).
+  const bool inject = spec.faults.enabled();
+  comm::FaultPlan plan(spec.faults.seed() +
+                       static_cast<std::uint64_t>(attempt - 1));
+  for (const auto& rule : spec.faults.rules()) plan.add_rule(rule);
+
+  util::Timer timer;
+  try {
+    if (spec.core == CoreKind::kSerial) {
+      core::SerialCore core(spec.config);
+      auto xi = core.make_state();
+      if (start_step > 0) {
+        const mesh::LatLonMesh mesh(spec.config.nx, spec.config.ny,
+                                    spec.config.nz);
+        util::read_checkpoint(util::checkpoint_path(checkpoint_prefix, 0),
+                              mesh, core.decomp(), xi);
+        core.fill_boundaries(xi);
+      } else {
+        core.initialize(xi, spec.initial);
+      }
+      const physics::HeldSuarezForcing forcing(core.op_context());
+      const auto opt = campaign_options(spec, start_step, checkpoint_prefix,
+                                        &forcing, should_yield);
+      const int executed = core::run_campaign(core, nullptr, xi, opt);
+      res.end_step = start_step + executed;
+      if (res.end_step == spec.steps)
+        res.global = std::move(xi);
+      else
+        res.yielded = true;
+    } else {
+      comm::RunOptions opts = spec.comm;
+      opts.faults = inject ? &plan : nullptr;
+      std::mutex mu;
+      auto drive = [&](auto& core, comm::Context& ctx) {
+        auto xi = core.make_state();
+        if (start_step > 0) {
+          const mesh::LatLonMesh mesh(spec.config.nx, spec.config.ny,
+                                      spec.config.nz);
+          util::read_checkpoint(
+              util::checkpoint_path(checkpoint_prefix, ctx.world_rank()),
+              mesh, core.decomp(), xi);
+          if constexpr (requires { core.refresh_halos(xi, "restart"); }) {
+            core.refresh_halos(xi, "restart");
+          } else {
+            throw std::logic_error(
+                "resume requested for a core without halo restart");
+          }
+        } else {
+          core.initialize(xi, spec.initial);
+        }
+        const physics::HeldSuarezForcing forcing(core.op_context());
+        const auto opt = campaign_options(
+            spec, start_step, checkpoint_prefix, &forcing, should_yield);
+        const int executed = core::run_campaign(core, &ctx, xi, opt);
+        const int end = start_step + executed;
+        const bool completed = end == spec.steps;
+        state::State global;
+        if (completed) {
+          // The CA core defers the last step's final smoothing; apply it
+          // before the gather so the result is the finished trajectory.
+          if constexpr (requires { core.finalize(xi); }) core.finalize(xi);
+          global = core::gather_global(core.op_context(), ctx,
+                                       core.topology(), xi);
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        res.comm += ctx.stats().grand_totals();
+        if (ctx.world_rank() == 0) {
+          res.end_step = end;
+          res.yielded = !completed;
+          if (completed) res.global = std::move(global);
+        }
+      };
+      comm::Runtime::run(spec.ranks(), opts, [&](comm::Context& ctx) {
+        if (spec.core == CoreKind::kOriginal) {
+          core::OriginalCore core(spec.config, ctx, spec.scheme, spec.dims);
+          drive(core, ctx);
+        } else {
+          core::CACore core(spec.config, ctx, spec.dims);
+          drive(core, ctx);
+        }
+      });
+    }
+  } catch (const std::exception& e) {
+    res.error = e.what();
+    res.yielded = false;
+  }
+  res.run_seconds = timer.seconds();
+  if (inject) res.faults = plan.summary();
+  return res;
+}
+
+}  // namespace ca::service

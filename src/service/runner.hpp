@@ -1,0 +1,47 @@
+// Executes ONE attempt of a job on the calling worker thread: spins up a
+// comm::Runtime rank group sized to the job's decomposition (serial jobs
+// run in-thread), restores the job's checkpoint when resuming, drives the
+// campaign loop, and gathers the final global state plus per-attempt comm
+// metrics.  Failure (a detected fault, a timeout, any exception out of
+// the rank group) is reported as an error string, never thrown — the
+// WorkerPool's retry logic decides what happens next.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "comm/stats.hpp"
+#include "service/job.hpp"
+
+namespace ca::service {
+
+struct AttemptResult {
+  /// The campaign yielded at a checkpoint (preemption) — not a failure.
+  bool yielded = false;
+  /// Absolute step reached (== spec.steps when the job completed).
+  int end_step = 0;
+  /// Nonempty = the attempt failed with this diagnostic.
+  std::string error;
+  double run_seconds = 0.0;
+  /// p2p/collective traffic summed over the attempt's ranks.
+  comm::PhaseStats comm;
+  /// Fault events injected/detected/recovered during this attempt.
+  comm::FaultSummary faults;
+  /// Gathered full-domain final state (completed attempts only).
+  state::State global;
+
+  bool completed(int target_steps) const {
+    return error.empty() && !yielded && end_step == target_steps;
+  }
+};
+
+/// Runs steps start_step+1 .. spec.steps.  start_step > 0 resumes from
+/// the per-rank checkpoints under `checkpoint_prefix` (which a prior
+/// attempt wrote).  `attempt` is 1-based and reseeds the job's FaultPlan
+/// (seed + attempt - 1) so injected faults are transient across retries.
+/// `should_yield` may be null; it is polled at checkpoint boundaries.
+AttemptResult run_attempt(const JobSpec& spec, int attempt, int start_step,
+                          const std::string& checkpoint_prefix,
+                          const std::function<bool()>& should_yield);
+
+}  // namespace ca::service

@@ -1,0 +1,41 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+
+namespace ca::service {
+
+void Scheduler::push(std::shared_ptr<Job> job) {
+  if (job->sequence == 0) job->sequence = ++next_sequence_;
+  queue_.push_back(std::move(job));
+}
+
+std::shared_ptr<Job> Scheduler::pop_ready(TimePoint now, int free_ranks) {
+  std::size_t best = queue_.size();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Job& j = *queue_[i];
+    if (j.ready_at > now || j.spec.ranks() > free_ranks) continue;
+    if (best == queue_.size() || before(j, *queue_[best])) best = i;
+  }
+  if (best == queue_.size()) return nullptr;
+  auto job = std::move(queue_[best]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+  return job;
+}
+
+const Job* Scheduler::peek_ready(TimePoint now) const {
+  const Job* best = nullptr;
+  for (const auto& j : queue_) {
+    if (j->ready_at > now) continue;
+    if (best == nullptr || before(*j, *best)) best = j.get();
+  }
+  return best;
+}
+
+Scheduler::TimePoint Scheduler::next_ready_after(TimePoint now) const {
+  TimePoint t = TimePoint::max();
+  for (const auto& j : queue_)
+    if (j->ready_at > now) t = std::min(t, j->ready_at);
+  return t;
+}
+
+}  // namespace ca::service

@@ -1,0 +1,63 @@
+// Queue policy of the ensemble service: a bounded priority + FIFO queue.
+// Jobs order by (priority desc, submit sequence asc); a job is eligible
+// when its backoff gate (ready_at) has passed and its rank demand fits
+// the free budget.  The Scheduler is a pure policy object — it owns no
+// lock; the WorkerPool serializes every call under its mutex.  Capacity
+// bounds only external submissions (backpressure): preempted and
+// retrying jobs re-enter past the bound, otherwise a full queue could
+// deadlock a yield.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "service/job.hpp"
+
+namespace ca::service {
+
+class Scheduler {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit Scheduler(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+  /// Whether a NEW submission must wait (backpressure).
+  bool full() const { return queue_.size() >= capacity_; }
+
+  /// Enqueues; assigns the FIFO sequence on first entry.  The capacity
+  /// bound is advisory (full()): the WorkerPool blocks NEW submissions on
+  /// it but re-enters preempted/retrying jobs unconditionally.
+  void push(std::shared_ptr<Job> job);
+
+  /// Removes and returns the best job with ready_at <= now and
+  /// ranks() <= free_ranks; null when none qualifies.
+  std::shared_ptr<Job> pop_ready(TimePoint now, int free_ranks);
+
+  /// Best job past its backoff gate regardless of rank fit (what the
+  /// pool's preemption logic wants to make room for); null when none.
+  const Job* peek_ready(TimePoint now) const;
+
+  /// Earliest backoff expiry among jobs still gated at `now`
+  /// (TimePoint::max() when none are gated) — how long a idle worker may
+  /// sleep before a retry becomes eligible.
+  TimePoint next_ready_after(TimePoint now) const;
+
+ private:
+  /// True when a should run before b.
+  static bool before(const Job& a, const Job& b) {
+    if (a.spec.priority != b.spec.priority)
+      return a.spec.priority > b.spec.priority;
+    return a.sequence < b.sequence;
+  }
+
+  std::size_t capacity_;
+  std::uint64_t next_sequence_ = 0;
+  std::vector<std::shared_ptr<Job>> queue_;  // unordered; scans are tiny
+};
+
+}  // namespace ca::service

@@ -1,0 +1,187 @@
+#include "service/service.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace ca::service {
+namespace {
+
+util::Json fault_json(const comm::FaultSummary& s) {
+  util::Json f = util::Json::object();
+  f["injected_delay"] = s.injected_delay;
+  f["injected_duplicate"] = s.injected_duplicate;
+  f["injected_drop"] = s.injected_drop;
+  f["injected_corrupt"] = s.injected_corrupt;
+  f["injected_stall"] = s.injected_stall;
+  f["detected_checksum"] = s.detected_checksum;
+  f["detected_timeout"] = s.detected_timeout;
+  f["recovered_delay"] = s.recovered_delay;
+  f["recovered_duplicate"] = s.recovered_duplicate;
+  f["recovered_drop"] = s.recovered_drop;
+  return f;
+}
+
+}  // namespace
+
+EnsembleService::EnsembleService(const ServiceOptions& options)
+    : pool_(options), started_at_(std::chrono::steady_clock::now()) {}
+
+EnsembleService::~EnsembleService() { pool_.shutdown(); }
+
+int EnsembleService::submit(const JobSpec& spec, bool block) {
+  const std::string problem = validate(spec, pool_.options().rank_budget);
+  if (!problem.empty())
+    throw std::invalid_argument("job '" + spec.name + "': " + problem);
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lk(jobs_mu_);
+    job = std::make_shared<Job>(static_cast<int>(jobs_.size()), spec);
+    jobs_.push_back(job);
+  }
+  if (!pool_.submit(job, block)) {
+    // Rejected by backpressure/shutdown; tombstone the reserved id slot
+    // (ids are indices, and other submitters may have appended since).
+    std::lock_guard<std::mutex> lk(jobs_mu_);
+    jobs_[static_cast<std::size_t>(job->id)] = nullptr;
+    return -1;
+  }
+  return job->id;
+}
+
+std::shared_ptr<Job> EnsembleService::find(int job_id) const {
+  std::lock_guard<std::mutex> lk(jobs_mu_);
+  if (job_id < 0 || static_cast<std::size_t>(job_id) >= jobs_.size() ||
+      jobs_[static_cast<std::size_t>(job_id)] == nullptr)
+    throw std::out_of_range("unknown job id " + std::to_string(job_id));
+  return jobs_[static_cast<std::size_t>(job_id)];
+}
+
+void EnsembleService::wait(int job_id) { pool_.wait(*find(job_id)); }
+
+void EnsembleService::drain() { pool_.drain(); }
+
+JobResult EnsembleService::result(int job_id) {
+  return pool_.snapshot(*find(job_id), /*take_state=*/true);
+}
+
+JobState EnsembleService::state(int job_id) const {
+  return pool_.state(*find(job_id));
+}
+
+util::Json EnsembleService::report() {
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - started_at_)
+                          .count();
+  std::vector<std::shared_ptr<Job>> jobs;
+  {
+    std::lock_guard<std::mutex> lk(jobs_mu_);
+    for (const auto& j : jobs_)
+      if (j != nullptr) jobs.push_back(j);
+  }
+
+  util::Json doc = util::Json::object();
+  doc["schema"] = kReportSchema;
+
+  util::Json svc = util::Json::object();
+  svc["slots"] = pool_.options().slots;
+  svc["rank_budget"] = pool_.options().rank_budget;
+  svc["queue_capacity"] = static_cast<double>(pool_.options().queue_capacity);
+  svc["wall_seconds"] = wall;
+  svc["jobs_submitted"] = static_cast<double>(jobs.size());
+  std::size_t completed = 0, failed = 0;
+  for (const auto& j : jobs) {
+    const JobState s = pool_.state(*j);
+    completed += s == JobState::kCompleted;
+    failed += s == JobState::kFailed;
+  }
+  svc["jobs_completed"] = static_cast<double>(completed);
+  svc["jobs_failed"] = static_cast<double>(failed);
+  svc["max_concurrent_jobs"] = pool_.max_concurrent_jobs();
+  svc["max_ranks_in_flight"] = pool_.max_ranks_in_flight();
+  svc["preemptions"] = static_cast<double>(pool_.preemptions());
+  svc["retries"] = static_cast<double>(pool_.retries());
+  svc["rank_seconds_busy"] = pool_.rank_seconds_busy();
+  svc["utilization"] =
+      wall > 0.0 ? pool_.rank_seconds_busy() /
+                       (pool_.options().rank_budget * wall)
+                 : 0.0;
+  doc["service"] = std::move(svc);
+
+  util::Json arr = util::Json::array();
+  for (const auto& j : jobs) {
+    const JobResult r = pool_.snapshot(*j, /*take_state=*/false);
+    util::Json e = util::Json::object();
+    e["id"] = r.id;
+    e["name"] = r.name;
+    e["core"] = to_string(j->spec.core);
+    util::Json dims = util::Json::array();
+    for (int d : j->spec.dims) dims.push_back(d);
+    e["dims"] = std::move(dims);
+    e["ranks"] = j->spec.ranks();
+    e["steps"] = j->spec.steps;
+    e["priority"] = j->spec.priority;
+    e["state"] = to_string(r.state);
+    e["steps_done"] = r.steps_done;
+    e["attempts"] = r.metrics.attempts;
+    e["preemptions"] = r.metrics.preemptions;
+    e["queue_wait_seconds"] = r.metrics.queue_wait_seconds;
+    e["run_seconds"] = r.metrics.run_seconds;
+    e["backoff_seconds"] = r.metrics.backoff_seconds;
+    e["steps_per_second"] = r.metrics.steps_per_second;
+    e["deadline_seconds"] = j->spec.deadline_seconds;
+    e["deadline_missed"] = r.metrics.deadline_missed;
+    util::Json comm = util::Json::object();
+    comm["messages"] = r.metrics.messages;
+    comm["bytes"] = r.metrics.bytes;
+    comm["collective_calls"] = r.metrics.collective_calls;
+    e["comm"] = std::move(comm);
+    e["faults"] = fault_json(r.faults);
+    if (!r.error.empty()) e["error"] = r.error;
+    arr.push_back(std::move(e));
+  }
+  doc["jobs"] = std::move(arr);
+  return doc;
+}
+
+std::string validate_report(const util::Json& doc) {
+  if (!doc.is_object()) return "root is not an object";
+  const util::Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kReportSchema)
+    return "missing/wrong schema tag";
+  const util::Json* svc = doc.find("service");
+  if (svc == nullptr || !svc->is_object()) return "missing service object";
+  for (const char* key :
+       {"slots", "rank_budget", "queue_capacity", "wall_seconds",
+        "jobs_submitted", "jobs_completed", "jobs_failed",
+        "max_concurrent_jobs", "max_ranks_in_flight", "preemptions",
+        "retries", "rank_seconds_busy", "utilization"})
+    if (svc->find(key) == nullptr || !svc->find(key)->is_number())
+      return std::string("service missing numeric '") + key + "'";
+  const util::Json* jobs = doc.find("jobs");
+  if (jobs == nullptr || !jobs->is_array()) return "missing jobs array";
+  for (const auto& e : jobs->items()) {
+    if (!e.is_object()) return "job entry is not an object";
+    for (const char* key : {"id", "name", "core", "state", "steps",
+                            "steps_done", "attempts", "preemptions",
+                            "queue_wait_seconds", "run_seconds",
+                            "steps_per_second"})
+      if (e.find(key) == nullptr)
+        return std::string("job missing '") + key + "'";
+    const std::string& state = e.find("state")->as_string();
+    if (state != "queued" && state != "running" && state != "preempted" &&
+        state != "backoff" && state != "completed" && state != "failed")
+      return "job has unknown state '" + state + "'";
+    if (state == "failed" && e.find("error") == nullptr)
+      return "failed job missing 'error'";
+    const util::Json* comm = e.find("comm");
+    if (comm == nullptr || !comm->is_object())
+      return "job missing comm object";
+    const util::Json* faults = e.find("faults");
+    if (faults == nullptr || !faults->is_object())
+      return "job missing faults object";
+  }
+  return {};
+}
+
+}  // namespace ca::service

@@ -1,0 +1,71 @@
+// EnsembleService: the front door of the multi-run scheduler.  Callers
+// submit JobSpecs (validated here), the WorkerPool multiplexes them over
+// the shared rank budget, and the service keeps the full job ledger it
+// exports as a versioned JSON report ("ca-agcm/service-report/v1") with
+// per-job metrics (queue wait, run seconds, steps/sec, comm traffic,
+// retries, preemptions, fault summary) and service-level utilization.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/job.hpp"
+#include "service/worker_pool.hpp"
+#include "util/json.hpp"
+
+namespace ca::service {
+
+inline constexpr const char* kReportSchema = "ca-agcm/service-report/v1";
+
+using ServiceOptions = PoolOptions;
+
+class EnsembleService {
+ public:
+  explicit EnsembleService(const ServiceOptions& options);
+  ~EnsembleService();  // drains and stops the pool
+
+  const ServiceOptions& options() const { return pool_.options(); }
+
+  /// Validates and enqueues; returns the job id (>= 0).  Throws
+  /// std::invalid_argument with the validation message for a bad spec.
+  /// Blocks while the queue is full when `block` (backpressure);
+  /// otherwise returns -1 immediately on a full queue.
+  int submit(const JobSpec& spec, bool block = true);
+
+  /// Blocks until the job is terminal (kCompleted/kFailed).
+  void wait(int job_id);
+  /// Blocks until every submitted job is terminal.
+  void drain();
+
+  /// Terminal (or in-flight) snapshot of one job.  The final state is
+  /// MOVED out on the first call for a completed job (it can be large);
+  /// later calls return the metrics with an empty state.
+  JobResult result(int job_id);
+  /// Current lifecycle state (callable any time).
+  JobState state(int job_id) const;
+
+  /// Builds the service report over every job submitted so far.
+  util::Json report();
+
+  // Pool counters, surfaced for tests/benches.
+  int max_concurrent_jobs() const { return pool_.max_concurrent_jobs(); }
+  std::uint64_t preemptions() const { return pool_.preemptions(); }
+  std::uint64_t retries() const { return pool_.retries(); }
+
+ private:
+  std::shared_ptr<Job> find(int job_id) const;
+
+  WorkerPool pool_;
+  mutable std::mutex jobs_mu_;
+  std::vector<std::shared_ptr<Job>> jobs_;  // index == job id
+  std::chrono::steady_clock::time_point started_at_;
+};
+
+/// Schema check of a service report; returns a description of the first
+/// problem, or empty when the document conforms to
+/// ca-agcm/service-report/v1.  Used by the bench's self-check and tests.
+std::string validate_report(const util::Json& doc);
+
+}  // namespace ca::service

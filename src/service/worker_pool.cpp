@@ -1,0 +1,282 @@
+#include "service/worker_pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "service/runner.hpp"
+
+namespace ca::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+std::chrono::steady_clock::duration to_duration(double seconds) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+void add_summary(comm::FaultSummary& acc, const comm::FaultSummary& s) {
+  acc.injected_delay += s.injected_delay;
+  acc.injected_duplicate += s.injected_duplicate;
+  acc.injected_drop += s.injected_drop;
+  acc.injected_corrupt += s.injected_corrupt;
+  acc.injected_stall += s.injected_stall;
+  acc.detected_checksum += s.detected_checksum;
+  acc.detected_timeout += s.detected_timeout;
+  acc.recovered_delay += s.recovered_delay;
+  acc.recovered_duplicate += s.recovered_duplicate;
+  acc.recovered_drop += s.recovered_drop;
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(const PoolOptions& options)
+    : options_(options),
+      scheduler_(options.queue_capacity),
+      free_ranks_(options.rank_budget),
+      busy_mark_(Clock::now()) {
+  slots_.reserve(static_cast<std::size_t>(options_.slots));
+  for (int s = 0; s < options_.slots; ++s)
+    slots_.emplace_back([this] { worker_loop(); });
+}
+
+WorkerPool::~WorkerPool() { shutdown(); }
+
+bool WorkerPool::submit(const std::shared_ptr<Job>& job, bool block) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (block)
+    space_cv_.wait(lk, [&] { return stopping_ || !scheduler_.full(); });
+  if (stopping_ || scheduler_.full()) return false;
+  const auto now = Clock::now();
+  job->state = JobState::kQueued;
+  job->submitted_at = now;
+  job->last_queued_at = now;
+  job->ready_at = now;
+  if (job->checkpoint_prefix.empty())
+    job->checkpoint_prefix = options_.checkpoint_dir + "/ca_service_job" +
+                             std::to_string(job->id);
+  ++in_flight_;
+  scheduler_.push(job);
+  // A high-priority submission that does not fit the free budget starts
+  // evicting immediately — an idle worker may never see it otherwise.
+  if (const Job* best = scheduler_.peek_ready(now))
+    request_preemption(best->spec.priority, best->spec.ranks());
+  work_cv_.notify_all();
+  return true;
+}
+
+void WorkerPool::wait(const Job& job) {
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] {
+    return job.state == JobState::kCompleted ||
+           job.state == JobState::kFailed;
+  });
+}
+
+JobResult WorkerPool::snapshot(Job& job, bool take_state) {
+  std::lock_guard<std::mutex> lk(mu_);
+  JobResult r;
+  r.id = job.id;
+  r.name = job.spec.name;
+  r.state = job.state;
+  r.steps_done = job.steps_done;
+  r.metrics = job.metrics;
+  r.faults = job.faults;
+  r.error = job.error;
+  if (take_state && job.state == JobState::kCompleted)
+    r.final_state = std::move(job.final_state);
+  return r;
+}
+
+JobState WorkerPool::state(const Job& job) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return job.state;
+}
+
+void WorkerPool::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return in_flight_ == 0; });
+}
+
+void WorkerPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_ && slots_.empty()) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (auto& t : slots_)
+    if (t.joinable()) t.join();
+  slots_.clear();
+}
+
+int WorkerPool::max_concurrent_jobs() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return max_concurrent_;
+}
+
+int WorkerPool::max_ranks_in_flight() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return max_ranks_in_flight_;
+}
+
+std::uint64_t WorkerPool::preemptions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return preemptions_;
+}
+
+std::uint64_t WorkerPool::retries() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return retries_;
+}
+
+double WorkerPool::rank_seconds_busy() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rank_seconds_busy_ +
+         (options_.rank_budget - free_ranks_) *
+             seconds_between(busy_mark_, Clock::now());
+}
+
+void WorkerPool::accrue_busy_time() {
+  const auto now = Clock::now();
+  rank_seconds_busy_ += (options_.rank_budget - free_ranks_) *
+                        seconds_between(busy_mark_, now);
+  busy_mark_ = now;
+}
+
+void WorkerPool::request_preemption(int priority, int needed) {
+  // Ranks already coming free from in-progress yields count first.
+  for (const auto& j : running_)
+    if (j->yield_requested.load(std::memory_order_relaxed))
+      needed -= j->spec.ranks();
+  needed -= free_ranks_;
+  if (needed <= 0) return;
+
+  std::vector<Job*> victims;
+  for (const auto& j : running_)
+    if (j->spec.checkpoint_every > 0 && j->spec.priority < priority &&
+        !j->yield_requested.load(std::memory_order_relaxed))
+      victims.push_back(j.get());
+  // Evict the least important work first.
+  std::sort(victims.begin(), victims.end(), [](const Job* a, const Job* b) {
+    if (a->spec.priority != b->spec.priority)
+      return a->spec.priority < b->spec.priority;
+    return a->sequence > b->sequence;
+  });
+  for (Job* v : victims) {
+    if (needed <= 0) break;
+    v->yield_requested.store(true, std::memory_order_relaxed);
+    needed -= v->spec.ranks();
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    const auto now = Clock::now();
+    if (auto job = scheduler_.pop_ready(now, free_ranks_)) {
+      accrue_busy_time();
+      free_ranks_ -= job->spec.ranks();
+      max_ranks_in_flight_ = std::max(
+          max_ranks_in_flight_, options_.rank_budget - free_ranks_);
+      running_.push_back(job);
+      max_concurrent_ =
+          std::max(max_concurrent_, static_cast<int>(running_.size()));
+      job->state = JobState::kRunning;
+      job->metrics.queue_wait_seconds +=
+          seconds_between(job->last_queued_at, now);
+      ++job->metrics.attempts;
+      space_cv_.notify_all();
+      lk.unlock();
+      execute(job);
+      lk.lock();
+      continue;
+    }
+    if (stopping_ && in_flight_ == 0) return;
+    if (const Job* best = scheduler_.peek_ready(now))
+      if (best->spec.ranks() > free_ranks_)
+        request_preemption(best->spec.priority, best->spec.ranks());
+    const auto next = scheduler_.next_ready_after(now);
+    if (next == Scheduler::TimePoint::max())
+      work_cv_.wait(lk);
+    else
+      work_cv_.wait_until(lk, next);
+  }
+}
+
+void WorkerPool::execute(const std::shared_ptr<Job>& job) {
+  const int attempt = job->metrics.attempts;
+  const int start_step = job->steps_done;
+  Job* raw = job.get();
+  AttemptResult out = run_attempt(
+      job->spec, attempt, start_step, job->checkpoint_prefix,
+      [raw] { return raw->yield_requested.load(std::memory_order_relaxed); });
+
+  std::lock_guard<std::mutex> lk(mu_);
+  accrue_busy_time();
+  free_ranks_ += job->spec.ranks();
+  running_.erase(std::find(running_.begin(), running_.end(), job));
+
+  job->metrics.run_seconds += out.run_seconds;
+  job->metrics.messages += out.comm.p2p_messages;
+  job->metrics.bytes += out.comm.p2p_bytes + out.comm.collective_bytes;
+  job->metrics.collective_calls += out.comm.collective_calls;
+  add_summary(job->faults, out.faults);
+
+  const auto now = Clock::now();
+  bool terminal = false;
+  if (!out.error.empty()) {
+    job->error = out.error;  // latest failure retained either way
+    if (job->metrics.attempts < job->spec.max_attempts) {
+      ++retries_;
+      const double backoff =
+          std::ldexp(job->spec.retry_backoff_seconds,
+                     std::min(attempt - 1, 20));
+      job->metrics.backoff_seconds += backoff;
+      job->state = JobState::kBackoff;
+      job->ready_at = now + to_duration(backoff);
+      job->last_queued_at = now;
+      // A failed attempt restarts from steps_done: the last checkpoint a
+      // *yield* recorded.  Mid-attempt checkpoints of the failed run are
+      // simply overwritten as the retry passes them again.
+      scheduler_.push(job);
+    } else {
+      job->state = JobState::kFailed;
+      terminal = true;
+    }
+  } else if (out.yielded) {
+    ++preemptions_;
+    ++job->metrics.preemptions;
+    job->steps_done = out.end_step;
+    job->yield_requested.store(false, std::memory_order_relaxed);
+    job->state = JobState::kPreempted;
+    job->ready_at = now;
+    job->last_queued_at = now;
+    scheduler_.push(job);
+  } else {
+    job->steps_done = out.end_step;
+    job->final_state = std::move(out.global);
+    job->state = JobState::kCompleted;
+    job->error.clear();
+    terminal = true;
+  }
+
+  if (terminal) {
+    if (job->metrics.run_seconds > 0.0)
+      job->metrics.steps_per_second =
+          job->steps_done / job->metrics.run_seconds;
+    if (job->spec.deadline_seconds > 0.0)
+      job->metrics.deadline_missed =
+          seconds_between(job->submitted_at, now) > job->spec.deadline_seconds;
+    --in_flight_;
+    done_cv_.notify_all();
+  }
+  work_cv_.notify_all();
+}
+
+}  // namespace ca::service

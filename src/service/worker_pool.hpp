@@ -1,0 +1,106 @@
+// Worker pool of the ensemble service: N slot threads multiplex queued
+// jobs over a shared rank budget.  Each slot that picks a job spins up a
+// comm::Runtime rank group sized to the job's decomposition (via
+// service::run_attempt), so the budget bounds the total logical ranks in
+// flight, not the number of jobs.
+//
+// The pool implements the two reliability behaviors on top of the
+// Scheduler's policy:
+//   - preemption: when the best ready job does not fit the free budget,
+//     the pool asks enough lower-priority preemptible running jobs to
+//     yield; their campaigns stop at the next checkpoint boundary and the
+//     jobs re-enter the queue with a resume offset, so short
+//     high-priority work is never starved by long runs;
+//   - retry with backoff: a failed attempt (detected fault, timeout, any
+//     exception out of the rank group) re-enters the queue gated by an
+//     exponentially growing ready_at until the attempt budget is spent,
+//     after which the job ends kFailed with its accumulated FaultSummary.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/job.hpp"
+#include "service/scheduler.hpp"
+
+namespace ca::service {
+
+struct PoolOptions {
+  int slots = 2;                    ///< worker slot threads
+  int rank_budget = 4;              ///< total logical ranks in flight
+  std::size_t queue_capacity = 16;  ///< backpressure bound on submissions
+  /// Directory for the per-job checkpoint files preemption rides on.
+  std::string checkpoint_dir = ".";
+};
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(const PoolOptions& options);
+  ~WorkerPool();  // drains the queue, then stops the slots
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  const PoolOptions& options() const { return options_; }
+
+  /// Enqueues a validated job.  Blocks while the queue is full
+  /// (backpressure) when `block`; otherwise returns false immediately.
+  /// Returns false after shutdown() as well.
+  bool submit(const std::shared_ptr<Job>& job, bool block);
+
+  /// Blocks until the job reaches kCompleted or kFailed.
+  void wait(const Job& job);
+  /// Locked snapshot of a job's reportable fields; `take_state` moves a
+  /// completed job's final state into the result (first caller wins,
+  /// later snapshots carry an empty state).
+  JobResult snapshot(Job& job, bool take_state);
+  JobState state(const Job& job) const;
+  /// Blocks until every submitted job is terminal.
+  void drain();
+  /// Stops accepting submissions, drains what is queued, joins the slots.
+  void shutdown();
+
+  // --- service-level counters (stable once the pool is drained) ---
+  int max_concurrent_jobs() const;
+  int max_ranks_in_flight() const;
+  std::uint64_t preemptions() const;
+  std::uint64_t retries() const;
+  /// Integral of ranks-in-use over time [rank-seconds]; utilization is
+  /// this over (rank_budget * service wall time).
+  double rank_seconds_busy() const;
+
+ private:
+  void worker_loop();
+  /// Runs one attempt of `job` outside the lock and applies the outcome.
+  void execute(const std::shared_ptr<Job>& job);
+  /// Under lock: ask lower-priority preemptible running jobs to yield
+  /// until `needed` ranks will come free for a job of `priority`.
+  void request_preemption(int priority, int needed);
+  /// Under lock: fold the elapsed busy time into rank_seconds_busy_.
+  void accrue_busy_time();
+
+  PoolOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers: queue/budget changed
+  std::condition_variable space_cv_;  ///< submitters: queue has space
+  std::condition_variable done_cv_;   ///< waiters: a job went terminal
+  Scheduler scheduler_;
+  std::vector<std::shared_ptr<Job>> running_;
+  std::vector<std::thread> slots_;
+  int free_ranks_;
+  int in_flight_ = 0;  ///< queued + running + gated jobs, for drain()
+  bool stopping_ = false;
+  int max_concurrent_ = 0;
+  int max_ranks_in_flight_ = 0;
+  std::uint64_t preemptions_ = 0;
+  std::uint64_t retries_ = 0;
+  double rank_seconds_busy_ = 0.0;
+  std::chrono::steady_clock::time_point busy_mark_;
+};
+
+}  // namespace ca::service

@@ -1,5 +1,6 @@
 #include "util/checkpoint.hpp"
 
+#include <array>
 #include <cstdio>
 #include <memory>
 #include <stdexcept>
@@ -46,7 +47,26 @@ std::vector<double> pack_state(const mesh::DomainDecomp& d,
   return buf;
 }
 
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[n] = c;
+  }
+  return table;
+}
+
 }  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::byte b : data)
+    crc = table[(crc ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
 
 std::string checkpoint_path(const std::string& prefix, int rank) {
   return prefix + ".rank" + std::to_string(rank) + ".ckpt";
@@ -70,10 +90,12 @@ void write_checkpoint(const std::string& path,
   hdr.step = step;
   hdr.time_seconds = time_seconds;
 
+  const auto buf = pack_state(decomp, xi);
+  hdr.payload_crc = crc32(std::as_bytes(std::span<const double>(buf)));
+
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) throw std::runtime_error("cannot open checkpoint: " + path);
   write_all(f.get(), &hdr, sizeof(hdr), path);
-  const auto buf = pack_state(decomp, xi);
   write_all(f.get(), buf.data(), buf.size() * sizeof(double), path);
 }
 
@@ -84,13 +106,18 @@ CheckpointHeader read_checkpoint(const std::string& path,
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) throw std::runtime_error("cannot open checkpoint: " + path);
   CheckpointHeader hdr;
-  read_all(f.get(), &hdr, sizeof(hdr), path);
+  // The v1 header is a strict prefix of v2: read it first, then the CRC
+  // trailer only when the file declares version >= 2.
+  read_all(f.get(), &hdr, kCheckpointHeaderV1Bytes, path);
 
   CheckpointHeader expect;
   if (hdr.magic != expect.magic)
     throw std::runtime_error("not a ca-agcm checkpoint: " + path);
-  if (hdr.version != expect.version)
+  if (hdr.version < 1 || hdr.version > expect.version)
     throw std::runtime_error("unsupported checkpoint version: " + path);
+  if (hdr.version >= 2)
+    read_all(f.get(), &hdr.payload_crc,
+             sizeof(hdr) - kCheckpointHeaderV1Bytes, path);
   if (hdr.nx != mesh.nx() || hdr.ny != mesh.ny() || hdr.nz != mesh.nz())
     throw std::runtime_error("checkpoint mesh mismatch: " + path);
   if (hdr.lnx != decomp.lnx() || hdr.lny != decomp.lny() ||
@@ -104,6 +131,14 @@ CheckpointHeader read_checkpoint(const std::string& path,
                             static_cast<std::size_t>(hdr.lnx) * hdr.lny;
   std::vector<double> buf(count);
   read_all(f.get(), buf.data(), buf.size() * sizeof(double), path);
+
+  if (hdr.version >= 2) {
+    const std::uint32_t crc =
+        crc32(std::as_bytes(std::span<const double>(buf)));
+    if (crc != hdr.payload_crc)
+      throw std::runtime_error(
+          "checkpoint payload CRC mismatch (bit rot?): " + path);
+  }
 
   std::size_t idx = 0;
   auto unpack3 = [&](util::Array3D<double>& fld) {

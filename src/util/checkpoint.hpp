@@ -4,8 +4,16 @@
 // (the standard file-per-rank pattern); restart validates every header
 // field so a mismatched configuration fails loudly instead of silently
 // reading garbage.
+//
+// Version 2 appends a CRC-32 of the payload to the header: comm messages
+// carry checksums since the fault-injection work, and the checkpoint path
+// gets the same defense against silent bit-rot on disk.  Version 1 files
+// (no CRC) are still readable; writes always emit version 2.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 
 #include "mesh/decomp.hpp"
@@ -15,16 +23,28 @@ namespace ca::util {
 
 struct CheckpointHeader {
   std::uint64_t magic = 0x434141474D435031ull;  // "CAAGMCP1"
-  std::uint32_t version = 1;
+  std::uint32_t version = 2;
   std::int32_t nx = 0, ny = 0, nz = 0;        ///< global mesh
   std::int32_t lnx = 0, lny = 0, lnz = 0;     ///< this block
   std::int32_t x0 = 0, y0 = 0, z0 = 0;        ///< block origin
   std::int64_t step = 0;                       ///< model step count
   double time_seconds = 0.0;                   ///< model time
+  // --- version >= 2 only (not present in v1 files) ---
+  std::uint32_t payload_crc = 0;  ///< CRC-32 of the payload bytes
+  std::uint32_t reserved = 0;     ///< keeps the header 8-byte aligned
 };
 
-/// Writes the owned interior of xi to `path`.  Throws std::runtime_error
-/// on I/O failure.
+/// Size of the on-disk header prefix shared by every version (v1 files
+/// end their header here).
+inline constexpr std::size_t kCheckpointHeaderV1Bytes =
+    offsetof(CheckpointHeader, payload_crc);
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`; the
+/// checkpoint payload checksum.  Exposed for tests.
+std::uint32_t crc32(std::span<const std::byte> data);
+
+/// Writes the owned interior of xi to `path` (always version 2, with the
+/// payload CRC).  Throws std::runtime_error on I/O failure.
 void write_checkpoint(const std::string& path,
                       const mesh::LatLonMesh& mesh,
                       const mesh::DomainDecomp& decomp,
@@ -32,8 +52,8 @@ void write_checkpoint(const std::string& path,
                       double time_seconds);
 
 /// Reads a checkpoint into xi (halos untouched; callers re-exchange).
-/// Returns the header.  Throws std::runtime_error on I/O failure or any
-/// mesh/block mismatch.
+/// Returns the header.  Throws std::runtime_error on I/O failure, any
+/// mesh/block mismatch, or (version >= 2) a payload CRC mismatch.
 CheckpointHeader read_checkpoint(const std::string& path,
                                  const mesh::LatLonMesh& mesh,
                                  const mesh::DomainDecomp& decomp,

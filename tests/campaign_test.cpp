@@ -2,6 +2,7 @@
 // application, checkpoint cadence, and core-type genericity.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdio>
 #include <filesystem>
 #include <vector>
@@ -110,6 +111,119 @@ TEST(Campaign, WorksWithCACore) {
     EXPECT_EQ(calls, 3);
     core.finalize(xi);
   });
+}
+
+TEST(Campaign, ResumeOffsetMatchesStraightRun) {
+  // 4 steps straight == 2 steps + checkpoint + a resumed campaign with
+  // start_step = 2, bit for bit; checkpoint times forward correctly.
+  const auto c = cfg();
+  SerialCore straight(c);
+  auto xs = straight.make_state();
+  straight.initialize(xs, {.kind = state::InitialCondition::kPlanetaryWave});
+  CampaignOptions all;
+  all.steps = 4;
+  EXPECT_EQ(run_campaign(straight, nullptr, xs, all), 4);
+
+  const auto prefix = (std::filesystem::temp_directory_path() /
+                       "ca_agcm_campaign_resume")
+                          .string();
+  SerialCore first(c);
+  auto xi = first.make_state();
+  first.initialize(xi, {.kind = state::InitialCondition::kPlanetaryWave});
+  CampaignOptions half;
+  half.steps = 2;
+  half.checkpoint_every = 2;
+  half.checkpoint_prefix = prefix;
+  EXPECT_EQ(run_campaign(first, nullptr, xi, half), 2);
+
+  SerialCore second(c);
+  auto xr = second.make_state();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  const auto hdr = util::read_checkpoint(util::checkpoint_path(prefix, 0),
+                                         mesh, second.decomp(), xr);
+  EXPECT_EQ(hdr.step, 2);
+  EXPECT_DOUBLE_EQ(hdr.time_seconds, 2 * c.dt_advect);
+  second.fill_boundaries(xr);
+  CampaignOptions rest;
+  rest.steps = 4;
+  rest.start_step = 2;
+  rest.start_time_seconds = hdr.time_seconds;
+  rest.checkpoint_every = 2;
+  rest.checkpoint_prefix = prefix;
+  EXPECT_EQ(run_campaign(second, nullptr, xr, rest), 2);
+
+  EXPECT_DOUBLE_EQ(state::State::max_abs_diff(xs, xr, xs.interior()), 0.0)
+      << "a resumed campaign must be bitwise transparent";
+
+  // The resumed campaign's checkpoint carries the absolute step and the
+  // forwarded model time.
+  auto again = second.make_state();
+  const auto hdr2 = util::read_checkpoint(util::checkpoint_path(prefix, 0),
+                                          mesh, second.decomp(), again);
+  EXPECT_EQ(hdr2.step, 4);
+  EXPECT_DOUBLE_EQ(hdr2.time_seconds, 4 * c.dt_advect);
+  std::remove(util::checkpoint_path(prefix, 0).c_str());
+}
+
+TEST(Campaign, YieldStopsAtTheNextCheckpointBoundary) {
+  const auto c = cfg();
+  const auto prefix = (std::filesystem::temp_directory_path() /
+                       "ca_agcm_campaign_yield")
+                          .string();
+  SerialCore core(c);
+  auto xi = core.make_state();
+  core.initialize(xi, {.kind = state::InitialCondition::kZonalJet});
+  CampaignOptions opt;
+  opt.steps = 6;
+  opt.checkpoint_every = 2;
+  opt.checkpoint_prefix = prefix;
+  opt.should_yield = [] { return true; };
+  // An immediate yield request stops the campaign at the first
+  // checkpoint, not before it and not at the end.
+  EXPECT_EQ(run_campaign(core, nullptr, xi, opt), 2);
+
+  // Resuming without a yield finishes the remaining steps and lands on
+  // the straight-run state.
+  SerialCore ref(c);
+  auto xref = ref.make_state();
+  ref.initialize(xref, {.kind = state::InitialCondition::kZonalJet});
+  CampaignOptions all;
+  all.steps = 6;
+  run_campaign(ref, nullptr, xref, all);
+
+  CampaignOptions rest;
+  rest.steps = 6;
+  rest.start_step = 2;
+  rest.checkpoint_every = 2;
+  rest.checkpoint_prefix = prefix;
+  EXPECT_EQ(run_campaign(core, nullptr, xi, rest), 4);
+  EXPECT_DOUBLE_EQ(state::State::max_abs_diff(xi, xref, xi.interior()),
+                   0.0);
+  std::remove(util::checkpoint_path(prefix, 0).c_str());
+}
+
+TEST(Campaign, YieldDecisionIsCollective) {
+  // Only rank 0 asks to yield; the allreduce must stop BOTH ranks at the
+  // same checkpoint (a one-sided stop would deadlock the next exchange).
+  const auto prefix = (std::filesystem::temp_directory_path() /
+                       "ca_agcm_campaign_collective")
+                          .string();
+  std::array<int, 2> executed{-1, -1};
+  comm::Runtime::run(2, [&](comm::Context& ctx) {
+    OriginalCore core(cfg(), ctx, DecompScheme::kYZ, {1, 2, 1});
+    auto xi = core.make_state();
+    core.initialize(xi, {.kind = state::InitialCondition::kPlanetaryWave});
+    CampaignOptions opt;
+    opt.steps = 4;
+    opt.checkpoint_every = 1;
+    opt.checkpoint_prefix = prefix;
+    opt.should_yield = [&] { return ctx.world_rank() == 0; };
+    executed[static_cast<std::size_t>(ctx.world_rank())] =
+        run_campaign(core, &ctx, xi, opt);
+    std::remove(util::checkpoint_path(prefix, ctx.world_rank()).c_str());
+  });
+  EXPECT_EQ(executed[0], 1);
+  EXPECT_EQ(executed[1], 1) << "rank 1 did not honor rank 0's yield";
 }
 
 TEST(Campaign, ZeroStepsIsANoop) {

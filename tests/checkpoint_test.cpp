@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <span>
+#include <string>
 
 #include "comm/runtime.hpp"
 #include "core/exchange.hpp"
@@ -110,6 +112,98 @@ TEST(Checkpoint, RejectsGarbageAndTruncation) {
 
   EXPECT_THROW(read_checkpoint("/nonexistent/dir/x.ckpt", mesh, d, b),
                std::runtime_error);
+}
+
+TEST(Checkpoint, Crc32MatchesTheStandardCheckValue) {
+  // The canonical CRC-32 check value: crc32("123456789") = 0xCBF43926.
+  const char digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(std::as_bytes(std::span<const char>(digits, 9))),
+            0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(Checkpoint, DetectsPayloadBitRot) {
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  mesh::DomainDecomp d(mesh, {1, 1, 1}, {0, 0, 0});
+  state::State a(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  a.fill(3.0);
+  const std::string path = temp_prefix("bitrot") + ".ckpt";
+  write_checkpoint(path, mesh, d, a, 5, 600.0);
+
+  // Flip one payload bit well past the header.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, static_cast<long>(sizeof(CheckpointHeader)) + 129, SEEK_SET);
+    const int byte = std::fgetc(f);
+    std::fseek(f, -1, SEEK_CUR);
+    std::fputc(byte ^ 0x10, f);
+    std::fclose(f);
+  }
+  state::State b(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  try {
+    read_checkpoint(path, mesh, d, b);
+    FAIL() << "bit rot must not read back silently";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos)
+        << "unexpected diagnostic: " << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ReadsVersion1Files) {
+  // A v1 file is the v1 header prefix (version word = 1, no CRC trailer)
+  // followed by the same payload.  It must still read — and, lacking a
+  // CRC, it cannot catch bit rot, which is exactly why v2 exists.
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  mesh::DomainDecomp d(mesh, {1, 1, 1}, {0, 0, 0});
+  state::State a(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  for (int k = 0; k < c.nz; ++k)
+    for (int j = 0; j < c.ny; ++j)
+      for (int i = 0; i < c.nx; ++i) a.u()(i, j, k) = i + 100.0 * j + k;
+  const std::string v2 = temp_prefix("v2src") + ".ckpt";
+  write_checkpoint(v2, mesh, d, a, 9, 1080.0);
+
+  // Rewrite as v1: header prefix with the version patched, then payload.
+  const std::string v1 = temp_prefix("v1") + ".ckpt";
+  {
+    std::FILE* in = std::fopen(v2.c_str(), "rb");
+    std::FILE* out = std::fopen(v1.c_str(), "wb");
+    ASSERT_NE(in, nullptr);
+    ASSERT_NE(out, nullptr);
+    CheckpointHeader hdr;
+    ASSERT_EQ(std::fread(&hdr, 1, sizeof(hdr), in), sizeof(hdr));
+    hdr.version = 1;
+    ASSERT_EQ(std::fwrite(&hdr, 1, kCheckpointHeaderV1Bytes, out),
+              kCheckpointHeaderV1Bytes);
+    for (int ch; (ch = std::fgetc(in)) != EOF;) std::fputc(ch, out);
+    std::fclose(in);
+    std::fclose(out);
+  }
+  state::State b(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  const auto hdr = read_checkpoint(v1, mesh, d, b);
+  EXPECT_EQ(hdr.version, 1u);
+  EXPECT_EQ(hdr.step, 9);
+  EXPECT_DOUBLE_EQ(state::State::max_abs_diff(a, b, a.interior()), 0.0);
+
+  // Same bit flip as the v2 test: a v1 file reads it back silently.
+  {
+    std::FILE* f = std::fopen(v1.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, static_cast<long>(kCheckpointHeaderV1Bytes) + 129,
+               SEEK_SET);
+    const int byte = std::fgetc(f);
+    std::fseek(f, -1, SEEK_CUR);
+    std::fputc(byte ^ 0x10, f);
+    std::fclose(f);
+  }
+  state::State rotted(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  EXPECT_NO_THROW(read_checkpoint(v1, mesh, d, rotted));
+  EXPECT_GT(state::State::max_abs_diff(a, rotted, a.interior()), 0.0);
+  std::remove(v2.c_str());
+  std::remove(v1.c_str());
 }
 
 TEST(Checkpoint, RestartedDistributedRunIsIdentical) {

@@ -1,0 +1,269 @@
+// Soak of the ensemble service: a mixed queue exercising all three cores,
+// checkpoint-based preemption of a long low-priority run, and fault
+// injection.  The service contract under test: every submitted job ends
+// either kCompleted with a final state bit-for-bit identical to a solo
+// (uninterrupted, fault-free) run of the same spec, or terminally kFailed
+// carrying the FaultSummary of its attempts.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <thread>
+
+#include "comm/fault.hpp"
+#include "service/runner.hpp"
+#include "service/service.hpp"
+#include "state/state.hpp"
+
+namespace ca::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+constexpr double kWallClockBound = 120.0;
+
+/// Seed found by scanning: with the scoped corrupt rule below (p = 0.02,
+/// src 0 -> dst 1), attempt 1 (seed 11) injects exactly one corruption
+/// and dies with a ChecksumError, while the reseeded attempt 2 (seed 12)
+/// injects nothing and completes.  The injector is a pure hash of
+/// (seed, rule, message identity), so this is stable as long as the
+/// cores' traffic pattern is.
+constexpr std::uint64_t kTransientSeed = 11;
+
+core::DycoreConfig soak_config() {
+  core::DycoreConfig c;
+  c.nx = 24;
+  c.ny = 16;
+  c.nz = 8;
+  c.M = 2;
+  c.dt_adapt = 30.0;
+  c.dt_advect = 120.0;
+  c.z_allreduce = comm::AllreduceAlgorithm::kLinearOrdered;
+  return c;
+}
+
+std::string temp_dir(const char* tag) {
+  const auto p = std::filesystem::temp_directory_path() /
+                 (std::string("ca_service_soak_") + tag);
+  std::filesystem::create_directories(p);
+  return p.string();
+}
+
+/// Solo reference: the same spec run once, uninterrupted and fault-free,
+/// through the identical attempt machinery the service uses.
+state::State solo_run(JobSpec spec, const std::string& prefix) {
+  spec.faults = comm::FaultPlan();
+  spec.checkpoint_every = 0;
+  spec.comm = comm::RunOptions{};
+  AttemptResult r = run_attempt(spec, 1, 0, prefix, {});
+  EXPECT_TRUE(r.completed(spec.steps))
+      << "solo reference for '" << spec.name << "' failed: " << r.error;
+  return std::move(r.global);
+}
+
+void expect_bitwise(const state::State& got, const state::State& want,
+                    const std::string& name) {
+  ASSERT_GT(want.interior().volume(), 0) << name << ": empty reference";
+  const double diff =
+      state::State::max_abs_diff(got, want, want.interior());
+  EXPECT_EQ(diff, 0.0) << name << ": service result diverged from solo run";
+}
+
+void await_running(EnsembleService& svc, int id) {
+  const auto start = Clock::now();
+  while (svc.state(id) == JobState::kQueued) {
+    ASSERT_LT(elapsed_seconds(start), 30.0) << "job " << id << " never ran";
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  ASSERT_EQ(svc.state(id), JobState::kRunning);
+}
+
+TEST(ServiceSoak, MixedQueueCompletesOrFailsTerminally) {
+  const core::DycoreConfig cfg = soak_config();
+  const std::string dir = temp_dir("mixed");
+  const auto start = Clock::now();
+
+  ServiceOptions opt;
+  opt.slots = 3;
+  opt.rank_budget = 4;
+  opt.queue_capacity = 16;
+  opt.checkpoint_dir = dir;
+
+  // A long, preemptible, low-priority run occupying the whole rank budget.
+  JobSpec longj;
+  longj.name = "long";
+  longj.core = CoreKind::kOriginal;
+  longj.config = cfg;
+  longj.dims = {1, 2, 2};
+  longj.steps = 16;
+  longj.checkpoint_every = 1;
+  longj.priority = 0;
+
+  // A short high-priority job that cannot fit until `long` yields.
+  JobSpec hipri;
+  hipri.name = "hipri";
+  hipri.core = CoreKind::kOriginal;
+  hipri.config = cfg;
+  hipri.dims = {1, 2, 1};
+  hipri.steps = 3;
+  hipri.priority = 10;
+
+  JobSpec serial;
+  serial.name = "serial_hs";
+  serial.core = CoreKind::kSerial;
+  serial.config = cfg;
+  serial.steps = 3;
+  serial.held_suarez = true;
+  serial.priority = 5;
+
+  JobSpec caj;
+  caj.name = "ca";
+  caj.core = CoreKind::kCA;
+  caj.config = cfg;
+  caj.dims = {1, 1, 2};
+  caj.steps = 2;
+  caj.priority = 5;
+
+  // Certain death: probability-1 payload corruption on every message.
+  // Reseeding cannot save it, so the attempt budget drains and the job
+  // must end kFailed with the fault evidence attached.
+  JobSpec faulty;
+  faulty.name = "faulty";
+  faulty.core = CoreKind::kOriginal;
+  faulty.config = cfg;
+  faulty.dims = {1, 2, 1};
+  faulty.steps = 2;
+  faulty.priority = 5;
+  {
+    comm::FaultPlan plan(7u);
+    comm::FaultRule r;
+    r.kind = comm::FaultKind::kCorrupt;
+    r.probability = 1.0;
+    plan.add_rule(r);
+    faulty.faults = plan;
+  }
+  faulty.max_attempts = 2;
+  faulty.retry_backoff_seconds = 0.001;
+  faulty.comm.recv_timeout = std::chrono::milliseconds(400);
+
+  // Solo references for everything expected to complete.
+  std::map<std::string, state::State> solo;
+  solo["long"] = solo_run(longj, dir + "/solo_long");
+  solo["hipri"] = solo_run(hipri, dir + "/solo_hipri");
+  solo["serial_hs"] = solo_run(serial, dir + "/solo_serial");
+  solo["ca"] = solo_run(caj, dir + "/solo_ca");
+
+  EnsembleService svc(opt);
+  const int L = svc.submit(longj);
+  // Let the long job own the budget before the rest of the queue arrives,
+  // so the high-priority submission must preempt it.
+  await_running(svc, L);
+  const int H = svc.submit(hipri);
+  const int S = svc.submit(serial);
+  const int C = svc.submit(caj);
+  const int F = svc.submit(faulty);
+  svc.drain();
+  EXPECT_LT(elapsed_seconds(start), kWallClockBound) << "soak hung";
+
+  // Every job is terminal: completed bit-for-bit vs solo, or failed with
+  // fault evidence.
+  for (int id : {L, H, S, C, F}) {
+    const JobResult r = svc.result(id);
+    SCOPED_TRACE(::testing::Message() << "job '" << r.name << "'");
+    if (r.state == JobState::kCompleted) {
+      EXPECT_EQ(r.steps_done, svc.result(id).steps_done);
+      ASSERT_EQ(solo.count(r.name), 1u);
+      expect_bitwise(r.final_state, solo.at(r.name), r.name);
+    } else {
+      ASSERT_EQ(r.state, JobState::kFailed);
+      EXPECT_FALSE(r.error.empty());
+      EXPECT_GT(r.faults.injected_total(), 0u)
+          << "failed without fault evidence";
+    }
+  }
+
+  const JobResult rl = svc.result(L);
+  EXPECT_EQ(rl.state, JobState::kCompleted);
+  EXPECT_GE(rl.metrics.preemptions, 1)
+      << "the long job was never preempted; the scenario is vacuous";
+  EXPECT_EQ(svc.state(H), JobState::kCompleted);
+  EXPECT_EQ(svc.state(S), JobState::kCompleted);
+  EXPECT_EQ(svc.state(C), JobState::kCompleted);
+
+  const JobResult rf = svc.result(F);
+  EXPECT_EQ(rf.state, JobState::kFailed);
+  EXPECT_EQ(rf.metrics.attempts, 2);
+  EXPECT_GE(rf.faults.injected_corrupt, 1u);
+  EXPECT_GE(rf.faults.detected_total(), 1u);
+
+  const util::Json report = svc.report();
+  EXPECT_EQ(validate_report(report), "");
+  const util::Json* s = report.find("service");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->find("jobs_completed")->as_double(), 4.0);
+  EXPECT_EQ(s->find("jobs_failed")->as_double(), 1.0);
+  EXPECT_GE(s->find("preemptions")->as_double(), 1.0);
+  EXPECT_GE(s->find("retries")->as_double(), 1.0);
+}
+
+TEST(ServiceSoak, RetryCompletesAfterTransientFault) {
+  // A narrowly scoped low-probability corrupt rule with a seed chosen (by
+  // scanning, see bench/bench_service_throughput.cpp) so that attempt 1
+  // (seed) injects at least one corruption — the attempt dies with a
+  // ChecksumError — while the reseeded attempt 2 (seed + 1) injects
+  // nothing and completes.  The service's retry-with-backoff must carry
+  // the job to kCompleted with the solo-run state, bit for bit.
+  const core::DycoreConfig cfg = soak_config();
+  const std::string dir = temp_dir("retry");
+
+  JobSpec j;
+  j.name = "transient";
+  j.core = CoreKind::kOriginal;
+  j.config = cfg;
+  j.dims = {1, 2, 1};
+  j.steps = 2;
+  {
+    comm::FaultPlan plan(kTransientSeed);
+    comm::FaultRule r;
+    r.kind = comm::FaultKind::kCorrupt;
+    r.probability = 0.02;
+    r.src = 0;
+    r.dst = 1;
+    plan.add_rule(r);
+    j.faults = plan;
+  }
+  j.max_attempts = 3;
+  j.retry_backoff_seconds = 0.001;
+  j.comm.recv_timeout = std::chrono::milliseconds(400);
+
+  const state::State reference = solo_run(j, dir + "/solo");
+
+  ServiceOptions opt;
+  opt.slots = 1;
+  opt.rank_budget = 2;
+  opt.checkpoint_dir = dir;
+  EnsembleService svc(opt);
+  const int id = svc.submit(j);
+  svc.wait(id);
+
+  const JobResult r = svc.result(id);
+  ASSERT_EQ(r.state, JobState::kCompleted) << r.error;
+  EXPECT_EQ(r.metrics.attempts, 2)
+      << "seed no longer fails exactly once; re-scan kTransientSeed";
+  EXPECT_GE(r.faults.injected_corrupt, 1u);
+  EXPECT_GE(r.faults.detected_checksum, 1u);
+  EXPECT_GT(r.metrics.backoff_seconds, 0.0);
+  expect_bitwise(r.final_state, reference, j.name);
+
+  const util::Json report = svc.report();
+  EXPECT_EQ(validate_report(report), "");
+  EXPECT_GE(report.find("service")->find("retries")->as_double(), 1.0);
+}
+
+}  // namespace
+}  // namespace ca::service

@@ -1,0 +1,197 @@
+// Ensemble-service units that need no rank groups: JobSpec validation,
+// the Scheduler's priority + FIFO + backoff + rank-fit policy, report
+// schema self-checks, and the submit-side backpressure behavior.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "service/job.hpp"
+#include "service/scheduler.hpp"
+#include "service/service.hpp"
+
+namespace ca::service {
+namespace {
+
+JobSpec tiny_spec() {
+  JobSpec s;
+  s.name = "tiny";
+  s.core = CoreKind::kSerial;
+  s.config.nx = 16;
+  s.config.ny = 12;
+  s.config.nz = 4;
+  s.config.M = 2;
+  s.steps = 1;
+  return s;
+}
+
+TEST(JobValidation, AcceptsAWellFormedSpec) {
+  EXPECT_EQ(validate(tiny_spec(), 4), "");
+}
+
+TEST(JobValidation, RejectsBadSpecs) {
+  auto expect_reject = [](JobSpec s, const char* why) {
+    EXPECT_NE(validate(s, 4), "") << why;
+  };
+  {
+    JobSpec s = tiny_spec();
+    s.steps = 0;
+    expect_reject(s, "zero steps");
+  }
+  {
+    JobSpec s = tiny_spec();
+    s.dims = {1, 2, 1};
+    expect_reject(s, "serial with 2 ranks");
+  }
+  {
+    JobSpec s = tiny_spec();
+    s.core = CoreKind::kOriginal;
+    s.dims = {1, 5, 1};
+    expect_reject(s, "more ranks than the pool budget");
+  }
+  {
+    JobSpec s = tiny_spec();
+    s.core = CoreKind::kCA;
+    s.dims = {2, 1, 1};
+    expect_reject(s, "CA with px > 1");
+  }
+  {
+    JobSpec s = tiny_spec();
+    s.core = CoreKind::kCA;
+    s.dims = {1, 2, 1};
+    expect_reject(s, "CA with ny/py below the deep-halo bound");
+  }
+  {
+    JobSpec s = tiny_spec();
+    s.core = CoreKind::kCA;
+    s.dims = {1, 1, 2};
+    s.config.ny = 16;
+    s.checkpoint_every = 1;
+    expect_reject(s, "CA jobs must not be preemptible");
+  }
+  {
+    JobSpec s = tiny_spec();
+    s.max_attempts = 0;
+    expect_reject(s, "empty attempt budget");
+  }
+}
+
+TEST(SchedulerPolicy, PriorityThenFifo) {
+  using Clock = std::chrono::steady_clock;
+  Scheduler q(8);
+  auto mk = [](int id, int priority) {
+    JobSpec s = tiny_spec();
+    s.priority = priority;
+    auto j = std::make_shared<Job>(id, s);
+    return j;
+  };
+  auto a = mk(0, 0), b = mk(1, 5), c = mk(2, 5), d = mk(3, 1);
+  for (auto& j : {a, b, c, d}) q.push(j);
+  const auto now = Clock::now();
+  EXPECT_EQ(q.pop_ready(now, 8)->id, 1);  // highest priority, first in
+  EXPECT_EQ(q.pop_ready(now, 8)->id, 2);  // same priority, FIFO
+  EXPECT_EQ(q.pop_ready(now, 8)->id, 3);
+  EXPECT_EQ(q.pop_ready(now, 8)->id, 0);
+  EXPECT_EQ(q.pop_ready(now, 8), nullptr);
+}
+
+TEST(SchedulerPolicy, RankFitAndBackoffGate) {
+  using namespace std::chrono_literals;
+  using Clock = std::chrono::steady_clock;
+  Scheduler q(8);
+  JobSpec wide = tiny_spec();
+  wide.core = CoreKind::kOriginal;
+  wide.dims = {1, 4, 1};
+  wide.priority = 9;
+  auto big = std::make_shared<Job>(0, wide);
+  auto small = std::make_shared<Job>(1, tiny_spec());
+  q.push(big);
+  q.push(small);
+  const auto now = Clock::now();
+  // Only 2 ranks free: the 4-rank job is skipped despite its priority.
+  EXPECT_EQ(q.pop_ready(now, 2)->id, 1);
+  // ...but it is what the pool should make room for.
+  q.push(small);
+  EXPECT_EQ(q.peek_ready(now)->id, 0);
+
+  small->ready_at = now + 1h;  // backoff-gated
+  EXPECT_EQ(q.pop_ready(now, 2), nullptr);
+  EXPECT_EQ(q.next_ready_after(now), small->ready_at);
+  EXPECT_NE(q.pop_ready(now + 2h, 2), nullptr);
+}
+
+TEST(Service, RejectsInvalidSubmit) {
+  ServiceOptions opt;
+  opt.slots = 1;
+  opt.rank_budget = 2;
+  opt.checkpoint_dir =
+      std::filesystem::temp_directory_path().string();
+  EnsembleService svc(opt);
+  JobSpec bad = tiny_spec();
+  bad.steps = -1;
+  EXPECT_THROW(svc.submit(bad), std::invalid_argument);
+  EXPECT_THROW(svc.wait(123), std::out_of_range);
+}
+
+TEST(Service, ReportValidatesAgainstItsSchema) {
+  ServiceOptions opt;
+  opt.slots = 2;
+  opt.rank_budget = 2;
+  opt.checkpoint_dir =
+      std::filesystem::temp_directory_path().string();
+  EnsembleService svc(opt);
+  JobSpec s = tiny_spec();
+  s.steps = 2;
+  s.deadline_seconds = 3600.0;
+  const int a = svc.submit(s);
+  const int b = svc.submit(s);
+  svc.drain();
+  EXPECT_EQ(svc.state(a), JobState::kCompleted);
+  EXPECT_EQ(svc.state(b), JobState::kCompleted);
+
+  const util::Json doc = svc.report();
+  EXPECT_EQ(validate_report(doc), "");
+  // The report must survive a serialize/parse round trip unchanged in
+  // validity (what the bench writes to disk and re-checks).
+  EXPECT_EQ(validate_report(util::Json::parse(doc.dump(2))), "");
+  const util::Json* svc_obj = doc.find("service");
+  ASSERT_NE(svc_obj, nullptr);
+  EXPECT_EQ(svc_obj->find("jobs_completed")->as_double(), 2.0);
+  EXPECT_EQ(svc_obj->find("jobs_failed")->as_double(), 0.0);
+
+  // Both tiny jobs met their hour-long deadline.
+  for (const auto& e : doc.find("jobs")->items())
+    EXPECT_FALSE(e.find("deadline_missed")->as_bool());
+}
+
+TEST(Service, NonBlockingSubmitBackpressure) {
+  ServiceOptions opt;
+  opt.slots = 1;
+  opt.rank_budget = 1;
+  opt.queue_capacity = 1;
+  opt.checkpoint_dir =
+      std::filesystem::temp_directory_path().string();
+  EnsembleService svc(opt);
+  JobSpec s = tiny_spec();
+  s.steps = 200;  // long enough to keep the single slot busy
+  // Occupy the slot, fill the one queue seat, then the queue must refuse.
+  const int first = svc.submit(s, /*block=*/false);
+  ASSERT_GE(first, 0);
+  const auto start = std::chrono::steady_clock::now();
+  while (svc.state(first) == JobState::kQueued) {
+    ASSERT_LT(std::chrono::steady_clock::now() - start,
+              std::chrono::seconds(30));
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const int queued = svc.submit(s, /*block=*/false);
+  ASSERT_GE(queued, 0) << "an empty queue must accept";
+  EXPECT_EQ(svc.submit(s, /*block=*/false), -1)
+      << "a full bounded queue must refuse a non-blocking submit";
+  svc.drain();
+  EXPECT_EQ(svc.state(first), JobState::kCompleted);
+  EXPECT_EQ(svc.state(queued), JobState::kCompleted);
+}
+
+}  // namespace
+}  // namespace ca::service
