@@ -141,6 +141,10 @@ struct Job {
   // --- guarded by the pool mutex ---
   JobState state = JobState::kQueued;
   std::uint64_t sequence = 0;  ///< FIFO order within a priority level
+  /// Times a smaller job was popped past this one while it headed the
+  /// ready queue without fitting; Scheduler::kMaxBypasses bounds it so
+  /// backfill cannot starve the job (reset every time it is popped).
+  int bypassed = 0;
   std::chrono::steady_clock::time_point submitted_at{};
   std::chrono::steady_clock::time_point last_queued_at{};
   std::chrono::steady_clock::time_point ready_at{};  ///< backoff gate

@@ -1,8 +1,11 @@
 #include "service/runner.hpp"
 
 #include <mutex>
+#include <span>
 #include <stdexcept>
+#include <string>
 
+#include "comm/collectives.hpp"
 #include "comm/runtime.hpp"
 #include "core/ca_core.hpp"
 #include "core/campaign.hpp"
@@ -17,12 +20,13 @@ namespace ca::service {
 namespace {
 
 core::CampaignOptions campaign_options(
-    const JobSpec& spec, int start_step, const std::string& prefix,
-    const physics::HeldSuarezForcing* forcing,
+    const JobSpec& spec, int start_step, double start_time_seconds,
+    const std::string& prefix, const physics::HeldSuarezForcing* forcing,
     const std::function<bool()>& should_yield) {
   core::CampaignOptions opt;
   opt.steps = spec.steps;
   opt.start_step = start_step;
+  opt.start_time_seconds = start_time_seconds;
   opt.checkpoint_every = spec.checkpoint_every;
   opt.checkpoint_prefix = prefix;
   if (spec.held_suarez) {
@@ -31,6 +35,57 @@ core::CampaignOptions campaign_options(
   }
   if (spec.checkpoint_every > 0) opt.should_yield = should_yield;
   return opt;
+}
+
+/// The step/time a resumed attempt actually starts from: the checkpoint
+/// header's, not the pool's yield mark.  A failed attempt may have
+/// checkpointed PAST the last yield before dying; its files then record a
+/// later step than the pool's steps_done, and re-running the gap on top of
+/// the later state would silently diverge from the solo run.
+struct ResumePoint {
+  int step = 0;
+  double time_seconds = -1.0;
+};
+
+ResumePoint check_resume_step(std::int64_t header_step, int start_step,
+                              const JobSpec& spec, double time_seconds) {
+  if (header_step < start_step || header_step > spec.steps)
+    throw std::runtime_error(
+        "checkpoint step " + std::to_string(header_step) +
+        " outside the resumable range [" + std::to_string(start_step) +
+        ", " + std::to_string(spec.steps) + "] for job '" + spec.name +
+        "'");
+  return {static_cast<int>(header_step), time_seconds};
+}
+
+/// Distributed variant: every rank contributes its header step and the
+/// world agrees they are identical.  Ranks' files CAN disagree when a
+/// previous attempt died while only some ranks had written a later
+/// checkpoint; such a set has no single consistent state to resume (the
+/// earlier per-rank states are already overwritten), so the attempt must
+/// fail loudly instead of mixing steps.
+ResumePoint agree_resume_step(comm::Context& ctx, std::int64_t header_step,
+                              int start_step, const JobSpec& spec,
+                              double time_seconds) {
+  if (ctx.world().size() > 1) {
+    // One max-allreduce carries both extrema: {step, -step}.
+    const double local[2] = {static_cast<double>(header_step),
+                             -static_cast<double>(header_step)};
+    double agreed[2] = {local[0], local[1]};
+    ctx.stats().set_phase("service");
+    comm::allreduce<double>(ctx, ctx.world(),
+                            std::span<const double>(local, 2),
+                            std::span<double>(agreed, 2),
+                            comm::ReduceOp::kMax);
+    if (agreed[0] != -agreed[1])
+      throw std::runtime_error(
+          "inconsistent checkpoint set for job '" + spec.name +
+          "': rank headers record steps " +
+          std::to_string(static_cast<std::int64_t>(-agreed[1])) + ".." +
+          std::to_string(static_cast<std::int64_t>(agreed[0])) +
+          "; no common state to resume");
+  }
+  return check_resume_step(header_step, start_step, spec, time_seconds);
 }
 
 }  // namespace
@@ -52,20 +107,25 @@ AttemptResult run_attempt(const JobSpec& spec, int attempt, int start_step,
     if (spec.core == CoreKind::kSerial) {
       core::SerialCore core(spec.config);
       auto xi = core.make_state();
+      ResumePoint resume;
       if (start_step > 0) {
         const mesh::LatLonMesh mesh(spec.config.nx, spec.config.ny,
                                     spec.config.nz);
-        util::read_checkpoint(util::checkpoint_path(checkpoint_prefix, 0),
-                              mesh, core.decomp(), xi);
+        const auto hdr = util::read_checkpoint(
+            util::checkpoint_path(checkpoint_prefix, 0), mesh,
+            core.decomp(), xi);
+        resume = check_resume_step(hdr.step, start_step, spec,
+                                   hdr.time_seconds);
         core.fill_boundaries(xi);
       } else {
         core.initialize(xi, spec.initial);
       }
       const physics::HeldSuarezForcing forcing(core.op_context());
-      const auto opt = campaign_options(spec, start_step, checkpoint_prefix,
-                                        &forcing, should_yield);
+      const auto opt =
+          campaign_options(spec, resume.step, resume.time_seconds,
+                           checkpoint_prefix, &forcing, should_yield);
       const int executed = core::run_campaign(core, nullptr, xi, opt);
-      res.end_step = start_step + executed;
+      res.end_step = resume.step + executed;
       if (res.end_step == spec.steps)
         res.global = std::move(xi);
       else
@@ -76,12 +136,15 @@ AttemptResult run_attempt(const JobSpec& spec, int attempt, int start_step,
       std::mutex mu;
       auto drive = [&](auto& core, comm::Context& ctx) {
         auto xi = core.make_state();
+        ResumePoint resume;
         if (start_step > 0) {
           const mesh::LatLonMesh mesh(spec.config.nx, spec.config.ny,
                                       spec.config.nz);
-          util::read_checkpoint(
+          const auto hdr = util::read_checkpoint(
               util::checkpoint_path(checkpoint_prefix, ctx.world_rank()),
               mesh, core.decomp(), xi);
+          resume = agree_resume_step(ctx, hdr.step, start_step, spec,
+                                     hdr.time_seconds);
           if constexpr (requires { core.refresh_halos(xi, "restart"); }) {
             core.refresh_halos(xi, "restart");
           } else {
@@ -92,10 +155,11 @@ AttemptResult run_attempt(const JobSpec& spec, int attempt, int start_step,
           core.initialize(xi, spec.initial);
         }
         const physics::HeldSuarezForcing forcing(core.op_context());
-        const auto opt = campaign_options(
-            spec, start_step, checkpoint_prefix, &forcing, should_yield);
+        const auto opt =
+            campaign_options(spec, resume.step, resume.time_seconds,
+                             checkpoint_prefix, &forcing, should_yield);
         const int executed = core::run_campaign(core, &ctx, xi, opt);
-        const int end = start_step + executed;
+        const int end = resume.step + executed;
         const bool completed = end == spec.steps;
         state::State global;
         if (completed) {

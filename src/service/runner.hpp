@@ -35,9 +35,14 @@ struct AttemptResult {
   }
 };
 
-/// Runs steps start_step+1 .. spec.steps.  start_step > 0 resumes from
-/// the per-rank checkpoints under `checkpoint_prefix` (which a prior
-/// attempt wrote).  `attempt` is 1-based and reseeds the job's FaultPlan
+/// Runs the job to spec.steps.  start_step > 0 means "resume from the
+/// per-rank checkpoints under `checkpoint_prefix`" (which a prior attempt
+/// wrote); the steps actually re-run are header.step+1 .. spec.steps —
+/// the checkpoint header, not start_step, is the source of truth, because
+/// a failed attempt may have checkpointed past the caller's mark before
+/// dying.  start_step only bounds it from below: a header behind it (or
+/// rank headers that disagree, for distributed jobs) fails the attempt.
+/// `attempt` is 1-based and reseeds the job's FaultPlan
 /// (seed + attempt - 1) so injected faults are transient across retries.
 /// `should_yield` may be null; it is polled at checkpoint boundaries.
 AttemptResult run_attempt(const JobSpec& spec, int attempt, int start_step,

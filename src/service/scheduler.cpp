@@ -10,15 +10,33 @@ void Scheduler::push(std::shared_ptr<Job> job) {
 }
 
 std::shared_ptr<Job> Scheduler::pop_ready(TimePoint now, int free_ranks) {
-  std::size_t best = queue_.size();
+  const std::size_t none = queue_.size();
+  // The head: best ready job regardless of whether it fits.
+  std::size_t head = none;
   for (std::size_t i = 0; i < queue_.size(); ++i) {
     const Job& j = *queue_[i];
-    if (j.ready_at > now || j.spec.ranks() > free_ranks) continue;
-    if (best == queue_.size() || before(j, *queue_[best])) best = i;
+    if (j.ready_at > now) continue;
+    if (head == none || before(j, *queue_[head])) head = i;
   }
-  if (best == queue_.size()) return nullptr;
+  std::size_t best = none;
+  if (head != none && queue_[head]->spec.ranks() <= free_ranks) {
+    best = head;
+  } else if (head != none && queue_[head]->bypassed < kMaxBypasses) {
+    // Backfill: the best ready job that does fit.  Charged against the
+    // head's bypass budget so the ranks preemption frees for the head
+    // cannot be grabbed by a stream of small jobs forever.
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      const Job& j = *queue_[i];
+      if (i == head || j.ready_at > now || j.spec.ranks() > free_ranks)
+        continue;
+      if (best == none || before(j, *queue_[best])) best = i;
+    }
+    if (best != none) ++queue_[head]->bypassed;
+  }
+  if (best == none) return nullptr;
   auto job = std::move(queue_[best]);
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+  job->bypassed = 0;
   return job;
 }
 

@@ -1,7 +1,10 @@
 // Queue policy of the ensemble service: a bounded priority + FIFO queue.
 // Jobs order by (priority desc, submit sequence asc); a job is eligible
 // when its backoff gate (ready_at) has passed and its rank demand fits
-// the free budget.  The Scheduler is a pure policy object — it owns no
+// the free budget.  Smaller jobs may backfill past a best job that does
+// not fit, but only kMaxBypasses times — after that the queue holds
+// ranks for it, so backfill cannot starve a wide high-priority job
+// (see pop_ready).  The Scheduler is a pure policy object — it owns no
 // lock; the WorkerPool serializes every call under its mutex.  Capacity
 // bounds only external submissions (backpressure): preempted and
 // retrying jobs re-enter past the bound, otherwise a full queue could
@@ -34,8 +37,19 @@ class Scheduler {
   /// it but re-enters preempted/retrying jobs unconditionally.
   void push(std::shared_ptr<Job> job);
 
-  /// Removes and returns the best job with ready_at <= now and
-  /// ranks() <= free_ranks; null when none qualifies.
+  /// A non-fitting head job tolerates this many backfills before the
+  /// scheduler holds ranks for it (see pop_ready).
+  static constexpr int kMaxBypasses = 4;
+
+  /// Removes and returns the best ready job (ready_at <= now) that fits
+  /// free_ranks; null when none qualifies.  When the BEST ready job does
+  /// not fit, smaller lower-precedence jobs may be returned in its place
+  /// (backfill keeps the pool busy while preemption frees ranks for it) —
+  /// but only kMaxBypasses times: each backfill can steal ranks that
+  /// preemption just freed for the head job, so unbounded backfill plus a
+  /// steady stream of small jobs would starve it forever.  Once the head
+  /// job's bypass budget is spent, pop_ready returns null until it fits,
+  /// letting freed ranks accrue to it.
   std::shared_ptr<Job> pop_ready(TimePoint now, int free_ranks);
 
   /// Best job past its backoff gate regardless of rank fit (what the

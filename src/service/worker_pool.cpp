@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 
 #include "service/runner.hpp"
 
@@ -39,6 +40,11 @@ WorkerPool::WorkerPool(const PoolOptions& options)
       scheduler_(options.queue_capacity),
       free_ranks_(options.rank_budget),
       busy_mark_(Clock::now()) {
+  // Checkpoint paths are built under this directory; a missing one would
+  // make every preemptible job burn its whole attempt budget on fopen
+  // failures, so materialize it (or fail loudly) before any slot starts.
+  if (options_.checkpoint_dir.empty()) options_.checkpoint_dir = ".";
+  std::filesystem::create_directories(options_.checkpoint_dir);
   slots_.reserve(static_cast<std::size_t>(options_.slots));
   for (int s = 0; s < options_.slots; ++s)
     slots_.emplace_back([this] { worker_loop(); });
@@ -179,7 +185,11 @@ void WorkerPool::worker_loop() {
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
     const auto now = Clock::now();
-    if (auto job = scheduler_.pop_ready(now, free_ranks_)) {
+    // Shutdown cancels backoff gates: the drain still runs every pending
+    // retry, just immediately — otherwise an exponential backoff (up to
+    // 2^20 x base) could hold shutdown hostage for hours.
+    const auto gate = stopping_ ? Scheduler::TimePoint::max() : now;
+    if (auto job = scheduler_.pop_ready(gate, free_ranks_)) {
       accrue_busy_time();
       free_ranks_ -= job->spec.ranks();
       max_ranks_in_flight_ = std::max(
@@ -198,10 +208,10 @@ void WorkerPool::worker_loop() {
       continue;
     }
     if (stopping_ && in_flight_ == 0) return;
-    if (const Job* best = scheduler_.peek_ready(now))
+    if (const Job* best = scheduler_.peek_ready(gate))
       if (best->spec.ranks() > free_ranks_)
         request_preemption(best->spec.priority, best->spec.ranks());
-    const auto next = scheduler_.next_ready_after(now);
+    const auto next = scheduler_.next_ready_after(gate);
     if (next == Scheduler::TimePoint::max())
       work_cv_.wait(lk);
     else
@@ -241,9 +251,10 @@ void WorkerPool::execute(const std::shared_ptr<Job>& job) {
       job->state = JobState::kBackoff;
       job->ready_at = now + to_duration(backoff);
       job->last_queued_at = now;
-      // A failed attempt restarts from steps_done: the last checkpoint a
-      // *yield* recorded.  Mid-attempt checkpoints of the failed run are
-      // simply overwritten as the retry passes them again.
+      // The retry passes steps_done (the last yield mark) only as a
+      // resume-from-checkpoint signal; run_attempt trusts the checkpoint
+      // headers' recorded step, which may be PAST steps_done when the
+      // failed attempt checkpointed mid-run before dying.
       scheduler_.push(job);
     } else {
       job->state = JobState::kFailed;

@@ -63,6 +63,8 @@ class WorkerPool {
   /// Blocks until every submitted job is terminal.
   void drain();
   /// Stops accepting submissions, drains what is queued, joins the slots.
+  /// Backoff gates are cancelled: pending retries run immediately, so the
+  /// drain is never held up by a long exponential backoff.
   void shutdown();
 
   // --- service-level counters (stable once the pool is drained) ---

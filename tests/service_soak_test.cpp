@@ -15,6 +15,7 @@
 #include "service/runner.hpp"
 #include "service/service.hpp"
 #include "state/state.hpp"
+#include "util/checkpoint.hpp"
 
 namespace ca::service {
 namespace {
@@ -209,6 +210,131 @@ TEST(ServiceSoak, MixedQueueCompletesOrFailsTerminally) {
   EXPECT_EQ(s->find("jobs_failed")->as_double(), 1.0);
   EXPECT_GE(s->find("preemptions")->as_double(), 1.0);
   EXPECT_GE(s->find("retries")->as_double(), 1.0);
+}
+
+TEST(ServiceSoak, RetryResumesFromTheCheckpointHeaderStep) {
+  // The scenario the bitwise contract almost lost: a job yields at step 2
+  // (the pool marks steps_done = 2), a later attempt advances the single
+  // per-rank checkpoint file to step 4 and then dies.  The retry is
+  // handed start_step = 2 but the file now holds step-4 state; replaying
+  // steps 3..4 on top of it would silently diverge from the solo run.
+  // run_attempt must trust the header's step instead.
+  const core::DycoreConfig cfg = soak_config();
+  const std::string dir = temp_dir("hdr_resume");
+  const std::string prefix = dir + "/job";
+
+  JobSpec j;
+  j.name = "hdr_resume";
+  j.core = CoreKind::kSerial;
+  j.config = cfg;
+  j.steps = 6;
+  j.checkpoint_every = 2;
+
+  const state::State reference = solo_run(j, dir + "/solo");
+
+  // Attempt 1 yields at the first checkpoint: file records step 2.
+  AttemptResult a1 = run_attempt(j, 1, 0, prefix, [] { return true; });
+  ASSERT_TRUE(a1.error.empty()) << a1.error;
+  ASSERT_TRUE(a1.yielded);
+  ASSERT_EQ(a1.end_step, 2);
+
+  // Stand-in for the failed attempt that checkpointed mid-run: resume
+  // from 2, yield again at step 4 — the file now records step 4, while
+  // the pool's yield mark is still 2.
+  AttemptResult a2 = run_attempt(j, 2, 2, prefix, [] { return true; });
+  ASSERT_TRUE(a2.error.empty()) << a2.error;
+  ASSERT_TRUE(a2.yielded);
+  ASSERT_EQ(a2.end_step, 4);
+
+  // The retry with the stale start_step label must pick up at the
+  // header's step 4 and land bitwise on the solo trajectory.
+  AttemptResult a3 = run_attempt(j, 3, 2, prefix, {});
+  ASSERT_TRUE(a3.error.empty()) << a3.error;
+  ASSERT_TRUE(a3.completed(j.steps));
+  expect_bitwise(a3.global, reference, j.name);
+}
+
+TEST(ServiceSoak, InconsistentCheckpointSetFailsTheAttempt) {
+  // Distributed resume with rank headers recording different steps: the
+  // earlier per-rank states are already overwritten, so there is no
+  // common state to resume — the attempt must fail loudly, not mix steps.
+  const core::DycoreConfig cfg = soak_config();
+  const std::string dir = temp_dir("hdr_mismatch");
+  const std::string prefix = dir + "/job";
+
+  JobSpec j;
+  j.name = "hdr_mismatch";
+  j.core = CoreKind::kOriginal;
+  j.config = cfg;
+  j.dims = {1, 2, 1};
+  j.steps = 4;
+  j.checkpoint_every = 2;
+
+  AttemptResult a1 = run_attempt(j, 1, 0, prefix, [] { return true; });
+  ASSERT_TRUE(a1.error.empty()) << a1.error;
+  ASSERT_EQ(a1.end_step, 2);
+
+  // Freeze rank 0's step-2 file, let both ranks advance to step 4, then
+  // roll rank 0 back: rank 0's header says 2, rank 1's says 4.
+  const auto r0 = util::checkpoint_path(prefix, 0);
+  std::filesystem::copy_file(
+      r0, r0 + ".step2",
+      std::filesystem::copy_options::overwrite_existing);
+  AttemptResult a2 = run_attempt(j, 2, 2, prefix, [] { return true; });
+  ASSERT_TRUE(a2.error.empty()) << a2.error;
+  ASSERT_EQ(a2.end_step, 4);
+  std::filesystem::copy_file(
+      r0 + ".step2", r0,
+      std::filesystem::copy_options::overwrite_existing);
+
+  AttemptResult a3 = run_attempt(j, 3, 2, prefix, {});
+  EXPECT_FALSE(a3.error.empty())
+      << "an attempt resumed a mixed-step checkpoint set";
+  EXPECT_NE(a3.error.find("inconsistent checkpoint set"), std::string::npos)
+      << a3.error;
+}
+
+TEST(ServiceSoak, ShutdownCancelsBackoffGates) {
+  // A hard-faulting job with an hour-long base backoff: shutdown must
+  // still drain it promptly by running the pending retry immediately
+  // instead of sleeping out the gate.
+  const core::DycoreConfig cfg = soak_config();
+  const auto start = Clock::now();
+
+  PoolOptions opt;
+  opt.slots = 1;
+  opt.rank_budget = 2;
+  opt.checkpoint_dir = temp_dir("shutdown");
+
+  JobSpec j;
+  j.name = "doomed";
+  j.core = CoreKind::kOriginal;
+  j.config = cfg;
+  j.dims = {1, 2, 1};
+  j.steps = 2;
+  {
+    comm::FaultPlan plan(7u);
+    comm::FaultRule r;
+    r.kind = comm::FaultKind::kCorrupt;
+    r.probability = 1.0;
+    plan.add_rule(r);
+    j.faults = plan;
+  }
+  j.max_attempts = 2;
+  j.retry_backoff_seconds = 3600.0;
+  j.comm.recv_timeout = std::chrono::milliseconds(400);
+
+  auto job = std::make_shared<Job>(0, j);
+  {
+    WorkerPool pool(opt);
+    ASSERT_TRUE(pool.submit(job, /*block=*/true));
+    pool.shutdown();
+    EXPECT_EQ(pool.state(*job), JobState::kFailed);
+  }
+  EXPECT_EQ(job->metrics.attempts, 2)
+      << "the drain must still spend the attempt budget";
+  EXPECT_LT(elapsed_seconds(start), kWallClockBound)
+      << "shutdown waited out the backoff gate";
 }
 
 TEST(ServiceSoak, RetryCompletesAfterTransientFault) {

@@ -121,6 +121,40 @@ TEST(SchedulerPolicy, RankFitAndBackoffGate) {
   EXPECT_NE(q.pop_ready(now + 2h, 2), nullptr);
 }
 
+TEST(SchedulerPolicy, BackfillPastTheHeadJobIsBounded) {
+  // A wide high-priority job that never fits the free ranks must not be
+  // starved by an endless stream of small backfill jobs grabbing the
+  // ranks preemption frees for it: after kMaxBypasses backfills the
+  // queue holds ranks until the head job fits.
+  using Clock = std::chrono::steady_clock;
+  Scheduler q(64);
+  JobSpec wide = tiny_spec();
+  wide.core = CoreKind::kOriginal;
+  wide.dims = {1, 4, 1};
+  wide.priority = 9;
+  auto big = std::make_shared<Job>(0, wide);
+  q.push(big);
+  const auto now = Clock::now();
+  int id = 1;
+  for (int i = 0; i < Scheduler::kMaxBypasses; ++i) {
+    q.push(std::make_shared<Job>(id++, tiny_spec()));
+    ASSERT_NE(q.pop_ready(now, 2), nullptr)
+        << "backfill below the bypass bound must keep the pool busy";
+  }
+  // Bypass budget spent: a fitting small job queues, but the ranks are
+  // now reserved for the head job.
+  q.push(std::make_shared<Job>(id++, tiny_spec()));
+  EXPECT_EQ(q.pop_ready(now, 2), nullptr)
+      << "backfill past the bypass bound starves the head job";
+  // Once enough ranks free up, the head job pops and its budget resets.
+  auto popped = q.pop_ready(now, 4);
+  ASSERT_NE(popped, nullptr);
+  EXPECT_EQ(popped->id, 0);
+  EXPECT_EQ(popped->bypassed, 0);
+  // The queued small job is eligible again now that the head is gone.
+  EXPECT_NE(q.pop_ready(now, 2), nullptr);
+}
+
 TEST(Service, RejectsInvalidSubmit) {
   ServiceOptions opt;
   opt.slots = 1;
@@ -163,6 +197,27 @@ TEST(Service, ReportValidatesAgainstItsSchema) {
   // Both tiny jobs met their hour-long deadline.
   for (const auto& e : doc.find("jobs")->items())
     EXPECT_FALSE(e.find("deadline_missed")->as_bool());
+}
+
+TEST(Service, CreatesTheCheckpointDirectory) {
+  // A missing checkpoint directory must not make preemptible jobs burn
+  // their attempt budget on fopen failures: the pool materializes it.
+  const auto root =
+      std::filesystem::temp_directory_path() / "ca_service_ckpt_dir";
+  std::filesystem::remove_all(root);
+  ServiceOptions opt;
+  opt.slots = 1;
+  opt.rank_budget = 1;
+  opt.checkpoint_dir = (root / "nested").string();
+  EnsembleService svc(opt);
+  EXPECT_TRUE(std::filesystem::is_directory(root / "nested"));
+  JobSpec s = tiny_spec();
+  s.steps = 2;
+  s.checkpoint_every = 1;
+  const int id = svc.submit(s);
+  svc.drain();
+  EXPECT_EQ(svc.state(id), JobState::kCompleted);
+  std::filesystem::remove_all(root);
 }
 
 TEST(Service, NonBlockingSubmitBackpressure) {
