@@ -394,6 +394,52 @@ void CACore::run(state::State& xi, int n) {
   finalize(xi);
 }
 
+void CACore::refresh_halos(state::State& s, const std::string& /*phase*/) {
+  fill_boundaries(s);
+}
+
+namespace {
+
+/// Carry-block tag: "CACARRY" + format version byte.  Bump the low byte
+/// when the field list or order changes.
+constexpr std::uint64_t kCarryMagic = 0x4341434152525901ull;
+
+}  // namespace
+
+void CACore::save_carry(util::CarryWriter& w) const {
+  w.put_u64(kCarryMagic);
+  w.put_i64(step_count_);
+  w.put_u64(have_stale_c_ ? 1 : 0);
+  for (const auto* f : ws_.carry_fields_3d()) w.put_doubles(f->raw());
+  for (const auto* f : ws_.carry_fields_2d()) w.put_doubles(f->raw());
+  w.put_doubles(pre_.phi().raw());
+  w.put_doubles(pre_.psa().raw());
+}
+
+void CACore::restore_carry(util::CarryReader& r) {
+  if (r.get_u64() != kCarryMagic)
+    throw std::runtime_error(
+        "checkpoint carry block is not a CA-core carry (wrong magic/"
+        "version)");
+  const std::int64_t steps = r.get_i64();
+  if (steps < 0)
+    throw std::runtime_error("CA carry records a negative step count");
+  const std::uint64_t stale = r.get_u64();
+  if (stale > 1)
+    throw std::runtime_error("CA carry has a malformed stale-C flag");
+  // Full raw spans (halos included): the resumed step's overlapped inner
+  // update and its outgoing exchange rows read these arrays before any
+  // exchange refreshes them, and get_doubles rejects any size mismatch
+  // against this core's configuration.
+  for (auto* f : ws_.carry_fields_3d()) r.get_doubles(f->raw());
+  for (auto* f : ws_.carry_fields_2d()) r.get_doubles(f->raw());
+  r.get_doubles(pre_.phi().raw());
+  r.get_doubles(pre_.psa().raw());
+  r.expect_end();
+  step_count_ = static_cast<int>(steps);
+  have_stale_c_ = stale == 1;
+}
+
 void CACore::finalize(state::State& xi) {
   if (step_count_ == 0) return;
   // The last step's smoothing is still pending (Algorithm 2 line 30).

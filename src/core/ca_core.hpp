@@ -15,6 +15,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 
 #include "comm/topology.hpp"
 #include "core/dycore_config.hpp"
@@ -27,6 +28,7 @@
 #include "state/initial.hpp"
 #include "state/state.hpp"
 #include "state/stratification.hpp"
+#include "util/checkpoint.hpp"
 
 namespace ca::core {
 
@@ -88,6 +90,34 @@ class CACore {
   /// Applies the deferred smoothing of the last step (Algorithm 2 line
   /// 30); run() calls this automatically after its steps.
   void finalize(state::State& xi);
+
+  /// Restart halo refresh (same hook the runner probes on OriginalCore).
+  /// The CA step's own deep exchanges re-send every neighbor halo row it
+  /// reads, so a restart only needs the physical/periodic boundary fill;
+  /// `phase` is accepted for signature parity and ignored.
+  void refresh_halos(state::State& s, const std::string& phase);
+
+  // --- checkpoint v3 core-carry (see util/checkpoint.hpp) -------------
+  // Algorithm 2's whole point is cross-step state: the final smoothing of
+  // a step is deferred into the next one (line 30), and the approximate
+  // nonlinear iteration (eq. 13) reuses the previous step's C products.
+  // That state lives outside the prognostic fields, so a bitwise resume
+  // must carry it alongside the checkpointed interiors:
+  //   - step_count_ (gates the deferred smoothing of the resumed step)
+  //     and have_stale_c_ (gates the stale-C fast path),
+  //   - the stale C products and column anchors in the DiagWorkspace
+  //     (full arrays, halos included: the resumed step's overlapped inner
+  //     update reads them before any exchange refreshes them),
+  //   - the pre-smoothing rows of pre_ (phi and p'_sa — the components
+  //     the later smoothing S2 reads).
+  // run_campaign detects these hooks with `requires` (like finalize /
+  // refresh_halos) and saves/restores the blob with each checkpoint.
+
+  /// Serializes the cross-step carry state into `w`.
+  void save_carry(util::CarryWriter& w) const;
+  /// Restores state saved by save_carry on an identically configured
+  /// core.  Throws std::runtime_error on a magic/version/shape mismatch.
+  void restore_carry(util::CarryReader& r);
 
   /// Test/debug hook: called after every internal update with a label and
   /// the state holding that update's result.

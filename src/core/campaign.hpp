@@ -62,9 +62,12 @@ struct CampaignOptions {
 /// the absolute step reached is start_step + the return value).
 /// `comm_ctx` may be null for serial cores (diagnostics are then
 /// block-local).  Checkpoints record the raw prognostic state; for the CA
-/// core that state still carries the deferred final smoothing, which a
-/// restarted CA run applies on its next step — restart transparency holds
-/// as long as the same core type resumes the run.
+/// core that state still carries the deferred final smoothing, and the
+/// cross-step carry (step counter, stale C products, pre-smoothing rows)
+/// rides in the checkpoint's v3 core-carry block via the core's
+/// save_carry hook — a restarted CA run restores it and applies the
+/// pending smoothing on its next step.  Restart transparency holds as
+/// long as the same core type resumes the run.
 template <typename Core>
 int run_campaign(Core& core, comm::Context* comm_ctx, state::State& xi,
                  const CampaignOptions& options) {
@@ -94,9 +97,21 @@ int run_campaign(Core& core, comm::Context* comm_ctx, state::State& xi,
       const int rank = comm_ctx != nullptr ? comm_ctx->world_rank() : 0;
       const double t =
           t0 + (step - options.start_step) * core.config().dt_advect;
+      // Cores with cross-step carry state (the CA core's deferred
+      // smoothing and stale C products) provide save_carry; the blob
+      // rides in the checkpoint's v3 extension block, CRC-guarded, so a
+      // resumed run restores the full algorithmic state, not just the
+      // prognostic fields.  Detected with `requires` like the finalize /
+      // refresh_halos hooks.
+      std::vector<std::byte> carry;
+      if constexpr (requires(util::CarryWriter& w) { core.save_carry(w); }) {
+        util::CarryWriter w;
+        core.save_carry(w);
+        carry = w.take();
+      }
       util::write_checkpoint(
           util::checkpoint_path(options.checkpoint_prefix, rank), mesh,
-          core.decomp(), xi, step, t);
+          core.decomp(), xi, step, t, carry);
 
       if (options.should_yield && step < options.steps) {
         // Collective yield decision: every rank contributes its local

@@ -6,6 +6,8 @@
 // column_partials and column_finish).
 #pragma once
 
+#include <array>
+
 #include "mesh/halo.hpp"
 #include "ops/context.hpp"
 #include "state/state.hpp"
@@ -30,6 +32,27 @@ struct DiagWorkspace {
   util::Array2D<double> own_div, own_phi;      ///< per-rank column sums
   util::Array2D<double> base_div, base_phi;    ///< exscan prefixes
   util::Array2D<double> total_div, total_phi;  ///< allreduce totals
+
+  /// The cross-step carry of the communication-avoiding core: the stale C
+  /// products (VertDiag) reused by the approximate nonlinear iteration
+  /// (paper eq. 13) plus the column anchors of the last fresh evaluation.
+  /// LocalDiag is deliberately absent — it is recomputed fresh at every
+  /// operator application.  The enumeration order is the on-disk carry
+  /// order of checkpoint v3; keep it stable (append-only).
+  std::array<const util::Array3D<double>*, 3> carry_fields_3d() const {
+    return {&vert.sdot, &vert.w, &vert.phi_geo};
+  }
+  std::array<util::Array3D<double>*, 3> carry_fields_3d() {
+    return {&vert.sdot, &vert.w, &vert.phi_geo};
+  }
+  std::array<const util::Array2D<double>*, 7> carry_fields_2d() const {
+    return {&vert.divsum, &own_div,   &own_phi,  &base_div,
+            &base_phi,    &total_div, &total_phi};
+  }
+  std::array<util::Array2D<double>*, 7> carry_fields_2d() {
+    return {&vert.divsum, &own_div,   &own_phi,  &base_div,
+            &base_phi,    &total_div, &total_phi};
+  }
 };
 
 /// Total extra cells (beyond the update window) on which the surface

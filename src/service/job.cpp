@@ -59,9 +59,6 @@ std::string validate(const JobSpec& spec, int rank_budget) {
         return "CA jobs need ny/py >= 3M + 1 for the deep y halos";
       if (pz > 1 && c.nz / pz < 3)
         return "CA jobs need nz/pz >= 3 for the advection z halos";
-      if (spec.checkpoint_every > 0)
-        return "CA jobs are not preemptible (cross-step carry state is "
-               "not checkpointed); set checkpoint_every = 0";
     }
     if (spec.core == CoreKind::kOriginal &&
         spec.scheme == core::DecompScheme::kXY && spec.dims[2] != 1)

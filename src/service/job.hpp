@@ -48,10 +48,11 @@ struct JobSpec {
   double deadline_seconds = 0.0;
 
   /// Checkpoint cadence in steps; > 0 makes the job preemptible (it can
-  /// yield its ranks at checkpoint boundaries and resume later).  The CA
-  /// core must keep this 0: its cross-step carry state (deferred
-  /// smoothing, stale C products) is not checkpointed, so a resumed CA
-  /// run is not bitwise identical to an uninterrupted one.
+  /// yield its ranks at checkpoint boundaries and resume later).  All
+  /// three cores support this: the CA core's cross-step carry state
+  /// (deferred smoothing, stale C products, step counter) travels in the
+  /// checkpoint's v3 core-carry block, so a resumed CA run is bitwise
+  /// identical to an uninterrupted one.
   int checkpoint_every = 0;
 
   /// Fault-injection plan for this job's rank group (enabled() drives
@@ -117,6 +118,11 @@ struct JobResult {
   /// Gathered full-domain final state (kCompleted only) — what tests and
   /// the bench compare bitwise against a solo run.
   state::State final_state;
+  /// True when an EARLIER state-taking snapshot already moved the final
+  /// state out: final_state above is then default-constructed (empty),
+  /// and comparing against it would be a silent bug.  Callers that want
+  /// the state must check this instead of trusting kCompleted alone.
+  bool state_already_taken = false;
 };
 
 /// Checks a spec against the pool's rank budget; returns an empty string
@@ -153,6 +159,9 @@ struct Job {
   comm::FaultSummary faults;
   std::string error;
   state::State final_state;
+  /// final_state has been moved out by a take_state snapshot; the member
+  /// above is now default-constructed and must not be handed out again.
+  bool final_state_taken = false;
   std::string checkpoint_prefix;
 };
 

@@ -1,9 +1,11 @@
 #include "service/runner.hpp"
 
+#include <cstddef>
 #include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "comm/collectives.hpp"
 #include "comm/runtime.hpp"
@@ -140,11 +142,30 @@ AttemptResult run_attempt(const JobSpec& spec, int attempt, int start_step,
         if (start_step > 0) {
           const mesh::LatLonMesh mesh(spec.config.nx, spec.config.ny,
                                       spec.config.nz);
+          std::vector<std::byte> carry;
           const auto hdr = util::read_checkpoint(
               util::checkpoint_path(checkpoint_prefix, ctx.world_rank()),
-              mesh, core.decomp(), xi);
+              mesh, core.decomp(), xi, &carry);
+          // Header-step agreement first: the carry is per-rank data tied
+          // to the agreed step, so a mixed-step file set fails before any
+          // rank restores state from it.
           resume = agree_resume_step(ctx, hdr.step, start_step, spec,
                                      hdr.time_seconds);
+          // Cores with cross-step carry state (the CA core) restore it
+          // from the checkpoint's CRC-guarded v3 block; a checkpoint
+          // without one cannot reproduce the trajectory bitwise, so the
+          // attempt fails loudly instead of resuming quietly wrong.
+          if constexpr (requires(util::CarryReader& r) {
+                          core.restore_carry(r);
+                        }) {
+            if (carry.empty())
+              throw std::runtime_error(
+                  "checkpoint for job '" + spec.name +
+                  "' has no core-carry block; it was not written by a "
+                  "carry-bearing core and cannot resume one bitwise");
+            util::CarryReader r(carry);
+            core.restore_carry(r);
+          }
           if constexpr (requires { core.refresh_halos(xi, "restart"); }) {
             core.refresh_halos(xi, "restart");
           } else {

@@ -93,8 +93,17 @@ JobResult WorkerPool::snapshot(Job& job, bool take_state) {
   r.metrics = job.metrics;
   r.faults = job.faults;
   r.error = job.error;
-  if (take_state && job.state == JobState::kCompleted)
-    r.final_state = std::move(job.final_state);
+  if (take_state && job.state == JobState::kCompleted) {
+    if (job.final_state_taken) {
+      // A previous snapshot already moved the state out; returning the
+      // (now empty) member again would let a caller silently compare
+      // against a default-constructed State.  Signal it explicitly.
+      r.state_already_taken = true;
+    } else {
+      r.final_state = std::move(job.final_state);
+      job.final_state_taken = true;
+    }
+  }
   return r;
 }
 
@@ -111,14 +120,21 @@ void WorkerPool::drain() {
 void WorkerPool::shutdown() {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (stopping_ && slots_.empty()) return;
     stopping_ = true;
   }
   work_cv_.notify_all();
   space_cv_.notify_all();
-  for (auto& t : slots_)
-    if (t.joinable()) t.join();
-  slots_.clear();
+  // The old `stopping_ && slots_.empty()` early-return raced: a second
+  // caller arriving after stopping_ was set but before the first caller
+  // cleared slots_ would fall through and join the same std::thread
+  // objects (UB).  call_once joins exactly once and makes every other
+  // caller block until the joining one finishes, so shutdown() still
+  // means "slots are stopped" for all callers.
+  std::call_once(shutdown_once_, [this] {
+    for (auto& t : slots_)
+      if (t.joinable()) t.join();
+    slots_.clear();
+  });
 }
 
 int WorkerPool::max_concurrent_jobs() const {

@@ -56,8 +56,10 @@ class WorkerPool {
   /// Blocks until the job reaches kCompleted or kFailed.
   void wait(const Job& job);
   /// Locked snapshot of a job's reportable fields; `take_state` moves a
-  /// completed job's final state into the result (first caller wins,
-  /// later snapshots carry an empty state).
+  /// completed job's final state into the result exactly once.  Later
+  /// state-taking snapshots come back with `state_already_taken` set (and
+  /// an empty final_state) so a caller comparing against the state fails
+  /// loudly instead of matching a default-constructed State.
   JobResult snapshot(Job& job, bool take_state);
   JobState state(const Job& job) const;
   /// Blocks until every submitted job is terminal.
@@ -97,6 +99,10 @@ class WorkerPool {
   int free_ranks_;
   int in_flight_ = 0;  ///< queued + running + gated jobs, for drain()
   bool stopping_ = false;
+  /// Slot joining happens exactly once even when shutdown() is called
+  /// concurrently (explicit shutdown racing the destructor, or two user
+  /// threads); a second join of the same std::thread is UB.
+  std::once_flag shutdown_once_;
   int max_concurrent_ = 0;
   int max_ranks_in_flight_ = 0;
   std::uint64_t preemptions_ = 0;

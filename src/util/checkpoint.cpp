@@ -1,7 +1,9 @@
 #include "util/checkpoint.hpp"
 
 #include <array>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -9,6 +11,10 @@
 namespace ca::util {
 namespace {
 
+/// Closes on scope exit without error reporting — the READ path and
+/// error-unwind cleanup only.  The write path closes explicitly and
+/// checks the result: fclose flushes the stdio buffer, and a failed
+/// final flush must not report a successful checkpoint.
 struct FileCloser {
   void operator()(std::FILE* f) const {
     if (f != nullptr) std::fclose(f);
@@ -68,6 +74,58 @@ std::uint32_t crc32(std::span<const std::byte> data) {
   return crc ^ 0xFFFFFFFFu;
 }
 
+void CarryWriter::put_u64(std::uint64_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  buf_.insert(buf_.end(), p, p + sizeof(v));
+}
+
+void CarryWriter::put_i64(std::int64_t v) {
+  put_u64(static_cast<std::uint64_t>(v));
+}
+
+void CarryWriter::put_doubles(std::span<const double> v) {
+  put_u64(v.size());
+  const auto bytes = std::as_bytes(v);
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void CarryReader::take(void* dst, std::size_t bytes) {
+  if (bytes > data_.size() - pos_)
+    throw std::runtime_error(
+        "checkpoint carry block truncated: wanted " + std::to_string(bytes) +
+        " bytes, " + std::to_string(data_.size() - pos_) + " left");
+  std::memcpy(dst, data_.data() + pos_, bytes);
+  pos_ += bytes;
+}
+
+std::uint64_t CarryReader::get_u64() {
+  std::uint64_t v = 0;
+  take(&v, sizeof(v));
+  return v;
+}
+
+std::int64_t CarryReader::get_i64() {
+  return static_cast<std::int64_t>(get_u64());
+}
+
+void CarryReader::get_doubles(std::span<double> out) {
+  const std::uint64_t count = get_u64();
+  if (count != out.size())
+    throw std::runtime_error(
+        "checkpoint carry field size mismatch: stored " +
+        std::to_string(count) + " doubles, core expects " +
+        std::to_string(out.size()) +
+        " (carry written by a differently-configured core?)");
+  take(out.data(), out.size() * sizeof(double));
+}
+
+void CarryReader::expect_end() const {
+  if (pos_ != data_.size())
+    throw std::runtime_error(
+        "checkpoint carry block has " + std::to_string(data_.size() - pos_) +
+        " unread trailing bytes (format mismatch)");
+}
+
 std::string checkpoint_path(const std::string& prefix, int rank) {
   return prefix + ".rank" + std::to_string(rank) + ".ckpt";
 }
@@ -76,7 +134,8 @@ void write_checkpoint(const std::string& path,
                       const mesh::LatLonMesh& mesh,
                       const mesh::DomainDecomp& decomp,
                       const state::State& xi, std::int64_t step,
-                      double time_seconds) {
+                      double time_seconds,
+                      std::span<const std::byte> carry) {
   CheckpointHeader hdr;
   hdr.nx = mesh.nx();
   hdr.ny = mesh.ny();
@@ -92,22 +151,54 @@ void write_checkpoint(const std::string& path,
 
   const auto buf = pack_state(decomp, xi);
   hdr.payload_crc = crc32(std::as_bytes(std::span<const double>(buf)));
+  hdr.carry_bytes = carry.size();
+  hdr.carry_crc = crc32(carry);
 
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) throw std::runtime_error("cannot open checkpoint: " + path);
-  write_all(f.get(), &hdr, sizeof(hdr), path);
-  write_all(f.get(), buf.data(), buf.size() * sizeof(double), path);
+  // Torn-write defense: assemble the new checkpoint beside the old one
+  // and only replace it with an atomic rename once every byte (including
+  // the stdio buffer flushed by fclose) is on disk.  A crash or injected
+  // fault anywhere before the rename leaves the previous checkpoint —
+  // the job's only resumable state — untouched.
+  const std::string tmp = path + ".tmp";
+  std::FILE* raw = std::fopen(tmp.c_str(), "wb");
+  if (raw == nullptr)
+    throw std::runtime_error("cannot open checkpoint: " + tmp);
+  try {
+    write_all(raw, &hdr, sizeof(hdr), tmp);
+    write_all(raw, buf.data(), buf.size() * sizeof(double), tmp);
+    if (!carry.empty()) write_all(raw, carry.data(), carry.size(), tmp);
+    if (std::fflush(raw) != 0)
+      throw std::runtime_error("checkpoint flush failed: " + tmp);
+  } catch (...) {
+    std::fclose(raw);
+    std::remove(tmp.c_str());
+    throw;
+  }
+  if (std::fclose(raw) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint close failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint rename failed: " + tmp + " -> " +
+                             path + ": " + std::strerror(err));
+  }
 }
 
 CheckpointHeader read_checkpoint(const std::string& path,
                                  const mesh::LatLonMesh& mesh,
                                  const mesh::DomainDecomp& decomp,
-                                 state::State& xi) {
+                                 state::State& xi,
+                                 std::vector<std::byte>* carry) {
+  if (carry != nullptr) carry->clear();
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) throw std::runtime_error("cannot open checkpoint: " + path);
   CheckpointHeader hdr;
-  // The v1 header is a strict prefix of v2: read it first, then the CRC
-  // trailer only when the file declares version >= 2.
+  // The v1 header is a strict prefix of v2, which is a strict prefix of
+  // v3: read the v1 prefix first, then the version-gated trailers field
+  // by field (exact sizes; the offsets are pinned by static_asserts in
+  // the header).
   read_all(f.get(), &hdr, kCheckpointHeaderV1Bytes, path);
 
   CheckpointHeader expect;
@@ -115,9 +206,16 @@ CheckpointHeader read_checkpoint(const std::string& path,
     throw std::runtime_error("not a ca-agcm checkpoint: " + path);
   if (hdr.version < 1 || hdr.version > expect.version)
     throw std::runtime_error("unsupported checkpoint version: " + path);
-  if (hdr.version >= 2)
-    read_all(f.get(), &hdr.payload_crc,
-             sizeof(hdr) - kCheckpointHeaderV1Bytes, path);
+  if (hdr.version >= 2) {
+    read_all(f.get(), &hdr.payload_crc, sizeof(hdr.payload_crc), path);
+    read_all(f.get(), &hdr.reserved, sizeof(hdr.reserved), path);
+  }
+  if (hdr.version >= 3) {
+    read_all(f.get(), &hdr.carry_bytes, sizeof(hdr.carry_bytes), path);
+    read_all(f.get(), &hdr.carry_crc, sizeof(hdr.carry_crc), path);
+    read_all(f.get(), &hdr.carry_reserved, sizeof(hdr.carry_reserved),
+             path);
+  }
   if (hdr.nx != mesh.nx() || hdr.ny != mesh.ny() || hdr.nz != mesh.nz())
     throw std::runtime_error("checkpoint mesh mismatch: " + path);
   if (hdr.lnx != decomp.lnx() || hdr.lny != decomp.lny() ||
@@ -138,6 +236,14 @@ CheckpointHeader read_checkpoint(const std::string& path,
     if (crc != hdr.payload_crc)
       throw std::runtime_error(
           "checkpoint payload CRC mismatch (bit rot?): " + path);
+  }
+
+  if (carry != nullptr && hdr.carry_bytes > 0) {
+    carry->resize(hdr.carry_bytes);
+    read_all(f.get(), carry->data(), carry->size(), path);
+    if (crc32(*carry) != hdr.carry_crc)
+      throw std::runtime_error(
+          "checkpoint carry CRC mismatch (bit rot?): " + path);
   }
 
   std::size_t idx = 0;

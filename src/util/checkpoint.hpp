@@ -7,14 +7,27 @@
 //
 // Version 2 appends a CRC-32 of the payload to the header: comm messages
 // carry checksums since the fault-injection work, and the checkpoint path
-// gets the same defense against silent bit-rot on disk.  Version 1 files
-// (no CRC) are still readable; writes always emit version 2.
+// gets the same defense against silent bit-rot on disk.
+//
+// Version 3 appends an optional, CRC-guarded *core-carry* extension block
+// after the payload: an opaque byte blob a core serializes through
+// CarryWriter/CarryReader for whatever cross-step state lives outside the
+// prognostic fields (the CA core's deferred smoothing and stale C
+// products — see core/ca_core.hpp).  Cores without carry state write an
+// empty block.  Version 1 and 2 files are still readable; writes always
+// emit version 3.
+//
+// Writes are crash-safe: the file is assembled at `<path>.tmp`, flushed,
+// closed with the close result checked, and renamed over `path` in one
+// atomic step — a writer killed mid-checkpoint leaves the previous
+// checkpoint intact instead of a torn file.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "mesh/decomp.hpp"
 #include "state/state.hpp"
@@ -23,7 +36,7 @@ namespace ca::util {
 
 struct CheckpointHeader {
   std::uint64_t magic = 0x434141474D435031ull;  // "CAAGMCP1"
-  std::uint32_t version = 2;
+  std::uint32_t version = 3;
   std::int32_t nx = 0, ny = 0, nz = 0;        ///< global mesh
   std::int32_t lnx = 0, lny = 0, lnz = 0;     ///< this block
   std::int32_t x0 = 0, y0 = 0, z0 = 0;        ///< block origin
@@ -32,32 +45,100 @@ struct CheckpointHeader {
   // --- version >= 2 only (not present in v1 files) ---
   std::uint32_t payload_crc = 0;  ///< CRC-32 of the payload bytes
   std::uint32_t reserved = 0;     ///< keeps the header 8-byte aligned
+  // --- version >= 3 only (not present in v1/v2 files) ---
+  std::uint64_t carry_bytes = 0;  ///< size of the core-carry block
+  std::uint32_t carry_crc = 0;    ///< CRC-32 of the core-carry block
+  std::uint32_t carry_reserved = 0;
 };
 
 /// Size of the on-disk header prefix shared by every version (v1 files
 /// end their header here).
 inline constexpr std::size_t kCheckpointHeaderV1Bytes =
     offsetof(CheckpointHeader, payload_crc);
+/// End of the v2 header (v2 files end their header here).
+inline constexpr std::size_t kCheckpointHeaderV2Bytes =
+    offsetof(CheckpointHeader, carry_bytes);
+
+// Pin the on-disk layout: the version-gated trailer reads depend on the
+// exact field offsets, so any accidental reordering/padding change must
+// fail the build instead of silently shifting the format.
+static_assert(offsetof(CheckpointHeader, step) == 48);
+static_assert(offsetof(CheckpointHeader, time_seconds) == 56);
+static_assert(kCheckpointHeaderV1Bytes == 64);
+static_assert(offsetof(CheckpointHeader, reserved) == 68);
+static_assert(kCheckpointHeaderV2Bytes == 72);
+static_assert(offsetof(CheckpointHeader, carry_crc) == 80);
+static_assert(sizeof(CheckpointHeader) == 88);
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`; the
 /// checkpoint payload checksum.  Exposed for tests.
 std::uint32_t crc32(std::span<const std::byte> data);
 
-/// Writes the owned interior of xi to `path` (always version 2, with the
-/// payload CRC).  Throws std::runtime_error on I/O failure.
+/// Serializer for the v3 core-carry block.  Fields are length-prefixed so
+/// the reader can verify every span count against what the restoring core
+/// expects — a carry written by a differently-configured core fails
+/// loudly instead of shearing doubles across fields.
+class CarryWriter {
+ public:
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v);
+  /// Writes a u64 element count followed by the raw doubles.
+  void put_doubles(std::span<const double> v);
+
+  std::span<const std::byte> bytes() const { return buf_; }
+  std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Deserializer for the v3 core-carry block.  Every accessor throws
+/// std::runtime_error on overrun or count mismatch.
+class CarryReader {
+ public:
+  explicit CarryReader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint64_t get_u64();
+  std::int64_t get_i64();
+  /// Reads a span written by put_doubles; the stored element count must
+  /// equal out.size().
+  void get_doubles(std::span<double> out);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// Throws unless the block was consumed exactly.
+  void expect_end() const;
+
+ private:
+  void take(void* dst, std::size_t bytes);
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Writes the owned interior of xi to `path` (always version 3, with the
+/// payload CRC), atomically: the bytes land in `<path>.tmp` and are
+/// renamed over `path` only after a checked flush+close, so a crash
+/// mid-write cannot destroy the previous checkpoint.  `carry` is the
+/// optional core-carry block (CRC-guarded; empty for cores without
+/// cross-step state).  Throws std::runtime_error on any I/O failure.
 void write_checkpoint(const std::string& path,
                       const mesh::LatLonMesh& mesh,
                       const mesh::DomainDecomp& decomp,
                       const state::State& xi, std::int64_t step,
-                      double time_seconds);
+                      double time_seconds,
+                      std::span<const std::byte> carry = {});
 
-/// Reads a checkpoint into xi (halos untouched; callers re-exchange).
-/// Returns the header.  Throws std::runtime_error on I/O failure, any
-/// mesh/block mismatch, or (version >= 2) a payload CRC mismatch.
+/// Reads a checkpoint into xi (halos untouched; callers re-exchange or
+/// restore them via the core's carry).  Returns the header.  When `carry`
+/// is non-null it receives the core-carry block (empty for v1/v2 files
+/// and for v3 files written without one), CRC-validated.  Throws
+/// std::runtime_error on I/O failure, any mesh/block mismatch, or a
+/// payload/carry CRC mismatch.
 CheckpointHeader read_checkpoint(const std::string& path,
                                  const mesh::LatLonMesh& mesh,
                                  const mesh::DomainDecomp& decomp,
-                                 state::State& xi);
+                                 state::State& xi,
+                                 std::vector<std::byte>* carry = nullptr);
 
 /// Conventional per-rank file name: <prefix>.rank<r>.ckpt
 std::string checkpoint_path(const std::string& prefix, int rank);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstddef>
 #include <cstdio>
 #include <filesystem>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "comm/runtime.hpp"
 #include "core/ca_core.hpp"
 #include "core/campaign.hpp"
+#include "core/exchange.hpp"
 #include "core/original_core.hpp"
 #include "core/serial_core.hpp"
 
@@ -224,6 +226,92 @@ TEST(Campaign, YieldDecisionIsCollective) {
   });
   EXPECT_EQ(executed[0], 1);
   EXPECT_EQ(executed[1], 1) << "rank 1 did not honor rank 0's yield";
+}
+
+TEST(Campaign, CAPreemptedAtEveryCheckpointIsBitwise) {
+  // The tentpole contract of CA resumability: the CA core carries state
+  // across steps (deferred final smoothing, stale C anchors, the step
+  // counter driving the refresh parity), so resuming from the prognostic
+  // payload alone diverges.  With the carry riding in the checkpoint's
+  // v3 block, a campaign preempted at EVERY checkpoint — each leg a
+  // freshly constructed core — must land bit-for-bit on the
+  // uninterrupted run.
+  const auto c = cfg();
+  const auto prefix = (std::filesystem::temp_directory_path() /
+                       "ca_agcm_campaign_ca_resume")
+                          .string();
+  constexpr int kSteps = 6;
+  state::State straight, legged;
+
+  comm::Runtime::run(2, [&](comm::Context& ctx) {
+    CACore core(c, ctx, {1, 2, 1});
+    auto xi = core.make_state();
+    core.initialize(xi, {.kind = state::InitialCondition::kPlanetaryWave});
+    CampaignOptions all;
+    all.steps = kSteps;
+    EXPECT_EQ(run_campaign(core, &ctx, xi, all), kSteps);
+    core.finalize(xi);
+    auto g = gather_global(core.op_context(), ctx, core.topology(), xi);
+    if (ctx.world_rank() == 0) straight = std::move(g);
+  });
+
+  comm::Runtime::run(2, [&](comm::Context& ctx) {
+    const mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+    int reached = 0;
+    {
+      CACore core(c, ctx, {1, 2, 1});
+      auto xi = core.make_state();
+      core.initialize(xi,
+                      {.kind = state::InitialCondition::kPlanetaryWave});
+      CampaignOptions first;
+      first.steps = kSteps;
+      first.checkpoint_every = 1;
+      first.checkpoint_prefix = prefix;
+      first.should_yield = [] { return true; };
+      reached = run_campaign(core, &ctx, xi, first);
+      EXPECT_EQ(reached, 1);
+    }
+    // Every later leg: a FRESH core restores the prognostics from the
+    // payload and the cross-step carry from the v3 block, then is
+    // preempted again at the very next checkpoint.
+    while (reached < kSteps) {
+      CACore core(c, ctx, {1, 2, 1});
+      auto xi = core.make_state();
+      std::vector<std::byte> carry;
+      const auto hdr = util::read_checkpoint(
+          util::checkpoint_path(prefix, ctx.world_rank()), mesh,
+          core.decomp(), xi, &carry);
+      EXPECT_EQ(hdr.step, reached);
+      ASSERT_FALSE(carry.empty()) << "CA checkpoint lost its carry block";
+      util::CarryReader r(carry);
+      core.restore_carry(r);
+      core.refresh_halos(xi, "restart");
+      CampaignOptions leg;
+      leg.steps = kSteps;
+      leg.start_step = static_cast<int>(hdr.step);
+      leg.start_time_seconds = hdr.time_seconds;
+      leg.checkpoint_every = 1;
+      leg.checkpoint_prefix = prefix;
+      leg.should_yield = [] { return true; };
+      const int executed = run_campaign(core, &ctx, xi, leg);
+      EXPECT_EQ(executed, 1);
+      reached += executed;
+      if (reached == kSteps) {
+        core.finalize(xi);
+        auto g =
+            gather_global(core.op_context(), ctx, core.topology(), xi);
+        if (ctx.world_rank() == 0) legged = std::move(g);
+      }
+    }
+    std::remove(util::checkpoint_path(prefix, ctx.world_rank()).c_str());
+  });
+
+  ASSERT_GT(straight.interior().volume(), 0);
+  EXPECT_DOUBLE_EQ(
+      state::State::max_abs_diff(straight, legged, straight.interior()),
+      0.0)
+      << "a CA campaign preempted at every checkpoint must reproduce the "
+         "uninterrupted run bit for bit";
 }
 
 TEST(Campaign, ZeroStepsIsANoop) {

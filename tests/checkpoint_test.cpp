@@ -2,10 +2,12 @@
 // bitwise-identical restarted run across ranks.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdio>
 #include <filesystem>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "comm/runtime.hpp"
 #include "core/exchange.hpp"
@@ -204,6 +206,225 @@ TEST(Checkpoint, ReadsVersion1Files) {
   EXPECT_GT(state::State::max_abs_diff(a, rotted, a.interior()), 0.0);
   std::remove(v2.c_str());
   std::remove(v1.c_str());
+}
+
+TEST(Checkpoint, ReadsVersion2Files) {
+  // A v2 file ends its header at kCheckpointHeaderV2Bytes (no carry
+  // trailer).  It must still read with its payload CRC enforced — the
+  // exact-size trailer reads must not slurp v3 fields that are not there.
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  mesh::DomainDecomp d(mesh, {1, 1, 1}, {0, 0, 0});
+  state::State a(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  for (int k = 0; k < c.nz; ++k)
+    for (int j = 0; j < c.ny; ++j)
+      for (int i = 0; i < c.nx; ++i) a.v()(i, j, k) = 7.0 * i - j + 0.5 * k;
+  const std::string v3 = temp_prefix("v3src") + ".ckpt";
+  write_checkpoint(v3, mesh, d, a, 11, 1320.0);
+
+  const std::string v2 = temp_prefix("v2") + ".ckpt";
+  {
+    std::FILE* in = std::fopen(v3.c_str(), "rb");
+    std::FILE* out = std::fopen(v2.c_str(), "wb");
+    ASSERT_NE(in, nullptr);
+    ASSERT_NE(out, nullptr);
+    CheckpointHeader hdr;
+    ASSERT_EQ(std::fread(&hdr, 1, sizeof(hdr), in), sizeof(hdr));
+    hdr.version = 2;
+    ASSERT_EQ(std::fwrite(&hdr, 1, kCheckpointHeaderV2Bytes, out),
+              kCheckpointHeaderV2Bytes);
+    for (int ch; (ch = std::fgetc(in)) != EOF;) std::fputc(ch, out);
+    std::fclose(in);
+    std::fclose(out);
+  }
+  state::State b(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  std::vector<std::byte> carry{std::byte{0xAA}};  // must come back empty
+  const auto hdr = read_checkpoint(v2, mesh, d, b, &carry);
+  EXPECT_EQ(hdr.version, 2u);
+  EXPECT_EQ(hdr.step, 11);
+  EXPECT_EQ(hdr.carry_bytes, 0u);
+  EXPECT_TRUE(carry.empty());
+  EXPECT_DOUBLE_EQ(state::State::max_abs_diff(a, b, a.interior()), 0.0);
+
+  // The v2 payload CRC still catches bit rot.
+  {
+    std::FILE* f = std::fopen(v2.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, static_cast<long>(kCheckpointHeaderV2Bytes) + 129,
+               SEEK_SET);
+    const int byte = std::fgetc(f);
+    std::fseek(f, -1, SEEK_CUR);
+    std::fputc(byte ^ 0x10, f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(read_checkpoint(v2, mesh, d, b), std::runtime_error);
+  std::remove(v3.c_str());
+  std::remove(v2.c_str());
+}
+
+TEST(Checkpoint, TornWriteLeavesThePreviousCheckpointResumable) {
+  // A writer killed mid-checkpoint leaves a partial <path>.tmp; the real
+  // file — the job's only resumable state — must be untouched, and the
+  // next successful write must replace both.
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  mesh::DomainDecomp d(mesh, {1, 1, 1}, {0, 0, 0});
+  state::State s1(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  s1.fill(1.0);
+  state::State s2(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  s2.fill(2.0);
+
+  const std::string path = temp_prefix("torn") + ".ckpt";
+  write_checkpoint(path, mesh, d, s1, 1, 120.0);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"))
+      << "a successful write must not leave its staging file behind";
+
+  // Simulate the crash: a step-2 checkpoint torn halfway through, still
+  // under the staging name because the rename never happened.
+  const std::string full2 = temp_prefix("torn_full2") + ".ckpt";
+  write_checkpoint(full2, mesh, d, s2, 2, 240.0);
+  {
+    std::FILE* in = std::fopen(full2.c_str(), "rb");
+    std::FILE* out = std::fopen((path + ".tmp").c_str(), "wb");
+    ASSERT_NE(in, nullptr);
+    ASSERT_NE(out, nullptr);
+    const auto half =
+        static_cast<long>(std::filesystem::file_size(full2) / 2);
+    for (long n = 0; n < half; ++n) std::fputc(std::fgetc(in), out);
+    std::fclose(in);
+    std::fclose(out);
+  }
+
+  state::State b(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  const auto hdr = read_checkpoint(path, mesh, d, b);
+  EXPECT_EQ(hdr.step, 1);
+  EXPECT_DOUBLE_EQ(state::State::max_abs_diff(s1, b, s1.interior()), 0.0)
+      << "the torn staging file corrupted the committed checkpoint";
+
+  // The next checkpoint replaces the torn staging file and commits.
+  write_checkpoint(path, mesh, d, s2, 2, 240.0);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  const auto hdr2 = read_checkpoint(path, mesh, d, b);
+  EXPECT_EQ(hdr2.step, 2);
+  EXPECT_DOUBLE_EQ(state::State::max_abs_diff(s2, b, s2.interior()), 0.0);
+  std::remove(path.c_str());
+  std::remove(full2.c_str());
+}
+
+TEST(Checkpoint, FailedWriteLeavesThePreviousCheckpointIntact) {
+  // When the staging file cannot even be opened (here: the .tmp name is
+  // occupied by a directory), write_checkpoint must throw and the
+  // committed checkpoint must stay readable.
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  mesh::DomainDecomp d(mesh, {1, 1, 1}, {0, 0, 0});
+  state::State s1(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  s1.fill(4.0);
+
+  const std::string path = temp_prefix("failwrite") + ".ckpt";
+  write_checkpoint(path, mesh, d, s1, 3, 360.0);
+  std::filesystem::remove_all(path + ".tmp");
+  ASSERT_TRUE(std::filesystem::create_directory(path + ".tmp"));
+
+  state::State s2(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  s2.fill(5.0);
+  EXPECT_THROW(write_checkpoint(path, mesh, d, s2, 4, 480.0),
+               std::runtime_error);
+
+  state::State b(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  const auto hdr = read_checkpoint(path, mesh, d, b);
+  EXPECT_EQ(hdr.step, 3);
+  EXPECT_DOUBLE_EQ(state::State::max_abs_diff(s1, b, s1.interior()), 0.0);
+  std::filesystem::remove_all(path + ".tmp");
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CarryBlockRoundTripsAndIsCrcGuarded) {
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  mesh::DomainDecomp d(mesh, {1, 1, 1}, {0, 0, 0});
+  state::State a(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  a.fill(6.0);
+
+  const double field[4] = {1.5, -2.25, 3.0e-7, 4.0e7};
+  CarryWriter w;
+  w.put_u64(0xFEEDu);
+  w.put_i64(-17);
+  w.put_doubles(std::span<const double>(field, 4));
+  const std::vector<std::byte> blob = w.take();
+
+  const std::string path = temp_prefix("carry") + ".ckpt";
+  write_checkpoint(path, mesh, d, a, 7, 840.0, blob);
+
+  state::State b(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  std::vector<std::byte> got;
+  const auto hdr = read_checkpoint(path, mesh, d, b, &got);
+  EXPECT_EQ(hdr.version, 3u);
+  ASSERT_EQ(hdr.carry_bytes, blob.size());
+  ASSERT_EQ(got.size(), blob.size());
+
+  CarryReader r(got);
+  EXPECT_EQ(r.get_u64(), 0xFEEDu);
+  EXPECT_EQ(r.get_i64(), -17);
+  double back[4] = {};
+  r.get_doubles(std::span<double>(back, 4));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(back[i], field[i]);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_NO_THROW(r.expect_end());
+
+  // A reader that does not ask for the carry skips it silently (the
+  // payload stays valid), preserving carry-free consumers.
+  EXPECT_NO_THROW(read_checkpoint(path, mesh, d, b));
+
+  // Flip a bit in the carry region (the last byte of the file): the
+  // payload CRC still passes, the carry CRC must not.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, -1, SEEK_END);
+    const int byte = std::fgetc(f);
+    std::fseek(f, -1, SEEK_CUR);
+    std::fputc(byte ^ 0x01, f);
+    std::fclose(f);
+  }
+  EXPECT_NO_THROW(read_checkpoint(path, mesh, d, b))
+      << "carry-free readers must not pay for carry rot";
+  try {
+    read_checkpoint(path, mesh, d, b, &got);
+    FAIL() << "carry bit rot must not read back silently";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("carry CRC"), std::string::npos)
+        << "unexpected diagnostic: " << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CarryReaderFailsLoudlyOnFormatMismatch) {
+  const double field[3] = {1.0, 2.0, 3.0};
+  CarryWriter w;
+  w.put_doubles(std::span<const double>(field, 3));
+  const std::vector<std::byte> blob = w.take();
+
+  {
+    // Stored count 3, core expects 5: a differently-configured core.
+    CarryReader r(blob);
+    double out[5] = {};
+    EXPECT_THROW(r.get_doubles(std::span<double>(out, 5)),
+                 std::runtime_error);
+  }
+  {
+    // Truncated block: the length prefix survives but the doubles don't.
+    CarryReader r(std::span<const std::byte>(blob.data(), blob.size() - 8));
+    double out[3] = {};
+    EXPECT_THROW(r.get_doubles(std::span<double>(out, 3)),
+                 std::runtime_error);
+  }
+  {
+    // Unread trailing bytes: the core consumed less than was stored.
+    CarryReader r(blob);
+    EXPECT_EQ(r.get_u64(), 3u);  // just the length prefix
+    EXPECT_THROW(r.expect_end(), std::runtime_error);
+  }
 }
 
 TEST(Checkpoint, RestartedDistributedRunIsIdentical) {

@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <map>
 #include <thread>
+#include <vector>
 
 #include "comm/fault.hpp"
 #include "service/runner.hpp"
@@ -129,6 +130,9 @@ TEST(ServiceSoak, MixedQueueCompletesOrFailsTerminally) {
   caj.dims = {1, 1, 2};
   caj.steps = 2;
   caj.priority = 5;
+  // Preemptible: the CA carry travels in the checkpoint v3 block, so the
+  // mixed queue exercises CA checkpoint writes (and resume, if evicted).
+  caj.checkpoint_every = 1;
 
   // Certain death: probability-1 payload corruption on every message.
   // Reseeding cannot save it, so the attempt budget drains and the job
@@ -210,6 +214,90 @@ TEST(ServiceSoak, MixedQueueCompletesOrFailsTerminally) {
   EXPECT_EQ(s->find("jobs_failed")->as_double(), 1.0);
   EXPECT_GE(s->find("preemptions")->as_double(), 1.0);
   EXPECT_GE(s->find("retries")->as_double(), 1.0);
+}
+
+TEST(ServiceSoak, CAPreemptResumeBitwise) {
+  // The tentpole contract of CA resumability: a communication-avoiding
+  // job preempted at a checkpoint must resume — prognostic fields from
+  // the payload, cross-step carry (deferred final smoothing, stale C
+  // anchors, step parity) from the v3 carry block — and land bit-for-bit
+  // on the uninterrupted trajectory.  checkpoint_every = 1 with a
+  // low priority makes it the eviction victim as soon as the
+  // high-priority job arrives, so the yield lands mid-run where the
+  // carry actually matters (between the stale-C step pair).
+  const core::DycoreConfig cfg = soak_config();
+  const std::string dir = temp_dir("ca_preempt");
+  const auto start = Clock::now();
+
+  ServiceOptions opt;
+  opt.slots = 2;
+  opt.rank_budget = 4;
+  opt.checkpoint_dir = dir;
+
+  JobSpec caj;
+  caj.name = "ca_long";
+  caj.core = CoreKind::kCA;
+  caj.config = cfg;
+  caj.dims = {1, 2, 2};  // ny/py = 8 >= 3M+1, nz/pz = 4 >= 3
+  caj.steps = 6;
+  caj.priority = 0;
+  caj.checkpoint_every = 1;
+
+  JobSpec hipri;
+  hipri.name = "hipri";
+  hipri.core = CoreKind::kOriginal;
+  hipri.config = cfg;
+  hipri.dims = {1, 2, 1};
+  hipri.steps = 2;
+  hipri.priority = 10;
+
+  const state::State reference = solo_run(caj, dir + "/solo_ca");
+
+  EnsembleService svc(opt);
+  const int C = svc.submit(caj);
+  // The CA job must own the whole budget before the high-priority job
+  // arrives, so the latter can only run by evicting it.
+  await_running(svc, C);
+  const int H = svc.submit(hipri);
+  svc.drain();
+  EXPECT_LT(elapsed_seconds(start), kWallClockBound) << "soak hung";
+
+  EXPECT_EQ(svc.state(H), JobState::kCompleted);
+  const JobResult rc = svc.result(C);
+  ASSERT_EQ(rc.state, JobState::kCompleted) << rc.error;
+  ASSERT_GE(rc.metrics.preemptions, 1)
+      << "the CA job was never preempted; the scenario is vacuous";
+  expect_bitwise(rc.final_state, reference, caj.name);
+}
+
+TEST(ServiceSoak, ConcurrentShutdownIsSafe) {
+  // shutdown() used to double-join: a second caller arriving after
+  // stopping_ was set but before slots_ was cleared joined the same
+  // std::thread objects again (UB, aborts under libstdc++).  All callers
+  // must now return cleanly with the slots stopped exactly once.
+  const core::DycoreConfig cfg = soak_config();
+
+  PoolOptions opt;
+  opt.slots = 2;
+  opt.rank_budget = 2;
+  opt.checkpoint_dir = temp_dir("concurrent_shutdown");
+
+  JobSpec j;
+  j.name = "short";
+  j.core = CoreKind::kSerial;
+  j.config = cfg;
+  j.steps = 2;
+
+  auto job = std::make_shared<Job>(0, j);
+  WorkerPool pool(opt);
+  ASSERT_TRUE(pool.submit(job, /*block=*/true));
+
+  std::vector<std::thread> callers;
+  for (int i = 0; i < 4; ++i)
+    callers.emplace_back([&pool] { pool.shutdown(); });
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(pool.state(*job), JobState::kCompleted);
+  pool.shutdown();  // idempotent after the fact as well
 }
 
 TEST(ServiceSoak, RetryResumesFromTheCheckpointHeaderStep) {

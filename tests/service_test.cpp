@@ -64,17 +64,22 @@ TEST(JobValidation, RejectsBadSpecs) {
   }
   {
     JobSpec s = tiny_spec();
-    s.core = CoreKind::kCA;
-    s.dims = {1, 1, 2};
-    s.config.ny = 16;
-    s.checkpoint_every = 1;
-    expect_reject(s, "CA jobs must not be preemptible");
-  }
-  {
-    JobSpec s = tiny_spec();
     s.max_attempts = 0;
     expect_reject(s, "empty attempt budget");
   }
+}
+
+TEST(JobValidation, AcceptsPreemptibleCAJobs) {
+  // CA jobs used to be rejected with checkpoint_every > 0 because the
+  // cross-step carry (deferred smoothing, stale C products) was not
+  // checkpointed.  The carry now rides in the checkpoint's v3 core-carry
+  // block, so a preemptible CA spec is valid.
+  JobSpec s = tiny_spec();
+  s.core = CoreKind::kCA;
+  s.dims = {1, 2, 1};  // ny/py = 8 >= 3M + 1
+  s.config.ny = 16;
+  s.checkpoint_every = 1;
+  EXPECT_EQ(validate(s, 4), "");
 }
 
 TEST(SchedulerPolicy, PriorityThenFifo) {
@@ -218,6 +223,37 @@ TEST(Service, CreatesTheCheckpointDirectory) {
   svc.drain();
   EXPECT_EQ(svc.state(id), JobState::kCompleted);
   std::filesystem::remove_all(root);
+}
+
+TEST(Service, ResultTakesTheFinalStateExactlyOnce) {
+  // result() moves the gathered final state out of the job record; a
+  // second call used to return an EMPTY state silently, which a caller
+  // could then "successfully" compare against.  Now the repeat take is
+  // flagged explicitly.
+  ServiceOptions opt;
+  opt.slots = 1;
+  opt.rank_budget = 1;
+  opt.checkpoint_dir =
+      std::filesystem::temp_directory_path().string();
+  EnsembleService svc(opt);
+  JobSpec s = tiny_spec();
+  s.steps = 2;
+  const int id = svc.submit(s);
+  svc.wait(id);
+
+  const JobResult first = svc.result(id);
+  ASSERT_EQ(first.state, JobState::kCompleted) << first.error;
+  EXPECT_FALSE(first.state_already_taken);
+  EXPECT_GT(first.final_state.interior().volume(), 0)
+      << "first take must carry the gathered state";
+
+  const JobResult second = svc.result(id);
+  EXPECT_EQ(second.state, JobState::kCompleted);
+  EXPECT_TRUE(second.state_already_taken)
+      << "repeat take must be flagged, not silently empty";
+  EXPECT_EQ(second.final_state.interior().volume(), 0);
+  // Non-state fields stay reportable on every call.
+  EXPECT_EQ(second.steps_done, first.steps_done);
 }
 
 TEST(Service, NonBlockingSubmitBackpressure) {
