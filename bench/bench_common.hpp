@@ -14,6 +14,7 @@
 #include "perf/report.hpp"
 #include "perf/event_sim.hpp"
 #include "util/config.hpp"
+#include "util/proc_grid.hpp"
 
 namespace ca::bench {
 
@@ -32,36 +33,16 @@ struct EvalSetup {
   /// Y-Z process grid for p ranks.  Prefers pz = 8 (nz = 30 practice);
   /// when 8 does not divide p (or nz < 8) it falls back to the largest
   /// divisor of p that is <= min(nz, 8), so py * pz == p always holds.
+  /// (Shared with the service's degraded-pool reshaping: util/proc_grid.)
   perf::ProcGrid yz_grid(int p) const {
-    if (p <= 0)
-      throw std::invalid_argument("yz_grid: rank count must be positive");
-    const int pz_cap = mesh.nz < 8 ? mesh.nz : 8;
-    int pz = 1;
-    for (int d = pz_cap; d >= 1; --d) {
-      if (p % d == 0) {
-        pz = d;
-        break;
-      }
-    }
-    const perf::ProcGrid g{1, p / pz, pz};
-    if (g.py * g.pz != p)
-      throw std::logic_error("yz_grid: py * pz != p for p = " +
-                             std::to_string(p));
-    return g;
+    const auto g = util::yz_grid(p, mesh.nz);
+    return perf::ProcGrid{g[0], g[1], g[2]};
   }
   /// X-Y grid: most-square factorization with px a power of two, halved
   /// until it divides p so px * py == p always holds.
   perf::ProcGrid xy_grid(int p) const {
-    if (p <= 0)
-      throw std::invalid_argument("xy_grid: rank count must be positive");
-    int px = 1;
-    while (px * px < p) px *= 2;
-    while (px > 1 && p % px != 0) px /= 2;
-    const perf::ProcGrid g{px, p / px, 1};
-    if (g.px * g.py != p)
-      throw std::logic_error("xy_grid: px * py != p for p = " +
-                             std::to_string(p));
-    return g;
+    const auto g = util::xy_grid(p);
+    return perf::ProcGrid{g[0], g[1], g[2]};
   }
 
   core::ScheduleParams params(perf::ProcGrid grid) const {

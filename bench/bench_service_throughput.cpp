@@ -1,4 +1,4 @@
-// Wall-clock benchmark of the ensemble service: three job mixes over one
+// Wall-clock benchmark of the ensemble service: four job mixes over one
 // rank pool, emitting BENCH_service.json.
 //
 //   uniform        identical medium jobs; measures raw multiplexing
@@ -12,9 +12,16 @@
 //                  on the reseeded retry, plus a doomed probability-1
 //                  corruption job that must exhaust its attempt budget
 //                  and end terminally failed
+//   rank_failure   a node-resident kill takes out one pool rank mid-run;
+//                  the heartbeat watchdog detects it, the pool
+//                  quarantines the rank and resumes the victim from its
+//                  checkpoint on healthy ranks — while the service keeps
+//                  >= 2 jobs in flight (scheduling never pauses for the
+//                  recovery), and the victim still lands bit-for-bit on
+//                  the fault-free trajectory
 //
 // Each mix runs through a fresh EnsembleService; the per-mix service
-// report (schema ca-agcm/service-report/v1) is embedded verbatim in the
+// report (schema ca-agcm/service-report/v2) is embedded verbatim in the
 // output and re-validated after the emitted file is parsed back, so a
 // nonzero exit status means the service, the invariants above, or the
 // JSON are broken — this is what the bench-service-smoke ctest runs.
@@ -86,6 +93,7 @@ service::JobSpec original_job(const core::DycoreConfig& cfg,
 /// and uninterrupted.
 state::State solo_state(service::JobSpec spec, const std::string& prefix) {
   spec.faults = comm::FaultPlan();
+  spec.node_faults.clear();
   spec.checkpoint_every = 0;
   spec.comm = comm::RunOptions{};
   auto r = service::run_attempt(spec, 1, 0, prefix, {});
@@ -148,8 +156,8 @@ std::string validate_bench(const util::Json& doc) {
       schema->as_string() != kSchema)
     return "missing/wrong schema tag";
   const util::Json* mixes = doc.find("mixes");
-  if (mixes == nullptr || !mixes->is_array() || mixes->size() != 3)
-    return "expected exactly three mixes";
+  if (mixes == nullptr || !mixes->is_array() || mixes->size() != 4)
+    return "expected exactly four mixes";
   for (const auto& m : mixes->items()) {
     const util::Json* name = m.find("name");
     if (name == nullptr || !name->is_string()) return "mix missing name";
@@ -351,6 +359,93 @@ int main(int argc, char** argv) {
                    "FAIL: doomed job must exhaust its attempts and fail "
                    "(state=%s attempts=%d)\n",
                    service::to_string(rd.state), rd.metrics.attempts);
+      mix.ok = false;
+    }
+    mixes.push_back(std::move(mix));
+  }
+
+  // --- mix 4: rank_failure --------------------------------------------
+  {
+    MixOutcome mix;
+    mix.name = "rank_failure";
+    service::JobSpec victim =
+        original_job(cfg, "victim", 6, {1, 2, 1}, 0);
+    victim.checkpoint_every = 1;
+    {
+      // Node-resident kill: pool rank 0 dies at the victim's second step
+      // (a step-1 checkpoint exists by then).  The rule stays with the
+      // NODE, so the recovery attempt on healthy ranks runs clean.
+      comm::FaultRule r;
+      r.kind = comm::FaultKind::kKillRank;
+      r.src = 0;  // pool rank id
+      r.step = 1;
+      victim.node_faults.push_back(r);
+    }
+    victim.comm.recv_timeout = std::chrono::seconds(10);
+    victim.comm.heartbeat_timeout = std::chrono::milliseconds(250);
+    const state::State solo = solo_state(victim, dir + "/solo_victim");
+
+    service::EnsembleService svc(opt);
+    const auto start = Clock::now();
+    std::vector<int> ids;
+    ids.push_back(svc.submit(victim));
+    // The victim must own pool ranks {0, 1} (lowest free ids) before the
+    // bystanders arrive, so the kill rule lands on its assignment.
+    if (!await_running(svc, ids.front())) {
+      std::fprintf(stderr, "FAIL: rank_failure victim never started\n");
+      mix.ok = false;
+    }
+    service::JobSpec bystander;
+    bystander.core = service::CoreKind::kSerial;
+    bystander.config = cfg;
+    bystander.steps = 8;
+    for (int i = 0; i < 2; ++i) {
+      bystander.name = "bystander" + std::to_string(i);
+      ids.push_back(svc.submit(bystander));
+    }
+    svc.drain();
+    mix.wall = seconds_since(start);
+    summarize(mix, svc, ids);
+
+    const service::JobResult rv = svc.result(ids.front());
+    if (rv.state != service::JobState::kCompleted ||
+        rv.metrics.rank_recoveries < 1) {
+      std::fprintf(stderr,
+                   "FAIL: victim must recover from the rank kill "
+                   "(state=%s recoveries=%d): %s\n",
+                   service::to_string(rv.state),
+                   rv.metrics.rank_recoveries, rv.error.c_str());
+      mix.ok = false;
+    } else {
+      const double diff = state::State::max_abs_diff(rv.final_state, solo,
+                                                     solo.interior());
+      if (diff != 0.0) {
+        std::fprintf(stderr,
+                     "FAIL: rank-kill recovery diverged (max |diff| = %g)\n",
+                     diff);
+        mix.ok = false;
+      }
+    }
+    if (mix.completed != static_cast<int>(ids.size())) {
+      std::fprintf(stderr, "FAIL: rank_failure completed %d/%zu jobs\n",
+                   mix.completed, ids.size());
+      mix.ok = false;
+    }
+    // Scheduling must not pause for the recovery: the bystanders overlap
+    // the victim's detection + re-queue window.
+    if (service_metric(mix, "max_concurrent_jobs") < 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: rank_failure never had >= 2 jobs in flight "
+                   "during the kill/recovery\n");
+      mix.ok = false;
+    }
+    const util::Json* health = mix.report.find("health");
+    if (health == nullptr ||
+        health->find("jobs_recovered")->as_double() < 1.0 ||
+        health->find("quarantines")->as_double() < 1.0) {
+      std::fprintf(stderr,
+                   "FAIL: rank_failure report health lacks the "
+                   "recovery evidence\n");
       mix.ok = false;
     }
     mixes.push_back(std::move(mix));

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "comm/error.hpp"
 #include "comm/fault.hpp"
 #include "comm/runtime.hpp"
 
@@ -42,6 +43,8 @@ void Context::send(const Communicator& comm, int dst, int tag,
   msg.tag = tag;
   msg.payload.assign(data.begin(), data.end());
   stats_.record_send(data.size());
+  if (world_->options().heartbeat_timeout.count() > 0)
+    world_->health().stamp(world_rank_);
 
   FaultPlan* plan = world_->fault_plan();
   if (plan == nullptr || !plan->enabled()) {
@@ -72,11 +75,25 @@ void Context::send(const Communicator& comm, int dst, int tag,
 
 void Context::notify_step() {
   const std::uint64_t step = step_count_++;
+  if (world_->options().heartbeat_timeout.count() > 0)
+    world_->health().stamp(world_rank_);
   FaultPlan* plan = world_->fault_plan();
   if (plan == nullptr || !plan->enabled()) return;
   const int polls = plan->stall_polls(world_rank_, step);
   if (polls > 0)
     std::this_thread::sleep_for(world_->options().poll_interval * polls);
+  const FaultPlan::StepFault sf = plan->step_fault(world_rank_, step);
+  if (sf.kill) {
+    // Poison the run before unwinding so peers blocked on this rank fail
+    // within heartbeat_timeout instead of the receive deadline.
+    world_->health().mark_dead(world_rank_);
+    throw RankKilledError(world_rank_, step);
+  }
+  if (sf.hang_ms > 0) {
+    // A hang deliberately skips the heartbeat stamp: the rank goes silent
+    // for the window and the peers' watchdog decides whether it is dead.
+    std::this_thread::sleep_for(std::chrono::milliseconds(sf.hang_ms));
+  }
 }
 
 void Context::recv(const Communicator& comm, int src, int tag,

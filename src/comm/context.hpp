@@ -106,8 +106,11 @@ class Context {
 
   /// Step boundary hook for the fault-injection layer (cores call this
   /// once per time step): a kStall fault scheduled for (rank, step) puts
-  /// this rank to sleep for the injected number of poll intervals.  A
-  /// no-op without an active FaultPlan.
+  /// this rank to sleep for the injected number of poll intervals, a
+  /// kKillRank fault throws RankKilledError (the rank never responds
+  /// again), and a kHangRank fault sleeps the configured window without
+  /// stamping the heartbeat.  Also stamps this rank's liveness when the
+  /// watchdog is enabled.  A fault no-op without an active FaultPlan.
   void notify_step();
 
  private:

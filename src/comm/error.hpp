@@ -34,6 +34,34 @@ struct TimeoutError : CommError {
   long waited_ms;
 };
 
+/// A blocking receive was abandoned because a peer rank is dead: its
+/// heartbeat went stale past RunOptions::heartbeat_timeout, or it left the
+/// run with an exception.  `rank` is the dead peer's world rank.  Raised
+/// by the mailbox watchdog well before the receive deadline, so survivors
+/// unwind in O(heartbeat_timeout) instead of O(recv_timeout).
+struct PeerDeadError : CommError {
+  PeerDeadError(int rank, const std::string& reason)
+      : CommError("peer rank " + std::to_string(rank) + " is dead (" +
+                  reason + ")"),
+        rank(rank) {}
+
+  int rank;
+};
+
+/// This rank was killed by an injected kill_rank fault at a step boundary
+/// (process-level fault model: the rank stops responding permanently).
+struct RankKilledError : CommError {
+  RankKilledError(int rank, std::uint64_t step)
+      : CommError("rank " + std::to_string(rank) +
+                  " killed by injected fault at step " +
+                  std::to_string(step)),
+        rank(rank),
+        step(step) {}
+
+  int rank;
+  std::uint64_t step;
+};
+
 /// A received payload failed checksum verification (corrupted in flight).
 struct ChecksumError : CommError {
   ChecksumError(std::uint64_t comm_id, int src, int tag)

@@ -47,8 +47,11 @@ FaultSummary FaultCounters::summary() const {
   s.injected_drop = injected_drop.load();
   s.injected_corrupt = injected_corrupt.load();
   s.injected_stall = injected_stall.load();
+  s.injected_kill = injected_kill.load();
+  s.injected_hang = injected_hang.load();
   s.detected_checksum = detected_checksum.load();
   s.detected_timeout = detected_timeout.load();
+  s.detected_peer_dead = detected_peer_dead.load();
   s.recovered_delay = recovered_delay.load();
   s.recovered_duplicate = recovered_duplicate.load();
   s.recovered_drop = recovered_drop.load();
@@ -65,7 +68,9 @@ FaultPlan::Injection FaultPlan::decide(std::string_view phase, int src,
   const auto key_c = static_cast<std::uint64_t>(tag) + (1ull << 32);
   for (std::size_t i = 0; i < rules_.size(); ++i) {
     const FaultRule& r = rules_[i];
-    if (r.kind == FaultKind::kStall) continue;
+    if (r.kind == FaultKind::kStall || r.kind == FaultKind::kKillRank ||
+        r.kind == FaultKind::kHangRank)
+      continue;
     if (r.probability <= 0.0) continue;
     if (!scope_matches(r, phase, src, dst, tag)) continue;
     if (roll(seed_, i, key_a, key_b, key_c, seq) >= r.probability) continue;
@@ -95,6 +100,8 @@ FaultPlan::Injection FaultPlan::decide(std::string_view phase, int src,
         }
         break;
       case FaultKind::kStall:
+      case FaultKind::kKillRank:
+      case FaultKind::kHangRank:
         break;
     }
   }
@@ -114,6 +121,36 @@ int FaultPlan::stall_polls(int rank, std::uint64_t step) const {
     return std::max(1, r.param);
   }
   return 0;
+}
+
+FaultPlan::StepFault FaultPlan::step_fault(int rank,
+                                           std::uint64_t step) const {
+  StepFault sf;
+  if (!enabled()) return sf;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& r = rules_[i];
+    if (r.kind != FaultKind::kKillRank && r.kind != FaultKind::kHangRank)
+      continue;
+    if (r.src != kAnySource && r.src != rank) continue;
+    if (r.step >= 0) {
+      if (step != static_cast<std::uint64_t>(r.step)) continue;
+    } else {
+      if (r.probability <= 0.0) continue;
+      if (roll(seed_, i, static_cast<std::uint64_t>(rank) + 1, step,
+               0xdeadull, 0) >= r.probability)
+        continue;
+    }
+    if (r.kind == FaultKind::kKillRank) {
+      if (!sf.kill)
+        counters_->injected_kill.fetch_add(1, std::memory_order_relaxed);
+      sf.kill = true;
+    } else {
+      if (sf.hang_ms == 0)
+        counters_->injected_hang.fetch_add(1, std::memory_order_relaxed);
+      sf.hang_ms = std::max(sf.hang_ms, std::max(1, r.param));
+    }
+  }
+  return sf;
 }
 
 FaultPlan FaultPlan::from_config(const util::Config& cfg) {
@@ -141,6 +178,24 @@ FaultPlan FaultPlan::from_config(const util::Config& cfg) {
   add(FaultKind::kDrop, "drop", 1);
   add(FaultKind::kCorrupt, "corrupt", f.get_int("corrupt_bytes", 1));
   add(FaultKind::kStall, "stall", f.get_int("stall_polls", 50));
+
+  // Process-level faults: probability rolled per step unless a fixed
+  // trigger step is given (faults.kill_step / faults.hang_step).
+  auto add_step = [&](FaultKind kind, const char* key, const char* step_key,
+                      int param) {
+    const double p = f.get_double(key, 0.0);
+    const int step = f.get_int(step_key, -1);
+    if (p <= 0.0 && step < 0) return;
+    FaultRule r = scope;
+    r.kind = kind;
+    r.probability = p;
+    r.param = param;
+    r.step = step;
+    plan.add_rule(r);
+  };
+  add_step(FaultKind::kKillRank, "kill_rank", "kill_step", 1);
+  add_step(FaultKind::kHangRank, "hang_rank", "hang_step",
+           f.get_int("hang_ms", 500));
   return plan;
 }
 

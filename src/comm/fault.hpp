@@ -37,7 +37,21 @@ class Config;
 
 namespace ca::comm {
 
-enum class FaultKind { kDelay, kDuplicate, kDrop, kCorrupt, kStall };
+enum class FaultKind {
+  kDelay,
+  kDuplicate,
+  kDrop,
+  kCorrupt,
+  kStall,
+  /// Process-level fault: the rank throws RankKilledError at the step
+  /// boundary and never responds again (a node loss).  Peers with the
+  /// heartbeat watchdog enabled unwind with PeerDeadError.
+  kKillRank,
+  /// Process-level fault: the rank sleeps `param` milliseconds at the
+  /// step boundary without stamping its heartbeat — long enough hangs
+  /// trip the peers' watchdog exactly like a kill.
+  kHangRank,
+};
 
 /// One injection rule.  Unset scopes (empty phase, kAnyTag, kAnySource)
 /// match everything; src/dst are world ranks.
@@ -46,11 +60,17 @@ struct FaultRule {
   double probability = 0.0;
   std::string phase;       // sender's stats phase; empty = any
   int tag = kAnyTag;       // exact tag; kAnyTag = any
-  int src = kAnySource;    // sender world rank (for kStall: the stalled rank)
+  int src = kAnySource;    // sender world rank (for kStall / kKillRank /
+                           // kHangRank: the afflicted rank)
   int dst = kAnySource;    // destination world rank
   /// kDelay: visibility delay in polls; kCorrupt: bytes flipped;
-  /// kStall: poll intervals slept per stalled step.
+  /// kStall: poll intervals slept per stalled step; kHangRank:
+  /// milliseconds the rank hangs.
   int param = 1;
+  /// kKillRank / kHangRank trigger step: >= 0 fires exactly at that step
+  /// boundary (0-based count of Context::notify_step calls within one
+  /// run); < 0 rolls `probability` at every step instead.
+  int step = -1;
 };
 
 /// Shared event counters (atomic: senders inject, receivers detect and
@@ -61,8 +81,11 @@ struct FaultCounters {
   std::atomic<std::uint64_t> injected_drop{0};
   std::atomic<std::uint64_t> injected_corrupt{0};
   std::atomic<std::uint64_t> injected_stall{0};
+  std::atomic<std::uint64_t> injected_kill{0};
+  std::atomic<std::uint64_t> injected_hang{0};
   std::atomic<std::uint64_t> detected_checksum{0};
   std::atomic<std::uint64_t> detected_timeout{0};
+  std::atomic<std::uint64_t> detected_peer_dead{0};
   std::atomic<std::uint64_t> recovered_delay{0};
   std::atomic<std::uint64_t> recovered_duplicate{0};
   std::atomic<std::uint64_t> recovered_drop{0};
@@ -104,6 +127,15 @@ class FaultPlan {
 
   /// Poll intervals rank `rank` must sleep at step `step` (0 = no stall).
   int stall_polls(int rank, std::uint64_t step) const;
+
+  /// Process-level fault decision at a step boundary (kKillRank /
+  /// kHangRank rules; evaluated by Context::notify_step).
+  struct StepFault {
+    bool kill = false;
+    int hang_ms = 0;
+    bool any() const { return kill || hang_ms > 0; }
+  };
+  StepFault step_fault(int rank, std::uint64_t step) const;
 
   FaultCounters& counters() const { return *counters_; }
   FaultSummary summary() const { return counters_->summary(); }

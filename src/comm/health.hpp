@@ -1,0 +1,107 @@
+// Liveness board of one SPMD run: every rank stamps a heartbeat whenever
+// it passes through the comm layer (send, receive polls, step boundaries),
+// and blocked receives watchdog their peer against it.  A rank whose
+// heartbeat is older than RunOptions::heartbeat_timeout — or that died
+// with an exception — is marked dead, which "poisons" the run: every
+// subsequent watchdogged receive fails promptly with PeerDeadError
+// instead of waiting out the full receive deadline.  All state is atomic;
+// the board is written from every rank thread concurrently.
+//
+// The board is passive when heartbeat_timeout == 0 (the default): stamps
+// still land but nothing reads them, so the fault-free fast path keeps
+// its single bounded wait per receive.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace ca::comm {
+
+class HealthBoard {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit HealthBoard(int nranks)
+      : nranks_(nranks), slots_(new Slot[static_cast<std::size_t>(nranks)]) {
+    const auto now = now_ns();
+    for (int r = 0; r < nranks_; ++r)
+      slots_[static_cast<std::size_t>(r)].beat_ns.store(
+          now, std::memory_order_relaxed);
+  }
+
+  int size() const { return nranks_; }
+
+  /// Records that `rank` is alive right now.
+  void stamp(int rank) {
+    slot(rank).beat_ns.store(now_ns(), std::memory_order_relaxed);
+  }
+
+  /// Marks a rank permanently dead and poisons the run with it (first
+  /// death wins; later deaths keep the original culprit so every
+  /// PeerDeadError names the rank that actually started the collapse).
+  void mark_dead(int rank) {
+    slot(rank).dead.store(true, std::memory_order_relaxed);
+    int expected = -1;
+    poisoned_.compare_exchange_strong(expected, rank,
+                                      std::memory_order_relaxed);
+  }
+
+  /// Marks a rank as having returned normally: its heartbeat stops, but
+  /// that is retirement, not death — watchdogs must not flag it stale.
+  void mark_finished(int rank) {
+    slot(rank).finished.store(true, std::memory_order_relaxed);
+  }
+
+  bool dead(int rank) const {
+    return slot(rank).dead.load(std::memory_order_relaxed);
+  }
+  bool finished(int rank) const {
+    return slot(rank).finished.load(std::memory_order_relaxed);
+  }
+  /// World rank of the first dead rank, or -1 while everyone lives.
+  int poisoned() const { return poisoned_.load(std::memory_order_relaxed); }
+
+  /// Age of `rank`'s last heartbeat at `now`.
+  std::chrono::nanoseconds age(int rank, Clock::time_point now) const {
+    const std::int64_t beat =
+        slot(rank).beat_ns.load(std::memory_order_relaxed);
+    const std::int64_t now_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now.time_since_epoch())
+            .count();
+    return std::chrono::nanoseconds(now_ns > beat ? now_ns - beat : 0);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::int64_t> beat_ns{0};
+    std::atomic<bool> dead{false};
+    std::atomic<bool> finished{false};
+  };
+
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+  }
+
+  Slot& slot(int rank) {
+    assert(rank >= 0 && rank < nranks_);
+    return slots_[static_cast<std::size_t>(rank)];
+  }
+  const Slot& slot(int rank) const {
+    assert(rank >= 0 && rank < nranks_);
+    return slots_[static_cast<std::size_t>(rank)];
+  }
+
+  int nranks_;
+  /// Atomics are neither copyable nor movable; a raw array behind a
+  /// unique_ptr keeps the board's address stable for every rank thread.
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<int> poisoned_{-1};
+};
+
+}  // namespace ca::comm

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "comm/error.hpp"
+#include "comm/health.hpp"
 #include "comm/runtime.hpp"
 
 namespace ca::comm {
@@ -22,9 +23,12 @@ bool matches(const Message& m, std::uint64_t comm_id, int src, int tag) {
 
 }  // namespace
 
-void Mailbox::configure(const RunOptions* options, FaultCounters* counters) {
+void Mailbox::configure(const RunOptions* options, FaultCounters* counters,
+                        HealthBoard* health, int self_rank) {
   options_ = options;
   counters_ = counters;
+  health_ = health;
+  self_rank_ = self_rank;
 }
 
 void Mailbox::deliver(Message msg) {
@@ -122,6 +126,11 @@ void Mailbox::verify(const Message& msg) const {
 Message Mailbox::receive(std::uint64_t comm_id, int src, int tag) {
   const RunOptions& opts = options_ != nullptr ? *options_ : default_options();
   const bool faulty = opts.faults != nullptr && opts.faults->enabled();
+  // Watchdog: while blocked, keep stamping our own heartbeat and check the
+  // awaited peer's.  Only active when comm.heartbeat_timeout > 0, so the
+  // fault-free fast path keeps its single bounded wait.
+  const bool watch = health_ != nullptr && self_rank_ >= 0 &&
+                     opts.heartbeat_timeout.count() > 0;
   const auto start = std::chrono::steady_clock::now();
   const auto deadline = start + opts.recv_timeout;
 
@@ -132,6 +141,30 @@ Message Mailbox::receive(std::uint64_t comm_id, int src, int tag) {
       return std::move(*m);
     }
     const auto now = std::chrono::steady_clock::now();
+    if (watch) {
+      health_->stamp(self_rank_);
+      // A dead rank anywhere poisons the run: even receives from other
+      // (healthy) ranks cannot complete the collective schedule, so fail
+      // them all promptly and let the caller tear the attempt down.
+      const int poisoned = health_->poisoned();
+      if (poisoned >= 0) {
+        if (counters_ != nullptr)
+          counters_->detected_peer_dead.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        throw PeerDeadError(poisoned,
+                            poisoned == self_rank_
+                                ? "this rank was declared dead by its peers"
+                                : "peer rank died");
+      }
+      if (src != kAnySource && !health_->finished(src) &&
+          health_->age(src, now) > opts.heartbeat_timeout) {
+        health_->mark_dead(src);
+        if (counters_ != nullptr)
+          counters_->detected_peer_dead.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        throw PeerDeadError(src, "heartbeat older than heartbeat_timeout");
+      }
+    }
     if (now >= deadline) {
       if (counters_ != nullptr)
         counters_->detected_timeout.fetch_add(1, std::memory_order_relaxed);
@@ -139,10 +172,11 @@ Message Mailbox::receive(std::uint64_t comm_id, int src, int tag) {
           now - start);
       throw TimeoutError(comm_id, src, tag, waited.count());
     }
-    if (faulty) {
-      // Poll cadence: age delayed entries and request retransmissions.
+    if (faulty || watch) {
+      // Poll cadence: age delayed entries, request retransmissions, and
+      // re-evaluate the watchdog well before the receive deadline.
       cv_.wait_until(lock, std::min(deadline, now + opts.poll_interval));
-      poll_locked(comm_id, src, tag);
+      if (faulty) poll_locked(comm_id, src, tag);
     } else {
       cv_.wait_until(lock, deadline);
     }

@@ -30,13 +30,16 @@
 namespace ca::comm {
 
 struct RunOptions;
+class HealthBoard;
 
 class Mailbox {
  public:
-  /// Installs the run-wide receive options and fault counters; called by
-  /// World before any rank thread starts.  Unconfigured mailboxes use the
-  /// default RunOptions.
-  void configure(const RunOptions* options, FaultCounters* counters);
+  /// Installs the run-wide receive options, fault counters, and the
+  /// liveness board (with this mailbox's own rank); called by World before
+  /// any rank thread starts.  Unconfigured mailboxes use the default
+  /// RunOptions and run without a watchdog.
+  void configure(const RunOptions* options, FaultCounters* counters,
+                 HealthBoard* health = nullptr, int self_rank = -1);
 
   void deliver(Message msg);
 
@@ -74,6 +77,8 @@ class Mailbox {
 
   const RunOptions* options_ = nullptr;  // null = defaults
   FaultCounters* counters_ = nullptr;
+  HealthBoard* health_ = nullptr;  // null = no watchdog
+  int self_rank_ = -1;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Entry> queue_;

@@ -19,17 +19,20 @@ RunOptions RunOptions::from_config(const util::Config& cfg) {
   opts.poll_interval =
       std::chrono::microseconds(cfg.get_long("comm.poll_us", 200));
   opts.max_resends = cfg.get_int("comm.max_resends", 1);
+  opts.heartbeat_timeout =
+      std::chrono::milliseconds(cfg.get_long("comm.heartbeat_timeout", 0));
   return opts;
 }
 
-World::World(int nranks, const RunOptions& options) : options_(options) {
+World::World(int nranks, const RunOptions& options)
+    : options_(options), health_(nranks) {
   assert(nranks > 0);
   FaultCounters* counters =
       options_.faults != nullptr ? &options_.faults->counters() : nullptr;
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
-    mailboxes_.back()->configure(&options_, counters);
+    mailboxes_.back()->configure(&options_, counters, &health_, r);
   }
 }
 
@@ -54,7 +57,11 @@ void Runtime::run(int nranks, const RunOptions& options,
       try {
         Context ctx(&world, r);
         fn(ctx);
+        world.health().mark_finished(r);
       } catch (...) {
+        // Poison the run before recording the error: peers blocked on this
+        // rank must unwind via PeerDeadError, not wait out their deadline.
+        world.health().mark_dead(r);
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }

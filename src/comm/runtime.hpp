@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "comm/health.hpp"
 #include "comm/mailbox.hpp"
 
 namespace ca::util {
@@ -39,9 +40,16 @@ struct RunOptions {
   /// Retransmissions a receiver may request for a withheld ("dropped")
   /// message; 0 turns drop recovery off so drops surface as timeouts.
   int max_resends = 1;
+  /// Heartbeat watchdog: a blocked receive fails with PeerDeadError once a
+  /// peer's liveness stamp is older than this.  0 (the default) disables
+  /// the watchdog and keeps the fault-free single-wait receive path.
+  /// Must exceed the longest communication-free compute span of the run,
+  /// or healthy-but-busy ranks get flagged.
+  std::chrono::milliseconds heartbeat_timeout{0};
 
-  /// Reads comm.timeout_ms / comm.poll_us / comm.max_resends (the fault
-  /// plan itself comes from FaultPlan::from_config).
+  /// Reads comm.timeout_ms / comm.poll_us / comm.max_resends /
+  /// comm.heartbeat_timeout (the fault plan itself comes from
+  /// FaultPlan::from_config).
   static RunOptions from_config(const util::Config& cfg);
 };
 
@@ -54,12 +62,16 @@ class World {
   Mailbox& mailbox(int rank) { return *mailboxes_[rank]; }
   const RunOptions& options() const { return options_; }
   FaultPlan* fault_plan() const { return options_.faults; }
+  HealthBoard& health() { return health_; }
 
   /// Allocates `count` consecutive communicator ids; returns the first.
   std::uint64_t allocate_comm_ids(std::uint64_t count);
 
  private:
   RunOptions options_;
+  /// Declared before the mailboxes: configure() hands each mailbox a
+  /// pointer into this board.
+  HealthBoard health_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::atomic<std::uint64_t> next_comm_id_{1};  // 0 = world communicator
 };

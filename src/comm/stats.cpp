@@ -4,11 +4,11 @@ namespace ca::comm {
 
 std::uint64_t FaultSummary::injected_total() const {
   return injected_delay + injected_duplicate + injected_drop +
-         injected_corrupt + injected_stall;
+         injected_corrupt + injected_stall + injected_kill + injected_hang;
 }
 
 std::uint64_t FaultSummary::detected_total() const {
-  return detected_checksum + detected_timeout;
+  return detected_checksum + detected_timeout + detected_peer_dead;
 }
 
 std::uint64_t FaultSummary::recovered_total() const {

@@ -55,6 +55,11 @@ struct CampaignOptions {
   /// never part ways mid-exchange.  Ignored when checkpoint_every == 0:
   /// without a checkpoint there is nothing to resume from.
   std::function<bool()> should_yield;
+  /// Called before each step with the attempt-local 0-based step index
+  /// (the same counter Context::notify_step keeps for distributed runs).
+  /// Serial cores have no Context, so this is where the service's runner
+  /// injects process-level faults (kill/hang) into serial campaigns.
+  std::function<void(int step_index)> on_step;
 };
 
 /// Runs the campaign; returns the number of steps executed by THIS call
@@ -80,6 +85,7 @@ int run_campaign(Core& core, comm::Context* comm_ctx, state::State& xi,
                         : options.start_step * core.config().dt_advect;
   int executed = 0;
   for (int step = options.start_step + 1; step <= options.steps; ++step) {
+    if (options.on_step) options.on_step(step - options.start_step - 1);
     core.step(xi);
     if (options.forcing != nullptr) options.forcing->apply(xi, fdt);
     ++executed;
@@ -97,6 +103,27 @@ int run_campaign(Core& core, comm::Context* comm_ctx, state::State& xi,
       const int rank = comm_ctx != nullptr ? comm_ctx->world_rank() : 0;
       const double t =
           t0 + (step - options.start_step) * core.config().dt_advect;
+      // The collective yield decision runs BEFORE the checkpoint write:
+      // the allreduce doubles as a barrier, so if a rank died this step
+      // the survivors unwind here (PeerDeadError) without ever writing a
+      // checkpoint one step ahead of the dead rank's last file — resume
+      // always finds a consistent per-rank checkpoint set.
+      bool yield_now = false;
+      if (options.should_yield && step < options.steps) {
+        // Every rank contributes its local flag and all stop together iff
+        // any rank wants to.
+        double want = options.should_yield() ? 1.0 : 0.0;
+        if (comm_ctx != nullptr && comm_ctx->world().size() > 1) {
+          double agreed = 0.0;
+          comm_ctx->stats().set_phase("service");
+          comm::allreduce<double>(*comm_ctx, comm_ctx->world(),
+                                  std::span<const double>(&want, 1),
+                                  std::span<double>(&agreed, 1),
+                                  comm::ReduceOp::kMax);
+          want = agreed;
+        }
+        yield_now = want > 0.0;
+      }
       // Cores with cross-step carry state (the CA core's deferred
       // smoothing and stale C products) provide save_carry; the blob
       // rides in the checkpoint's v3 extension block, CRC-guarded, so a
@@ -112,22 +139,7 @@ int run_campaign(Core& core, comm::Context* comm_ctx, state::State& xi,
       util::write_checkpoint(
           util::checkpoint_path(options.checkpoint_prefix, rank), mesh,
           core.decomp(), xi, step, t, carry);
-
-      if (options.should_yield && step < options.steps) {
-        // Collective yield decision: every rank contributes its local
-        // flag and all stop together iff any rank wants to.
-        double want = options.should_yield() ? 1.0 : 0.0;
-        if (comm_ctx != nullptr && comm_ctx->world().size() > 1) {
-          double agreed = 0.0;
-          comm_ctx->stats().set_phase("service");
-          comm::allreduce<double>(*comm_ctx, comm_ctx->world(),
-                                  std::span<const double>(&want, 1),
-                                  std::span<double>(&agreed, 1),
-                                  comm::ReduceOp::kMax);
-          want = agreed;
-        }
-        if (want > 0.0) break;
-      }
+      if (yield_now) break;
     }
   }
   return executed;

@@ -90,6 +90,10 @@ void print_fault_summary(std::ostream& out, const comm::FaultSummary& s,
   row("drop", s.injected_drop, s.detected_timeout, s.recovered_drop);
   row("corrupt", s.injected_corrupt, s.detected_checksum, 0);
   row("stall", s.injected_stall, 0, 0);
+  // Process-level faults: detection is shared (any peer-dead event may
+  // stem from either a kill or a hang), so the count rides the kill row.
+  row("kill", s.injected_kill, s.detected_peer_dead, 0);
+  row("hang", s.injected_hang, 0, 0);
 }
 
 int critical_rank(const SimResult& result) {

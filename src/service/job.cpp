@@ -64,6 +64,14 @@ std::string validate(const JobSpec& spec, int rank_budget) {
         spec.scheme == core::DecompScheme::kXY && spec.dims[2] != 1)
       return "X-Y scheme jobs require pz == 1";
   }
+  for (const auto& r : spec.node_faults) {
+    if (r.kind != comm::FaultKind::kKillRank &&
+        r.kind != comm::FaultKind::kHangRank)
+      return "node_faults may only carry kill_rank/hang_rank rules";
+    if (r.src < 0 || r.src >= rank_budget)
+      return "node_faults src must be a pool rank id in [0, " +
+             std::to_string(rank_budget) + ")";
+  }
   if (spec.max_attempts < 1) return "max_attempts must be >= 1";
   if (spec.retry_backoff_seconds < 0.0)
     return "retry_backoff_seconds must be >= 0";

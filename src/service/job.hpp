@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "comm/fault.hpp"
 #include "comm/runtime.hpp"
@@ -61,9 +62,19 @@ struct JobSpec {
   /// fault on every retry, which models a hard fault — with reseeding an
   /// injected fault is transient and a retry can succeed.
   comm::FaultPlan faults;
+  /// Node-resident process faults (kKillRank / kHangRank rules) whose
+  /// `src` is a POOL rank id, not a job rank: the fault lives on the
+  /// node, so after the pool quarantines that rank and reassigns the job
+  /// to healthy ranks, the rule no longer applies and the retry can
+  /// succeed.  (A kill/hang rule in `faults` above would instead follow
+  /// the job to every assignment — a job-resident fault.)  The runner
+  /// remaps these to job-local ranks per attempt via the pool assignment.
+  std::vector<comm::FaultRule> node_faults;
   /// Attempt budget (>= 1).  A failed attempt is retried with exponential
   /// backoff until the budget is exhausted, then the job ends kFailed
-  /// with the accumulated FaultSummary.
+  /// with the accumulated FaultSummary.  Rank-death recoveries do NOT
+  /// burn attempts (they are the pool's fault, not the job's); they are
+  /// bounded separately by the pool's recovery cap.
   int max_attempts = 1;
   /// Base backoff before attempt n+1 [s]; doubles per retry.
   double retry_backoff_seconds = 0.0;
@@ -103,6 +114,9 @@ struct JobMetrics {
   std::uint64_t collective_calls = 0;
   int attempts = 0;
   int preemptions = 0;
+  /// Attempts abandoned to a dead/hung rank and re-queued onto healthy
+  /// ranks (checkpoint recovery; not counted against max_attempts).
+  int rank_recoveries = 0;
   bool deadline_missed = false;
 };
 
@@ -112,6 +126,9 @@ struct JobResult {
   std::string name;
   JobState state = JobState::kQueued;
   int steps_done = 0;
+  /// Decomposition of the job's last/next attempt; == the spec's dims
+  /// unless the pool reshaped the job for a degraded rank budget.
+  std::array<int, 3> active_dims{1, 1, 1};
   JobMetrics metrics;
   comm::FaultSummary faults;
   std::string error;  ///< terminal failure message (kFailed only)
@@ -135,7 +152,7 @@ std::string validate(const JobSpec& spec, int rank_budget);
 /// Mutable fields are guarded by the owning WorkerPool's mutex, except
 /// yield_requested which workers' rank groups poll lock-free.
 struct Job {
-  Job(int id, JobSpec s) : id(id), spec(std::move(s)) {}
+  Job(int id, JobSpec s) : id(id), spec(std::move(s)), active_dims(spec.dims) {}
 
   const int id;
   const JobSpec spec;
@@ -155,6 +172,20 @@ struct Job {
   std::chrono::steady_clock::time_point last_queued_at{};
   std::chrono::steady_clock::time_point ready_at{};  ///< backoff gate
   int steps_done = 0;       ///< last checkpointed absolute step
+  /// Decomposition the NEXT attempt runs with.  Starts as spec.dims and
+  /// shrinks when the pool re-factorizes the job for a permanently
+  /// degraded rank budget (original core only; the CA core's carry is
+  /// decomposition-specific, and serial jobs are always {1,1,1}).
+  std::array<int, 3> active_dims;
+  /// Non-zero when the on-disk checkpoint set still has the PREVIOUS
+  /// decomposition's shape and must be resharded before the next attempt.
+  std::array<int, 3> reshard_from{0, 0, 0};
+  /// Pool rank ids backing the current attempt, job world-rank order.
+  std::vector<int> assigned_ranks;
+  /// Current rank demand (product of active_dims).
+  int ranks() const {
+    return active_dims[0] * active_dims[1] * active_dims[2];
+  }
   JobMetrics metrics;
   comm::FaultSummary faults;
   std::string error;

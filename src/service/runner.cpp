@@ -1,13 +1,16 @@
 #include "service/runner.hpp"
 
+#include <chrono>
 #include <cstddef>
 #include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "comm/collectives.hpp"
+#include "comm/error.hpp"
 #include "comm/runtime.hpp"
 #include "core/ca_core.hpp"
 #include "core/campaign.hpp"
@@ -92,17 +95,43 @@ ResumePoint agree_resume_step(comm::Context& ctx, std::int64_t header_step,
 
 }  // namespace
 
-AttemptResult run_attempt(const JobSpec& spec, int attempt, int start_step,
-                          const std::string& checkpoint_prefix,
-                          const std::function<bool()>& should_yield) {
+AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
   AttemptResult res;
+  const int attempt = o.attempt;
+  const int start_step = o.start_step;
+  const std::string& checkpoint_prefix = o.checkpoint_prefix;
+  const std::function<bool()>& should_yield = o.should_yield;
+  const std::array<int, 3> dims =
+      o.dims == std::array<int, 3>{0, 0, 0} ? spec.dims : o.dims;
+  const int nranks = dims[0] * dims[1] * dims[2];
 
   // Per-attempt plan: same rules, reseeded so the deterministic injector
   // treats retries as a fresh fault environment (transient faults).
-  const bool inject = spec.faults.enabled();
   comm::FaultPlan plan(spec.faults.seed() +
                        static_cast<std::uint64_t>(attempt - 1));
-  for (const auto& rule : spec.faults.rules()) plan.add_rule(rule);
+  if (spec.faults.enabled())
+    for (const auto& rule : spec.faults.rules()) plan.add_rule(rule);
+  // Node-resident faults: the spec scopes them to POOL rank ids; only the
+  // rules whose node actually backs one of this attempt's ranks apply,
+  // remapped to the job-local world rank.  After the pool quarantines the
+  // faulty node, the retry's assignment excludes it and the rule drops.
+  for (const auto& rule : spec.node_faults) {
+    int job_rank = -1;
+    if (o.pool_ranks.empty()) {
+      job_rank = rule.src;
+    } else {
+      for (std::size_t i = 0; i < o.pool_ranks.size(); ++i)
+        if (o.pool_ranks[i] == rule.src) {
+          job_rank = static_cast<int>(i);
+          break;
+        }
+    }
+    if (job_rank < 0 || job_rank >= nranks) continue;
+    comm::FaultRule r = rule;
+    r.src = job_rank;
+    plan.add_rule(r);
+  }
+  const bool inject = plan.enabled();
 
   util::Timer timer;
   try {
@@ -123,9 +152,23 @@ AttemptResult run_attempt(const JobSpec& spec, int attempt, int start_step,
         core.initialize(xi, spec.initial);
       }
       const physics::HeldSuarezForcing forcing(core.op_context());
-      const auto opt =
+      auto opt =
           campaign_options(spec, resume.step, resume.time_seconds,
                            checkpoint_prefix, &forcing, should_yield);
+      if (inject) {
+        // Serial campaigns have no Context, so the process-level faults
+        // (kill/hang) fire through the campaign's step hook instead; the
+        // plan's step counter semantics match notify_step's.
+        opt.on_step = [&plan](int idx) {
+          const auto sf =
+              plan.step_fault(0, static_cast<std::uint64_t>(idx));
+          if (sf.kill)
+            throw comm::RankKilledError(0, static_cast<std::uint64_t>(idx));
+          if (sf.hang_ms > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(sf.hang_ms));
+        };
+      }
       const int executed = core::run_campaign(core, nullptr, xi, opt);
       res.end_step = resume.step + executed;
       if (res.end_step == spec.steps)
@@ -198,16 +241,26 @@ AttemptResult run_attempt(const JobSpec& spec, int attempt, int start_step,
           if (completed) res.global = std::move(global);
         }
       };
-      comm::Runtime::run(spec.ranks(), opts, [&](comm::Context& ctx) {
+      comm::Runtime::run(nranks, opts, [&](comm::Context& ctx) {
         if (spec.core == CoreKind::kOriginal) {
-          core::OriginalCore core(spec.config, ctx, spec.scheme, spec.dims);
+          core::OriginalCore core(spec.config, ctx, spec.scheme, dims);
           drive(core, ctx);
         } else {
-          core::CACore core(spec.config, ctx, spec.dims);
+          core::CACore core(spec.config, ctx, dims);
           drive(core, ctx);
         }
       });
     }
+  } catch (const comm::RankKilledError& e) {
+    res.error = e.what();
+    res.yielded = false;
+    res.dead_rank = e.rank;
+  } catch (const comm::PeerDeadError& e) {
+    // Both the watchdogged survivors and a woken-up hung rank surface
+    // PeerDeadError naming the rank that started the collapse.
+    res.error = e.what();
+    res.yielded = false;
+    res.dead_rank = e.rank;
   } catch (const std::exception& e) {
     res.error = e.what();
     res.yielded = false;
@@ -215,6 +268,17 @@ AttemptResult run_attempt(const JobSpec& spec, int attempt, int start_step,
   res.run_seconds = timer.seconds();
   if (inject) res.faults = plan.summary();
   return res;
+}
+
+AttemptResult run_attempt(const JobSpec& spec, int attempt, int start_step,
+                          const std::string& checkpoint_prefix,
+                          const std::function<bool()>& should_yield) {
+  AttemptOptions o;
+  o.attempt = attempt;
+  o.start_step = start_step;
+  o.checkpoint_prefix = checkpoint_prefix;
+  o.should_yield = should_yield;
+  return run_attempt(spec, o);
 }
 
 }  // namespace ca::service

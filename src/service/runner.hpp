@@ -7,8 +7,10 @@
 // WorkerPool's retry logic decides what happens next.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "comm/stats.hpp"
 #include "service/job.hpp"
@@ -20,6 +22,10 @@ struct AttemptResult {
   bool yielded = false;
   /// Absolute step reached (== spec.steps when the job completed).
   int end_step = 0;
+  /// Job-local world rank that died (RankKilledError) or went silent past
+  /// the heartbeat (PeerDeadError) during this attempt; -1 otherwise.
+  /// The pool maps it back to a pool rank id for quarantine.
+  int dead_rank = -1;
   /// Nonempty = the attempt failed with this diagnostic.
   std::string error;
   double run_seconds = 0.0;
@@ -35,16 +41,37 @@ struct AttemptResult {
   }
 };
 
-/// Runs the job to spec.steps.  start_step > 0 means "resume from the
-/// per-rank checkpoints under `checkpoint_prefix`" (which a prior attempt
-/// wrote); the steps actually re-run are header.step+1 .. spec.steps —
-/// the checkpoint header, not start_step, is the source of truth, because
-/// a failed attempt may have checkpointed past the caller's mark before
-/// dying.  start_step only bounds it from below: a header behind it (or
-/// rank headers that disagree, for distributed jobs) fails the attempt.
-/// `attempt` is 1-based and reseeds the job's FaultPlan
-/// (seed + attempt - 1) so injected faults are transient across retries.
-/// `should_yield` may be null; it is polled at checkpoint boundaries.
+struct AttemptOptions {
+  /// 1-based attempt number; reseeds the job's FaultPlan
+  /// (seed + attempt - 1) so injected faults are transient across
+  /// retries.
+  int attempt = 1;
+  /// start_step > 0 means "resume from the per-rank checkpoints under
+  /// checkpoint_prefix" (which a prior attempt wrote); the steps actually
+  /// re-run are header.step+1 .. spec.steps — the checkpoint header, not
+  /// start_step, is the source of truth, because a failed attempt may
+  /// have checkpointed past the caller's mark before dying.  start_step
+  /// only bounds it from below: a header behind it (or rank headers that
+  /// disagree, for distributed jobs) fails the attempt.
+  int start_step = 0;
+  std::string checkpoint_prefix;
+  /// May be null; polled at checkpoint boundaries.
+  std::function<bool()> should_yield;
+  /// Decomposition for THIS attempt ({0,0,0} = spec.dims).  Differs from
+  /// spec.dims after the pool reshaped the job for a degraded budget.
+  std::array<int, 3> dims{0, 0, 0};
+  /// spec.node_faults whose `src` is a pool rank id are remapped to
+  /// job-local world ranks through this assignment (pool_ranks[i] backs
+  /// job rank i); rules whose pool rank is not assigned are dropped —
+  /// that is what makes a node fault survivable by reassignment.  Empty =
+  /// identity mapping over spec.node_faults' srcs.
+  std::vector<int> pool_ranks;
+};
+
+/// Runs the job to spec.steps with the given attempt options.
+AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& opts);
+
+/// Back-compat convenience wrapper (spec.dims, identity rank mapping).
 AttemptResult run_attempt(const JobSpec& spec, int attempt, int start_step,
                           const std::string& checkpoint_prefix,
                           const std::function<bool()>& should_yield);

@@ -4,6 +4,22 @@
 
 namespace ca::service {
 
+double Scheduler::effective_priority(const Job& j, TimePoint now) const {
+  if (aging_rate_ <= 0.0) return static_cast<double>(j.spec.priority);
+  // The waited span is clamped (the shutdown drain passes
+  // TimePoint::max() as `now`): a saturated boost degrades the order to
+  // FIFO-by-sequence instead of feeding infinities into the comparison.
+  constexpr double kMaxWaitSeconds = 1e6;
+  const double waited =
+      now == TimePoint::max()
+          ? kMaxWaitSeconds
+          : std::min(kMaxWaitSeconds,
+                     std::chrono::duration<double>(now - j.last_queued_at)
+                         .count());
+  return static_cast<double>(j.spec.priority) +
+         aging_rate_ * std::max(0.0, waited);
+}
+
 void Scheduler::push(std::shared_ptr<Job> job) {
   if (job->sequence == 0) job->sequence = ++next_sequence_;
   queue_.push_back(std::move(job));
@@ -16,10 +32,10 @@ std::shared_ptr<Job> Scheduler::pop_ready(TimePoint now, int free_ranks) {
   for (std::size_t i = 0; i < queue_.size(); ++i) {
     const Job& j = *queue_[i];
     if (j.ready_at > now) continue;
-    if (head == none || before(j, *queue_[head])) head = i;
+    if (head == none || before(j, *queue_[head], now)) head = i;
   }
   std::size_t best = none;
-  if (head != none && queue_[head]->spec.ranks() <= free_ranks) {
+  if (head != none && queue_[head]->ranks() <= free_ranks) {
     best = head;
   } else if (head != none && queue_[head]->bypassed < kMaxBypasses) {
     // Backfill: the best ready job that does fit.  Charged against the
@@ -27,9 +43,9 @@ std::shared_ptr<Job> Scheduler::pop_ready(TimePoint now, int free_ranks) {
     // cannot be grabbed by a stream of small jobs forever.
     for (std::size_t i = 0; i < queue_.size(); ++i) {
       const Job& j = *queue_[i];
-      if (i == head || j.ready_at > now || j.spec.ranks() > free_ranks)
+      if (i == head || j.ready_at > now || j.ranks() > free_ranks)
         continue;
-      if (best == none || before(j, *queue_[best])) best = i;
+      if (best == none || before(j, *queue_[best], now)) best = i;
     }
     if (best != none) ++queue_[head]->bypassed;
   }
@@ -44,9 +60,23 @@ const Job* Scheduler::peek_ready(TimePoint now) const {
   const Job* best = nullptr;
   for (const auto& j : queue_) {
     if (j->ready_at > now) continue;
-    if (best == nullptr || before(*j, *best)) best = j.get();
+    if (best == nullptr || before(*j, *best, now)) best = j.get();
   }
   return best;
+}
+
+std::vector<std::shared_ptr<Job>> Scheduler::remove_over_demand(
+    int max_ranks) {
+  std::vector<std::shared_ptr<Job>> out;
+  auto it = std::partition(
+      queue_.begin(), queue_.end(),
+      [max_ranks](const std::shared_ptr<Job>& j) {
+        return j->ranks() <= max_ranks;
+      });
+  out.assign(std::make_move_iterator(it),
+             std::make_move_iterator(queue_.end()));
+  queue_.erase(it, queue_.end());
+  return out;
 }
 
 Scheduler::TimePoint Scheduler::next_ready_after(TimePoint now) const {

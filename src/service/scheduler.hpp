@@ -26,6 +26,16 @@ class Scheduler {
 
   explicit Scheduler(std::size_t capacity) : capacity_(capacity) {}
 
+  /// Aging (anti-starvation): a queued job's effective priority grows by
+  /// `rate` priority points per second spent waiting since it last
+  /// entered the queue, so a long-waiting low-priority job eventually
+  /// outranks fresh high-priority work.  0 (the default) disables aging
+  /// and restores strict (priority, FIFO) order.
+  void set_aging_rate(double rate) { aging_rate_ = rate; }
+  double aging_rate() const { return aging_rate_; }
+  /// spec.priority plus the accumulated aging boost at `now`.
+  double effective_priority(const Job& j, TimePoint now) const;
+
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const { return queue_.size(); }
   bool empty() const { return queue_.empty(); }
@@ -61,14 +71,24 @@ class Scheduler {
   /// sleep before a retry becomes eligible.
   TimePoint next_ready_after(TimePoint now) const;
 
+  /// Removes and returns every queued job whose rank demand exceeds
+  /// `max_ranks`.  Called when the pool's usable budget shrinks
+  /// permanently (a rank retired): the pool reshapes or fails each,
+  /// instead of letting it wait forever for capacity that cannot return.
+  std::vector<std::shared_ptr<Job>> remove_over_demand(int max_ranks);
+
  private:
-  /// True when a should run before b.
-  static bool before(const Job& a, const Job& b) {
-    if (a.spec.priority != b.spec.priority)
-      return a.spec.priority > b.spec.priority;
+  /// True when a should run before b at `now` (effective priority desc,
+  /// FIFO sequence asc).  With aging off this is exactly the static
+  /// (priority, sequence) order.
+  bool before(const Job& a, const Job& b, TimePoint now) const {
+    const double pa = effective_priority(a, now);
+    const double pb = effective_priority(b, now);
+    if (pa != pb) return pa > pb;
     return a.sequence < b.sequence;
   }
 
+  double aging_rate_ = 0.0;
   std::size_t capacity_;
   std::uint64_t next_sequence_ = 0;
   std::vector<std::shared_ptr<Job>> queue_;  // unordered; scans are tiny

@@ -13,8 +13,11 @@ util::Json fault_json(const comm::FaultSummary& s) {
   f["injected_drop"] = s.injected_drop;
   f["injected_corrupt"] = s.injected_corrupt;
   f["injected_stall"] = s.injected_stall;
+  f["injected_kill"] = s.injected_kill;
+  f["injected_hang"] = s.injected_hang;
   f["detected_checksum"] = s.detected_checksum;
   f["detected_timeout"] = s.detected_timeout;
+  f["detected_peer_dead"] = s.detected_peer_dead;
   f["recovered_delay"] = s.recovered_delay;
   f["recovered_duplicate"] = s.recovered_duplicate;
   f["recovered_drop"] = s.recovered_drop;
@@ -107,6 +110,25 @@ util::Json EnsembleService::report() {
                  : 0.0;
   doc["service"] = std::move(svc);
 
+  // The health section (new in v2): per-rank quarantine state plus the
+  // recovery counters the rank-failure tests assert on.
+  util::Json health = util::Json::object();
+  util::Json rank_arr = util::Json::array();
+  for (const auto& rh : pool_.rank_health()) {
+    util::Json r = util::Json::object();
+    r["id"] = rh.id;
+    r["status"] = rh.status;
+    r["strikes"] = rh.strikes;
+    r["quarantines"] = rh.quarantines;
+    rank_arr.push_back(std::move(r));
+  }
+  health["ranks"] = std::move(rank_arr);
+  health["jobs_recovered"] = static_cast<double>(pool_.jobs_recovered());
+  health["quarantines"] = static_cast<double>(pool_.quarantines());
+  health["ranks_retired"] = pool_.ranks_retired();
+  health["degraded_rank_seconds"] = pool_.degraded_rank_seconds();
+  doc["health"] = std::move(health);
+
   util::Json arr = util::Json::array();
   for (const auto& j : jobs) {
     const JobResult r = pool_.snapshot(*j, /*take_state=*/false);
@@ -118,12 +140,18 @@ util::Json EnsembleService::report() {
     for (int d : j->spec.dims) dims.push_back(d);
     e["dims"] = std::move(dims);
     e["ranks"] = j->spec.ranks();
+    // The decomposition the job actually (last) ran with; differs from
+    // dims after a degraded-budget reshape.
+    util::Json active = util::Json::array();
+    for (int d : r.active_dims) active.push_back(d);
+    e["active_dims"] = std::move(active);
     e["steps"] = j->spec.steps;
     e["priority"] = j->spec.priority;
     e["state"] = to_string(r.state);
     e["steps_done"] = r.steps_done;
     e["attempts"] = r.metrics.attempts;
     e["preemptions"] = r.metrics.preemptions;
+    e["rank_recoveries"] = r.metrics.rank_recoveries;
     e["queue_wait_seconds"] = r.metrics.queue_wait_seconds;
     e["run_seconds"] = r.metrics.run_seconds;
     e["backoff_seconds"] = r.metrics.backoff_seconds;
@@ -147,8 +175,12 @@ std::string validate_report(const util::Json& doc) {
   if (!doc.is_object()) return "root is not an object";
   const util::Json* schema = doc.find("schema");
   if (schema == nullptr || !schema->is_string() ||
-      schema->as_string() != kReportSchema)
+      (schema->as_string() != kReportSchema &&
+       schema->as_string() != kReportSchemaV1))
     return "missing/wrong schema tag";
+  // v1 reports predate the health section and the per-job recovery
+  // fields; everything else is identical, so only v2 requires them.
+  const bool v2 = schema->as_string() == kReportSchema;
   const util::Json* svc = doc.find("service");
   if (svc == nullptr || !svc->is_object()) return "missing service object";
   for (const char* key :
@@ -158,6 +190,27 @@ std::string validate_report(const util::Json& doc) {
         "retries", "rank_seconds_busy", "utilization"})
     if (svc->find(key) == nullptr || !svc->find(key)->is_number())
       return std::string("service missing numeric '") + key + "'";
+  if (v2) {
+    const util::Json* health = doc.find("health");
+    if (health == nullptr || !health->is_object())
+      return "missing health object";
+    for (const char* key : {"jobs_recovered", "quarantines",
+                            "ranks_retired", "degraded_rank_seconds"})
+      if (health->find(key) == nullptr || !health->find(key)->is_number())
+        return std::string("health missing numeric '") + key + "'";
+    const util::Json* ranks = health->find("ranks");
+    if (ranks == nullptr || !ranks->is_array())
+      return "health missing ranks array";
+    for (const auto& r : ranks->items()) {
+      if (!r.is_object()) return "health rank entry is not an object";
+      if (r.find("id") == nullptr || r.find("status") == nullptr ||
+          !r.find("status")->is_string())
+        return "health rank entry missing id/status";
+      const std::string& st = r.find("status")->as_string();
+      if (st != "healthy" && st != "quarantined" && st != "retired")
+        return "health rank entry has unknown status '" + st + "'";
+    }
+  }
   const util::Json* jobs = doc.find("jobs");
   if (jobs == nullptr || !jobs->is_array()) return "missing jobs array";
   for (const auto& e : jobs->items()) {
@@ -168,6 +221,10 @@ std::string validate_report(const util::Json& doc) {
                             "steps_per_second"})
       if (e.find(key) == nullptr)
         return std::string("job missing '") + key + "'";
+    if (v2)
+      for (const char* key : {"rank_recoveries", "active_dims"})
+        if (e.find(key) == nullptr)
+          return std::string("job missing '") + key + "'";
     const std::string& state = e.find("state")->as_string();
     if (state != "queued" && state != "running" && state != "preempted" &&
         state != "backoff" && state != "completed" && state != "failed")

@@ -1,9 +1,12 @@
 // EnsembleService: the front door of the multi-run scheduler.  Callers
 // submit JobSpecs (validated here), the WorkerPool multiplexes them over
 // the shared rank budget, and the service keeps the full job ledger it
-// exports as a versioned JSON report ("ca-agcm/service-report/v1") with
+// exports as a versioned JSON report ("ca-agcm/service-report/v2") with
 // per-job metrics (queue wait, run seconds, steps/sec, comm traffic,
-// retries, preemptions, fault summary) and service-level utilization.
+// retries, preemptions, rank recoveries, fault summary), service-level
+// utilization, and a `health` section covering per-rank quarantine state
+// and the capacity lost to faults.  v1 reports (no health section) still
+// validate for consumers replaying archived output.
 #pragma once
 
 #include <memory>
@@ -17,7 +20,10 @@
 
 namespace ca::service {
 
-inline constexpr const char* kReportSchema = "ca-agcm/service-report/v1";
+inline constexpr const char* kReportSchema = "ca-agcm/service-report/v2";
+/// Previous schema revision (no `health` section, no per-job
+/// rank-recovery fields); validate_report still accepts it.
+inline constexpr const char* kReportSchemaV1 = "ca-agcm/service-report/v1";
 
 using ServiceOptions = PoolOptions;
 
@@ -53,6 +59,12 @@ class EnsembleService {
   int max_concurrent_jobs() const { return pool_.max_concurrent_jobs(); }
   std::uint64_t preemptions() const { return pool_.preemptions(); }
   std::uint64_t retries() const { return pool_.retries(); }
+  std::uint64_t jobs_recovered() const { return pool_.jobs_recovered(); }
+  std::uint64_t quarantines() const { return pool_.quarantines(); }
+  int ranks_retired() const { return pool_.ranks_retired(); }
+  std::vector<RankHealthInfo> rank_health() const {
+    return pool_.rank_health();
+  }
 
  private:
   std::shared_ptr<Job> find(int job_id) const;
@@ -64,8 +76,9 @@ class EnsembleService {
 };
 
 /// Schema check of a service report; returns a description of the first
-/// problem, or empty when the document conforms to
-/// ca-agcm/service-report/v1.  Used by the bench's self-check and tests.
+/// problem, or empty when the document conforms to the v2 schema (or the
+/// legacy v1 schema, whose reports lack the health section).  Used by the
+/// bench's self-check and tests.
 std::string validate_report(const util::Json& doc);
 
 }  // namespace ca::service

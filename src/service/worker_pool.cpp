@@ -5,6 +5,9 @@
 #include <filesystem>
 
 #include "service/runner.hpp"
+#include "util/checkpoint.hpp"
+#include "util/config.hpp"
+#include "util/proc_grid.hpp"
 
 namespace ca::service {
 namespace {
@@ -26,8 +29,11 @@ void add_summary(comm::FaultSummary& acc, const comm::FaultSummary& s) {
   acc.injected_drop += s.injected_drop;
   acc.injected_corrupt += s.injected_corrupt;
   acc.injected_stall += s.injected_stall;
+  acc.injected_kill += s.injected_kill;
+  acc.injected_hang += s.injected_hang;
   acc.detected_checksum += s.detected_checksum;
   acc.detected_timeout += s.detected_timeout;
+  acc.detected_peer_dead += s.detected_peer_dead;
   acc.recovered_delay += s.recovered_delay;
   acc.recovered_duplicate += s.recovered_duplicate;
   acc.recovered_drop += s.recovered_drop;
@@ -35,16 +41,48 @@ void add_summary(comm::FaultSummary& acc, const comm::FaultSummary& s) {
 
 }  // namespace
 
+PoolOptions PoolOptions::from_config(const util::Config& cfg) {
+  PoolOptions o;
+  o.slots = cfg.get_int("service.slots", o.slots);
+  o.rank_budget = cfg.get_int("service.rank_budget", o.rank_budget);
+  o.queue_capacity = static_cast<std::size_t>(
+      cfg.get_long("service.queue_capacity",
+                   static_cast<long long>(o.queue_capacity)));
+  o.checkpoint_dir =
+      cfg.get_string("service.checkpoint_dir", o.checkpoint_dir);
+  o.max_rank_strikes =
+      cfg.get_int("service.max_rank_strikes", o.max_rank_strikes);
+  o.quarantine_seconds =
+      cfg.get_double("service.quarantine_seconds", o.quarantine_seconds);
+  o.aging_rate = cfg.get_double("service.aging_rate", o.aging_rate);
+  return o;
+}
+
 WorkerPool::WorkerPool(const PoolOptions& options)
     : options_(options),
       scheduler_(options.queue_capacity),
-      free_ranks_(options.rank_budget),
+      ranks_(static_cast<std::size_t>(std::max(0, options.rank_budget))),
       busy_mark_(Clock::now()) {
+  scheduler_.set_aging_rate(options_.aging_rate);
   // Checkpoint paths are built under this directory; a missing one would
   // make every preemptible job burn its whole attempt budget on fopen
   // failures, so materialize it (or fail loudly) before any slot starts.
   if (options_.checkpoint_dir.empty()) options_.checkpoint_dir = ".";
   std::filesystem::create_directories(options_.checkpoint_dir);
+  // Sweep stale atomic-write leftovers: a crash between a checkpoint's
+  // tmp-write and its rename leaves a `*.ckpt.tmp` behind.  They are never
+  // read (readers only open the renamed path) but accumulate forever.
+  std::error_code ec;
+  for (const auto& e :
+       std::filesystem::directory_iterator(options_.checkpoint_dir, ec)) {
+    if (!e.is_regular_file(ec)) continue;
+    const std::string name = e.path().filename().string();
+    constexpr const char* kSuffix = ".ckpt.tmp";
+    constexpr std::size_t kSuffixLen = 9;
+    if (name.size() > kSuffixLen &&
+        name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) == 0)
+      std::filesystem::remove(e.path(), ec);
+  }
   slots_.reserve(static_cast<std::size_t>(options_.slots));
   for (int s = 0; s < options_.slots; ++s)
     slots_.emplace_back([this] { worker_loop(); });
@@ -70,7 +108,7 @@ bool WorkerPool::submit(const std::shared_ptr<Job>& job, bool block) {
   // A high-priority submission that does not fit the free budget starts
   // evicting immediately — an idle worker may never see it otherwise.
   if (const Job* best = scheduler_.peek_ready(now))
-    request_preemption(best->spec.priority, best->spec.ranks());
+    request_preemption(best->spec.priority, best->ranks());
   work_cv_.notify_all();
   return true;
 }
@@ -90,6 +128,7 @@ JobResult WorkerPool::snapshot(Job& job, bool take_state) {
   r.name = job.spec.name;
   r.state = job.state;
   r.steps_done = job.steps_done;
+  r.active_dims = job.active_dims;
   r.metrics = job.metrics;
   r.faults = job.faults;
   r.error = job.error;
@@ -159,24 +198,198 @@ std::uint64_t WorkerPool::retries() const {
 
 double WorkerPool::rank_seconds_busy() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return rank_seconds_busy_ +
-         (options_.rank_budget - free_ranks_) *
-             seconds_between(busy_mark_, Clock::now());
+  int busy = 0;
+  for (const auto& rh : ranks_)
+    if (rh.busy) ++busy;
+  return rank_seconds_busy_ + busy * seconds_between(busy_mark_, Clock::now());
+}
+
+std::vector<RankHealthInfo> WorkerPool::rank_health() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<RankHealthInfo> out;
+  out.reserve(ranks_.size());
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    RankHealthInfo info;
+    info.id = static_cast<int>(r);
+    switch (ranks_[r].status) {
+      case RankStatus::kHealthy:
+        info.status = "healthy";
+        break;
+      case RankStatus::kQuarantined:
+        info.status = "quarantined";
+        break;
+      case RankStatus::kRetired:
+        info.status = "retired";
+        break;
+    }
+    info.strikes = ranks_[r].strikes;
+    info.quarantines = ranks_[r].quarantines;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::uint64_t WorkerPool::jobs_recovered() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return jobs_recovered_;
+}
+
+std::uint64_t WorkerPool::quarantines() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return quarantines_;
+}
+
+int WorkerPool::ranks_retired() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ranks_retired_;
+}
+
+double WorkerPool::degraded_rank_seconds() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  int impaired = 0;
+  for (const auto& rh : ranks_)
+    if (rh.status != RankStatus::kHealthy) ++impaired;
+  return degraded_rank_seconds_ +
+         impaired * seconds_between(busy_mark_, Clock::now());
 }
 
 void WorkerPool::accrue_busy_time() {
   const auto now = Clock::now();
-  rank_seconds_busy_ += (options_.rank_budget - free_ranks_) *
-                        seconds_between(busy_mark_, now);
+  int busy = 0, impaired = 0;
+  for (const auto& rh : ranks_) {
+    if (rh.busy) ++busy;
+    if (rh.status != RankStatus::kHealthy) ++impaired;
+  }
+  const double dt = seconds_between(busy_mark_, now);
+  rank_seconds_busy_ += busy * dt;
+  degraded_rank_seconds_ += impaired * dt;
   busy_mark_ = now;
+}
+
+int WorkerPool::free_rank_count() const {
+  int n = 0;
+  for (const auto& rh : ranks_)
+    if (rh.status == RankStatus::kHealthy && !rh.busy) ++n;
+  return n;
+}
+
+int WorkerPool::usable_rank_count() const {
+  int n = 0;
+  for (const auto& rh : ranks_)
+    if (rh.status != RankStatus::kRetired) ++n;
+  return n;
+}
+
+Clock::time_point WorkerPool::revive_ranks(Clock::time_point now) {
+  // Charge the degraded integral up to `now` BEFORE any status flips so
+  // the quarantine window is accounted at full weight.
+  accrue_busy_time();
+  auto earliest = Clock::time_point::max();
+  for (auto& rh : ranks_) {
+    if (rh.status != RankStatus::kQuarantined) continue;
+    if (rh.until <= now)
+      rh.status = RankStatus::kHealthy;
+    else
+      earliest = std::min(earliest, rh.until);
+  }
+  return earliest;
+}
+
+void WorkerPool::quarantine_rank(int pool_rank, Clock::time_point now) {
+  if (pool_rank < 0 || pool_rank >= static_cast<int>(ranks_.size())) return;
+  auto& rh = ranks_[pool_rank];
+  if (rh.status == RankStatus::kRetired) return;
+  ++rh.strikes;
+  ++rh.quarantines;
+  ++quarantines_;
+  if (rh.strikes >= options_.max_rank_strikes) {
+    // Circuit breaker: this rank keeps killing attempts — retire it for
+    // good and deal with the permanently smaller budget right away.
+    rh.status = RankStatus::kRetired;
+    ++ranks_retired_;
+    handle_shrunken_budget();
+  } else {
+    rh.status = RankStatus::kQuarantined;
+    rh.until = now + to_duration(std::max(0.0, options_.quarantine_seconds));
+  }
+}
+
+std::string WorkerPool::reshape_job(Job& job, int budget) {
+  if (budget <= 0)
+    return "rank pool permanently degraded: no usable ranks remain";
+  if (job.ranks() <= budget) return {};
+  const JobSpec& spec = job.spec;
+  if (spec.core == CoreKind::kCA)
+    return "rank pool permanently degraded below the job's decomposition; "
+           "the CA core's cross-step carry is decomposition-specific and "
+           "cannot be resharded";
+  // Original core: the checkpoint holds plain field state, so the job can
+  // restart on the largest valid process grid that still fits the budget.
+  for (int p = budget; p >= 1; --p) {
+    std::array<int, 3> d;
+    try {
+      const auto g = spec.scheme == core::DecompScheme::kXY
+                         ? util::xy_grid(p)
+                         : util::yz_grid(p, spec.config.nz);
+      d = {g[0], g[1], g[2]};
+    } catch (const std::exception&) {
+      continue;
+    }
+    JobSpec probe = spec;
+    probe.dims = d;
+    // Validate against the ORIGINAL budget: node_faults may legitimately
+    // name a now-retired pool rank id, and p <= budget already holds.
+    if (!validate(probe, options_.rank_budget).empty()) continue;
+    if (d == job.active_dims) return {};
+    // Only an existing checkpoint set needs resharding; a job that never
+    // checkpointed restarts from step 0 under the new shape directly.
+    std::error_code ec;
+    if (std::filesystem::exists(
+            util::checkpoint_path(job.checkpoint_prefix, 0), ec)) {
+      // Chain-safe: keep the ORIGINAL on-disk shape if an earlier reshape
+      // was scheduled but its reshard has not run yet.
+      if (job.reshard_from == std::array<int, 3>{0, 0, 0})
+        job.reshard_from = job.active_dims;
+    }
+    job.active_dims = d;
+    return {};
+  }
+  return "rank pool permanently degraded: no valid decomposition of the "
+         "mesh fits the " +
+         std::to_string(budget) + " usable rank(s)";
+}
+
+void WorkerPool::fail_job(Job& job, const std::string& error) {
+  job.error = error;
+  job.state = JobState::kFailed;
+  if (job.metrics.run_seconds > 0.0)
+    job.metrics.steps_per_second = job.steps_done / job.metrics.run_seconds;
+  if (job.spec.deadline_seconds > 0.0)
+    job.metrics.deadline_missed =
+        seconds_between(job.submitted_at, Clock::now()) >
+        job.spec.deadline_seconds;
+  --in_flight_;
+  done_cv_.notify_all();
+}
+
+void WorkerPool::handle_shrunken_budget() {
+  const int usable = usable_rank_count();
+  auto evicted = scheduler_.remove_over_demand(usable);
+  for (auto& j : evicted) {
+    const std::string err = reshape_job(*j, usable);
+    if (err.empty())
+      scheduler_.push(std::move(j));
+    else
+      fail_job(*j, err);
+  }
 }
 
 void WorkerPool::request_preemption(int priority, int needed) {
   // Ranks already coming free from in-progress yields count first.
   for (const auto& j : running_)
     if (j->yield_requested.load(std::memory_order_relaxed))
-      needed -= j->spec.ranks();
-  needed -= free_ranks_;
+      needed -= j->ranks();
+  needed -= free_rank_count();
   if (needed <= 0) return;
 
   std::vector<Job*> victims;
@@ -193,7 +406,7 @@ void WorkerPool::request_preemption(int priority, int needed) {
   for (Job* v : victims) {
     if (needed <= 0) break;
     v->yield_requested.store(true, std::memory_order_relaxed);
-    needed -= v->spec.ranks();
+    needed -= v->ranks();
   }
 }
 
@@ -205,11 +418,27 @@ void WorkerPool::worker_loop() {
     // retry, just immediately — otherwise an exponential backoff (up to
     // 2^20 x base) could hold shutdown hostage for hours.
     const auto gate = stopping_ ? Scheduler::TimePoint::max() : now;
-    if (auto job = scheduler_.pop_ready(gate, free_ranks_)) {
+    const auto next_revive = revive_ranks(now);
+    if (auto job = scheduler_.pop_ready(gate, free_rank_count())) {
       accrue_busy_time();
-      free_ranks_ -= job->spec.ranks();
-      max_ranks_in_flight_ = std::max(
-          max_ranks_in_flight_, options_.rank_budget - free_ranks_);
+      // Back the attempt with concrete pool ranks (lowest ids first, so
+      // tests can deterministically target a node by id); the runner maps
+      // node-resident faults through this assignment.
+      job->assigned_ranks.clear();
+      const int need = job->ranks();
+      for (int r = 0;
+           r < static_cast<int>(ranks_.size()) &&
+           static_cast<int>(job->assigned_ranks.size()) < need;
+           ++r) {
+        if (ranks_[r].status != RankStatus::kHealthy || ranks_[r].busy)
+          continue;
+        ranks_[r].busy = true;
+        job->assigned_ranks.push_back(r);
+      }
+      int busy = 0;
+      for (const auto& rh : ranks_)
+        if (rh.busy) ++busy;
+      max_ranks_in_flight_ = std::max(max_ranks_in_flight_, busy);
       running_.push_back(job);
       max_concurrent_ =
           std::max(max_concurrent_, static_cast<int>(running_.size()));
@@ -225,9 +454,10 @@ void WorkerPool::worker_loop() {
     }
     if (stopping_ && in_flight_ == 0) return;
     if (const Job* best = scheduler_.peek_ready(gate))
-      if (best->spec.ranks() > free_ranks_)
-        request_preemption(best->spec.priority, best->spec.ranks());
-    const auto next = scheduler_.next_ready_after(gate);
+      if (best->ranks() > free_rank_count())
+        request_preemption(best->spec.priority, best->ranks());
+    const auto next =
+        std::min(scheduler_.next_ready_after(gate), next_revive);
     if (next == Scheduler::TimePoint::max())
       work_cv_.wait(lk);
     else
@@ -237,15 +467,56 @@ void WorkerPool::worker_loop() {
 
 void WorkerPool::execute(const std::shared_ptr<Job>& job) {
   const int attempt = job->metrics.attempts;
-  const int start_step = job->steps_done;
+  int start_step = job->steps_done;
   Job* raw = job.get();
-  AttemptResult out = run_attempt(
-      job->spec, attempt, start_step, job->checkpoint_prefix,
-      [raw] { return raw->yield_requested.load(std::memory_order_relaxed); });
+
+  AttemptResult out;
+  std::string prep_error;
+  // Resharding and the resume probe touch the filesystem; both run
+  // outside the pool lock like the attempt itself.
+  if (job->reshard_from != std::array<int, 3>{0, 0, 0} &&
+      job->reshard_from != job->active_dims) {
+    try {
+      const mesh::LatLonMesh mesh(job->spec.config.nx, job->spec.config.ny,
+                                  job->spec.config.nz);
+      util::reshard_checkpoints(job->checkpoint_prefix, mesh,
+                                job->reshard_from, job->active_dims);
+      job->reshard_from = {0, 0, 0};
+    } catch (const std::exception& e) {
+      prep_error = std::string("checkpoint reshard failed: ") + e.what();
+    }
+  }
+  // Rank-death recovery: the dying attempt may have checkpointed without
+  // ever yielding, so steps_done (the last yield mark) still reads 0.
+  // Probe for a checkpoint set and let the attempt resume from its
+  // headers (the source of truth) instead of recomputing from scratch.
+  if (prep_error.empty() && start_step == 0 &&
+      job->spec.checkpoint_every > 0 && job->metrics.rank_recoveries > 0) {
+    std::error_code ec;
+    if (std::filesystem::exists(
+            util::checkpoint_path(job->checkpoint_prefix, 0), ec))
+      start_step = 1;
+  }
+  if (prep_error.empty()) {
+    AttemptOptions o;
+    o.attempt = attempt;
+    o.start_step = start_step;
+    o.checkpoint_prefix = job->checkpoint_prefix;
+    o.should_yield = [raw] {
+      return raw->yield_requested.load(std::memory_order_relaxed);
+    };
+    o.dims = job->active_dims;
+    o.pool_ranks = job->assigned_ranks;
+    out = run_attempt(job->spec, o);
+  } else {
+    out.error = prep_error;
+  }
 
   std::lock_guard<std::mutex> lk(mu_);
   accrue_busy_time();
-  free_ranks_ += job->spec.ranks();
+  for (int r : job->assigned_ranks)
+    if (r >= 0 && r < static_cast<int>(ranks_.size()))
+      ranks_[r].busy = false;
   running_.erase(std::find(running_.begin(), running_.end(), job));
 
   job->metrics.run_seconds += out.run_seconds;
@@ -256,7 +527,48 @@ void WorkerPool::execute(const std::shared_ptr<Job>& job) {
 
   const auto now = Clock::now();
   bool terminal = false;
-  if (!out.error.empty()) {
+  if (out.dead_rank >= 0) {
+    // A rank died (killed) or went silent past the heartbeat.  That is
+    // the pool's hardware failing, not the job: quarantine the backing
+    // pool rank and re-queue the job for checkpoint recovery on healthy
+    // ranks without burning one of its attempts.
+    const int pool_id =
+        out.dead_rank < static_cast<int>(job->assigned_ranks.size())
+            ? job->assigned_ranks[static_cast<std::size_t>(out.dead_rank)]
+            : -1;
+    quarantine_rank(pool_id, now);
+    // Recovery cap: every recovery strikes a rank, and the breaker bounds
+    // strikes per rank, so exceeding this many means the faults follow
+    // the job itself — stop recovering and fail it.
+    const int cap = options_.rank_budget *
+                        std::max(1, options_.max_rank_strikes) +
+                    1;
+    job->error = out.error;
+    if (job->metrics.rank_recoveries >= cap) {
+      job->state = JobState::kFailed;
+      terminal = true;
+    } else {
+      ++jobs_recovered_;
+      ++job->metrics.rank_recoveries;
+      // The pop path will ++attempts again; a rank death must not burn
+      // the job's own attempt budget.
+      --job->metrics.attempts;
+      std::string err;
+      if (job->ranks() > usable_rank_count())
+        err = reshape_job(*job, usable_rank_count());
+      if (!err.empty()) {
+        job->error = err;
+        job->state = JobState::kFailed;
+        terminal = true;
+      } else {
+        job->state = JobState::kBackoff;
+        job->ready_at = now;  // no backoff: the faulty rank sits out, not
+                              // the job
+        job->last_queued_at = now;
+        scheduler_.push(job);
+      }
+    }
+  } else if (!out.error.empty()) {
     job->error = out.error;  // latest failure retained either way
     if (job->metrics.attempts < job->spec.max_attempts) {
       ++retries_;

@@ -14,7 +14,14 @@
 //   - retry with backoff: a failed attempt (detected fault, timeout, any
 //     exception out of the rank group) re-enters the queue gated by an
 //     exponentially growing ready_at until the attempt budget is spent,
-//     after which the job ends kFailed with its accumulated FaultSummary.
+//     after which the job ends kFailed with its accumulated FaultSummary;
+//   - rank health: the budget is tracked per rank.  An attempt that ends
+//     with a dead/hung rank (AttemptResult::dead_rank) quarantines that
+//     pool rank for quarantine_seconds, and a circuit breaker retires it
+//     permanently after max_rank_strikes quarantines.  The job re-queues
+//     WITHOUT burning an attempt and resumes from its last checkpoint on
+//     healthy ranks — re-factorized to a smaller process grid when its
+//     shape can no longer fit the surviving budget (original core only).
 #pragma once
 
 #include <condition_variable>
@@ -28,6 +35,10 @@
 #include "service/job.hpp"
 #include "service/scheduler.hpp"
 
+namespace ca::util {
+class Config;
+}
+
 namespace ca::service {
 
 struct PoolOptions {
@@ -36,6 +47,25 @@ struct PoolOptions {
   std::size_t queue_capacity = 16;  ///< backpressure bound on submissions
   /// Directory for the per-job checkpoint files preemption rides on.
   std::string checkpoint_dir = ".";
+  /// Quarantines before a rank is retired for good (circuit breaker).
+  int max_rank_strikes = 3;
+  /// How long a struck rank sits out before rejoining the budget.
+  double quarantine_seconds = 0.25;
+  /// Scheduler aging rate [priority points per waiting second]; 0 = off.
+  double aging_rate = 0.0;
+
+  /// Reads service.slots / rank_budget / queue_capacity / checkpoint_dir /
+  /// max_rank_strikes / quarantine_seconds / aging_rate (each with the
+  /// usual CA_AGCM_* environment override).
+  static PoolOptions from_config(const util::Config& cfg);
+};
+
+/// Reportable health of one pool rank (see WorkerPool::rank_health).
+struct RankHealthInfo {
+  int id = 0;
+  std::string status;  ///< "healthy" | "quarantined" | "retired"
+  int strikes = 0;
+  int quarantines = 0;
 };
 
 class WorkerPool {
@@ -78,15 +108,57 @@ class WorkerPool {
   /// this over (rank_budget * service wall time).
   double rank_seconds_busy() const;
 
+  // --- rank health (the report's `health` section) ---
+  std::vector<RankHealthInfo> rank_health() const;
+  /// Attempts abandoned to a dead rank and re-queued for recovery.
+  std::uint64_t jobs_recovered() const;
+  /// Quarantine events (a rank may contribute several).
+  std::uint64_t quarantines() const;
+  /// Ranks permanently retired by the circuit breaker.
+  int ranks_retired() const;
+  /// Integral of impaired (quarantined + retired) ranks over time
+  /// [rank-seconds]: how much advertised capacity was lost to faults.
+  double degraded_rank_seconds() const;
+
  private:
+  enum class RankStatus { kHealthy, kQuarantined, kRetired };
+  struct RankHealth {
+    RankStatus status = RankStatus::kHealthy;
+    int strikes = 0;
+    int quarantines = 0;
+    std::chrono::steady_clock::time_point until{};  ///< quarantine expiry
+    bool busy = false;  ///< currently backing a running attempt
+  };
+
   void worker_loop();
   /// Runs one attempt of `job` outside the lock and applies the outcome.
   void execute(const std::shared_ptr<Job>& job);
   /// Under lock: ask lower-priority preemptible running jobs to yield
   /// until `needed` ranks will come free for a job of `priority`.
   void request_preemption(int priority, int needed);
-  /// Under lock: fold the elapsed busy time into rank_seconds_busy_.
+  /// Under lock: fold the elapsed busy/impaired time into the integrals.
   void accrue_busy_time();
+  /// Under lock: ranks available for assignment (healthy and idle).
+  int free_rank_count() const;
+  /// Under lock: ranks not permanently retired (the ceiling any job's
+  /// demand must fit under, quarantined ranks included — they return).
+  int usable_rank_count() const;
+  /// Under lock: return expired quarantines to the budget; returns the
+  /// earliest pending expiry (TimePoint::max() when none).
+  std::chrono::steady_clock::time_point revive_ranks(
+      std::chrono::steady_clock::time_point now);
+  /// Under lock: strike + quarantine (or retire) a pool rank after a
+  /// dead-rank attempt.
+  void quarantine_rank(int pool_rank,
+                       std::chrono::steady_clock::time_point now);
+  /// Under lock: shrink `job`'s decomposition to fit `budget` ranks.
+  /// Returns empty on success, else the reason the job cannot run.
+  std::string reshape_job(Job& job, int budget);
+  /// Under lock: fail (or reshape) every queued job whose demand exceeds
+  /// the permanently usable budget; called after a rank retires.
+  void handle_shrunken_budget();
+  /// Under lock: mark a job failed and notify (caller handles in_flight_).
+  void fail_job(Job& job, const std::string& error);
 
   PoolOptions options_;
   mutable std::mutex mu_;
@@ -96,7 +168,7 @@ class WorkerPool {
   Scheduler scheduler_;
   std::vector<std::shared_ptr<Job>> running_;
   std::vector<std::thread> slots_;
-  int free_ranks_;
+  std::vector<RankHealth> ranks_;  ///< index = pool rank id
   int in_flight_ = 0;  ///< queued + running + gated jobs, for drain()
   bool stopping_ = false;
   /// Slot joining happens exactly once even when shutdown() is called
@@ -107,7 +179,11 @@ class WorkerPool {
   int max_ranks_in_flight_ = 0;
   std::uint64_t preemptions_ = 0;
   std::uint64_t retries_ = 0;
+  std::uint64_t jobs_recovered_ = 0;
+  std::uint64_t quarantines_ = 0;
+  int ranks_retired_ = 0;
   double rank_seconds_busy_ = 0.0;
+  double degraded_rank_seconds_ = 0.0;
   std::chrono::steady_clock::time_point busy_mark_;
 };
 

@@ -260,4 +260,72 @@ CheckpointHeader read_checkpoint(const std::string& path,
   return hdr;
 }
 
+void reshard_checkpoints(const std::string& prefix,
+                         const mesh::LatLonMesh& mesh,
+                         std::array<int, 3> old_dims,
+                         std::array<int, 3> new_dims) {
+  const int old_count = old_dims[0] * old_dims[1] * old_dims[2];
+  const int new_count = new_dims[0] * new_dims[1] * new_dims[2];
+  if (old_count <= 0 || new_count <= 0)
+    throw std::runtime_error("reshard_checkpoints: empty process grid");
+
+  // Copies the owned interior of `local` (block `d`) into/out of the
+  // whole-mesh assembly state at the block's global origin.
+  state::State global(mesh.nx(), mesh.ny(), mesh.nz(), state::StateHalo{});
+  auto transfer = [&](const mesh::DomainDecomp& d, state::State& local,
+                      bool to_global) {
+    auto move3 = [&](util::Array3D<double>& gf, util::Array3D<double>& lf) {
+      for (int k = 0; k < d.lnz(); ++k)
+        for (int j = 0; j < d.lny(); ++j)
+          for (int i = 0; i < d.lnx(); ++i) {
+            double& g = gf(d.gi(i), d.gj(j), d.gk(k));
+            double& l = lf(i, j, k);
+            (to_global ? g : l) = (to_global ? l : g);
+          }
+    };
+    move3(global.u(), local.u());
+    move3(global.v(), local.v());
+    move3(global.phi(), local.phi());
+    for (int j = 0; j < d.lny(); ++j)
+      for (int i = 0; i < d.lnx(); ++i) {
+        double& g = global.psa()(d.gi(i), d.gj(j));
+        double& l = local.psa()(i, j);
+        (to_global ? g : l) = (to_global ? l : g);
+      }
+  };
+  auto rank_decomp = [&](std::array<int, 3> dims, int r) {
+    const std::array<int, 3> coords{r % dims[0], (r / dims[0]) % dims[1],
+                                    r / (dims[0] * dims[1])};
+    return mesh::DomainDecomp(mesh, dims, coords);
+  };
+
+  std::int64_t step = 0;
+  double time_seconds = 0.0;
+  for (int r = 0; r < old_count; ++r) {
+    const mesh::DomainDecomp d = rank_decomp(old_dims, r);
+    state::State local(d.lnx(), d.lny(), d.lnz(), state::StateHalo{});
+    const CheckpointHeader hdr =
+        read_checkpoint(checkpoint_path(prefix, r), mesh, d, local);
+    if (r == 0) {
+      step = hdr.step;
+      time_seconds = hdr.time_seconds;
+    } else if (hdr.step != step || hdr.time_seconds != time_seconds) {
+      throw std::runtime_error(
+          "reshard_checkpoints: inconsistent checkpoint set under " +
+          prefix);
+    }
+    transfer(d, local, /*to_global=*/true);
+  }
+
+  for (int r = 0; r < new_count; ++r) {
+    const mesh::DomainDecomp d = rank_decomp(new_dims, r);
+    state::State local(d.lnx(), d.lny(), d.lnz(), state::StateHalo{});
+    transfer(d, local, /*to_global=*/false);
+    write_checkpoint(checkpoint_path(prefix, r), mesh, d, local, step,
+                     time_seconds);
+  }
+  for (int r = new_count; r < old_count; ++r)
+    std::remove(checkpoint_path(prefix, r).c_str());
+}
+
 }  // namespace ca::util

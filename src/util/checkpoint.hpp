@@ -143,4 +143,20 @@ CheckpointHeader read_checkpoint(const std::string& path,
 /// Conventional per-rank file name: <prefix>.rank<r>.ckpt
 std::string checkpoint_path(const std::string& prefix, int rank);
 
+/// Rewrites a per-rank checkpoint set from `old_dims` blocks to
+/// `new_dims` blocks (rank layout x-fastest in both): every old rank's
+/// file is read into the global mesh, header consistency (step and model
+/// time identical across ranks) is verified, and the set is rewritten for
+/// the new decomposition under the same prefix.  Stale old-rank files
+/// beyond the new rank count are removed.  This is the degraded-pool
+/// recovery path: a job that lost ranks to quarantine resumes from the
+/// resharded set on a smaller process grid.  Core-carry blocks are NOT
+/// preserved (they are decomposition-specific); callers must only reshard
+/// jobs whose core carries no cross-step state.  Throws std::runtime_error
+/// on I/O failure, a mixed-step set, or any header mismatch.
+void reshard_checkpoints(const std::string& prefix,
+                         const mesh::LatLonMesh& mesh,
+                         std::array<int, 3> old_dims,
+                         std::array<int, 3> new_dims);
+
 }  // namespace ca::util

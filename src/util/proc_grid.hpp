@@ -1,0 +1,52 @@
+// Process-grid factorization shared by the evaluation benches
+// (EvalSetup::yz_grid / xy_grid) and the service's degraded-pool reshaping:
+// when a job loses ranks to quarantine, the worker pool re-factorizes its
+// decomposition for the shrunken budget with exactly the same rules the
+// benches use, so a reshaped job lands on a shape the perf model and the
+// validation layer already understand.
+#pragma once
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+namespace ca::util {
+
+/// Y-Z process grid {px=1, py, pz} for p ranks over nz vertical levels.
+/// Prefers pz = 8 (nz = 30 practice); when 8 does not divide p (or
+/// nz < 8) it falls back to the largest divisor of p that is
+/// <= min(nz, 8), so py * pz == p always holds.
+inline std::array<int, 3> yz_grid(int p, int nz) {
+  if (p <= 0)
+    throw std::invalid_argument("yz_grid: rank count must be positive");
+  const int pz_cap = nz < 8 ? nz : 8;
+  int pz = 1;
+  for (int d = pz_cap; d >= 1; --d) {
+    if (p % d == 0) {
+      pz = d;
+      break;
+    }
+  }
+  const std::array<int, 3> g{1, p / pz, pz};
+  if (g[1] * g[2] != p)
+    throw std::logic_error("yz_grid: py * pz != p for p = " +
+                           std::to_string(p));
+  return g;
+}
+
+/// X-Y grid {px, py, pz=1}: most-square factorization with px a power of
+/// two, halved until it divides p so px * py == p always holds.
+inline std::array<int, 3> xy_grid(int p) {
+  if (p <= 0)
+    throw std::invalid_argument("xy_grid: rank count must be positive");
+  int px = 1;
+  while (px * px < p) px *= 2;
+  while (px > 1 && p % px != 0) px /= 2;
+  const std::array<int, 3> g{px, p / px, 1};
+  if (g[0] * g[1] != p)
+    throw std::logic_error("xy_grid: px * py != p for p = " +
+                           std::to_string(p));
+  return g;
+}
+
+}  // namespace ca::util

@@ -1,0 +1,371 @@
+// Chaos suite, part 2 — process-level faults: a rank that dies outright
+// (kill_rank) or goes silent (hang_rank) mid-campaign.  The comm layer
+// must detect the loss within comm.heartbeat_timeout (not the much longer
+// receive deadline), and the ensemble service must quarantine the faulty
+// pool rank, re-queue the affected job, and finish it from its last
+// checkpoint on healthy ranks — bit-for-bit identical to a fault-free run
+// when the decomposition survives, within the documented cross-
+// decomposition tolerance when the pool had to reshape it.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <filesystem>
+#include <string>
+
+#include "comm/context.hpp"
+#include "comm/error.hpp"
+#include "comm/fault.hpp"
+#include "comm/runtime.hpp"
+#include "service/runner.hpp"
+#include "service/service.hpp"
+#include "state/state.hpp"
+#include "util/config.hpp"
+
+namespace ca {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Watchdog latency bound: far above any heartbeat_timeout used below,
+/// far below the 20 s receive deadline a failed watchdog would fall back
+/// to.  Detecting at the receive deadline means the heartbeat is dead
+/// code, and the test must say so.
+constexpr double kDetectBound = 8.0;
+
+comm::FaultRule step_rule(comm::FaultKind kind, int src, int step,
+                          int param = 1) {
+  comm::FaultRule r;
+  r.kind = kind;
+  r.src = src;
+  r.step = step;
+  r.param = param;
+  return r;
+}
+
+// --- comm layer: detection latency and typed errors ------------------------
+
+TEST(RankFailureComm, KilledRankPoisonsThePeersPromptly) {
+  comm::FaultPlan plan(3);
+  plan.add_rule(step_rule(comm::FaultKind::kKillRank, /*src=*/0, /*step=*/0));
+  comm::RunOptions opts;
+  opts.faults = &plan;
+  opts.recv_timeout = std::chrono::seconds(20);
+  opts.heartbeat_timeout = std::chrono::milliseconds(250);
+  const auto start = Clock::now();
+  EXPECT_THROW(
+      comm::Runtime::run(2, opts,
+                         [](comm::Context& ctx) {
+                           const auto& w = ctx.world();
+                           std::array<double, 4> buf{};
+                           ctx.notify_step();  // rank 0 dies here
+                           if (ctx.world_rank() == 0) {
+                             buf.fill(1.0);
+                             ctx.send_values<double>(w, 1, 6, buf);
+                           } else {
+                             ctx.recv_values<double>(w, 0, 6, buf);
+                           }
+                         }),
+      comm::CommError);
+  EXPECT_LT(elapsed_seconds(start), kDetectBound)
+      << "the survivor waited out the receive deadline instead of the "
+         "poison check";
+  const auto s = plan.summary();
+  EXPECT_EQ(s.injected_kill, 1u);
+  EXPECT_GE(s.detected_peer_dead, 1u);
+}
+
+TEST(RankFailureComm, HungRankDetectedWithinHeartbeatTimeout) {
+  comm::FaultPlan plan(5);
+  // 4 s of silence: far past the 250 ms heartbeat, far short of the 20 s
+  // receive deadline, so the measured detection latency tells them apart.
+  plan.add_rule(step_rule(comm::FaultKind::kHangRank, /*src=*/0, /*step=*/0,
+                          /*param=*/4000));
+  comm::RunOptions opts;
+  opts.faults = &plan;
+  opts.recv_timeout = std::chrono::seconds(20);
+  opts.heartbeat_timeout = std::chrono::milliseconds(250);
+  const auto start = Clock::now();
+  EXPECT_THROW(
+      comm::Runtime::run(2, opts,
+                         [](comm::Context& ctx) {
+                           const auto& w = ctx.world();
+                           std::array<double, 4> buf{};
+                           ctx.notify_step();  // rank 0 goes silent here
+                           if (ctx.world_rank() == 0) {
+                             buf.fill(1.0);
+                             ctx.send_values<double>(w, 1, 6, buf);
+                           } else {
+                             ctx.recv_values<double>(w, 0, 6, buf);
+                           }
+                         }),
+      comm::PeerDeadError);
+  // The run's wall time includes the hung rank sleeping out its 4 s (the
+  // runtime joins every rank), but must stay far below the 20 s receive
+  // deadline the survivor would otherwise burn.
+  EXPECT_LT(elapsed_seconds(start), kDetectBound);
+  const auto s = plan.summary();
+  EXPECT_EQ(s.injected_hang, 1u);
+  EXPECT_GE(s.detected_peer_dead, 1u)
+      << "the hang was never flagged by the heartbeat watchdog";
+}
+
+TEST(RankFailureComm, StepFaultFiresOnlyAtItsStep) {
+  comm::FaultPlan plan(7);
+  plan.add_rule(step_rule(comm::FaultKind::kKillRank, /*src=*/1, /*step=*/3));
+  for (std::uint64_t step = 0; step < 6; ++step) {
+    EXPECT_EQ(plan.step_fault(1, step).kill, step == 3);
+    EXPECT_FALSE(plan.step_fault(0, step).any())
+        << "rule scoped to rank 1 fired on rank 0";
+  }
+  EXPECT_EQ(plan.summary().injected_kill, 1u);
+}
+
+TEST(RankFailureComm, FromConfigParsesKillAndHang) {
+  const auto cfg = util::Config::from_text(
+      "faults.kill_step = 2\n"
+      "faults.hang_rank = 0.5\n"
+      "faults.hang_ms = 123\n"
+      "faults.src = 1\n");
+  const comm::FaultPlan plan = comm::FaultPlan::from_config(cfg);
+  ASSERT_EQ(plan.rules().size(), 2u);
+  EXPECT_EQ(plan.rules()[0].kind, comm::FaultKind::kKillRank);
+  EXPECT_EQ(plan.rules()[0].step, 2);
+  EXPECT_EQ(plan.rules()[0].src, 1);
+  EXPECT_EQ(plan.rules()[1].kind, comm::FaultKind::kHangRank);
+  EXPECT_DOUBLE_EQ(plan.rules()[1].probability, 0.5);
+  EXPECT_EQ(plan.rules()[1].param, 123);
+}
+
+TEST(RankFailureComm, HeartbeatTimeoutComesFromConfig) {
+  const auto cfg =
+      util::Config::from_text("comm.heartbeat_timeout = 350\n");
+  const comm::RunOptions opts = comm::RunOptions::from_config(cfg);
+  EXPECT_EQ(opts.heartbeat_timeout, std::chrono::milliseconds(350));
+  EXPECT_EQ(comm::RunOptions::from_config(util::Config{}).heartbeat_timeout,
+            std::chrono::milliseconds(0))
+      << "the watchdog must stay off by default";
+}
+
+// --- service layer: quarantine + checkpoint recovery -----------------------
+
+namespace svc = ca::service;
+
+core::DycoreConfig small_config() {
+  core::DycoreConfig c;
+  c.nx = 24;
+  c.ny = 16;
+  c.nz = 8;
+  c.M = 2;
+  c.dt_adapt = 30.0;
+  c.dt_advect = 120.0;
+  c.z_allreduce = comm::AllreduceAlgorithm::kLinearOrdered;
+  return c;
+}
+
+std::string temp_dir(const std::string& tag) {
+  const auto p =
+      std::filesystem::temp_directory_path() / ("ca_rank_failure_" + tag);
+  std::filesystem::remove_all(p);
+  std::filesystem::create_directories(p);
+  return p.string();
+}
+
+state::State solo_run(svc::JobSpec spec, const std::string& prefix) {
+  spec.faults = comm::FaultPlan();
+  spec.node_faults.clear();
+  spec.checkpoint_every = 0;
+  spec.comm = comm::RunOptions{};
+  svc::AttemptResult r = svc::run_attempt(spec, 1, 0, prefix, {});
+  EXPECT_TRUE(r.completed(spec.steps))
+      << "solo reference for '" << spec.name << "' failed: " << r.error;
+  return std::move(r.global);
+}
+
+/// A preemptible 4-step job with a node-resident fault on POOL rank 0,
+/// fired at attempt-local step 1 — after the first step's checkpoint, so
+/// recovery genuinely resumes instead of recomputing.
+svc::JobSpec faulted_spec(const std::string& name, svc::CoreKind core,
+                          std::array<int, 3> dims, comm::FaultKind kind,
+                          int hang_ms = 1500) {
+  svc::JobSpec s;
+  s.name = name;
+  s.core = core;
+  s.config = small_config();
+  s.dims = dims;
+  s.steps = 4;
+  s.checkpoint_every = 1;
+  s.node_faults.push_back(step_rule(
+      kind, /*src=*/0, /*step=*/1,
+      kind == comm::FaultKind::kHangRank ? hang_ms : 1));
+  s.comm.recv_timeout = std::chrono::seconds(20);
+  s.comm.heartbeat_timeout = std::chrono::milliseconds(250);
+  return s;
+}
+
+struct CoreCase {
+  const char* tag;
+  svc::CoreKind core;
+  std::array<int, 3> dims;
+};
+
+const CoreCase kCoreCases[] = {
+    {"serial", svc::CoreKind::kSerial, {1, 1, 1}},
+    {"original", svc::CoreKind::kOriginal, {1, 2, 1}},
+    {"ca", svc::CoreKind::kCA, {1, 2, 1}},
+};
+
+TEST(RankFailureService, KillRecoversBitwiseUnderEveryCore) {
+  for (const CoreCase& c : kCoreCases) {
+    SCOPED_TRACE(c.tag);
+    const std::string dir = temp_dir(std::string("kill_") + c.tag);
+    const svc::JobSpec spec =
+        faulted_spec(c.tag, c.core, c.dims, comm::FaultKind::kKillRank);
+    const state::State reference = solo_run(spec, dir + "/solo");
+
+    svc::ServiceOptions opt;
+    opt.slots = 2;
+    opt.rank_budget = 4;
+    opt.checkpoint_dir = dir;
+    // Keep the struck rank benched for the whole test so the retry is
+    // deterministically placed on healthy ranks (the node fault drops).
+    opt.quarantine_seconds = 60.0;
+    svc::EnsembleService service(opt);
+    const int id = service.submit(spec);
+    service.wait(id);
+
+    const svc::JobResult r = service.result(id);
+    ASSERT_EQ(r.state, svc::JobState::kCompleted) << r.error;
+    EXPECT_GE(r.metrics.rank_recoveries, 1)
+        << "the kill never fired; the scenario is vacuous";
+    EXPECT_EQ(r.metrics.attempts, 1)
+        << "a rank death must not burn the job's attempt budget";
+    EXPECT_GE(r.faults.injected_kill, 1u);
+    const double diff = state::State::max_abs_diff(
+        r.final_state, reference, reference.interior());
+    EXPECT_EQ(diff, 0.0)
+        << "checkpoint recovery diverged from the fault-free run";
+
+    const util::Json report = service.report();
+    EXPECT_EQ(svc::validate_report(report), "");
+    const util::Json* health = report.find("health");
+    ASSERT_NE(health, nullptr);
+    EXPECT_GE(health->find("quarantines")->as_double(), 1.0);
+    EXPECT_GE(health->find("jobs_recovered")->as_double(), 1.0);
+    EXPECT_GT(health->find("degraded_rank_seconds")->as_double(), 0.0);
+  }
+}
+
+TEST(RankFailureService, HangRecoversBitwiseUnderEveryCore) {
+  for (const CoreCase& c : kCoreCases) {
+    SCOPED_TRACE(c.tag);
+    const std::string dir = temp_dir(std::string("hang_") + c.tag);
+    const svc::JobSpec spec =
+        faulted_spec(c.tag, c.core, c.dims, comm::FaultKind::kHangRank);
+    const state::State reference = solo_run(spec, dir + "/solo");
+
+    svc::ServiceOptions opt;
+    opt.slots = 2;
+    opt.rank_budget = 4;
+    opt.checkpoint_dir = dir;
+    opt.quarantine_seconds = 60.0;
+    svc::EnsembleService service(opt);
+    const int id = service.submit(spec);
+    service.wait(id);
+
+    const svc::JobResult r = service.result(id);
+    ASSERT_EQ(r.state, svc::JobState::kCompleted) << r.error;
+    EXPECT_GE(r.faults.injected_hang, 1u);
+    if (c.core == svc::CoreKind::kSerial) {
+      // A serial job has no peers to starve: the hang is just a slow
+      // step, tolerated without any recovery machinery.
+      EXPECT_EQ(r.metrics.rank_recoveries, 0);
+    } else {
+      EXPECT_GE(r.metrics.rank_recoveries, 1)
+          << "the hang was never detected; the scenario is vacuous";
+      EXPECT_GE(r.faults.detected_peer_dead, 1u);
+    }
+    const double diff = state::State::max_abs_diff(
+        r.final_state, reference, reference.interior());
+    EXPECT_EQ(diff, 0.0)
+        << "hang recovery diverged from the fault-free run";
+    EXPECT_EQ(svc::validate_report(service.report()), "");
+  }
+}
+
+TEST(RankFailureService, CircuitBreakerRetiresAndReshapesTheJob) {
+  // Budget 2, one strike allowed: the kill retires pool rank 0 outright,
+  // the 2-rank job no longer fits the 1 usable rank, and the pool must
+  // re-factorize it to {1,1,1} (original core: plain field state, legal
+  // to reshard) and finish it there.  Cross-decomposition runs of the
+  // original core agree to ~1e-8, not bitwise — assert that tolerance.
+  const std::string dir = temp_dir("reshape");
+  svc::JobSpec spec = faulted_spec("reshape", svc::CoreKind::kOriginal,
+                                   {1, 2, 1}, comm::FaultKind::kKillRank);
+  const state::State reference = solo_run(spec, dir + "/solo");
+
+  svc::ServiceOptions opt;
+  opt.slots = 1;
+  opt.rank_budget = 2;
+  opt.checkpoint_dir = dir;
+  opt.max_rank_strikes = 1;
+  svc::EnsembleService service(opt);
+  const int id = service.submit(spec);
+  service.wait(id);
+
+  const svc::JobResult r = service.result(id);
+  ASSERT_EQ(r.state, svc::JobState::kCompleted) << r.error;
+  EXPECT_GE(r.metrics.rank_recoveries, 1);
+  const double diff = state::State::max_abs_diff(r.final_state, reference,
+                                                 reference.interior());
+  EXPECT_LT(diff, 1e-8) << "reshaped resume diverged beyond the "
+                           "cross-decomposition tolerance";
+
+  EXPECT_EQ(service.ranks_retired(), 1);
+  const util::Json report = service.report();
+  EXPECT_EQ(svc::validate_report(report), "");
+  bool saw_retired = false;
+  for (const auto& rank :
+       report.find("health")->find("ranks")->items())
+    saw_retired |= rank.find("status")->as_string() == "retired";
+  EXPECT_TRUE(saw_retired);
+  const util::Json* job = &report.find("jobs")->items()[0];
+  const auto& active = job->find("active_dims")->items();
+  ASSERT_EQ(active.size(), 3u);
+  EXPECT_EQ(active[0].as_double() * active[1].as_double() *
+                active[2].as_double(),
+            1.0)
+      << "the job was not reshaped onto the single surviving rank";
+}
+
+TEST(RankFailureService, CAJobFailsLoudlyWhenTheBudgetCannotFitIt) {
+  // Same degraded pool, but a CA job: its cross-step carry is
+  // decomposition-specific, so the pool must fail it with a diagnostic
+  // instead of silently resharding into a wrong trajectory.
+  const std::string dir = temp_dir("ca_degraded");
+  svc::JobSpec spec = faulted_spec("ca_degraded", svc::CoreKind::kCA,
+                                   {1, 2, 1}, comm::FaultKind::kKillRank);
+  const state::State reference = solo_run(spec, dir + "/solo");
+  ASSERT_GT(reference.interior().volume(), 0);
+
+  svc::ServiceOptions opt;
+  opt.slots = 1;
+  opt.rank_budget = 2;
+  opt.checkpoint_dir = dir;
+  opt.max_rank_strikes = 1;
+  svc::EnsembleService service(opt);
+  const int id = service.submit(spec);
+  service.wait(id);
+
+  const svc::JobResult r = service.result(id);
+  ASSERT_EQ(r.state, svc::JobState::kFailed);
+  EXPECT_NE(r.error.find("reshard"), std::string::npos) << r.error;
+  EXPECT_EQ(svc::validate_report(service.report()), "");
+}
+
+}  // namespace
+}  // namespace ca

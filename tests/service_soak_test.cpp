@@ -425,6 +425,73 @@ TEST(ServiceSoak, ShutdownCancelsBackoffGates) {
       << "shutdown waited out the backoff gate";
 }
 
+TEST(ServiceSoak, AgingBoundsLowPriorityWaitUnderABimodalMix) {
+  // Anti-starvation bound (the aging knob): with one slot and a steady
+  // stream of fresh short high-priority jobs, strict (priority, FIFO)
+  // order would park a low-priority job until the stream ends — every
+  // new arrival outranks it.  With aging on, the parked job's effective
+  // priority grows while each arrival starts from zero, so its queue
+  // wait is bounded by roughly gap/rate plus a service time — asserted
+  // here as K x the measured mean service time (+ scheduling slack),
+  // NOT by the length of the stream.
+  const core::DycoreConfig cfg = soak_config();
+  const std::string dir = temp_dir("aging");
+  const auto start = Clock::now();
+
+  ServiceOptions opt;
+  opt.slots = 1;
+  opt.rank_budget = 1;
+  opt.queue_capacity = 8;
+  opt.checkpoint_dir = dir;
+  // Priority gap 10 / 200 points per second: a parked job overtakes
+  // fresh arrivals after 50 ms of waiting.
+  opt.aging_rate = 200.0;
+
+  JobSpec hi;
+  hi.name = "hi";
+  hi.core = CoreKind::kSerial;
+  hi.config = cfg;
+  hi.steps = 2;
+  hi.priority = 10;
+
+  JobSpec lo = hi;
+  lo.name = "lo";
+  lo.priority = 0;
+
+  EnsembleService svc(opt);
+  const int primer = svc.submit(hi);
+  await_running(svc, primer);  // the pool is busy before `lo` queues
+  const int L = svc.submit(lo);
+
+  std::vector<int> stream{primer};
+  while (elapsed_seconds(start) < 2.0) {
+    stream.push_back(svc.submit(hi, /*block=*/true));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  svc.drain();
+  EXPECT_LT(elapsed_seconds(start), kWallClockBound) << "soak hung";
+  ASSERT_GE(stream.size(), 10u) << "high-priority stream too thin";
+
+  double service_sum = 0.0;
+  for (int id : stream) {
+    const JobResult r = svc.result(id);
+    ASSERT_EQ(r.state, JobState::kCompleted) << r.name << ": " << r.error;
+    service_sum += r.metrics.run_seconds;
+  }
+  const double mean_service =
+      service_sum / static_cast<double>(stream.size());
+
+  const JobResult rl = svc.result(L);
+  ASSERT_EQ(rl.state, JobState::kCompleted) << rl.error;
+  // The starvation bound.  The 0.5 s slack covers the 50 ms overtake
+  // window plus scheduler wakeup noise on a loaded machine; the point is
+  // that the wait does NOT scale with the ~2 s stream.
+  EXPECT_LE(rl.metrics.queue_wait_seconds, 4.0 * mean_service + 0.5)
+      << "low-priority job starved despite aging (mean service "
+      << mean_service << " s)";
+  EXPECT_GT(rl.metrics.queue_wait_seconds, 0.0);
+}
+
 TEST(ServiceSoak, RetryCompletesAfterTransientFault) {
   // A narrowly scoped low-probability corrupt rule with a seed chosen (by
   // scanning, see bench/bench_service_throughput.cpp) so that attempt 1

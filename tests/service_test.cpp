@@ -4,12 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 
 #include "service/job.hpp"
 #include "service/scheduler.hpp"
 #include "service/service.hpp"
+#include "util/config.hpp"
 
 namespace ca::service {
 namespace {
@@ -158,6 +161,120 @@ TEST(SchedulerPolicy, BackfillPastTheHeadJobIsBounded) {
   EXPECT_EQ(popped->bypassed, 0);
   // The queued small job is eligible again now that the head is gone.
   EXPECT_NE(q.pop_ready(now, 2), nullptr);
+}
+
+TEST(SchedulerPolicy, AgingLiftsAStarvedJobPastFreshPriority) {
+  // Anti-starvation: with aging on, a low-priority job that has waited
+  // long enough must outrank a fresh high-priority submission; with aging
+  // off the static order stands.
+  using namespace std::chrono_literals;
+  using Clock = std::chrono::steady_clock;
+  Scheduler q(8);
+  q.set_aging_rate(1.0);  // 1 priority point per waiting second
+  const auto now = Clock::now();
+
+  JobSpec lo = tiny_spec();
+  lo.priority = 0;
+  auto starved = std::make_shared<Job>(0, lo);
+  starved->last_queued_at = now - 10s;  // boost 10 > priority gap 5
+
+  JobSpec hi = tiny_spec();
+  hi.priority = 5;
+  auto fresh = std::make_shared<Job>(1, hi);
+  fresh->last_queued_at = now;
+
+  EXPECT_GT(q.effective_priority(*starved, now),
+            q.effective_priority(*fresh, now));
+  q.push(starved);
+  q.push(fresh);
+  EXPECT_EQ(q.pop_ready(now, 8)->id, 0) << "the starved job must run first";
+  EXPECT_EQ(q.pop_ready(now, 8)->id, 1);
+
+  // Aging off: the same wait gap no longer reorders anything.
+  Scheduler strict(8);
+  auto starved2 = std::make_shared<Job>(0, lo);
+  starved2->last_queued_at = now - 10s;
+  auto fresh2 = std::make_shared<Job>(1, hi);
+  fresh2->last_queued_at = now;
+  strict.push(starved2);
+  strict.push(fresh2);
+  EXPECT_EQ(strict.pop_ready(now, 8)->id, 1);
+
+  // The shutdown drain passes TimePoint::max() as `now`; the boost must
+  // saturate to a finite value (order degrades to FIFO), not go infinite.
+  const double drained =
+      q.effective_priority(*fresh, Clock::time_point::max());
+  EXPECT_TRUE(std::isfinite(drained));
+}
+
+TEST(PoolOptionsConfig, ReadsTheServiceKeys) {
+  const auto cfg = util::Config::from_text(
+      "service.slots = 3\n"
+      "service.rank_budget = 8\n"
+      "service.queue_capacity = 5\n"
+      "service.checkpoint_dir = /tmp/ca_cfg_test\n"
+      "service.max_rank_strikes = 2\n"
+      "service.quarantine_seconds = 1.5\n"
+      "service.aging_rate = 0.25\n");
+  const PoolOptions o = PoolOptions::from_config(cfg);
+  EXPECT_EQ(o.slots, 3);
+  EXPECT_EQ(o.rank_budget, 8);
+  EXPECT_EQ(o.queue_capacity, 5u);
+  EXPECT_EQ(o.checkpoint_dir, "/tmp/ca_cfg_test");
+  EXPECT_EQ(o.max_rank_strikes, 2);
+  EXPECT_DOUBLE_EQ(o.quarantine_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(o.aging_rate, 0.25);
+  // Defaults hold when nothing is set.
+  const PoolOptions d = PoolOptions::from_config(util::Config{});
+  EXPECT_EQ(d.max_rank_strikes, PoolOptions{}.max_rank_strikes);
+  EXPECT_DOUBLE_EQ(d.aging_rate, 0.0);
+}
+
+TEST(Service, SweepsStaleTmpCheckpointsAtStartup) {
+  // A crash between a checkpoint's tmp-write and its rename leaves a
+  // `*.ckpt.tmp` behind; the pool must sweep them at startup and leave
+  // real checkpoints alone.
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "ca_service_tmp_sweep";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto stale = dir / "ca_service_job0.rank0.ckpt.tmp";
+  const auto kept = dir / "ca_service_job0.rank0.ckpt";
+  { std::ofstream(stale) << "partial"; }
+  { std::ofstream(kept) << "real"; }
+  ServiceOptions opt;
+  opt.slots = 1;
+  opt.rank_budget = 1;
+  opt.checkpoint_dir = dir.string();
+  EnsembleService svc(opt);
+  EXPECT_FALSE(fs::exists(stale)) << "stale tmp checkpoint not swept";
+  EXPECT_TRUE(fs::exists(kept)) << "a completed checkpoint was removed";
+  fs::remove_all(dir);
+}
+
+TEST(Report, LegacyV1ReportsStillValidate) {
+  // Archived v1 reports have no health section and no per-job
+  // rank-recovery fields; they must keep validating, while a v2-tagged
+  // report missing its health section must not.
+  const char* v1 = R"({
+    "schema": "ca-agcm/service-report/v1",
+    "service": {"slots": 1, "rank_budget": 2, "queue_capacity": 4,
+                "wall_seconds": 1.0, "jobs_submitted": 1,
+                "jobs_completed": 1, "jobs_failed": 0,
+                "max_concurrent_jobs": 1, "max_ranks_in_flight": 2,
+                "preemptions": 0, "retries": 0, "rank_seconds_busy": 0.5,
+                "utilization": 0.25},
+    "jobs": [{"id": 0, "name": "j", "core": "serial", "state": "completed",
+              "steps": 2, "steps_done": 2, "attempts": 1, "preemptions": 0,
+              "queue_wait_seconds": 0.0, "run_seconds": 0.5,
+              "steps_per_second": 4.0, "comm": {}, "faults": {}}]
+  })";
+  EXPECT_EQ(validate_report(util::Json::parse(v1)), "");
+
+  std::string v2_missing_health = v1;
+  v2_missing_health.replace(v2_missing_health.find("/v1"), 3, "/v2");
+  EXPECT_NE(validate_report(util::Json::parse(v2_missing_health)), "")
+      << "a v2 report without the health section must be rejected";
 }
 
 TEST(Service, RejectsInvalidSubmit) {

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "comm/runtime.hpp"
+#include "service/worker_pool.hpp"
 #include "util/array3d.hpp"
 #include "util/config.hpp"
 #include "util/json.hpp"
@@ -162,6 +163,38 @@ TEST(Config, EnvOverrideReachesCommRuntime) {
   EXPECT_EQ(opts.recv_timeout, std::chrono::milliseconds(1234));
   unsetenv("CA_AGCM_COMM_MAX_RESENDS");
   unsetenv("CA_AGCM_COMM_TIMEOUT_MS");
+}
+
+TEST(Config, FailureToleranceKeysFoldAndOverride) {
+  // The rank-failure knobs are documented as env-overridable; pin both
+  // the folded names and the end-to-end override path.
+  EXPECT_EQ(Config::env_name("comm.heartbeat_timeout"),
+            "CA_AGCM_COMM_HEARTBEAT_TIMEOUT");
+  EXPECT_EQ(Config::env_name("service.max_rank_strikes"),
+            "CA_AGCM_SERVICE_MAX_RANK_STRIKES");
+  EXPECT_EQ(Config::env_name("service.aging_rate"),
+            "CA_AGCM_SERVICE_AGING_RATE");
+
+  setenv("CA_AGCM_COMM_HEARTBEAT_TIMEOUT", "450", 1);
+  setenv("CA_AGCM_SERVICE_MAX_RANK_STRIKES", "5", 1);
+  setenv("CA_AGCM_SERVICE_AGING_RATE", "0.75", 1);
+  // Stored entries exist but the environment must win over them.
+  auto cfg = Config::from_text(
+      "comm.heartbeat_timeout = 100\n"
+      "service.max_rank_strikes = 1\n"
+      "service.aging_rate = 0.0\n");
+  const auto comm_opts = comm::RunOptions::from_config(cfg);
+  EXPECT_EQ(comm_opts.heartbeat_timeout, std::chrono::milliseconds(450));
+  const auto pool_opts = service::PoolOptions::from_config(cfg);
+  EXPECT_EQ(pool_opts.max_rank_strikes, 5);
+  EXPECT_DOUBLE_EQ(pool_opts.aging_rate, 0.75);
+  unsetenv("CA_AGCM_COMM_HEARTBEAT_TIMEOUT");
+  unsetenv("CA_AGCM_SERVICE_MAX_RANK_STRIKES");
+  unsetenv("CA_AGCM_SERVICE_AGING_RATE");
+  // With the environment cleared, the stored entries apply again.
+  EXPECT_EQ(comm::RunOptions::from_config(cfg).heartbeat_timeout,
+            std::chrono::milliseconds(100));
+  EXPECT_EQ(service::PoolOptions::from_config(cfg).max_rank_strikes, 1);
 }
 
 TEST(Json, BuildAndDump) {
