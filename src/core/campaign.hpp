@@ -107,23 +107,27 @@ int run_campaign(Core& core, comm::Context* comm_ctx, state::State& xi,
       // the allreduce doubles as a barrier, so if a rank died this step
       // the survivors unwind here (PeerDeadError) without ever writing a
       // checkpoint one step ahead of the dead rank's last file — resume
-      // always finds a consistent per-rank checkpoint set.
-      bool yield_now = false;
-      if (options.should_yield && step < options.steps) {
-        // Every rank contributes its local flag and all stop together iff
-        // any rank wants to.
-        double want = options.should_yield() ? 1.0 : 0.0;
-        if (comm_ctx != nullptr && comm_ctx->world().size() > 1) {
-          double agreed = 0.0;
-          comm_ctx->stats().set_phase("service");
-          comm::allreduce<double>(*comm_ctx, comm_ctx->world(),
-                                  std::span<const double>(&want, 1),
-                                  std::span<double>(&agreed, 1),
-                                  comm::ReduceOp::kMax);
-          want = agreed;
-        }
-        yield_now = want > 0.0;
+      // always finds a consistent per-rank checkpoint set.  The barrier
+      // therefore runs at EVERY multi-rank checkpoint, including the
+      // final step and when no yield callback is installed: skipping it
+      // there would let a rank death at the last checkpointed step leave
+      // a mixed-step file set that can never resume.
+      // Every rank contributes its local flag and all stop together iff
+      // any rank wants to (a yield past the last step is meaningless, so
+      // those checkpoints contribute 0 and only keep the barrier).
+      const bool may_yield =
+          options.should_yield != nullptr && step < options.steps;
+      double want = may_yield && options.should_yield() ? 1.0 : 0.0;
+      if (comm_ctx != nullptr && comm_ctx->world().size() > 1) {
+        double agreed = 0.0;
+        comm_ctx->stats().set_phase("service");
+        comm::allreduce<double>(*comm_ctx, comm_ctx->world(),
+                                std::span<const double>(&want, 1),
+                                std::span<double>(&agreed, 1),
+                                comm::ReduceOp::kMax);
+        want = agreed;
       }
+      const bool yield_now = want > 0.0 && step < options.steps;
       // Cores with cross-step carry state (the CA core's deferred
       // smoothing and stale C products) provide save_carry; the blob
       // rides in the checkpoint's v3 extension block, CRC-guarded, so a

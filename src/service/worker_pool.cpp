@@ -14,6 +14,10 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// A `*.ckpt.tmp` file younger than this may be a sibling pool's atomic
+/// checkpoint write in flight; only older ones are swept at startup.
+constexpr std::chrono::seconds kStaleTmpAge{60};
+
 double seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
@@ -72,16 +76,25 @@ WorkerPool::WorkerPool(const PoolOptions& options)
   // Sweep stale atomic-write leftovers: a crash between a checkpoint's
   // tmp-write and its rename leaves a `*.ckpt.tmp` behind.  They are never
   // read (readers only open the renamed path) but accumulate forever.
+  // Only files past kStaleTmpAge are removed: another pool sharing this
+  // directory may have an atomic write in flight right now, and deleting
+  // its tmp file would fail that checkpoint and burn a job attempt.  An
+  // in-flight tmp lives milliseconds, so a minute-old one is a dead
+  // writer's.
   std::error_code ec;
+  const auto oldest_live =
+      std::filesystem::file_time_type::clock::now() - kStaleTmpAge;
   for (const auto& e :
        std::filesystem::directory_iterator(options_.checkpoint_dir, ec)) {
     if (!e.is_regular_file(ec)) continue;
     const std::string name = e.path().filename().string();
     constexpr const char* kSuffix = ".ckpt.tmp";
     constexpr std::size_t kSuffixLen = 9;
-    if (name.size() > kSuffixLen &&
-        name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) == 0)
-      std::filesystem::remove(e.path(), ec);
+    if (name.size() <= kSuffixLen ||
+        name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) != 0)
+      continue;
+    const auto mtime = std::filesystem::last_write_time(e.path(), ec);
+    if (!ec && mtime < oldest_live) std::filesystem::remove(e.path(), ec);
   }
   slots_.reserve(static_cast<std::size_t>(options_.slots));
   for (int s = 0; s < options_.slots; ++s)
@@ -104,12 +117,13 @@ bool WorkerPool::submit(const std::shared_ptr<Job>& job, bool block) {
     job->checkpoint_prefix = options_.checkpoint_dir + "/ca_service_job" +
                              std::to_string(job->id);
   ++in_flight_;
-  scheduler_.push(job);
-  // A high-priority submission that does not fit the free budget starts
-  // evicting immediately — an idle worker may never see it otherwise.
-  if (const Job* best = scheduler_.peek_ready(now))
-    request_preemption(best->spec.priority, best->ranks());
-  work_cv_.notify_all();
+  if (push_job_checked(job)) {
+    // A high-priority submission that does not fit the free budget starts
+    // evicting immediately — an idle worker may never see it otherwise.
+    if (const Job* best = scheduler_.peek_ready(now))
+      request_preemption(best->spec.priority, best->ranks());
+    work_cv_.notify_all();
+  }
   return true;
 }
 
@@ -384,6 +398,23 @@ void WorkerPool::handle_shrunken_budget() {
   }
 }
 
+bool WorkerPool::push_job_checked(const std::shared_ptr<Job>& job) {
+  // handle_shrunken_budget() sweeps the jobs queued at the instant a rank
+  // retires; this guard covers every job arriving AFTER it — a fresh
+  // submit (validated against the full rank_budget), a yield re-queue, a
+  // retry re-queue.  Demand can exceed the usable count only once a rank
+  // has retired (quarantined ranks still count as usable: they return).
+  if (ranks_retired_ > 0 && job->ranks() > usable_rank_count()) {
+    const std::string err = reshape_job(*job, usable_rank_count());
+    if (!err.empty()) {
+      fail_job(*job, err);
+      return false;
+    }
+  }
+  scheduler_.push(job);
+  return true;
+}
+
 void WorkerPool::request_preemption(int priority, int needed) {
   // Ranks already coming free from in-progress yields count first.
   for (const auto& j : running_)
@@ -583,7 +614,7 @@ void WorkerPool::execute(const std::shared_ptr<Job>& job) {
       // resume-from-checkpoint signal; run_attempt trusts the checkpoint
       // headers' recorded step, which may be PAST steps_done when the
       // failed attempt checkpointed mid-run before dying.
-      scheduler_.push(job);
+      push_job_checked(job);
     } else {
       job->state = JobState::kFailed;
       terminal = true;
@@ -596,7 +627,7 @@ void WorkerPool::execute(const std::shared_ptr<Job>& job) {
     job->state = JobState::kPreempted;
     job->ready_at = now;
     job->last_queued_at = now;
-    scheduler_.push(job);
+    push_job_checked(job);
   } else {
     job->steps_done = out.end_step;
     job->final_state = std::move(out.global);

@@ -157,6 +157,13 @@ class WorkerPool {
   /// Under lock: fail (or reshape) every queued job whose demand exceeds
   /// the permanently usable budget; called after a rank retires.
   void handle_shrunken_budget();
+  /// Under lock: the single queue-entry point.  When ranks have been
+  /// permanently retired, a job demanding more than the usable budget is
+  /// reshaped (or failed) BEFORE it is queued — otherwise it would wait
+  /// forever for capacity that cannot return, wedging drain()/shutdown().
+  /// Returns false when the job was terminally failed instead of queued
+  /// (fail_job has then already done the in_flight_ bookkeeping).
+  bool push_job_checked(const std::shared_ptr<Job>& job);
   /// Under lock: mark a job failed and notify (caller handles in_flight_).
   void fail_job(Job& job, const std::string& error);
 

@@ -314,6 +314,32 @@ TEST(Campaign, CAPreemptedAtEveryCheckpointIsBitwise) {
          "uninterrupted run bit for bit";
 }
 
+TEST(Campaign, CheckpointBarrierRunsAtEveryCheckpoint) {
+  // The yield allreduce doubles as the consistency barrier that keeps a
+  // rank death from producing a mixed-step checkpoint set (survivors
+  // unwind with PeerDeadError before writing a file one step ahead of
+  // the dead rank's).  It must run at EVERY multi-rank checkpoint —
+  // final step included, yield callback installed or not — because a
+  // death at the last checkpointed step is just as unresumable.
+  const auto prefix = (std::filesystem::temp_directory_path() /
+                       "ca_agcm_campaign_barrier")
+                          .string();
+  comm::Runtime::run(2, [&](comm::Context& ctx) {
+    OriginalCore core(cfg(), ctx, DecompScheme::kYZ, {1, 2, 1});
+    auto xi = core.make_state();
+    core.initialize(xi, {.kind = state::InitialCondition::kPlanetaryWave});
+    CampaignOptions opt;
+    opt.steps = 4;
+    opt.checkpoint_every = 2;  // checkpoints at step 2 and the final step 4
+    opt.checkpoint_prefix = prefix;
+    // Deliberately no should_yield: the barrier must not depend on it.
+    EXPECT_EQ(run_campaign(core, &ctx, xi, opt), 4);
+    EXPECT_EQ(ctx.stats().phase_totals("service").collective_calls, 2u)
+        << "expected one consistency-barrier allreduce per checkpoint";
+    std::remove(util::checkpoint_path(prefix, ctx.world_rank()).c_str());
+  });
+}
+
 TEST(Campaign, ZeroStepsIsANoop) {
   SerialCore core(cfg());
   auto xi = core.make_state();

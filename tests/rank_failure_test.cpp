@@ -367,5 +367,54 @@ TEST(RankFailureService, CAJobFailsLoudlyWhenTheBudgetCannotFitIt) {
   EXPECT_EQ(svc::validate_report(service.report()), "");
 }
 
+TEST(RankFailureService, SubmitAfterRetirementDoesNotWedgeThePool) {
+  // Regression: the over-demand sweep used to run only at the instant a
+  // rank retired.  A job entering the queue AFTER that — validate()
+  // checks the full rank_budget, not the degraded one — waited forever
+  // for capacity that cannot return, deadlocking drain()/shutdown().
+  // Every queue entry must be checked: a late CA job fails loudly, a
+  // late original job is reshaped onto the survivors and completes.
+  const std::string dir = temp_dir("late_submit");
+  const svc::JobSpec bait = faulted_spec(
+      "bait", svc::CoreKind::kOriginal, {1, 2, 1}, comm::FaultKind::kKillRank);
+
+  svc::ServiceOptions opt;
+  opt.slots = 1;
+  opt.rank_budget = 2;
+  opt.checkpoint_dir = dir;
+  opt.max_rank_strikes = 1;  // the bait's kill retires pool rank 0
+  svc::EnsembleService service(opt);
+  const int bait_id = service.submit(bait);
+  service.wait(bait_id);
+  ASSERT_EQ(service.ranks_retired(), 1);
+
+  // The CA core cannot be resharded: the late submit must fail fast
+  // instead of queueing behind permanently missing capacity.
+  svc::JobSpec ca = faulted_spec("late_ca", svc::CoreKind::kCA, {1, 2, 1},
+                                 comm::FaultKind::kKillRank);
+  ca.node_faults.clear();
+  const int ca_id = service.submit(ca);
+  service.wait(ca_id);
+  const svc::JobResult ca_r = service.result(ca_id);
+  EXPECT_EQ(ca_r.state, svc::JobState::kFailed);
+  EXPECT_NE(ca_r.error.find("degraded"), std::string::npos) << ca_r.error;
+
+  // The original core reshapes to the surviving rank and completes.
+  svc::JobSpec orig = faulted_spec("late_orig", svc::CoreKind::kOriginal,
+                                   {1, 2, 1}, comm::FaultKind::kKillRank);
+  orig.node_faults.clear();
+  const state::State reference = solo_run(orig, dir + "/late_solo");
+  const int orig_id = service.submit(orig);
+  service.wait(orig_id);
+  const svc::JobResult orig_r = service.result(orig_id);
+  ASSERT_EQ(orig_r.state, svc::JobState::kCompleted) << orig_r.error;
+  const double diff = state::State::max_abs_diff(
+      orig_r.final_state, reference, reference.interior());
+  EXPECT_LT(diff, 1e-8)
+      << "reshaped late submit diverged beyond the cross-decomposition "
+         "tolerance";
+  service.drain();  // the wedge regression: this used to block forever
+}
+
 }  // namespace
 }  // namespace ca

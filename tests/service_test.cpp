@@ -232,22 +232,30 @@ TEST(PoolOptionsConfig, ReadsTheServiceKeys) {
 
 TEST(Service, SweepsStaleTmpCheckpointsAtStartup) {
   // A crash between a checkpoint's tmp-write and its rename leaves a
-  // `*.ckpt.tmp` behind; the pool must sweep them at startup and leave
-  // real checkpoints alone.
+  // `*.ckpt.tmp` behind; the pool must sweep OLD ones at startup and
+  // leave real checkpoints alone.  A FRESH tmp may be a sibling pool's
+  // atomic write in flight (two services can share a checkpoint_dir —
+  // the default is "."), so the sweep is age-gated and must keep it.
   namespace fs = std::filesystem;
   const auto dir = fs::temp_directory_path() / "ca_service_tmp_sweep";
   fs::remove_all(dir);
   fs::create_directories(dir);
   const auto stale = dir / "ca_service_job0.rank0.ckpt.tmp";
+  const auto fresh = dir / "ca_service_job1.rank0.ckpt.tmp";
   const auto kept = dir / "ca_service_job0.rank0.ckpt";
   { std::ofstream(stale) << "partial"; }
+  { std::ofstream(fresh) << "in-flight"; }
   { std::ofstream(kept) << "real"; }
+  fs::last_write_time(
+      stale, fs::file_time_type::clock::now() - std::chrono::hours(1));
   ServiceOptions opt;
   opt.slots = 1;
   opt.rank_budget = 1;
   opt.checkpoint_dir = dir.string();
   EnsembleService svc(opt);
   EXPECT_FALSE(fs::exists(stale)) << "stale tmp checkpoint not swept";
+  EXPECT_TRUE(fs::exists(fresh))
+      << "a fresh tmp (possibly another pool's in-flight write) was swept";
   EXPECT_TRUE(fs::exists(kept)) << "a completed checkpoint was removed";
   fs::remove_all(dir);
 }
