@@ -55,11 +55,13 @@ struct BenchCase {
   std::array<int, 3> dims{1, 1, 1};
   bool coalesce = false;
   bool faults = false;
+  bool overlap = false;  // comm.overlap_exchange: async post + sub-ranges
 };
 
 struct RunResult {
   double wall = 0.0;       // slowest rank's measured-step seconds
-  double exchange = 0.0;   // max over ranks
+  double exchange = 0.0;   // pack/unpack seconds, max over ranks
+  double exchange_wait = 0.0;  // blocked-on-message seconds, max over ranks
   double collective = 0.0; // max over ranks
   std::uint64_t messages = 0, bytes = 0, collectives = 0;  // summed
   std::uint64_t pool_allocations = 0, pool_reuses = 0;     // summed
@@ -93,6 +95,7 @@ RunResult run_case(const core::DycoreConfig& cfg, const BenchCase& bc,
   comm::Runtime::run(p, opts, [&](comm::Context& ctx) {
     core::DycoreConfig c = cfg;
     c.coalesce_exchange = bc.coalesce;
+    c.overlap_exchange = bc.overlap;
     auto drive = [&](auto& core) {
       auto xi = core.make_state();
       core.initialize(xi, ic);
@@ -112,6 +115,8 @@ RunResult run_case(const core::DycoreConfig& cfg, const BenchCase& bc,
       std::lock_guard<std::mutex> lock(mu);
       res.wall = std::max(res.wall, wall);
       res.exchange = std::max(res.exchange, ctx.timers().total("exchange"));
+      res.exchange_wait =
+          std::max(res.exchange_wait, ctx.timers().total("exchange_wait"));
       res.collective =
           std::max(res.collective, ctx.timers().total("collective"));
       res.messages += totals.p2p_messages;
@@ -176,7 +181,8 @@ std::string validate(const util::Json& doc) {
     const util::Json* phases = c.find("phases");
     if (phases == nullptr || !phases->is_object())
       return "config missing phases object";
-    for (const char* key : {"exchange", "collective", "compute"})
+    for (const char* key :
+         {"exchange", "exchange_wait", "collective", "compute"})
       if (phases->find(key) == nullptr)
         return std::string("phases missing '") + key + "'";
   }
@@ -233,6 +239,31 @@ int main(int argc, char** argv) {
     cases.push_back({"ca_yz_" + dims_tag(yz1) + tag, CoreKind::kCA,
                      core::DecompScheme::kYZ, yz1, coalesce});
   }
+  // Overlap (comm.overlap_exchange): the same grids with the exchange
+  // posted at pass start and drained per boundary sub-range, so the wait
+  // for each message hides behind the interior compute.  Counts and the
+  // final state must match the off twin exactly; only the split between
+  // exchange_wait and compute may move.
+  {
+    const std::array<int, 3> yz1{1, ranks, 1};
+    const std::array<int, 3> xy{ranks, 1, 1};
+    const std::array<int, 3> yz2{1, ranks / 2, 2};
+    cases.push_back({"original_yz_" + dims_tag(yz1) + "_overlap",
+                     CoreKind::kOriginal, core::DecompScheme::kYZ, yz1,
+                     false, false, /*overlap=*/true});
+    cases.push_back({"original_xy_" + dims_tag(xy) + "_overlap",
+                     CoreKind::kOriginal, core::DecompScheme::kXY, xy,
+                     false, false, /*overlap=*/true});
+    cases.push_back({"original_yz_" + dims_tag(yz2) + "_overlap",
+                     CoreKind::kOriginal, core::DecompScheme::kYZ, yz2,
+                     false, false, /*overlap=*/true});
+    cases.push_back({"ca_yz_" + dims_tag(yz1) + "_overlap", CoreKind::kCA,
+                     core::DecompScheme::kYZ, yz1, false, false,
+                     /*overlap=*/true});
+    cases.push_back({"ca_yz_" + dims_tag(yz1) + "_coalesced_overlap",
+                     CoreKind::kCA, core::DecompScheme::kYZ, yz1, true,
+                     false, /*overlap=*/true});
+  }
   // Fault-layer overhead: recoverable delay + duplicate injection on the
   // CA core, both granularities (recovery must preserve the answer).
   for (bool coalesce : {false, true}) {
@@ -244,8 +275,8 @@ int main(int argc, char** argv) {
 
   std::printf("wall-clock bench: %dx%dx%d, M=%d, %d+%d steps, %d ranks\n\n",
               cfg.nx, cfg.ny, cfg.nz, cfg.M, warmup, steps, ranks);
-  std::printf("%-28s %10s %10s %10s %10s %8s\n", "config", "wall[ms]",
-              "exch[ms]", "coll[ms]", "msgs", "pool+");
+  std::printf("%-34s %9s %9s %9s %9s %9s %7s\n", "config", "wall[ms]",
+              "exch[ms]", "wait[ms]", "coll[ms]", "msgs", "pool+");
 
   util::Json doc = util::Json::object();
   doc["schema"] = kSchema;
@@ -293,6 +324,7 @@ int main(int argc, char** argv) {
         if (at != std::string::npos) base.erase(at, suffix.size());
       };
       strip("_faults");
+      strip("_overlap");
       strip("_coalesced");
       if (base == bc.label) {
         references.emplace_back(base, &r.global);
@@ -312,11 +344,11 @@ int main(int argc, char** argv) {
       }
     }
 
-    const double compute =
-        std::max(0.0, r.wall - r.exchange - r.collective);
-    std::printf("%-28s %10.2f %10.2f %10.2f %10llu %8llu\n",
+    const double compute = std::max(
+        0.0, r.wall - r.exchange - r.exchange_wait - r.collective);
+    std::printf("%-34s %9.2f %9.2f %9.2f %9.2f %9llu %7llu\n",
                 bc.label.c_str(), 1e3 * r.wall, 1e3 * r.exchange,
-                1e3 * r.collective,
+                1e3 * r.exchange_wait, 1e3 * r.collective,
                 static_cast<unsigned long long>(r.messages),
                 static_cast<unsigned long long>(r.steady_allocations));
 
@@ -329,10 +361,12 @@ int main(int argc, char** argv) {
     entry["dims"] = std::move(dims);
     entry["coalesce"] = bc.coalesce;
     entry["faults"] = bc.faults;
+    entry["overlap"] = bc.overlap;
     entry["wall_seconds"] = r.wall;
     entry["per_step_seconds"] = r.wall / steps;
     util::Json phases = util::Json::object();
     phases["exchange"] = r.exchange;
+    phases["exchange_wait"] = r.exchange_wait;
     phases["collective"] = r.collective;
     phases["compute"] = compute;
     entry["phases"] = std::move(phases);
@@ -373,7 +407,8 @@ int main(int argc, char** argv) {
       if (cases[j].faults || cases[j].coalesce) continue;
       if (cases[j].core != cases[i].core ||
           cases[j].dims != cases[i].dims ||
-          cases[j].scheme != cases[i].scheme)
+          cases[j].scheme != cases[i].scheme ||
+          cases[j].overlap != cases[i].overlap)
         continue;
       if (results[j].exchange_messages > 0 &&
           results[i].exchange_messages >= results[j].exchange_messages) {
@@ -384,6 +419,27 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(results[j].exchange_messages));
         ok = false;
       }
+    }
+  }
+
+  // Overlap hiding report (informational — wall-clock on a shared machine
+  // is too noisy for a hard gate): each overlap case against its off twin.
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    if (!cases[i].overlap || cases[i].faults) continue;
+    for (std::size_t j = 0; j < cases.size(); ++j) {
+      if (cases[j].overlap || cases[j].faults ||
+          cases[j].core != cases[i].core || cases[j].dims != cases[i].dims ||
+          cases[j].scheme != cases[i].scheme ||
+          cases[j].coalesce != cases[i].coalesce)
+        continue;
+      std::printf(
+          "overlap %-30s wait %7.2f ms (off twin %7.2f ms)%s\n",
+          cases[i].label.c_str(), 1e3 * results[i].exchange_wait,
+          1e3 * results[j].exchange_wait,
+          results[i].exchange_wait < results[j].exchange_wait
+              ? "  [hidden behind interior compute]"
+              : "");
+      break;
     }
   }
 

@@ -185,7 +185,14 @@ Message Mailbox::receive(std::uint64_t comm_id, int src, int tag) {
 
 std::optional<Message> Mailbox::try_receive(std::uint64_t comm_id, int src,
                                             int tag) {
+  const RunOptions& opts = options_ != nullptr ? *options_ : default_options();
+  const bool faulty = opts.faults != nullptr && opts.faults->enabled();
   std::lock_guard<std::mutex> lock(mutex_);
+  // Each probe counts as one receive poll so a nonblocking test() loop
+  // makes the same recovery progress a blocking receive would: delayed
+  // entries age toward visibility and withheld ("dropped") entries are
+  // retransmitted.
+  if (faulty) poll_locked(comm_id, src, tag);
   auto m = match_locked(comm_id, src, tag);
   if (m) verify(*m);
   return m;

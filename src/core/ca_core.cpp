@@ -5,6 +5,7 @@
 #include "ops/adaptation.hpp"
 #include "ops/advection.hpp"
 #include "ops/smoothing.hpp"
+#include "ops/subrange.hpp"
 #include "ops/vertical.hpp"
 
 namespace ca::core {
@@ -13,27 +14,6 @@ namespace {
 mesh::SigmaLevels make_levels(const DycoreConfig& c) {
   return c.stretched_levels ? mesh::SigmaLevels::stretched(c.nz)
                             : mesh::SigmaLevels::uniform(c.nz);
-}
-
-/// Boxes covering window \ inner (inner and window share the x extent and
-/// inner is contained in window).
-std::vector<mesh::Box> subtract_box(const mesh::Box& window,
-                                    const mesh::Box& inner) {
-  std::vector<mesh::Box> out;
-  if (inner.empty()) return {window};
-  if (inner.j0 > window.j0)
-    out.push_back({window.i0, window.i1, window.j0, inner.j0, window.k0,
-                   window.k1});
-  if (inner.j1 < window.j1)
-    out.push_back({window.i0, window.i1, inner.j1, window.j1, window.k0,
-                   window.k1});
-  if (inner.k0 > window.k0)
-    out.push_back({window.i0, window.i1, inner.j0, inner.j1, window.k0,
-                   inner.k0});
-  if (inner.k1 < window.k1)
-    out.push_back({window.i0, window.i1, inner.j0, inner.j1, inner.k1,
-                   window.k1});
-  return out;
 }
 
 }  // namespace
@@ -298,7 +278,7 @@ void CACore::step(state::State& xi) {
     const mesh::Box w1 = extended_window(e1, 0);
     const bool fresh1 = !(use_approx && have_stale_c_);
     if (iter == 0 && can_overlap) {
-      for (const mesh::Box& b : subtract_box(w1, inner)) {
+      for (const mesh::Box& b : ops::subtract_box(w1, inner)) {
         eval_tendency(xi, b, Operator::kAdaptation, /*fresh_c=*/false);
         eta_.add_scaled(xi, dt1, tend_, b);
       }
@@ -352,19 +332,38 @@ void CACore::step(state::State& xi) {
       eta_.add_scaled(xi, dt2, tend_, adv_inner);
     }
   }
-  exchanger_.finish();
-  wrap_vert_x(ws_);
-  fill_boundaries(xi);
-
   const mesh::Box aw1 = extended_window(2, 2);
-  if (options_.overlap) {
-    for (const mesh::Box& b : subtract_box(aw1, adv_inner)) {
+  if (options_.overlap && config_.overlap_exchange) {
+    // Per-face drain (comm.overlap_exchange): each boundary sub-range
+    // completes only the in-flight faces its grown read footprint covers,
+    // re-wraps the vert-product x halos and re-fills the physical
+    // boundaries from the rows that just landed, then evaluates.  Any
+    // fill-derived cell still based on an unfinished face lies outside
+    // this sub-range's footprint and is rewritten by a later pass before
+    // being read, so the result is bitwise the drain-all path's.
+    for (const mesh::Box& b : ops::subtract_box(aw1, adv_inner)) {
+      exchanger_.finish_region(ops::grow_box(b, 4, 4, 3));
+      wrap_vert_x(ws_);
+      fill_boundaries(xi);
       eval_tendency(xi, b, Operator::kAdvection, false);
       eta_.add_scaled(xi, dt2, tend_, b);
     }
+    exchanger_.finish();
+    wrap_vert_x(ws_);
+    fill_boundaries(xi);
   } else {
-    eval_tendency(xi, aw1, Operator::kAdvection, false);
-    eta_.add_scaled(xi, dt2, tend_, aw1);
+    exchanger_.finish();
+    wrap_vert_x(ws_);
+    fill_boundaries(xi);
+    if (options_.overlap) {
+      for (const mesh::Box& b : ops::subtract_box(aw1, adv_inner)) {
+        eval_tendency(xi, b, Operator::kAdvection, false);
+        eta_.add_scaled(xi, dt2, tend_, b);
+      }
+    } else {
+      eval_tendency(xi, aw1, Operator::kAdvection, false);
+      eta_.add_scaled(xi, dt2, tend_, aw1);
+    }
   }
   carry_psa(xi, eta_);
   fill_boundaries(eta_);

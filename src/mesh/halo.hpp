@@ -25,6 +25,24 @@ struct Box {
   friend bool operator==(const Box&, const Box&) = default;
 };
 
+/// Whether two boxes share at least one cell.
+inline bool intersects(const Box& a, const Box& b) {
+  return a.i0 < b.i1 && b.i0 < a.i1 && a.j0 < b.j1 && b.j0 < a.j1 &&
+         a.k0 < b.k1 && b.k0 < a.k1;
+}
+
+/// Cellwise intersection (an empty box when the inputs are disjoint).
+inline Box intersect(const Box& a, const Box& b) {
+  Box r;
+  r.i0 = a.i0 > b.i0 ? a.i0 : b.i0;
+  r.i1 = a.i1 < b.i1 ? a.i1 : b.i1;
+  r.j0 = a.j0 > b.j0 ? a.j0 : b.j0;
+  r.j1 = a.j1 < b.j1 ? a.j1 : b.j1;
+  r.k0 = a.k0 > b.k0 ? a.k0 : b.k0;
+  r.k1 = a.k1 < b.k1 ? a.k1 : b.k1;
+  return r;
+}
+
 /// Box of interior data to SEND toward the neighbor at offset
 /// (dx, dy, dz) in {-1,0,1}^3 \ {0}, for halo widths (wx, wy, wz).  The
 /// box along an axis with offset 0 spans the full owned extent; with

@@ -1,0 +1,48 @@
+#include "ops/subrange.hpp"
+
+namespace ca::ops {
+
+mesh::Box shrink_window(const mesh::Box& w, int sx, int sy, int sz) {
+  mesh::Box b{w.i0 + sx, w.i1 - sx, w.j0 + sy, w.j1 - sy, w.k0 + sz,
+              w.k1 - sz};
+  if (b.empty()) return mesh::Box{w.i0, w.i0, w.j0, w.j0, w.k0, w.k0};
+  return b;
+}
+
+mesh::Box grow_box(const mesh::Box& b, int gx, int gy, int gz) {
+  return mesh::Box{b.i0 - gx, b.i1 + gx, b.j0 - gy, b.j1 + gy, b.k0 - gz,
+                   b.k1 + gz};
+}
+
+std::vector<mesh::Box> subtract_box(const mesh::Box& window,
+                                    const mesh::Box& inner_in) {
+  std::vector<mesh::Box> out;
+  const mesh::Box inner = mesh::intersect(inner_in, window);
+  if (inner.empty()) {
+    out.push_back(window);
+    return out;
+  }
+  // y strips span the full x and z extents, x strips the inner y range
+  // (full z), z caps the inner x and y ranges — disjoint by construction.
+  if (inner.j0 > window.j0)
+    out.push_back({window.i0, window.i1, window.j0, inner.j0, window.k0,
+                   window.k1});
+  if (inner.j1 < window.j1)
+    out.push_back({window.i0, window.i1, inner.j1, window.j1, window.k0,
+                   window.k1});
+  if (inner.i0 > window.i0)
+    out.push_back({window.i0, inner.i0, inner.j0, inner.j1, window.k0,
+                   window.k1});
+  if (inner.i1 < window.i1)
+    out.push_back({inner.i1, window.i1, inner.j0, inner.j1, window.k0,
+                   window.k1});
+  if (inner.k0 > window.k0)
+    out.push_back({inner.i0, inner.i1, inner.j0, inner.j1, window.k0,
+                   inner.k0});
+  if (inner.k1 < window.k1)
+    out.push_back({inner.i0, inner.i1, inner.j0, inner.j1, inner.k1,
+                   window.k1});
+  return out;
+}
+
+}  // namespace ca::ops

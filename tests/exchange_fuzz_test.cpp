@@ -3,6 +3,8 @@
 // every received halo cell must hold exactly the owner's value.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
 #include <random>
 
 #include "comm/fault.hpp"
@@ -10,6 +12,7 @@
 #include "comm/topology.hpp"
 #include "core/exchange.hpp"
 #include "mesh/decomp.hpp"
+#include "util/config.hpp"
 
 namespace ca::core {
 namespace {
@@ -43,9 +46,90 @@ FuzzCase random_case(std::mt19937& rng) {
   return c;
 }
 
+/// How a fuzz case drives the exchanger.
+enum class Drive {
+  kBlocking,     // exchange(): begin + finish
+  kTestSpin,     // post, spin test() until drained, then finish()
+  kInterleaved,  // post, random test/finish_region/finish mix, finish x2
+};
+
+/// Random post/test/finish_region/finish interleaving against in-flight
+/// posts; every sequence ends with finish() twice (double-finish must be
+/// a no-op) and zero pending receives.
+void drive_interleaved(HaloExchanger& ex, const mesh::DomainDecomp& d,
+                       const FuzzCase& c,
+                       const std::vector<ExchangeItem>& items,
+                       std::uint64_t seed, int rank) {
+  ex.post(items, "fuzz");
+  std::mt19937 rr(static_cast<unsigned>(
+      seed ^ (0x9e3779b9u * static_cast<unsigned>(rank + 1))));
+  auto pick = [&](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rr);
+  };
+  const int n_actions = pick(0, 8);
+  for (int a = 0; a < n_actions; ++a) {
+    switch (pick(0, 3)) {
+      case 0:
+        ex.test();
+        break;
+      case 1: {
+        // A random sub-range read footprint, halo cells included.
+        mesh::Box r;
+        r.i0 = pick(-c.wx, d.lnx() - 1);
+        r.i1 = r.i0 + pick(1, d.lnx());
+        r.j0 = pick(-c.wy, d.lny() - 1);
+        r.j1 = r.j0 + pick(1, d.lny());
+        r.k0 = pick(-c.wz, d.lnz() - 1);
+        r.k1 = r.k0 + pick(1, d.lnz());
+        ex.finish_region(r);
+        break;
+      }
+      case 2:
+        // finish before the posts ever completed (or again after one).
+        ex.finish();
+        break;
+      case 3:
+        break;  // no progress call at all this slot
+    }
+  }
+  ex.finish();
+  ex.finish();  // double-finish is a documented no-op
+  EXPECT_EQ(ex.pending_count(), 0u);
+}
+
+void drive_case(HaloExchanger& ex, const mesh::DomainDecomp& d,
+                const FuzzCase& c, const std::vector<ExchangeItem>& items,
+                Drive drive, std::uint64_t iseed, int rank) {
+  switch (drive) {
+    case Drive::kBlocking:
+      ex.exchange(items, "fuzz");
+      break;
+    case Drive::kTestSpin: {
+      ex.post(items, "fuzz");
+      // Each test() probe is one receive poll: it ages delayed messages
+      // and requests retransmission of dropped ones, so the spin makes
+      // progress under faults too.  The deadline only guards against a
+      // regression that stops test() from ever draining; finish() after
+      // a drained round is a no-op.
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      while (!ex.test() && std::chrono::steady_clock::now() < deadline) {
+      }
+      EXPECT_EQ(ex.pending_count(), 0u)
+          << "test() spin failed to drain the posted receives";
+      ex.finish();
+      break;
+    }
+    case Drive::kInterleaved:
+      drive_interleaved(ex, d, c, items, iseed, rank);
+      break;
+  }
+}
+
 /// Runs one decomposition/width/field-count case under `opts` and checks
 /// every received halo cell against its owner's label.
-void run_fuzz_case(const FuzzCase& c, const comm::RunOptions& opts) {
+void run_fuzz_case(const FuzzCase& c, const comm::RunOptions& opts,
+                   Drive drive = Drive::kBlocking, std::uint64_t iseed = 0) {
   const int p = c.dims[0] * c.dims[1] * c.dims[2];
 
   comm::Runtime::run(p, opts, [&](comm::Context& ctx) {
@@ -71,7 +155,7 @@ void run_fuzz_case(const FuzzCase& c, const comm::RunOptions& opts) {
     std::vector<ExchangeItem> items;
     for (auto& f : fields)
       items.push_back({&f, nullptr, c.wx, c.wy, c.wz});
-    ex.exchange(items, "fuzz");
+    drive_case(ex, d, c, items, drive, iseed, ctx.world_rank());
 
     // Every halo cell whose global owner exists must match the label.
     for (int f = 0; f < c.nfields; ++f) {
@@ -108,11 +192,19 @@ void run_fuzz_case(const FuzzCase& c, const comm::RunOptions& opts) {
 class ExchangeFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(ExchangeFuzz, HalosMatchOwners) {
+  // The CI overlap leg (CA_AGCM_COMM_OVERLAP_EXCHANGE=1) routes the
+  // baseline sweep through the async post/test/finish path instead of
+  // the blocking exchange(), so the env override buys real coverage.
+  const Drive drive =
+      util::Config{}.get_bool("comm.overlap_exchange", false)
+          ? Drive::kTestSpin
+          : Drive::kBlocking;
   std::mt19937 rng(static_cast<unsigned>(GetParam()));
   for (int trial = 0; trial < 4; ++trial) {
     SCOPED_TRACE(::testing::Message()
                  << "replay: fuzz seed " << GetParam() << " trial " << trial);
-    run_fuzz_case(random_case(rng), comm::RunOptions{});
+    run_fuzz_case(random_case(rng), comm::RunOptions{}, drive,
+                  static_cast<std::uint64_t>(GetParam()));
   }
 }
 
@@ -154,6 +246,96 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ExchangeFuzz,
                          [](const ::testing::TestParamInfo<int>& i) {
                            return "seed" + std::to_string(i.param);
                          });
+
+/// Async post/test/finish fuzzing: the same halo-vs-owner property must
+/// hold for every interleaving of the async API, and no interleaving may
+/// deadlock (the test-spin deadline and ctest TIMEOUT guard that).
+class ExchangeAsyncFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExchangeAsyncFuzz, RandomInterleavingsDeliverEveryHalo) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) ^ 0x51ed270u);
+  for (int trial = 0; trial < 4; ++trial) {
+    SCOPED_TRACE(::testing::Message() << "replay: async seed " << GetParam()
+                                      << " trial " << trial);
+    const FuzzCase c = random_case(rng);
+    const Drive drive =
+        trial % 2 == 0 ? Drive::kTestSpin : Drive::kInterleaved;
+    run_fuzz_case(c, comm::RunOptions{}, drive,
+                  static_cast<std::uint64_t>(GetParam()) * 100u +
+                      static_cast<std::uint64_t>(trial));
+  }
+}
+
+TEST_P(ExchangeAsyncFuzz, RandomInterleavingsSurviveRecoverableFaults) {
+  // Drops fire against in-flight posts and must be recovered by
+  // retransmission regardless of which probe (test, finish_region,
+  // finish) detects them; duplicates and delays ride along.
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) ^ 0x2545f491u);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::uint64_t fault_seed =
+        static_cast<std::uint64_t>(GetParam()) * 7000u +
+        static_cast<std::uint64_t>(trial);
+    SCOPED_TRACE(::testing::Message() << "replay: async seed " << GetParam()
+                                      << " trial " << trial << " fault seed "
+                                      << fault_seed);
+    comm::FaultPlan plan(fault_seed);
+    auto add = [&](comm::FaultKind kind, double prob, int param) {
+      comm::FaultRule r;
+      r.kind = kind;
+      r.probability = prob;
+      r.param = param;
+      plan.add_rule(r);
+    };
+    add(comm::FaultKind::kDrop, 0.10, 1);
+    add(comm::FaultKind::kDuplicate, 0.05, 1);
+    add(comm::FaultKind::kDelay, 0.05, 2);
+
+    comm::RunOptions opts;
+    opts.faults = &plan;
+    const Drive drive =
+        trial % 2 == 0 ? Drive::kInterleaved : Drive::kTestSpin;
+    run_fuzz_case(random_case(rng), opts, drive, fault_seed);
+    EXPECT_EQ(plan.summary().detected_total(), 0u)
+        << "recoverable faults must not surface as errors (fault seed "
+        << fault_seed << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExchangeAsyncFuzz,
+                         ::testing::Values(101, 211, 331),
+                         [](const ::testing::TestParamInfo<int>& i) {
+                           return "seed" + std::to_string(i.param);
+                         });
+
+TEST(ExchangeAsync, SteadyStateRoundsAreAllocationFree) {
+  // After the warm-up rounds sized every pool slot, post/test/finish
+  // rounds must reuse pooled buffers only: a growing pool in the step
+  // loop would be both a perf regression and a leak of the async path.
+  comm::Runtime::run(4, [&](comm::Context& ctx) {
+    mesh::LatLonMesh mesh(16, 12, 6);
+    auto topo = comm::make_cart(ctx, ctx.world(), {1, 2, 2},
+                                {true, false, false});
+    mesh::DomainDecomp d(mesh, {1, 2, 2}, topo.coords);
+    util::Array3D<double> a(d.lnx(), d.lny(), d.lnz(), util::Halo3{3, 3, 2});
+    util::Array3D<double> b(d.lnx(), d.lny(), d.lnz(), util::Halo3{3, 3, 2});
+    a.fill(1.0);
+    b.fill(2.0);
+    HaloExchanger ex(ctx, topo, d);
+    std::vector<ExchangeItem> items{{&a, nullptr, 0, 3, 2},
+                                    {&b, nullptr, 0, 2, 1}};
+    auto one_round = [&] {
+      ex.post(items, "steady");
+      while (!ex.test()) {
+      }
+      ex.finish();
+    };
+    for (int round = 0; round < 2; ++round) one_round();
+    const std::uint64_t warm = ctx.stats().pool().allocations;
+    for (int round = 0; round < 5; ++round) one_round();
+    EXPECT_EQ(ctx.stats().pool().allocations, warm)
+        << "async rounds leaked pooled buffers after warm-up";
+  });
+}
 
 TEST(ExchangeSplit, BeginFinishDeliversSameAsBlocking) {
   comm::Runtime::run(4, [&](comm::Context& ctx) {

@@ -1,0 +1,263 @@
+// Communication/computation overlap (comm.overlap_exchange): posting the
+// halo exchange early and completing faces per boundary sub-range must be
+// invisible to the numerics — bitwise-identical final states on every
+// core and decomposition shape, with and without message coalescing, and
+// under recoverable fault injection against the in-flight posts.  The
+// message counts must not move either: overlap changes WHEN a message is
+// waited on, never how many are sent.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "comm/error.hpp"
+#include "comm/fault.hpp"
+#include "comm/runtime.hpp"
+#include "core/ca_core.hpp"
+#include "core/exchange.hpp"
+#include "core/original_core.hpp"
+#include "core/serial_core.hpp"
+#include "util/config.hpp"
+
+namespace ca::core {
+namespace {
+
+DycoreConfig test_config() {
+  DycoreConfig c;
+  c.nx = 24;
+  // 32 rows keep ny/py >= 3M + 1 for the CA core's deep halos at py = 4.
+  c.ny = 32;
+  c.nz = 8;
+  c.M = 2;
+  c.dt_adapt = 30.0;
+  c.dt_advect = 120.0;
+  // Ordered z reduction keeps the two modes bitwise comparable.
+  c.z_allreduce = comm::AllreduceAlgorithm::kLinearOrdered;
+  // Honor the documented env override (CA_AGCM_COMM_OVERLAP_EXCHANGE) the
+  // way a runtime config would; the equivalence runs below override the
+  // field explicitly so the on-vs-off contrast survives the CI overlap leg.
+  c.overlap_exchange =
+      util::Config{}.get_bool("comm.overlap_exchange", false);
+  return c;
+}
+
+struct RunTotals {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+state::State run_serial(int steps, bool overlap) {
+  DycoreConfig cfg = test_config();
+  cfg.overlap_exchange = overlap;
+  SerialCore core(cfg);
+  auto xi = core.make_state();
+  state::InitialOptions opt;
+  opt.kind = state::InitialCondition::kPlanetaryWave;
+  core.initialize(xi, opt);
+  core.run(xi, steps);
+  return xi;
+}
+
+/// Runs `steps` of the original core and returns the state gathered to
+/// logical rank 0.
+state::State run_original(DecompScheme scheme, std::array<int, 3> dims,
+                          int steps, bool overlap, bool coalesce = false,
+                          comm::FaultPlan* plan = nullptr,
+                          RunTotals* totals = nullptr,
+                          std::chrono::milliseconds recv_timeout =
+                              std::chrono::milliseconds{120000}) {
+  const int p = dims[0] * dims[1] * dims[2];
+  state::State global;
+  std::mutex mu;
+  comm::RunOptions opts;
+  opts.faults = plan;
+  opts.recv_timeout = recv_timeout;
+  comm::Runtime::run(p, opts, [&](comm::Context& ctx) {
+    DycoreConfig cfg = test_config();
+    cfg.overlap_exchange = overlap;
+    cfg.coalesce_exchange = coalesce;
+    OriginalCore core(cfg, ctx, scheme, dims);
+    auto xi = core.make_state();
+    state::InitialOptions opt;
+    opt.kind = state::InitialCondition::kPlanetaryWave;
+    core.initialize(xi, opt);
+    core.run(xi, steps);
+    state::State g = gather_global(core.op_context(), ctx,
+                                   core.topology(), xi);
+    std::lock_guard<std::mutex> lock(mu);
+    if (ctx.world_rank() == 0) global = std::move(g);
+    if (totals != nullptr) {
+      const auto t = ctx.stats().grand_totals();
+      totals->messages += t.p2p_messages;
+      totals->bytes += t.p2p_bytes;
+    }
+  });
+  return global;
+}
+
+state::State run_ca(int p, int steps, bool overlap, bool coalesce = false,
+                    comm::FaultPlan* plan = nullptr,
+                    RunTotals* totals = nullptr) {
+  state::State global;
+  std::mutex mu;
+  comm::RunOptions opts;
+  opts.faults = plan;
+  comm::Runtime::run(p, opts, [&](comm::Context& ctx) {
+    DycoreConfig cfg = test_config();
+    cfg.overlap_exchange = overlap;
+    cfg.coalesce_exchange = coalesce;
+    CACore core(cfg, ctx, {1, p, 1});
+    auto xi = core.make_state();
+    state::InitialOptions opt;
+    opt.kind = state::InitialCondition::kPlanetaryWave;
+    core.initialize(xi, opt);
+    core.run(xi, steps);
+    state::State g = gather_global(core.op_context(), ctx,
+                                   core.topology(), xi);
+    std::lock_guard<std::mutex> lock(mu);
+    if (ctx.world_rank() == 0) global = std::move(g);
+    if (totals != nullptr) {
+      const auto t = ctx.stats().grand_totals();
+      totals->messages += t.p2p_messages;
+      totals->bytes += t.p2p_bytes;
+    }
+  });
+  return global;
+}
+
+constexpr int kSteps = 2;
+
+TEST(OverlapEquiv, SerialSplitIsBitwiseIdentical) {
+  // The serial core has no messages, but the flag routes it through the
+  // same interior/boundary split passes — this pins the pure geometry.
+  state::State off = run_serial(kSteps, false);
+  state::State on = run_serial(kSteps, true);
+  const double diff = state::State::max_abs_diff(off, on, off.interior());
+  EXPECT_EQ(diff, 0.0) << "serial interior/boundary split changed a bit";
+}
+
+TEST(OverlapEquiv, OriginalBitwiseAcrossDecompositionShapes) {
+  // 1xN (y line, z-line collectives), Nx1 (x line, distributed filter),
+  // and NxM (y-z plane: faces plus corner exchanges).
+  const struct {
+    DecompScheme scheme;
+    std::array<int, 3> dims;
+  } cases[] = {
+      {DecompScheme::kYZ, {1, 4, 1}},
+      {DecompScheme::kXY, {4, 1, 1}},
+      {DecompScheme::kYZ, {1, 2, 2}},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(::testing::Message() << "dims " << c.dims[0] << "x"
+                                      << c.dims[1] << "x" << c.dims[2]);
+    RunTotals off_totals, on_totals;
+    state::State off = run_original(c.scheme, c.dims, kSteps, false, false,
+                                    nullptr, &off_totals);
+    state::State on = run_original(c.scheme, c.dims, kSteps, true, false,
+                                   nullptr, &on_totals);
+    const double diff = state::State::max_abs_diff(off, on, off.interior());
+    EXPECT_EQ(diff, 0.0) << "overlap changed the answer";
+    EXPECT_EQ(on_totals.messages, off_totals.messages)
+        << "overlap must not change the paper's message counts";
+    EXPECT_EQ(on_totals.bytes, off_totals.bytes);
+  }
+}
+
+TEST(OverlapEquiv, OriginalBitwiseWithCoalescing) {
+  const std::array<int, 3> dims{1, 2, 2};
+  state::State off =
+      run_original(DecompScheme::kYZ, dims, kSteps, false, true);
+  state::State on =
+      run_original(DecompScheme::kYZ, dims, kSteps, true, true);
+  const double diff = state::State::max_abs_diff(off, on, off.interior());
+  EXPECT_EQ(diff, 0.0) << "overlap + coalescing changed the answer";
+}
+
+TEST(OverlapEquiv, CABitwiseWithAndWithoutCoalescing) {
+  for (bool coalesce : {false, true}) {
+    SCOPED_TRACE(coalesce ? "coalesced" : "per-item");
+    RunTotals off_totals, on_totals;
+    state::State off =
+        run_ca(4, kSteps, false, coalesce, nullptr, &off_totals);
+    state::State on = run_ca(4, kSteps, true, coalesce, nullptr, &on_totals);
+    const double diff = state::State::max_abs_diff(off, on, off.interior());
+    EXPECT_EQ(diff, 0.0) << "per-face drain changed the CA answer";
+    EXPECT_EQ(on_totals.messages, off_totals.messages);
+  }
+}
+
+comm::FaultPlan recoverable_plan(std::uint64_t seed) {
+  comm::FaultPlan plan(seed);
+  auto add = [&](comm::FaultKind kind, double prob, int param) {
+    comm::FaultRule r;
+    r.kind = kind;
+    r.probability = prob;
+    r.param = param;
+    plan.add_rule(r);
+  };
+  // Drop (forces retransmission against an in-flight post), duplicate,
+  // and delay (ages across finish_region/test polls).
+  add(comm::FaultKind::kDrop, 0.10, 1);
+  add(comm::FaultKind::kDuplicate, 0.10, 1);
+  add(comm::FaultKind::kDelay, 0.10, 3);
+  return plan;
+}
+
+TEST(OverlapEquiv, OriginalBitwiseUnderActiveFaultPlan) {
+  const std::array<int, 3> dims{1, 2, 2};
+  state::State reference =
+      run_original(DecompScheme::kYZ, dims, kSteps, false);
+  comm::FaultPlan plan = recoverable_plan(4242);
+  state::State faulted =
+      run_original(DecompScheme::kYZ, dims, kSteps, true, false, &plan);
+  EXPECT_GT(plan.summary().injected_total(), 0u)
+      << "plan must actually fire for this test to mean anything";
+  EXPECT_EQ(plan.summary().detected_total(), 0u)
+      << "recoverable faults must not surface as errors";
+  const double diff =
+      state::State::max_abs_diff(reference, faulted, reference.interior());
+  EXPECT_EQ(diff, 0.0)
+      << "fault recovery against in-flight posts changed the answer";
+}
+
+TEST(OverlapEquiv, CABitwiseUnderActiveFaultPlan) {
+  state::State reference = run_ca(4, kSteps, false);
+  comm::FaultPlan plan = recoverable_plan(777);
+  state::State faulted = run_ca(4, kSteps, true, false, &plan);
+  EXPECT_GT(plan.summary().injected_total(), 0u);
+  EXPECT_EQ(plan.summary().detected_total(), 0u);
+  const double diff =
+      state::State::max_abs_diff(reference, faulted, reference.interior());
+  EXPECT_EQ(diff, 0.0);
+}
+
+TEST(OverlapEquiv, CorruptionAgainstInFlightPostsIsDetectedNotHung) {
+  // Corruption is detected-fatal (ChecksumError), not recoverable: an
+  // overlap run must surface it as the typed error instead of deadlocking
+  // in finish_region()/finish() or silently unpacking garbage.
+  comm::FaultPlan plan(31);
+  comm::FaultRule corrupt;
+  corrupt.kind = comm::FaultKind::kCorrupt;
+  corrupt.probability = 1.0;
+  corrupt.param = 2;
+  plan.add_rule(corrupt);
+  // Short receive deadline: with every retransmission corrupted too, the
+  // receiver polls until the deadline before surfacing the typed error.
+  EXPECT_THROW(run_original(DecompScheme::kYZ, {1, 2, 1}, 1, true, false,
+                            &plan, nullptr, std::chrono::milliseconds{2000}),
+               comm::ChecksumError);
+  EXPECT_GE(plan.summary().detected_checksum, 1u);
+}
+
+TEST(OverlapEquiv, ConfigKeyFoldsToDocumentedEnvName) {
+  EXPECT_EQ(util::Config::env_name("comm.overlap_exchange"),
+            "CA_AGCM_COMM_OVERLAP_EXCHANGE");
+  // Struct default must stay off: the paper's message counts and the
+  // bitwise baselines are defined by the non-overlapped schedule.
+  EXPECT_FALSE(DycoreConfig{}.overlap_exchange);
+}
+
+}  // namespace
+}  // namespace ca::core

@@ -17,6 +17,9 @@
 #include "comm/error.hpp"
 #include "comm/fault.hpp"
 #include "comm/runtime.hpp"
+#include "comm/topology.hpp"
+#include "core/exchange.hpp"
+#include "mesh/decomp.hpp"
 #include "service/runner.hpp"
 #include "service/service.hpp"
 #include "state/state.hpp"
@@ -112,6 +115,48 @@ TEST(RankFailureComm, HungRankDetectedWithinHeartbeatTimeout) {
   EXPECT_EQ(s.injected_hang, 1u);
   EXPECT_GE(s.detected_peer_dead, 1u)
       << "the hang was never flagged by the heartbeat watchdog";
+}
+
+TEST(RankFailureComm, KilledRankUnwindsInFlightAsyncPosts) {
+  // kill_rank fires while the victim's async halo posts are in flight:
+  // the survivor must unwind out of finish() with the typed error within
+  // the heartbeat window, not block on the never-arriving faces until
+  // the receive deadline.
+  comm::FaultPlan plan(11);
+  plan.add_rule(step_rule(comm::FaultKind::kKillRank, /*src=*/0, /*step=*/1));
+  comm::RunOptions opts;
+  opts.faults = &plan;
+  opts.recv_timeout = std::chrono::seconds(20);
+  opts.heartbeat_timeout = std::chrono::milliseconds(250);
+  const auto start = Clock::now();
+  EXPECT_THROW(
+      comm::Runtime::run(2, opts,
+                         [](comm::Context& ctx) {
+                           mesh::LatLonMesh mesh(12, 12, 4);
+                           auto topo =
+                               comm::make_cart(ctx, ctx.world(), {1, 2, 1},
+                                               {true, false, false});
+                           mesh::DomainDecomp d(mesh, {1, 2, 1}, topo.coords);
+                           util::Array3D<double> f(d.lnx(), d.lny(), d.lnz(),
+                                                   util::Halo3{2, 2, 1});
+                           f.fill(1.0);
+                           core::HaloExchanger ex(ctx, topo, d);
+                           std::vector<core::ExchangeItem> items{
+                               {&f, nullptr, 0, 2, 1}};
+                           for (int step = 0; step < 3; ++step) {
+                             ex.post(items, "stencil");
+                             ctx.notify_step();  // rank 0 dies at step 1,
+                                                 // posts still in flight
+                             ex.finish();
+                           }
+                         }),
+      comm::CommError);
+  EXPECT_LT(elapsed_seconds(start), kDetectBound)
+      << "finish() blocked on the dead rank's faces instead of the "
+         "heartbeat unwinding it";
+  const auto s = plan.summary();
+  EXPECT_EQ(s.injected_kill, 1u);
+  EXPECT_GE(s.detected_peer_dead, 1u);
 }
 
 TEST(RankFailureComm, StepFaultFiresOnlyAtItsStep) {
