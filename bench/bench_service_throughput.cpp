@@ -1,4 +1,4 @@
-// Wall-clock benchmark of the ensemble service: five job mixes over one
+// Wall-clock benchmark of the ensemble service: six job mixes over one
 // rank pool, emitting BENCH_service.json.
 //
 //   uniform        identical medium jobs; measures raw multiplexing
@@ -24,6 +24,14 @@
 //                  must land bit-for-bit on an overlap-off solo run of
 //                  the same spec — overlap changes the schedule, never
 //                  the answer
+//   replicated_failover
+//                  the rank_failure scenario with in-memory buddy
+//                  replication on: the victim must recover from buddy
+//                  RAM (ram_restores >= 1, zero disk restores) and land
+//                  bitwise; a runner-level twin then times the SAME
+//                  resume from buddy RAM vs from the on-disk chain and
+//                  reports both latencies (hard assert on provenance and
+//                  I/O counters, soft on the latency ordering — timing)
 //
 // Each mix runs through a fresh EnsembleService; the per-mix service
 // report (schema ca-agcm/service-report/v2) is embedded verbatim in the
@@ -39,18 +47,23 @@
 //   steps           steps per uniform job       (default 6)
 //   long_steps      steps of the bimodal long job (default 20)
 //   out             output path                 (default BENCH_service.json)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "comm/fault.hpp"
+#include "service/replica.hpp"
 #include "service/runner.hpp"
 #include "service/service.hpp"
+#include "util/checkpoint.hpp"
 #include "util/config.hpp"
 #include "util/json.hpp"
 
@@ -127,6 +140,9 @@ struct MixOutcome {
   int failed = 0;
   std::int64_t steps_done = 0;
   util::Json report = util::Json::object();
+  /// Mix-specific extra numeric columns (e.g. the failover mix's
+  /// recovery latencies), emitted verbatim into the mix's JSON entry.
+  std::vector<std::pair<std::string, double>> extra;
   bool ok = true;
 };
 
@@ -161,8 +177,8 @@ std::string validate_bench(const util::Json& doc) {
       schema->as_string() != kSchema)
     return "missing/wrong schema tag";
   const util::Json* mixes = doc.find("mixes");
-  if (mixes == nullptr || !mixes->is_array() || mixes->size() != 5)
-    return "expected exactly five mixes";
+  if (mixes == nullptr || !mixes->is_array() || mixes->size() != 6)
+    return "expected exactly six mixes";
   for (const auto& m : mixes->items()) {
     const util::Json* name = m.find("name");
     if (name == nullptr || !name->is_string()) return "mix missing name";
@@ -172,6 +188,11 @@ std::string validate_bench(const util::Json& doc) {
           "preemptions", "retries", "utilization"})
       if (m.find(key) == nullptr || !m.find(key)->is_number())
         return name->as_string() + " missing numeric '" + key + "'";
+    if (name->as_string() == "replicated_failover")
+      for (const char* key : {"ram_restore_seconds", "disk_restore_seconds",
+                              "ram_restores", "disk_restores"})
+        if (m.find(key) == nullptr || !m.find(key)->is_number())
+          return name->as_string() + " missing numeric '" + key + "'";
     const util::Json* report = m.find("report");
     if (report == nullptr) return "mix missing embedded service report";
     const std::string problem = service::validate_report(*report);
@@ -503,6 +524,163 @@ int main(int argc, char** argv) {
     mixes.push_back(std::move(mix));
   }
 
+  // --- mix 6: replicated_failover --------------------------------------
+  {
+    MixOutcome mix;
+    mix.name = "replicated_failover";
+    // This mix pins replication per leg; the CI replication leg's env
+    // override would otherwise turn the disk leg into a second RAM leg.
+    ::unsetenv("CA_AGCM_SERVICE_REPLICATE");
+    ::unsetenv("CA_AGCM_SERVICE_DELTA_CHAIN");
+
+    // The kill lands at step 5 with checkpoint_every=1 and a chain cap
+    // of 4, so the on-disk state is a full base plus four deltas: the
+    // disk resume pays five file reads plus chain reconstruction, while
+    // the buddy holds the step-5 image ready in RAM.
+    service::JobSpec victim =
+        original_job(cfg, "victim_rep", 6, {1, 2, 1}, 0);
+    victim.checkpoint_every = 1;
+    {
+      comm::FaultRule r;
+      r.kind = comm::FaultKind::kKillRank;
+      r.src = 0;  // pool rank id
+      r.step = 5;
+      victim.node_faults.push_back(r);
+    }
+    victim.comm.recv_timeout = std::chrono::seconds(10);
+    victim.comm.heartbeat_timeout = std::chrono::milliseconds(250);
+    const state::State solo = solo_state(victim, dir + "/solo_rep");
+
+    // Service leg: the full kill -> watchdog -> quarantine -> resume
+    // path, with the resume coming from buddy RAM.
+    service::ServiceOptions ropt = opt;
+    ropt.replicate = true;
+    ropt.delta_chain = 4;
+    service::EnsembleService svc(ropt);
+    const auto start = Clock::now();
+    std::vector<int> ids;
+    ids.push_back(svc.submit(victim));
+    svc.drain();
+    mix.wall = seconds_since(start);
+    summarize(mix, svc, ids);
+
+    const service::JobResult rv = svc.result(ids.front());
+    if (rv.state != service::JobState::kCompleted ||
+        rv.metrics.rank_recoveries < 1 || rv.metrics.ram_restores < 1 ||
+        rv.metrics.disk_restores != 0) {
+      std::fprintf(stderr,
+                   "FAIL: replicated victim must recover from buddy RAM "
+                   "(state=%s recoveries=%d ram=%d disk=%d): %s\n",
+                   service::to_string(rv.state), rv.metrics.rank_recoveries,
+                   rv.metrics.ram_restores, rv.metrics.disk_restores,
+                   rv.error.c_str());
+      mix.ok = false;
+    } else if (state::State::max_abs_diff(rv.final_state, solo,
+                                          solo.interior()) != 0.0) {
+      std::fprintf(stderr, "FAIL: buddy-RAM recovery diverged\n");
+      mix.ok = false;
+    }
+    const util::Json* health = mix.report.find("health");
+    if (health == nullptr ||
+        health->find("replica_deposits")->as_double() < 1.0) {
+      std::fprintf(stderr,
+                   "FAIL: replicated_failover report shows no deposits\n");
+      mix.ok = false;
+    }
+
+    // Latency twin at the runner level: one killed attempt populates
+    // both the disk chain and the replica store, then the IDENTICAL
+    // resume is timed from each source (min of 5, restore section only).
+    // checkpoint_every=0 on the resumes keeps both sources frozen at the
+    // step-5 image across repeats.  The twin runs a 2x-per-dim mesh so
+    // the restore cost is dominated by checkpoint data, not fixed
+    // per-attempt overhead.
+    const std::string rdir = dir + "/failover_twin";
+    std::filesystem::create_directories(rdir);
+    core::DycoreConfig tcfg = cfg;
+    tcfg.nx *= 2;
+    tcfg.ny *= 2;
+    tcfg.nz *= 2;
+    service::JobSpec twin = victim;
+    twin.name = "victim_twin";
+    twin.config = tcfg;
+    twin.node_faults.front().src = 0;  // identity map: job rank 0
+    const state::State twin_solo = solo_state(twin, dir + "/solo_twin");
+    service::ReplicaStore store;
+    service::AttemptOptions o1;
+    o1.attempt = 1;
+    o1.checkpoint_prefix = rdir + "/job";
+    o1.replicas = &store;
+    o1.delta_chain = 4;
+    const service::AttemptResult a1 = service::run_attempt(twin, o1);
+    if (a1.dead_rank != 0 || store.deposits() == 0u) {
+      std::fprintf(stderr,
+                   "FAIL: failover twin seed attempt (dead_rank=%d "
+                   "deposits=%zu): %s\n",
+                   a1.dead_rank, store.deposits(), a1.error.c_str());
+      mix.ok = false;
+    }
+    store.invalidate_depositor(o1.checkpoint_prefix, 0);
+
+    service::JobSpec clean = twin;
+    clean.node_faults.clear();
+    clean.checkpoint_every = 0;
+    double ram_s = 0.0, disk_s = 0.0;
+    for (const bool ram : {true, false}) {
+      double best = 0.0;
+      for (int rep = 0; rep < 5; ++rep) {
+        util::reset_checkpoint_io();
+        service::AttemptOptions o = o1;
+        o.attempt = 2 + rep;
+        o.start_step = 5;
+        o.replicas = ram ? &store : nullptr;
+        const service::AttemptResult a = service::run_attempt(clean, o);
+        const auto want = ram ? service::RestoreSource::kRam
+                              : service::RestoreSource::kDisk;
+        if (!a.completed(clean.steps) || a.restored_from != want ||
+            (ram ? util::checkpoint_io().files_read != 0u
+                 : util::checkpoint_io().files_read == 0u)) {
+          std::fprintf(stderr,
+                       "FAIL: %s resume (completed=%d source=%d "
+                       "files_read=%llu): %s\n",
+                       ram ? "buddy-RAM" : "disk", a.completed(clean.steps),
+                       static_cast<int>(a.restored_from),
+                       static_cast<unsigned long long>(
+                           util::checkpoint_io().files_read),
+                       a.error.c_str());
+          mix.ok = false;
+          break;
+        }
+        if (state::State::max_abs_diff(a.global, twin_solo,
+                                       twin_solo.interior()) != 0.0) {
+          std::fprintf(stderr, "FAIL: %s resume diverged\n",
+                       ram ? "buddy-RAM" : "disk");
+          mix.ok = false;
+          break;
+        }
+        best = rep == 0 ? a.restore_seconds
+                        : std::min(best, a.restore_seconds);
+      }
+      (ram ? ram_s : disk_s) = best;
+    }
+    std::printf(
+        "recovery latency: buddy RAM %.3f ms, disk chain %.3f ms "
+        "(restore section, min of 5)\n",
+        1e3 * ram_s, 1e3 * disk_s);
+    if (mix.ok && ram_s >= disk_s)
+      std::fprintf(stderr,
+                   "note: buddy-RAM restore was not faster this run "
+                   "(%.3f ms vs %.3f ms) — timing, not correctness\n",
+                   1e3 * ram_s, 1e3 * disk_s);
+    mix.extra.emplace_back("ram_restore_seconds", ram_s);
+    mix.extra.emplace_back("disk_restore_seconds", disk_s);
+    mix.extra.emplace_back("ram_restores",
+                           static_cast<double>(rv.metrics.ram_restores));
+    mix.extra.emplace_back("disk_restores",
+                           static_cast<double>(rv.metrics.disk_restores));
+    mixes.push_back(std::move(mix));
+  }
+
   // --- emit ------------------------------------------------------------
   util::Json doc = util::Json::object();
   doc["schema"] = kSchema;
@@ -538,6 +716,7 @@ int main(int argc, char** argv) {
     e["preemptions"] = service_metric(mix, "preemptions");
     e["retries"] = service_metric(mix, "retries");
     e["utilization"] = service_metric(mix, "utilization");
+    for (const auto& [key, value] : mix.extra) e[key] = value;
     e["report"] = mix.report;
     arr.push_back(std::move(e));
   }

@@ -11,6 +11,12 @@
 // per-item twin, and the steady-state window (after warm-up) must perform
 // zero pool-growing acquires.
 //
+// A final section measures checkpoint bytes per cadence: delta sidecar
+// chains (util::CheckpointSession) against full-every-cadence writes, on
+// a steady state (kRestIsothermal, where the chain must cut bytes >= 3x)
+// and an active planetary wave (the degenerate end: every block dirty).
+// Both modes must reconstruct the writer's final state bitwise from disk.
+//
 // Configuration (key=value args, or CA_AGCM_* env — see README):
 //   nx, ny, nz, m   mesh and iteration count     (default 32x32x8, M=2;
 //                   ny/py must stay >= 3M + 1 for the CA core's halos)
@@ -21,9 +27,12 @@
 // The emitted file is re-parsed and schema-checked before exit, so a
 // nonzero status means the bench (or its JSON) is broken — this is what
 // the bench-smoke ctest target runs.
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <sstream>
@@ -36,6 +45,7 @@
 #include "core/exchange.hpp"
 #include "core/original_core.hpp"
 #include "core/serial_core.hpp"
+#include "util/checkpoint.hpp"
 #include "util/config.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
@@ -186,6 +196,16 @@ std::string validate(const util::Json& doc) {
       if (phases->find(key) == nullptr)
         return std::string("phases missing '") + key + "'";
   }
+  const util::Json* ckpt = doc.find("checkpoint");
+  if (ckpt == nullptr || !ckpt->is_array() || ckpt->size() == 0)
+    return "missing checkpoint array";
+  for (const auto& c : ckpt->items())
+    for (const char* key :
+         {"label", "chain_cap", "cadences", "bytes_written",
+          "full_equivalent_bytes", "bytes_ratio_full_over_actual",
+          "bitwise_resume"})
+      if (c.find(key) == nullptr)
+        return std::string("checkpoint entry missing '") + key + "'";
   return {};
 }
 
@@ -441,6 +461,140 @@ int main(int argc, char** argv) {
               : "");
       break;
     }
+  }
+
+  // Checkpoint bytes per cadence: delta sidecar chains against
+  // full-every-cadence writes, on the serial core so each case is one
+  // deterministic file.  kRestIsothermal is an exact rest state the
+  // dycore preserves, so almost no block goes dirty between cadences —
+  // the chain must cut checkpoint bytes by at least 3x there.  The
+  // planetary wave is the degenerate end (every block moves every step,
+  // deltas carry the whole image plus index overhead) and is reported
+  // for parity, not gated.  Either way the reconstructed tip must be
+  // bitwise identical to the writer's state AND to the full-write
+  // twin's, or the byte savings are meaningless.
+  {
+    namespace fs = std::filesystem;
+    const std::string ckpt_dir =
+        (fs::temp_directory_path() /
+         ("bench_wallclock_ckpt." + std::to_string(::getpid())))
+            .string();
+    fs::create_directories(ckpt_dir);
+    const int cadences = 8;
+    struct CkptCase {
+      const char* label;
+      state::InitialCondition ic;
+      int chain_cap;
+    };
+    const CkptCase ckpt_cases[] = {
+        {"steady_full", state::InitialCondition::kRestIsothermal, 0},
+        {"steady_delta", state::InitialCondition::kRestIsothermal, 8},
+        {"wave_full", state::InitialCondition::kPlanetaryWave, 0},
+        {"wave_delta", state::InitialCondition::kPlanetaryWave, 8},
+    };
+    std::printf("\n%-16s %11s %11s %7s %5s %6s %8s\n", "checkpoint",
+                "bytes", "full-eq", "ratio", "full", "delta", "bitwise");
+    util::Json ckpts = util::Json::array();
+    state::State full_tip;  // the preceding *_full twin's reconstructed tip
+    for (const CkptCase& cc : ckpt_cases) {
+      core::SerialCore core(cfg);
+      auto xi = core.make_state();
+      state::InitialOptions ic;
+      ic.kind = cc.ic;
+      core.initialize(xi, ic);
+      core.run(xi, warmup);
+      const std::string path =
+          ckpt_dir + "/" + std::string(cc.label) + ".ckpt";
+      util::CheckpointSession session(
+          path, {.chain_cap = cc.chain_cap, .block_bytes = 4096});
+      for (int cad = 1; cad <= cadences; ++cad) {
+        core.run(xi, 1);
+        session.write(core.mesh(), core.decomp(), xi, warmup + cad,
+                      120.0 * (warmup + cad));
+      }
+      const util::CheckpointWriteStats& st = session.stats();
+
+      // Resume gate: the chain (or plain file) must rebuild the exact
+      // bytes the writer last held.
+      state::State r = core.make_state();
+      const auto tip =
+          util::read_checkpoint_chain(path, core.mesh(), core.decomp(), r);
+      const double diff = state::State::max_abs_diff(xi, r, xi.interior());
+      if (diff != 0.0 || tip.header.step != warmup + cadences) {
+        std::fprintf(stderr,
+                     "FAIL: %s resume not bitwise (step %lld, |diff| %g)\n",
+                     cc.label, static_cast<long long>(tip.header.step),
+                     diff);
+        ok = false;
+      }
+      if (cc.chain_cap == 0) {
+        if (st.delta_writes != 0) {
+          std::fprintf(stderr, "FAIL: %s wrote deltas with the chain off\n",
+                       cc.label);
+          ok = false;
+        }
+        full_tip = std::move(r);
+      } else {
+        // Delta mode is never worse than full mode: a cadence whose
+        // delta would cost >= the full file writes a fresh base instead,
+        // so the active case degenerates to full writes (delta_writes
+        // may be 0) but can never overshoot the full-equivalent bytes.
+        if (st.bytes_written > st.full_equivalent_bytes) {
+          std::fprintf(stderr,
+                       "FAIL: %s wrote more bytes than full mode "
+                       "(%llu vs %llu)\n",
+                       cc.label,
+                       static_cast<unsigned long long>(st.bytes_written),
+                       static_cast<unsigned long long>(
+                           st.full_equivalent_bytes));
+          ok = false;
+        }
+        // Same core, same steps: the delta chain must land on the same
+        // bytes the full-every-cadence twin put on disk.
+        const double dvf =
+            state::State::max_abs_diff(full_tip, r, full_tip.interior());
+        if (dvf != 0.0) {
+          std::fprintf(stderr,
+                       "FAIL: %s diverges from its full-write twin "
+                       "(max |diff| = %g)\n",
+                       cc.label, dvf);
+          ok = false;
+        }
+      }
+      const double ratio = static_cast<double>(st.full_equivalent_bytes) /
+                           static_cast<double>(st.bytes_written);
+      if (std::string(cc.label) == "steady_delta" && ratio < 3.0) {
+        std::fprintf(stderr,
+                     "FAIL: steady-state delta chain saved only %.2fx "
+                     "(>= 3x required)\n",
+                     ratio);
+        ok = false;
+      }
+      std::printf("%-16s %11llu %11llu %6.1fx %5llu %6llu %8s\n", cc.label,
+                  static_cast<unsigned long long>(st.bytes_written),
+                  static_cast<unsigned long long>(st.full_equivalent_bytes),
+                  ratio, static_cast<unsigned long long>(st.full_writes),
+                  static_cast<unsigned long long>(st.delta_writes),
+                  diff == 0.0 ? "yes" : "NO");
+
+      util::Json e = util::Json::object();
+      e["label"] = cc.label;
+      e["initial"] = cc.ic == state::InitialCondition::kRestIsothermal
+                         ? "rest_isothermal"
+                         : "planetary_wave";
+      e["chain_cap"] = cc.chain_cap;
+      e["cadences"] = cadences;
+      e["block_bytes"] = 4096;
+      e["bytes_written"] = st.bytes_written;
+      e["full_equivalent_bytes"] = st.full_equivalent_bytes;
+      e["bytes_ratio_full_over_actual"] = ratio;
+      e["full_writes"] = st.full_writes;
+      e["delta_writes"] = st.delta_writes;
+      e["bitwise_resume"] = diff == 0.0;
+      ckpts.push_back(std::move(e));
+    }
+    doc["checkpoint"] = std::move(ckpts);
+    fs::remove_all(ckpt_dir);
   }
 
   {

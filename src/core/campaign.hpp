@@ -60,6 +60,17 @@ struct CampaignOptions {
   /// Serial cores have no Context, so this is where the service's runner
   /// injects process-level faults (kill/hang) into serial campaigns.
   std::function<void(int step_index)> on_step;
+  /// Optional override of the checkpoint write itself.  Null (the
+  /// default) writes a full v3 file via util::write_checkpoint; the
+  /// service's runner installs a hook here to route the cadence through
+  /// a delta-chaining util::CheckpointSession and to replicate the image
+  /// to a buddy rank.  The hook runs at exactly the point the default
+  /// write would — after the collective yield barrier — so the
+  /// consistency argument for the per-rank checkpoint set is unchanged.
+  std::function<void(const mesh::LatLonMesh& mesh, const state::State& xi,
+                     std::int64_t step, double t,
+                     std::span<const std::byte> carry)>
+      write_checkpoint;
 };
 
 /// Runs the campaign; returns the number of steps executed by THIS call
@@ -140,9 +151,12 @@ int run_campaign(Core& core, comm::Context* comm_ctx, state::State& xi,
         core.save_carry(w);
         carry = w.take();
       }
-      util::write_checkpoint(
-          util::checkpoint_path(options.checkpoint_prefix, rank), mesh,
-          core.decomp(), xi, step, t, carry);
+      if (options.write_checkpoint)
+        options.write_checkpoint(mesh, xi, step, t, carry);
+      else
+        util::write_checkpoint(
+            util::checkpoint_path(options.checkpoint_prefix, rank), mesh,
+            core.decomp(), xi, step, t, carry);
       if (yield_now) break;
     }
   }

@@ -117,6 +117,13 @@ struct JobMetrics {
   /// Attempts abandoned to a dead/hung rank and re-queued onto healthy
   /// ranks (checkpoint recovery; not counted against max_attempts).
   int rank_recoveries = 0;
+  /// Resumes served from in-memory buddy replicas (no checkpoint file
+  /// was read) vs. from the on-disk checkpoint chain.
+  int ram_restores = 0;
+  int disk_restores = 0;
+  /// Total wall-clock spent restoring state across all resumed attempts
+  /// (max over ranks per attempt) — the recovery latency replication cuts.
+  double restore_seconds = 0.0;
   bool deadline_missed = false;
 };
 

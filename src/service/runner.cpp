@@ -18,6 +18,7 @@
 #include "core/original_core.hpp"
 #include "core/serial_core.hpp"
 #include "physics/held_suarez.hpp"
+#include "service/replica.hpp"
 #include "util/checkpoint.hpp"
 #include "util/timer.hpp"
 
@@ -61,36 +62,6 @@ ResumePoint check_resume_step(std::int64_t header_step, int start_step,
         ", " + std::to_string(spec.steps) + "] for job '" + spec.name +
         "'");
   return {static_cast<int>(header_step), time_seconds};
-}
-
-/// Distributed variant: every rank contributes its header step and the
-/// world agrees they are identical.  Ranks' files CAN disagree when a
-/// previous attempt died while only some ranks had written a later
-/// checkpoint; such a set has no single consistent state to resume (the
-/// earlier per-rank states are already overwritten), so the attempt must
-/// fail loudly instead of mixing steps.
-ResumePoint agree_resume_step(comm::Context& ctx, std::int64_t header_step,
-                              int start_step, const JobSpec& spec,
-                              double time_seconds) {
-  if (ctx.world().size() > 1) {
-    // One max-allreduce carries both extrema: {step, -step}.
-    const double local[2] = {static_cast<double>(header_step),
-                             -static_cast<double>(header_step)};
-    double agreed[2] = {local[0], local[1]};
-    ctx.stats().set_phase("service");
-    comm::allreduce<double>(ctx, ctx.world(),
-                            std::span<const double>(local, 2),
-                            std::span<double>(agreed, 2),
-                            comm::ReduceOp::kMax);
-    if (agreed[0] != -agreed[1])
-      throw std::runtime_error(
-          "inconsistent checkpoint set for job '" + spec.name +
-          "': rank headers record steps " +
-          std::to_string(static_cast<std::int64_t>(-agreed[1])) + ".." +
-          std::to_string(static_cast<std::int64_t>(agreed[0])) +
-          "; no common state to resume");
-  }
-  return check_resume_step(header_step, start_step, spec, time_seconds);
 }
 
 }  // namespace
@@ -140,14 +111,36 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
       auto xi = core.make_state();
       ResumePoint resume;
       if (start_step > 0) {
+        util::Timer restore_timer;
         const mesh::LatLonMesh mesh(spec.config.nx, spec.config.ny,
                                     spec.config.nz);
-        const auto hdr = util::read_checkpoint(
-            util::checkpoint_path(checkpoint_prefix, 0), mesh,
-            core.decomp(), xi);
-        resume = check_resume_step(hdr.step, start_step, spec,
-                                   hdr.time_seconds);
+        bool from_ram = false;
+        if (o.replicas != nullptr) {
+          if (auto img = o.replicas->fetch(checkpoint_prefix, 0)) {
+            try {
+              const auto hdr = util::parse_checkpoint_image(
+                  img->bytes, mesh, core.decomp(), xi, nullptr,
+                  "replica of rank 0");
+              resume = check_resume_step(hdr.step, start_step, spec,
+                                         hdr.time_seconds);
+              from_ram = true;
+            } catch (const std::exception&) {
+              // Corrupt/mismatched/out-of-range replica: the disk chain
+              // below overwrites whatever the failed parse left in xi.
+            }
+          }
+        }
+        if (!from_ram) {
+          const auto chain = util::read_checkpoint_chain(
+              util::checkpoint_path(checkpoint_prefix, 0), mesh,
+              core.decomp(), xi);
+          resume = check_resume_step(chain.header.step, start_step, spec,
+                                     chain.header.time_seconds);
+        }
         core.fill_boundaries(xi);
+        res.restored_from =
+            from_ram ? RestoreSource::kRam : RestoreSource::kDisk;
+        res.restore_seconds = restore_timer.seconds();
       } else {
         core.initialize(xi, spec.initial);
       }
@@ -155,6 +148,25 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
       auto opt =
           campaign_options(spec, resume.step, resume.time_seconds,
                            checkpoint_prefix, &forcing, should_yield);
+      // Session-based writes (delta chains / replication) replace the
+      // campaign's plain full-file writer; the session must outlive the
+      // campaign loop.
+      util::CheckpointSession session(
+          util::checkpoint_path(checkpoint_prefix, 0),
+          {.chain_cap = o.delta_chain, .block_bytes = o.delta_block_bytes});
+      if (o.delta_chain > 0 || o.replicas != nullptr) {
+        opt.write_checkpoint =
+            [&core, &session, &o, &checkpoint_prefix](
+                const mesh::LatLonMesh& m, const state::State& s,
+                std::int64_t step, double t,
+                std::span<const std::byte> carry) {
+              session.write(m, core.decomp(), s, step, t, carry);
+              if (o.replicas != nullptr)
+                replicate_checkpoint(nullptr, *o.replicas,
+                                     checkpoint_prefix, step, t,
+                                     session.image());
+            };
+      }
       if (inject) {
         // Serial campaigns have no Context, so the process-level faults
         // (kill/hang) fire through the campaign's step hook instead; the
@@ -182,18 +194,119 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
       auto drive = [&](auto& core, comm::Context& ctx) {
         auto xi = core.make_state();
         ResumePoint resume;
+        RestoreSource source = RestoreSource::kNone;
+        double restore_s = 0.0;
         if (start_step > 0) {
+          util::Timer restore_timer;
           const mesh::LatLonMesh mesh(spec.config.nx, spec.config.ny,
                                       spec.config.nz);
           std::vector<std::byte> carry;
-          const auto hdr = util::read_checkpoint(
-              util::checkpoint_path(checkpoint_prefix, ctx.world_rank()),
-              mesh, core.decomp(), xi, &carry);
+          const std::string path =
+              util::checkpoint_path(checkpoint_prefix, ctx.world_rank());
+          // --- RAM replicas first.  Each rank parses its own freshest
+          // CRC-valid copy, then the world agrees the set is uniform: a
+          // usable RAM restore needs EVERY rank at the SAME step (the
+          // survivors' self copies plus the victim's buddy copy).  Any
+          // gap, mismatch, or corruption drops the whole world to disk
+          // together — never a RAM/disk mix.
+          std::int64_t ram_step = -1;
+          double ram_time = 0.0;
+          if (o.replicas != nullptr) {
+            if (auto img =
+                    o.replicas->fetch(checkpoint_prefix, ctx.world_rank())) {
+              try {
+                const auto hdr = util::parse_checkpoint_image(
+                    img->bytes, mesh, core.decomp(), xi, &carry,
+                    "replica of rank " +
+                        std::to_string(ctx.world_rank()));
+                if (hdr.step >= start_step && hdr.step <= spec.steps) {
+                  ram_step = hdr.step;
+                  ram_time = hdr.time_seconds;
+                }
+              } catch (const std::exception&) {
+                ram_step = -1;
+              }
+            }
+            if (ctx.world().size() > 1) {
+              const double local[2] = {static_cast<double>(ram_step),
+                                       -static_cast<double>(ram_step)};
+              double agreed[2] = {local[0], local[1]};
+              ctx.stats().set_phase("service");
+              comm::allreduce<double>(ctx, ctx.world(),
+                                      std::span<const double>(local, 2),
+                                      std::span<double>(agreed, 2),
+                                      comm::ReduceOp::kMax);
+              if (agreed[0] != -agreed[1] || agreed[0] < 0.0)
+                ram_step = -1;
+            }
+          }
+          std::int64_t hdr_step = 0;
+          double hdr_time = 0.0;
+          if (ram_step >= 0) {
+            hdr_step = ram_step;
+            hdr_time = ram_time;
+            source = RestoreSource::kRam;
+          } else {
+            carry.clear();
+            auto chain = util::read_checkpoint_chain(path, mesh,
+                                                     core.decomp(), xi,
+                                                     &carry);
+            hdr_step = chain.header.step;
+            hdr_time = chain.header.time_seconds;
+            if (ctx.world().size() > 1) {
+              const double local[2] = {static_cast<double>(hdr_step),
+                                       -static_cast<double>(hdr_step)};
+              double agreed[2] = {local[0], local[1]};
+              ctx.stats().set_phase("service");
+              comm::allreduce<double>(ctx, ctx.world(),
+                                      std::span<const double>(local, 2),
+                                      std::span<double>(agreed, 2),
+                                      comm::ReduceOp::kMax);
+              const auto min_tip =
+                  static_cast<std::int64_t>(-agreed[1]);
+              const auto max_tip = static_cast<std::int64_t>(agreed[0]);
+              if (min_tip != max_tip) {
+                // Mixed tips.  With delta chains this is recoverable:
+                // ranks that checkpointed past the minimum rewind their
+                // chain to the common step.  The rewind attempt is made
+                // on every ahead rank and its success is agreed
+                // collectively, so either ALL ranks proceed from min_tip
+                // or ALL ranks fail the attempt together (a rank that
+                // threw alone would leave its peers hung in the next
+                // collective until the heartbeat timeout).
+                double fail = 0.0;
+                if (hdr_step != min_tip) {
+                  try {
+                    carry.clear();
+                    auto rewound = util::read_checkpoint_chain(
+                        path, mesh, core.decomp(), xi, &carry,
+                        {.max_step = min_tip});
+                    hdr_step = rewound.header.step;
+                    hdr_time = rewound.header.time_seconds;
+                  } catch (const std::exception&) {
+                    fail = 1.0;
+                  }
+                }
+                double any_fail = 0.0;
+                comm::allreduce<double>(
+                    ctx, ctx.world(), std::span<const double>(&fail, 1),
+                    std::span<double>(&any_fail, 1), comm::ReduceOp::kMax);
+                if (any_fail > 0.0)
+                  throw std::runtime_error(
+                      "inconsistent checkpoint set for job '" + spec.name +
+                      "': rank headers record steps " +
+                      std::to_string(min_tip) + ".." +
+                      std::to_string(max_tip) +
+                      "; no common state to resume");
+              }
+            }
+            source = RestoreSource::kDisk;
+          }
           // Header-step agreement first: the carry is per-rank data tied
           // to the agreed step, so a mixed-step file set fails before any
           // rank restores state from it.
-          resume = agree_resume_step(ctx, hdr.step, start_step, spec,
-                                     hdr.time_seconds);
+          resume = check_resume_step(hdr_step, start_step, spec,
+                                     hdr_time);
           // Cores with cross-step carry state (the CA core) restore it
           // from the checkpoint's CRC-guarded v3 block; a checkpoint
           // without one cannot reproduce the trajectory bitwise, so the
@@ -215,13 +328,32 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
             throw std::logic_error(
                 "resume requested for a core without halo restart");
           }
+          restore_s = restore_timer.seconds();
         } else {
           core.initialize(xi, spec.initial);
         }
         const physics::HeldSuarezForcing forcing(core.op_context());
-        const auto opt =
+        auto opt =
             campaign_options(spec, resume.step, resume.time_seconds,
                              checkpoint_prefix, &forcing, should_yield);
+        util::CheckpointSession session(
+            util::checkpoint_path(checkpoint_prefix, ctx.world_rank()),
+            {.chain_cap = o.delta_chain,
+             .block_bytes = o.delta_block_bytes});
+        if (o.delta_chain > 0 || o.replicas != nullptr) {
+          comm::Context* pctx = &ctx;
+          opt.write_checkpoint =
+              [&core, &session, &o, &checkpoint_prefix, pctx](
+                  const mesh::LatLonMesh& m, const state::State& s,
+                  std::int64_t step, double t,
+                  std::span<const std::byte> carry) {
+                session.write(m, core.decomp(), s, step, t, carry);
+                if (o.replicas != nullptr)
+                  replicate_checkpoint(pctx, *o.replicas,
+                                       checkpoint_prefix, step, t,
+                                       session.image());
+              };
+        }
         const int executed = core::run_campaign(core, &ctx, xi, opt);
         const int end = resume.step + executed;
         const bool completed = end == spec.steps;
@@ -235,10 +367,12 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
         }
         std::lock_guard<std::mutex> lock(mu);
         res.comm += ctx.stats().grand_totals();
+        if (restore_s > res.restore_seconds) res.restore_seconds = restore_s;
         if (ctx.world_rank() == 0) {
           res.end_step = end;
           res.yielded = !completed;
           if (completed) res.global = std::move(global);
+          res.restored_from = source;
         }
       };
       comm::Runtime::run(nranks, opts, [&](comm::Context& ctx) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
@@ -16,6 +17,13 @@
 #include "service/job.hpp"
 
 namespace ca::service {
+
+class ReplicaStore;
+
+/// Where a resumed attempt's state came from.  Collectively agreed: the
+/// ranks either ALL restore from RAM replicas or ALL from disk, never a
+/// mix (a mixed set has no consistent trajectory).
+enum class RestoreSource { kNone = 0, kDisk = 1, kRam = 2 };
 
 struct AttemptResult {
   /// The campaign yielded at a checkpoint (preemption) — not a failure.
@@ -29,6 +37,12 @@ struct AttemptResult {
   /// Nonempty = the attempt failed with this diagnostic.
   std::string error;
   double run_seconds = 0.0;
+  /// Resume provenance: buddy RAM, disk, or a fresh start.
+  RestoreSource restored_from = RestoreSource::kNone;
+  /// Wall-clock of the restore section (max over ranks): checkpoint
+  /// fetch/read + parse + carry restore + halo refresh — the recovery
+  /// latency the RAM path exists to cut.
+  double restore_seconds = 0.0;
   /// p2p/collective traffic summed over the attempt's ranks.
   comm::PhaseStats comm;
   /// Fault events injected/detected/recovered during this attempt.
@@ -66,6 +80,17 @@ struct AttemptOptions {
   /// that is what makes a node fault survivable by reassignment.  Empty =
   /// identity mapping over spec.node_faults' srcs.
   std::vector<int> pool_ranks;
+  /// Non-null enables in-memory replication: every checkpoint cadence
+  /// deposits each rank's image here (self + ring buddy), and a resume
+  /// prefers a CRC-valid, collectively-agreed RAM set over the disk
+  /// files.  The store must outlive the attempt (the pool owns it).
+  ReplicaStore* replicas = nullptr;
+  /// Checkpoint delta chaining (util::DeltaOptions::chain_cap): 0 writes
+  /// a full file every cadence (the historical behavior), > 0 writes at
+  /// most that many delta files between full bases.
+  int delta_chain = 0;
+  /// Dirty-diff granularity for delta checkpoints [bytes].
+  std::size_t delta_block_bytes = 4096;
 };
 
 /// Runs the job to spec.steps with the given attempt options.

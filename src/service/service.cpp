@@ -127,6 +127,12 @@ util::Json EnsembleService::report() {
   health["quarantines"] = static_cast<double>(pool_.quarantines());
   health["ranks_retired"] = pool_.ranks_retired();
   health["degraded_rank_seconds"] = pool_.degraded_rank_seconds();
+  // Replication counters (new in v3): RAM replica traffic and footprint.
+  health["replication_enabled"] = pool_.options().replicate;
+  health["replica_deposits"] =
+      static_cast<double>(pool_.replicas().deposits());
+  health["replica_bytes"] =
+      static_cast<double>(pool_.replicas().stored_bytes());
   doc["health"] = std::move(health);
 
   util::Json arr = util::Json::array();
@@ -152,6 +158,11 @@ util::Json EnsembleService::report() {
     e["attempts"] = r.metrics.attempts;
     e["preemptions"] = r.metrics.preemptions;
     e["rank_recoveries"] = r.metrics.rank_recoveries;
+    // Restore provenance (new in v3): how resumed attempts got their
+    // state back, and how long the restores took.
+    e["ram_restores"] = r.metrics.ram_restores;
+    e["disk_restores"] = r.metrics.disk_restores;
+    e["restore_seconds"] = r.metrics.restore_seconds;
     e["queue_wait_seconds"] = r.metrics.queue_wait_seconds;
     e["run_seconds"] = r.metrics.run_seconds;
     e["backoff_seconds"] = r.metrics.backoff_seconds;
@@ -176,11 +187,14 @@ std::string validate_report(const util::Json& doc) {
   const util::Json* schema = doc.find("schema");
   if (schema == nullptr || !schema->is_string() ||
       (schema->as_string() != kReportSchema &&
+       schema->as_string() != kReportSchemaV2 &&
        schema->as_string() != kReportSchemaV1))
     return "missing/wrong schema tag";
   // v1 reports predate the health section and the per-job recovery
-  // fields; everything else is identical, so only v2 requires them.
-  const bool v2 = schema->as_string() == kReportSchema;
+  // fields, and v2 predates the restore-provenance fields; each revision
+  // only ADDS keys, so requirements are gated per revision.
+  const bool v3 = schema->as_string() == kReportSchema;
+  const bool v2 = v3 || schema->as_string() == kReportSchemaV2;
   const util::Json* svc = doc.find("service");
   if (svc == nullptr || !svc->is_object()) return "missing service object";
   for (const char* key :
@@ -198,6 +212,10 @@ std::string validate_report(const util::Json& doc) {
                             "ranks_retired", "degraded_rank_seconds"})
       if (health->find(key) == nullptr || !health->find(key)->is_number())
         return std::string("health missing numeric '") + key + "'";
+    if (v3)
+      for (const char* key : {"replica_deposits", "replica_bytes"})
+        if (health->find(key) == nullptr || !health->find(key)->is_number())
+          return std::string("health missing numeric '") + key + "'";
     const util::Json* ranks = health->find("ranks");
     if (ranks == nullptr || !ranks->is_array())
       return "health missing ranks array";
@@ -223,6 +241,11 @@ std::string validate_report(const util::Json& doc) {
         return std::string("job missing '") + key + "'";
     if (v2)
       for (const char* key : {"rank_recoveries", "active_dims"})
+        if (e.find(key) == nullptr)
+          return std::string("job missing '") + key + "'";
+    if (v3)
+      for (const char* key :
+           {"ram_restores", "disk_restores", "restore_seconds"})
         if (e.find(key) == nullptr)
           return std::string("job missing '") + key + "'";
     const std::string& state = e.find("state")->as_string();

@@ -20,9 +20,13 @@
 
 namespace ca::service {
 
-inline constexpr const char* kReportSchema = "ca-agcm/service-report/v2";
-/// Previous schema revision (no `health` section, no per-job
-/// rank-recovery fields); validate_report still accepts it.
+inline constexpr const char* kReportSchema = "ca-agcm/service-report/v3";
+/// Previous schema revisions; validate_report still accepts both.  v2
+/// lacks the per-job restore provenance fields (ram_restores /
+/// disk_restores / restore_seconds) and the health section's replication
+/// counters; v1 additionally lacks the health section and the per-job
+/// rank-recovery fields.
+inline constexpr const char* kReportSchemaV2 = "ca-agcm/service-report/v2";
 inline constexpr const char* kReportSchemaV1 = "ca-agcm/service-report/v1";
 
 using ServiceOptions = PoolOptions;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <string_view>
 
 #include "service/runner.hpp"
 #include "util/checkpoint.hpp"
@@ -59,6 +60,11 @@ PoolOptions PoolOptions::from_config(const util::Config& cfg) {
   o.quarantine_seconds =
       cfg.get_double("service.quarantine_seconds", o.quarantine_seconds);
   o.aging_rate = cfg.get_double("service.aging_rate", o.aging_rate);
+  o.replicate = cfg.get_bool("service.replicate", o.replicate);
+  o.delta_chain = cfg.get_int("service.delta_chain", o.delta_chain);
+  o.delta_block_bytes = static_cast<std::size_t>(
+      cfg.get_long("service.delta_block_bytes",
+                   static_cast<long long>(o.delta_block_bytes)));
   return o;
 }
 
@@ -68,6 +74,16 @@ WorkerPool::WorkerPool(const PoolOptions& options)
       ranks_(static_cast<std::size_t>(std::max(0, options.rank_budget))),
       busy_mark_(Clock::now()) {
   scheduler_.set_aging_rate(options_.aging_rate);
+  // Environment-sensitive reliability defaults: CI legs flip replication
+  // and delta chaining on for pools constructed DIRECTLY from PoolOptions
+  // (most tests), not just from_config ones.  An empty Config resolves
+  // only the CA_AGCM_* environment; absent vars keep the passed values.
+  {
+    const util::Config env;
+    options_.replicate = env.get_bool("service.replicate", options_.replicate);
+    options_.delta_chain =
+        env.get_int("service.delta_chain", options_.delta_chain);
+  }
   // Checkpoint paths are built under this directory; a missing one would
   // make every preemptible job burn its whole attempt budget on fopen
   // failures, so materialize it (or fail loudly) before any slot starts.
@@ -88,13 +104,30 @@ WorkerPool::WorkerPool(const PoolOptions& options)
        std::filesystem::directory_iterator(options_.checkpoint_dir, ec)) {
     if (!e.is_regular_file(ec)) continue;
     const std::string name = e.path().filename().string();
-    constexpr const char* kSuffix = ".ckpt.tmp";
-    constexpr std::size_t kSuffixLen = 9;
-    if (name.size() <= kSuffixLen ||
-        name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) != 0)
-      continue;
-    const auto mtime = std::filesystem::last_write_time(e.path(), ec);
-    if (!ec && mtime < oldest_live) std::filesystem::remove(e.path(), ec);
+    const auto ends_with = [&name](std::string_view suffix) {
+      return name.size() > suffix.size() &&
+             name.compare(name.size() - suffix.size(), suffix.size(),
+                          suffix) == 0;
+    };
+    if (ends_with(".ckpt.tmp")) {
+      const auto mtime = std::filesystem::last_write_time(e.path(), ec);
+      if (!ec && mtime < oldest_live) std::filesystem::remove(e.path(), ec);
+    } else if (ends_with(".reshard")) {
+      // A reshard marker is the commit record of a reshard that crashed
+      // after committing but before publishing; roll it forward so the
+      // checkpoint set is whole before any job resumes from it.  Same age
+      // gate as the tmp sweep: a fresh marker may belong to a sibling
+      // pool publishing right now.
+      const auto mtime = std::filesystem::last_write_time(e.path(), ec);
+      if (ec || mtime >= oldest_live) continue;
+      const std::string full = e.path().string();
+      try {
+        util::recover_resharded_checkpoints(
+            full.substr(0, full.size() - 8));
+      } catch (const std::exception&) {
+        // Leave the marker for the owning job's reshard retry to repair.
+      }
+    }
   }
   slots_.reserve(static_cast<std::size_t>(options_.slots));
   for (int s = 0; s < options_.slots; ++s)
@@ -376,6 +409,8 @@ std::string WorkerPool::reshape_job(Job& job, int budget) {
 void WorkerPool::fail_job(Job& job, const std::string& error) {
   job.error = error;
   job.state = JobState::kFailed;
+  if (!job.checkpoint_prefix.empty())
+    replicas_.erase_prefix(job.checkpoint_prefix);
   if (job.metrics.run_seconds > 0.0)
     job.metrics.steps_per_second = job.steps_done / job.metrics.run_seconds;
   if (job.spec.deadline_seconds > 0.0)
@@ -507,6 +542,10 @@ void WorkerPool::execute(const std::shared_ptr<Job>& job) {
   // outside the pool lock like the attempt itself.
   if (job->reshard_from != std::array<int, 3>{0, 0, 0} &&
       job->reshard_from != job->active_dims) {
+    // The RAM replicas hold the OLD decomposition's block shapes; after a
+    // reshard they could only mis-parse, so the disk set (re-written at
+    // the new shape) is the sole restore source for the next attempt.
+    replicas_.erase_prefix(job->checkpoint_prefix);
     try {
       const mesh::LatLonMesh mesh(job->spec.config.nx, job->spec.config.ny,
                                   job->spec.config.nz);
@@ -538,9 +577,18 @@ void WorkerPool::execute(const std::shared_ptr<Job>& job) {
     };
     o.dims = job->active_dims;
     o.pool_ranks = job->assigned_ranks;
+    if (options_.replicate) o.replicas = &replicas_;
+    o.delta_chain = options_.delta_chain;
+    o.delta_block_bytes = options_.delta_block_bytes;
     out = run_attempt(job->spec, o);
   } else {
     out.error = prep_error;
+  }
+  if (out.dead_rank >= 0) {
+    // The dead rank's RAM died with it (and a hung rank's cannot be
+    // trusted): drop every copy it deposited.  Its own state survives as
+    // the buddy copy the victim pushed to rank (dead+1) % n.
+    replicas_.invalidate_depositor(job->checkpoint_prefix, out.dead_rank);
   }
 
   std::lock_guard<std::mutex> lk(mu_);
@@ -554,6 +602,10 @@ void WorkerPool::execute(const std::shared_ptr<Job>& job) {
   job->metrics.messages += out.comm.p2p_messages;
   job->metrics.bytes += out.comm.p2p_bytes + out.comm.collective_bytes;
   job->metrics.collective_calls += out.comm.collective_calls;
+  if (out.restored_from == RestoreSource::kRam) ++job->metrics.ram_restores;
+  if (out.restored_from == RestoreSource::kDisk)
+    ++job->metrics.disk_restores;
+  job->metrics.restore_seconds += out.restore_seconds;
   add_summary(job->faults, out.faults);
 
   const auto now = Clock::now();
@@ -637,6 +689,8 @@ void WorkerPool::execute(const std::shared_ptr<Job>& job) {
   }
 
   if (terminal) {
+    // Terminal jobs never resume; release their RAM images.
+    replicas_.erase_prefix(job->checkpoint_prefix);
     if (job->metrics.run_seconds > 0.0)
       job->metrics.steps_per_second =
           job->steps_done / job->metrics.run_seconds;

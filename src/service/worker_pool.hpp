@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "service/job.hpp"
+#include "service/replica.hpp"
 #include "service/scheduler.hpp"
 
 namespace ca::util {
@@ -53,10 +54,20 @@ struct PoolOptions {
   double quarantine_seconds = 0.25;
   /// Scheduler aging rate [priority points per waiting second]; 0 = off.
   double aging_rate = 0.0;
+  /// In-memory buddy replication of checkpoint images: every cadence
+  /// each rank deposits its image into the pool's ReplicaStore (self +
+  /// ring buddy), and resumes prefer the RAM set over the disk files.
+  bool replicate = false;
+  /// Checkpoint delta chaining: > 0 writes at most that many dirty-block
+  /// delta files between full bases (0 = full file every cadence).
+  int delta_chain = 0;
+  /// Dirty-diff granularity for delta checkpoints [bytes].
+  std::size_t delta_block_bytes = 4096;
 
   /// Reads service.slots / rank_budget / queue_capacity / checkpoint_dir /
-  /// max_rank_strikes / quarantine_seconds / aging_rate (each with the
-  /// usual CA_AGCM_* environment override).
+  /// max_rank_strikes / quarantine_seconds / aging_rate / replicate /
+  /// delta_chain / delta_block_bytes (each with the usual CA_AGCM_*
+  /// environment override).
   static PoolOptions from_config(const util::Config& cfg);
 };
 
@@ -77,6 +88,12 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   const PoolOptions& options() const { return options_; }
+
+  /// The pool's replica cache (thread-safe on its own mutex).  Tests use
+  /// it to inspect/corrupt deposits; it is populated only when
+  /// options().replicate is set.
+  ReplicaStore& replicas() { return replicas_; }
+  const ReplicaStore& replicas() const { return replicas_; }
 
   /// Enqueues a validated job.  Blocks while the queue is full
   /// (backpressure) when `block`; otherwise returns false immediately.
@@ -168,6 +185,9 @@ class WorkerPool {
   void fail_job(Job& job, const std::string& error);
 
   PoolOptions options_;
+  /// RAM replica cache shared by every job's attempts; own mutex, never
+  /// touched under mu_ ordering constraints.
+  ReplicaStore replicas_;
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   ///< workers: queue/budget changed
   std::condition_variable space_cv_;  ///< submitters: queue has space

@@ -1,15 +1,35 @@
 #include "util/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <array>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace ca::util {
 namespace {
+
+std::atomic<std::uint64_t> g_files_written{0};
+std::atomic<std::uint64_t> g_bytes_written{0};
+std::atomic<std::uint64_t> g_files_read{0};
+std::atomic<std::uint64_t> g_bytes_read{0};
+std::atomic<std::uint64_t> g_fsyncs{0};
+
+/// Test-only reshard crash injection (see set_checkpoint_test_hook).
+std::function<void(const std::string&)> g_test_hook;
+
+void fire_hook(const std::string& event) {
+  if (g_test_hook) g_test_hook(event);
+}
 
 /// Closes on scope exit without error reporting — the READ path and
 /// error-unwind cleanup only.  The write path closes explicitly and
@@ -28,11 +48,81 @@ void write_all(std::FILE* f, const void* data, std::size_t bytes,
     throw std::runtime_error("checkpoint write failed: " + path);
 }
 
-void read_all(std::FILE* f, void* data, std::size_t bytes,
-              const std::string& path) {
-  if (std::fread(data, 1, bytes, f) != bytes)
-    throw std::runtime_error("checkpoint read failed (truncated?): " +
-                             path);
+/// Durability half of the rename dance: rename() only orders the
+/// directory entry, not the directory itself — fsync the parent so the
+/// committed name survives a power loss too.  Best-effort: some
+/// filesystems reject directory fsync, and by this point the data fsync
+/// already succeeded.
+void fsync_parent_dir(const std::string& path) {
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+/// Atomic + durable file publish: assemble at `<path>.tmp`, flush,
+/// fsync, close (checked), rename over `path`, fsync the directory.  A
+/// crash anywhere before the rename leaves the previous file intact; a
+/// power loss after return cannot surface an empty or torn file.
+void atomic_write_file(const std::string& path,
+                       std::span<const std::byte> bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* raw = std::fopen(tmp.c_str(), "wb");
+  if (raw == nullptr)
+    throw std::runtime_error("cannot open checkpoint: " + tmp);
+  try {
+    if (!bytes.empty()) write_all(raw, bytes.data(), bytes.size(), tmp);
+    if (std::fflush(raw) != 0)
+      throw std::runtime_error("checkpoint flush failed: " + tmp);
+    if (::fsync(::fileno(raw)) != 0)
+      throw std::runtime_error("checkpoint fsync failed: " + tmp);
+    g_fsyncs.fetch_add(1, std::memory_order_relaxed);
+  } catch (...) {
+    std::fclose(raw);
+    std::remove(tmp.c_str());
+    throw;
+  }
+  if (std::fclose(raw) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint close failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint rename failed: " + tmp + " -> " +
+                             path + ": " + std::strerror(err));
+  }
+  fsync_parent_dir(path);
+  g_files_written.fetch_add(1, std::memory_order_relaxed);
+  g_bytes_written.fetch_add(bytes.size(), std::memory_order_relaxed);
+}
+
+/// Reads the whole file; throws on a missing file ("cannot open") only —
+/// callers that probe optional chain elements use slurp_if_exists.
+std::vector<std::byte> slurp_file(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot open checkpoint: " + path);
+  std::vector<std::byte> bytes;
+  std::array<std::byte, 1 << 16> chunk;
+  for (;;) {
+    const std::size_t got =
+        std::fread(chunk.data(), 1, chunk.size(), f.get());
+    bytes.insert(bytes.end(), chunk.begin(), chunk.begin() + got);
+    if (got < chunk.size()) break;
+  }
+  g_files_read.fetch_add(1, std::memory_order_relaxed);
+  g_bytes_read.fetch_add(bytes.size(), std::memory_order_relaxed);
+  return bytes;
+}
+
+bool slurp_if_exists(const std::string& path, std::vector<std::byte>* out) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return false;
+  *out = slurp_file(path);
+  return true;
 }
 
 std::vector<double> pack_state(const mesh::DomainDecomp& d,
@@ -53,24 +143,86 @@ std::vector<double> pack_state(const mesh::DomainDecomp& d,
   return buf;
 }
 
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
+/// Slice-by-8 CRC-32 tables: table[0] is the classic byte-at-a-time
+/// table; table[t][b] extends it so eight bytes fold per iteration.
+/// Same polynomial (0xEDB88320), bit-for-bit the same digests as the
+/// one-table loop — only faster, which matters because every checkpoint
+/// write, chain read, and replica fetch runs a full pass over the image.
+std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
   for (std::uint32_t n = 0; n < 256; ++n) {
     std::uint32_t c = n;
     for (int k = 0; k < 8; ++k)
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    table[n] = c;
+    tables[0][n] = c;
   }
-  return table;
+  for (std::uint32_t n = 0; n < 256; ++n)
+    for (int t = 1; t < 8; ++t)
+      tables[t][n] =
+          tables[0][tables[t - 1][n] & 0xFFu] ^ (tables[t - 1][n] >> 8);
+  return tables;
+}
+
+/// Identity hash of a base file: the chain's deltas record it so a delta
+/// from an older chain never applies to a freshly rewritten base.  The
+/// header prefix (step, time, payload/carry CRCs) pins the base's exact
+/// content without the base format having to store anything new.
+std::uint64_t base_identity(std::span<const std::byte> image) {
+  return crc32(image.first(std::min(sizeof(CheckpointHeader), image.size())));
 }
 
 }  // namespace
 
+CheckpointIoCounters checkpoint_io() {
+  CheckpointIoCounters c;
+  c.files_written = g_files_written.load(std::memory_order_relaxed);
+  c.bytes_written = g_bytes_written.load(std::memory_order_relaxed);
+  c.files_read = g_files_read.load(std::memory_order_relaxed);
+  c.bytes_read = g_bytes_read.load(std::memory_order_relaxed);
+  c.fsyncs = g_fsyncs.load(std::memory_order_relaxed);
+  return c;
+}
+
+void reset_checkpoint_io() {
+  g_files_written.store(0, std::memory_order_relaxed);
+  g_bytes_written.store(0, std::memory_order_relaxed);
+  g_files_read.store(0, std::memory_order_relaxed);
+  g_bytes_read.store(0, std::memory_order_relaxed);
+  g_fsyncs.store(0, std::memory_order_relaxed);
+}
+
+void set_checkpoint_test_hook(
+    std::function<void(const std::string&)> hook) {
+  g_test_hook = std::move(hook);
+}
+
 std::uint32_t crc32(std::span<const std::byte> data) {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables =
+      make_crc_tables();
+  const auto& t = tables;
   std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::byte b : data)
-    crc = table[(crc ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (crc >> 8);
+  const std::byte* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    // Little-endian word composition by construction (endian-agnostic).
+    std::uint32_t lo = static_cast<std::uint32_t>(p[0]) |
+                       static_cast<std::uint32_t>(p[1]) << 8 |
+                       static_cast<std::uint32_t>(p[2]) << 16 |
+                       static_cast<std::uint32_t>(p[3]) << 24;
+    const std::uint32_t hi = static_cast<std::uint32_t>(p[4]) |
+                             static_cast<std::uint32_t>(p[5]) << 8 |
+                             static_cast<std::uint32_t>(p[6]) << 16 |
+                             static_cast<std::uint32_t>(p[7]) << 24;
+    lo ^= crc;
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+          t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^
+          t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (; n > 0; ++p, --n)
+    crc = t[0][(crc ^ static_cast<std::uint32_t>(*p)) & 0xFFu] ^ (crc >> 8);
   return crc ^ 0xFFFFFFFFu;
 }
 
@@ -130,12 +282,14 @@ std::string checkpoint_path(const std::string& prefix, int rank) {
   return prefix + ".rank" + std::to_string(rank) + ".ckpt";
 }
 
-void write_checkpoint(const std::string& path,
-                      const mesh::LatLonMesh& mesh,
-                      const mesh::DomainDecomp& decomp,
-                      const state::State& xi, std::int64_t step,
-                      double time_seconds,
-                      std::span<const std::byte> carry) {
+std::string delta_path(const std::string& path, int seq) {
+  return path + ".d" + std::to_string(seq);
+}
+
+std::vector<std::byte> build_checkpoint_image(
+    const mesh::LatLonMesh& mesh, const mesh::DomainDecomp& decomp,
+    const state::State& xi, std::int64_t step, double time_seconds,
+    std::span<const std::byte> carry) {
   CheckpointHeader hdr;
   hdr.nx = mesh.nx();
   hdr.ny = mesh.ny();
@@ -154,96 +308,81 @@ void write_checkpoint(const std::string& path,
   hdr.carry_bytes = carry.size();
   hdr.carry_crc = crc32(carry);
 
-  // Torn-write defense: assemble the new checkpoint beside the old one
-  // and only replace it with an atomic rename once every byte (including
-  // the stdio buffer flushed by fclose) is on disk.  A crash or injected
-  // fault anywhere before the rename leaves the previous checkpoint —
-  // the job's only resumable state — untouched.
-  const std::string tmp = path + ".tmp";
-  std::FILE* raw = std::fopen(tmp.c_str(), "wb");
-  if (raw == nullptr)
-    throw std::runtime_error("cannot open checkpoint: " + tmp);
-  try {
-    write_all(raw, &hdr, sizeof(hdr), tmp);
-    write_all(raw, buf.data(), buf.size() * sizeof(double), tmp);
-    if (!carry.empty()) write_all(raw, carry.data(), carry.size(), tmp);
-    if (std::fflush(raw) != 0)
-      throw std::runtime_error("checkpoint flush failed: " + tmp);
-  } catch (...) {
-    std::fclose(raw);
-    std::remove(tmp.c_str());
-    throw;
-  }
-  if (std::fclose(raw) != 0) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("checkpoint close failed: " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    const int err = errno;
-    std::remove(tmp.c_str());
-    throw std::runtime_error("checkpoint rename failed: " + tmp + " -> " +
-                             path + ": " + std::strerror(err));
-  }
+  std::vector<std::byte> image;
+  image.reserve(sizeof(hdr) + buf.size() * sizeof(double) + carry.size());
+  const auto* hp = reinterpret_cast<const std::byte*>(&hdr);
+  image.insert(image.end(), hp, hp + sizeof(hdr));
+  const auto payload = std::as_bytes(std::span<const double>(buf));
+  image.insert(image.end(), payload.begin(), payload.end());
+  image.insert(image.end(), carry.begin(), carry.end());
+  return image;
 }
 
-CheckpointHeader read_checkpoint(const std::string& path,
-                                 const mesh::LatLonMesh& mesh,
-                                 const mesh::DomainDecomp& decomp,
-                                 state::State& xi,
-                                 std::vector<std::byte>* carry) {
+CheckpointHeader parse_checkpoint_image(std::span<const std::byte> image,
+                                        const mesh::LatLonMesh& mesh,
+                                        const mesh::DomainDecomp& decomp,
+                                        state::State& xi,
+                                        std::vector<std::byte>* carry,
+                                        const std::string& what) {
   if (carry != nullptr) carry->clear();
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) throw std::runtime_error("cannot open checkpoint: " + path);
+  std::size_t pos = 0;
+  auto take = [&](void* dst, std::size_t bytes) {
+    if (bytes > image.size() - pos)
+      throw std::runtime_error("checkpoint read failed (truncated?): " +
+                               what);
+    std::memcpy(dst, image.data() + pos, bytes);
+    pos += bytes;
+  };
+
   CheckpointHeader hdr;
   // The v1 header is a strict prefix of v2, which is a strict prefix of
   // v3: read the v1 prefix first, then the version-gated trailers field
   // by field (exact sizes; the offsets are pinned by static_asserts in
   // the header).
-  read_all(f.get(), &hdr, kCheckpointHeaderV1Bytes, path);
+  take(&hdr, kCheckpointHeaderV1Bytes);
 
   CheckpointHeader expect;
   if (hdr.magic != expect.magic)
-    throw std::runtime_error("not a ca-agcm checkpoint: " + path);
+    throw std::runtime_error("not a ca-agcm checkpoint: " + what);
   if (hdr.version < 1 || hdr.version > expect.version)
-    throw std::runtime_error("unsupported checkpoint version: " + path);
+    throw std::runtime_error("unsupported checkpoint version: " + what);
   if (hdr.version >= 2) {
-    read_all(f.get(), &hdr.payload_crc, sizeof(hdr.payload_crc), path);
-    read_all(f.get(), &hdr.reserved, sizeof(hdr.reserved), path);
+    take(&hdr.payload_crc, sizeof(hdr.payload_crc));
+    take(&hdr.reserved, sizeof(hdr.reserved));
   }
   if (hdr.version >= 3) {
-    read_all(f.get(), &hdr.carry_bytes, sizeof(hdr.carry_bytes), path);
-    read_all(f.get(), &hdr.carry_crc, sizeof(hdr.carry_crc), path);
-    read_all(f.get(), &hdr.carry_reserved, sizeof(hdr.carry_reserved),
-             path);
+    take(&hdr.carry_bytes, sizeof(hdr.carry_bytes));
+    take(&hdr.carry_crc, sizeof(hdr.carry_crc));
+    take(&hdr.carry_reserved, sizeof(hdr.carry_reserved));
   }
   if (hdr.nx != mesh.nx() || hdr.ny != mesh.ny() || hdr.nz != mesh.nz())
-    throw std::runtime_error("checkpoint mesh mismatch: " + path);
+    throw std::runtime_error("checkpoint mesh mismatch: " + what);
   if (hdr.lnx != decomp.lnx() || hdr.lny != decomp.lny() ||
       hdr.lnz != decomp.lnz() || hdr.x0 != decomp.xr().begin ||
       hdr.y0 != decomp.yr().begin || hdr.z0 != decomp.zr().begin)
     throw std::runtime_error(
-        "checkpoint block/decomposition mismatch: " + path);
+        "checkpoint block/decomposition mismatch: " + what);
 
   const std::size_t count = static_cast<std::size_t>(hdr.lnx) * hdr.lny *
                                 (3 * static_cast<std::size_t>(hdr.lnz)) +
                             static_cast<std::size_t>(hdr.lnx) * hdr.lny;
   std::vector<double> buf(count);
-  read_all(f.get(), buf.data(), buf.size() * sizeof(double), path);
+  take(buf.data(), buf.size() * sizeof(double));
 
   if (hdr.version >= 2) {
     const std::uint32_t crc =
         crc32(std::as_bytes(std::span<const double>(buf)));
     if (crc != hdr.payload_crc)
       throw std::runtime_error(
-          "checkpoint payload CRC mismatch (bit rot?): " + path);
+          "checkpoint payload CRC mismatch (bit rot?): " + what);
   }
 
   if (carry != nullptr && hdr.carry_bytes > 0) {
     carry->resize(hdr.carry_bytes);
-    read_all(f.get(), carry->data(), carry->size(), path);
+    take(carry->data(), carry->size());
     if (crc32(*carry) != hdr.carry_crc)
       throw std::runtime_error(
-          "checkpoint carry CRC mismatch (bit rot?): " + path);
+          "checkpoint carry CRC mismatch (bit rot?): " + what);
   }
 
   std::size_t idx = 0;
@@ -260,6 +399,296 @@ CheckpointHeader read_checkpoint(const std::string& path,
   return hdr;
 }
 
+void write_checkpoint(const std::string& path,
+                      const mesh::LatLonMesh& mesh,
+                      const mesh::DomainDecomp& decomp,
+                      const state::State& xi, std::int64_t step,
+                      double time_seconds,
+                      std::span<const std::byte> carry) {
+  atomic_write_file(
+      path, build_checkpoint_image(mesh, decomp, xi, step, time_seconds,
+                                   carry));
+}
+
+CheckpointHeader read_checkpoint(const std::string& path,
+                                 const mesh::LatLonMesh& mesh,
+                                 const mesh::DomainDecomp& decomp,
+                                 state::State& xi,
+                                 std::vector<std::byte>* carry) {
+  const std::vector<std::byte> image = slurp_file(path);
+  return parse_checkpoint_image(image, mesh, decomp, xi, carry, path);
+}
+
+ChainReadResult read_checkpoint_chain(const std::string& path,
+                                      const mesh::LatLonMesh& mesh,
+                                      const mesh::DomainDecomp& decomp,
+                                      state::State& xi,
+                                      std::vector<std::byte>* carry,
+                                      const ChainReadOptions& opts) {
+  std::vector<std::byte> image = slurp_file(path);
+  if (image.size() < kCheckpointHeaderV1Bytes)
+    throw std::runtime_error("checkpoint read failed (truncated?): " + path);
+  CheckpointHeader peek;
+  // void* cast: the header has default member initializers (so it is not
+  // "trivial" for -Wclass-memaccess) but is trivially copyable, and only
+  // the v1 prefix is overwritten on purpose — the rest keeps defaults.
+  std::memcpy(static_cast<void*>(&peek), image.data(),
+              kCheckpointHeaderV1Bytes);
+  CheckpointHeader expect;
+  if (peek.magic != expect.magic)
+    throw std::runtime_error("not a ca-agcm checkpoint: " + path);
+  if (opts.max_step >= 0 && peek.step > opts.max_step)
+    throw std::runtime_error(
+        "checkpoint chain under " + path + " starts at step " +
+        std::to_string(peek.step) + ", past the requested step " +
+        std::to_string(opts.max_step));
+
+  const std::uint64_t base_id = base_identity(image);
+  ChainReadResult res;
+  std::int64_t tip_step = peek.step;
+  const DeltaHeader dexpect;
+  for (int seq = 1; !(opts.max_step >= 0 && tip_step == opts.max_step);
+       ++seq) {
+    std::vector<std::byte> dbytes;
+    if (!slurp_if_exists(delta_path(path, seq), &dbytes)) break;
+    // Any integrity failure from here on ends the chain at the last
+    // intact element — a torn or bit-rotted delta must degrade recovery,
+    // never poison it.
+    if (dbytes.size() < sizeof(DeltaHeader)) {
+      res.truncated_by_corruption = true;
+      break;
+    }
+    DeltaHeader dh;
+    std::memcpy(&dh, dbytes.data(), sizeof(dh));
+    if (dh.magic != dexpect.magic || dh.version != 4) {
+      res.truncated_by_corruption = true;
+      break;
+    }
+    // A stale delta from a chain whose base was since rewritten: not
+    // corruption, just no longer reachable — the fresh base is the tip.
+    if (dh.base_id != base_id ||
+        dh.seq != static_cast<std::uint32_t>(seq))
+      break;
+    if (opts.max_step >= 0 && dh.step > opts.max_step) break;
+    const std::span<const std::byte> payload =
+        std::span<const std::byte>(dbytes).subspan(sizeof(DeltaHeader));
+    if (dh.block_bytes == 0 || dh.image_bytes != image.size() ||
+        crc32(payload) != dh.delta_crc) {
+      res.truncated_by_corruption = true;
+      break;
+    }
+    const std::size_t bb = dh.block_bytes;
+    const std::size_t nblocks = (image.size() + bb - 1) / bb;
+    const std::size_t index_bytes =
+        static_cast<std::size_t>(dh.ndirty) * sizeof(std::uint32_t);
+    if (payload.size() < index_bytes) {
+      res.truncated_by_corruption = true;
+      break;
+    }
+    std::vector<std::uint32_t> dirty(dh.ndirty);
+    if (!dirty.empty())
+      std::memcpy(dirty.data(), payload.data(), index_bytes);
+    std::size_t data_bytes = 0;
+    bool bad = false;
+    for (std::uint32_t b : dirty) {
+      if (b >= nblocks) {
+        bad = true;
+        break;
+      }
+      data_bytes += std::min(bb, image.size() - b * bb);
+    }
+    if (bad || payload.size() != index_bytes + data_bytes) {
+      res.truncated_by_corruption = true;
+      break;
+    }
+    // Patch a scratch copy so a failed end-to-end CRC leaves the intact
+    // prefix's image untouched.
+    std::vector<std::byte> next = image;
+    std::size_t cursor = index_bytes;
+    for (std::uint32_t b : dirty) {
+      const std::size_t len = std::min(bb, next.size() - b * bb);
+      std::memcpy(next.data() + b * bb, payload.data() + cursor, len);
+      cursor += len;
+    }
+    if (crc32(next) != dh.image_crc) {
+      res.truncated_by_corruption = true;
+      break;
+    }
+    image = std::move(next);
+    tip_step = dh.step;
+    ++res.deltas_applied;
+  }
+  if (opts.max_step >= 0 && tip_step != opts.max_step)
+    throw std::runtime_error(
+        "checkpoint chain under " + path + " has no element at step " +
+        std::to_string(opts.max_step) + " (intact tip is step " +
+        std::to_string(tip_step) + ")");
+  res.header = parse_checkpoint_image(image, mesh, decomp, xi, carry, path);
+  return res;
+}
+
+CheckpointSession::CheckpointSession(std::string path, DeltaOptions opts)
+    : path_(std::move(path)), opts_(opts) {}
+
+void CheckpointSession::write(const mesh::LatLonMesh& mesh,
+                              const mesh::DomainDecomp& decomp,
+                              const state::State& xi, std::int64_t step,
+                              double time_seconds,
+                              std::span<const std::byte> carry) {
+  std::vector<std::byte> img =
+      build_checkpoint_image(mesh, decomp, xi, step, time_seconds, carry);
+  ++stats_.cadences;
+  stats_.full_equivalent_bytes += img.size();
+  bool full = image_.empty() || opts_.chain_cap <= 0 ||
+              chain_len_ >= opts_.chain_cap ||
+              img.size() != image_.size();
+  const std::size_t bb = std::max<std::size_t>(1, opts_.block_bytes);
+  std::vector<std::uint32_t> dirty;
+  if (!full) {
+    const std::size_t nblocks = (img.size() + bb - 1) / bb;
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      const std::size_t len = std::min(bb, img.size() - b * bb);
+      if (std::memcmp(img.data() + b * bb, image_.data() + b * bb, len) !=
+          0)
+        dirty.push_back(static_cast<std::uint32_t>(b));
+    }
+    // A delta touching (nearly) every block costs more than the full
+    // file it encodes; write a fresh base instead, which also re-anchors
+    // the chain.  Delta mode is therefore never worse than full mode —
+    // an all-active workload just degenerates to it.
+    std::size_t delta_bytes = sizeof(DeltaHeader) +
+                              dirty.size() * sizeof(std::uint32_t);
+    for (std::uint32_t b : dirty)
+      delta_bytes += std::min(bb, img.size() - b * bb);
+    if (delta_bytes >= img.size()) full = true;
+  }
+  if (full) {
+    atomic_write_file(path_, img);
+    base_id_ = base_identity(img);
+    // Retire the old chain.  Correctness does not depend on this — the
+    // deltas already fail the new base_id — but leaving them would grow
+    // the directory forever.  Stop at the first missing seq.
+    for (int s = 1; std::remove(delta_path(path_, s).c_str()) == 0; ++s) {
+    }
+    chain_len_ = 0;
+    ++stats_.full_writes;
+    stats_.bytes_written += img.size();
+  } else {
+    DeltaHeader dh;
+    dh.block_bytes = static_cast<std::uint32_t>(bb);
+    dh.nx = mesh.nx();
+    dh.ny = mesh.ny();
+    dh.nz = mesh.nz();
+    dh.lnx = decomp.lnx();
+    dh.lny = decomp.lny();
+    dh.lnz = decomp.lnz();
+    dh.x0 = decomp.xr().begin;
+    dh.y0 = decomp.yr().begin;
+    dh.z0 = decomp.zr().begin;
+    dh.seq = static_cast<std::uint32_t>(chain_len_ + 1);
+    dh.step = step;
+    dh.time_seconds = time_seconds;
+    dh.base_id = base_id_;
+    dh.image_bytes = img.size();
+    dh.ndirty = static_cast<std::uint32_t>(dirty.size());
+    dh.image_crc = crc32(img);
+
+    std::vector<std::byte> payload;
+    payload.reserve(dirty.size() * (sizeof(std::uint32_t) + bb));
+    const auto* ip = reinterpret_cast<const std::byte*>(dirty.data());
+    payload.insert(payload.end(), ip,
+                   ip + dirty.size() * sizeof(std::uint32_t));
+    for (std::uint32_t b : dirty) {
+      const std::size_t len = std::min(bb, img.size() - b * bb);
+      payload.insert(payload.end(), img.data() + b * bb,
+                     img.data() + b * bb + len);
+    }
+    dh.delta_crc = crc32(payload);
+
+    std::vector<std::byte> file;
+    file.reserve(sizeof(dh) + payload.size());
+    const auto* hp = reinterpret_cast<const std::byte*>(&dh);
+    file.insert(file.end(), hp, hp + sizeof(dh));
+    file.insert(file.end(), payload.begin(), payload.end());
+    atomic_write_file(delta_path(path_, chain_len_ + 1), file);
+    ++chain_len_;
+    ++stats_.delta_writes;
+    stats_.bytes_written += file.size();
+  }
+  image_ = std::move(img);
+}
+
+namespace {
+
+std::string reshard_marker_path(const std::string& prefix) {
+  return prefix + ".reshard";
+}
+
+/// Post-commit half of the reshard protocol, shared by the fresh path
+/// and crash recovery: rename every still-staged file over its final
+/// path (a rank already published keeps its final file), drop stale
+/// old-rank files and every delta file, and retire the marker.
+/// Idempotent — safe to re-run from any crash point after the marker.
+void publish_reshard(const std::string& prefix, int old_count,
+                     int new_count) {
+  for (int r = 0; r < new_count; ++r) {
+    fire_hook("published:" + std::to_string(r));
+    const std::string final_path = checkpoint_path(prefix, r);
+    const std::string staged = final_path + ".new";
+    std::error_code ec;
+    if (std::filesystem::exists(staged, ec)) {
+      if (std::rename(staged.c_str(), final_path.c_str()) != 0)
+        throw std::runtime_error("reshard publish rename failed: " +
+                                 staged + " -> " + final_path + ": " +
+                                 std::strerror(errno));
+    } else if (!std::filesystem::exists(final_path, ec)) {
+      throw std::runtime_error(
+          "reshard recovery: rank " + std::to_string(r) +
+          " has neither a staged nor a published file under " + prefix);
+    }
+  }
+  const int max_count = std::max(old_count, new_count);
+  for (int r = new_count; r < max_count; ++r)
+    std::remove(checkpoint_path(prefix, r).c_str());
+  // The old decomposition's delta chains are meaningless against the
+  // resharded bases (their base_id no longer matches anyway).
+  for (int r = 0; r < max_count; ++r) {
+    const std::string base = checkpoint_path(prefix, r);
+    for (int s = 1; std::remove(delta_path(base, s).c_str()) == 0; ++s) {
+    }
+  }
+  std::remove(reshard_marker_path(prefix).c_str());
+  fsync_parent_dir(reshard_marker_path(prefix));
+}
+
+}  // namespace
+
+bool recover_resharded_checkpoints(const std::string& prefix) {
+  const std::string marker = reshard_marker_path(prefix);
+  std::error_code ec;
+  if (std::filesystem::exists(marker, ec)) {
+    const std::vector<std::byte> bytes = slurp_file(marker);
+    const std::string text(reinterpret_cast<const char*>(bytes.data()),
+                           bytes.size());
+    int old_count = -1, new_count = -1;
+    if (std::sscanf(text.c_str(), "old=%d new=%d", &old_count,
+                    &new_count) != 2 ||
+        old_count <= 0 || new_count <= 0)
+      throw std::runtime_error("malformed reshard marker: " + marker);
+    publish_reshard(prefix, old_count, new_count);
+    return true;
+  }
+  // No marker: any staged files are from a reshard that died before its
+  // commit point.  The old set is still the truth — sweep the stage.
+  for (int r = 0;; ++r) {
+    const std::string staged = checkpoint_path(prefix, r) + ".new";
+    const bool a = std::remove(staged.c_str()) == 0;
+    const bool b = std::remove((staged + ".tmp").c_str()) == 0;
+    if (!a && !b) break;
+  }
+  return false;
+}
+
 void reshard_checkpoints(const std::string& prefix,
                          const mesh::LatLonMesh& mesh,
                          std::array<int, 3> old_dims,
@@ -268,6 +697,12 @@ void reshard_checkpoints(const std::string& prefix,
   const int new_count = new_dims[0] * new_dims[1] * new_dims[2];
   if (old_count <= 0 || new_count <= 0)
     throw std::runtime_error("reshard_checkpoints: empty process grid");
+
+  // A previous invocation that crashed after its commit marker already
+  // decided the reshard; roll it forward and the set IS the new shape.
+  // (A pre-commit crash leaves no marker: the stage is swept and the
+  // full reshard runs below against the intact old set.)
+  if (recover_resharded_checkpoints(prefix)) return;
 
   // Copies the owned interior of `local` (block `d`) into/out of the
   // whole-mesh assembly state at the block's global origin.
@@ -299,33 +734,70 @@ void reshard_checkpoints(const std::string& prefix,
     return mesh::DomainDecomp(mesh, dims, coords);
   };
 
-  std::int64_t step = 0;
-  double time_seconds = 0.0;
+  // Load every old rank's intact chain tip; a dead-rank set can have
+  // ranks one cadence apart, so the common resumable step is the MINIMUM
+  // tip and ahead ranks rewind their chains to it.  A rank that cannot
+  // reconstruct the minimum (full-file sets have single-element chains)
+  // makes the set genuinely inconsistent.
+  std::vector<state::State> locals;
+  std::vector<CheckpointHeader> headers;
+  locals.reserve(static_cast<std::size_t>(old_count));
+  std::int64_t min_tip = 0;
   for (int r = 0; r < old_count; ++r) {
     const mesh::DomainDecomp d = rank_decomp(old_dims, r);
-    state::State local(d.lnx(), d.lny(), d.lnz(), state::StateHalo{});
-    const CheckpointHeader hdr =
-        read_checkpoint(checkpoint_path(prefix, r), mesh, d, local);
-    if (r == 0) {
-      step = hdr.step;
-      time_seconds = hdr.time_seconds;
-    } else if (hdr.step != step || hdr.time_seconds != time_seconds) {
+    locals.emplace_back(d.lnx(), d.lny(), d.lnz(), state::StateHalo{});
+    const ChainReadResult cr = read_checkpoint_chain(
+        checkpoint_path(prefix, r), mesh, d, locals.back());
+    headers.push_back(cr.header);
+    min_tip = r == 0 ? cr.header.step : std::min(min_tip, cr.header.step);
+  }
+  for (int r = 0; r < old_count; ++r) {
+    if (headers[r].step != min_tip) {
+      const mesh::DomainDecomp d = rank_decomp(old_dims, r);
+      try {
+        headers[r] = read_checkpoint_chain(checkpoint_path(prefix, r),
+                                           mesh, d, locals[r], nullptr,
+                                           {.max_step = min_tip})
+                         .header;
+      } catch (const std::exception& e) {
+        throw std::runtime_error(
+            "reshard_checkpoints: inconsistent checkpoint set under " +
+            prefix + ": " + e.what());
+      }
+    }
+    if (headers[r].time_seconds != headers[0].time_seconds)
       throw std::runtime_error(
           "reshard_checkpoints: inconsistent checkpoint set under " +
           prefix);
-    }
-    transfer(d, local, /*to_global=*/true);
+    transfer(rank_decomp(old_dims, r), locals[r], /*to_global=*/true);
   }
+  const std::int64_t step = min_tip;
+  const double time_seconds = headers[0].time_seconds;
+  locals.clear();
 
+  // Stage the new set beside the old one; nothing the resume path reads
+  // is touched until every staged file is durably on disk.
   for (int r = 0; r < new_count; ++r) {
     const mesh::DomainDecomp d = rank_decomp(new_dims, r);
     state::State local(d.lnx(), d.lny(), d.lnz(), state::StateHalo{});
     transfer(d, local, /*to_global=*/false);
-    write_checkpoint(checkpoint_path(prefix, r), mesh, d, local, step,
-                     time_seconds);
+    atomic_write_file(
+        checkpoint_path(prefix, r) + ".new",
+        build_checkpoint_image(mesh, d, local, step, time_seconds));
+    fire_hook("staged:" + std::to_string(r));
   }
-  for (int r = new_count; r < old_count; ++r)
-    std::remove(checkpoint_path(prefix, r).c_str());
+  // The commit point: one atomic rename publishes the marker.  Crash
+  // before it -> the sweep discards the stage and the old set resumes;
+  // crash after it -> recovery rolls the publish forward.
+  const std::string marker_text = "old=" + std::to_string(old_count) +
+                                  " new=" + std::to_string(new_count) +
+                                  "\n";
+  atomic_write_file(
+      reshard_marker_path(prefix),
+      std::as_bytes(std::span<const char>(marker_text.data(),
+                                          marker_text.size())));
+  fire_hook("committed");
+  publish_reshard(prefix, old_count, new_count);
 }
 
 }  // namespace ca::util

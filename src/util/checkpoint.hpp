@@ -17,14 +17,30 @@
 // empty block.  Version 1 and 2 files are still readable; writes always
 // emit version 3.
 //
-// Writes are crash-safe: the file is assembled at `<path>.tmp`, flushed,
-// closed with the close result checked, and renamed over `path` in one
-// atomic step — a writer killed mid-checkpoint leaves the previous
-// checkpoint intact instead of a torn file.
+// Version 4 is a *delta* sidecar format, not a new base layout: the base
+// file at `<path>` is still a plain v3 checkpoint (bitwise identical to
+// what write_checkpoint emits), and each subsequent cadence may write
+// only the dirty blocks of the full file image to `<path>.d<seq>`.  A
+// delta file carries the base's identity hash, its position in the
+// chain, a CRC over its own records AND a CRC over the reconstructed
+// full image, so bit rot anywhere is detected and recovery falls back
+// to the longest intact prefix of the chain.  CheckpointSession caps
+// the chain length and rewrites a fresh full base when it is reached,
+// which both bounds recovery cost and crash-atomically invalidates the
+// old chain (stale deltas no longer match the new base's identity).
+//
+// Writes are crash-safe AND durable: the file is assembled at
+// `<path>.tmp`, flushed, fsynced, closed with the close result checked,
+// and renamed over `path` in one atomic step, after which the
+// containing directory is fsynced — a writer killed mid-checkpoint
+// leaves the previous checkpoint intact, and a power loss after
+// write_checkpoint returns cannot surface an empty or torn "committed"
+// file.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -33,6 +49,22 @@
 #include "state/state.hpp"
 
 namespace ca::util {
+
+/// Process-wide counters over every checkpoint file the process touched.
+/// The service's RAM-first recovery asserts on these ("recovered without
+/// reading a checkpoint from disk") and the benches report them.
+struct CheckpointIoCounters {
+  std::uint64_t files_written = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t files_read = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t fsyncs = 0;  ///< file fsyncs (directory fsyncs excluded)
+};
+
+/// Snapshot of the global counters (atomically maintained, so safe to
+/// call while service worker threads checkpoint concurrently).
+CheckpointIoCounters checkpoint_io();
+void reset_checkpoint_io();
 
 struct CheckpointHeader {
   std::uint64_t magic = 0x434141474D435031ull;  // "CAAGMCP1"
@@ -143,20 +175,187 @@ CheckpointHeader read_checkpoint(const std::string& path,
 /// Conventional per-rank file name: <prefix>.rank<r>.ckpt
 std::string checkpoint_path(const std::string& prefix, int rank);
 
+/// Name of the seq-th delta file of the chain rooted at `path`
+/// (1-based): `<path>.d<seq>`.
+std::string delta_path(const std::string& path, int seq);
+
+/// Serializes a full checkpoint (v3 header + payload + carry) into one
+/// contiguous byte image — exactly the bytes write_checkpoint puts on
+/// disk.  The delta codec diffs these images, and the service's buddy
+/// replication streams them between ranks.
+std::vector<std::byte> build_checkpoint_image(
+    const mesh::LatLonMesh& mesh, const mesh::DomainDecomp& decomp,
+    const state::State& xi, std::int64_t step, double time_seconds,
+    std::span<const std::byte> carry = {});
+
+/// Parses a checkpoint image (any readable version) into xi — the
+/// in-memory twin of read_checkpoint, with identical validation (magic,
+/// version, mesh/block match, payload + carry CRC) and identical error
+/// messages.  `what` names the image in diagnostics (a path, or e.g.
+/// "buddy replica of rank 3").
+CheckpointHeader parse_checkpoint_image(std::span<const std::byte> image,
+                                        const mesh::LatLonMesh& mesh,
+                                        const mesh::DomainDecomp& decomp,
+                                        state::State& xi,
+                                        std::vector<std::byte>* carry,
+                                        const std::string& what);
+
+// --- v4 delta chain ------------------------------------------------------
+
+/// On-disk header of a `<path>.d<seq>` delta file.  The payload after it
+/// is `ndirty` u32 block indices followed by the blocks' raw bytes (each
+/// block_bytes long except a short final block), together covered by
+/// delta_crc.  base_id ties the delta to one specific base file (a hash
+/// of the base's header bytes): a delta left over from an older chain
+/// never matches a freshly rewritten base and is simply ignored, which
+/// is what makes the chain-cap base rewrite crash-atomic without any
+/// ordered deletes.
+struct DeltaHeader {
+  std::uint64_t magic = 0x434141474D435044ull;  // "CAAGMCPD"
+  std::uint32_t version = 4;
+  std::uint32_t block_bytes = 0;
+  std::int32_t nx = 0, ny = 0, nz = 0;
+  std::int32_t lnx = 0, lny = 0, lnz = 0;
+  std::int32_t x0 = 0, y0 = 0, z0 = 0;
+  std::uint32_t seq = 0;  ///< 1-based position in the chain
+  std::int64_t step = 0;
+  double time_seconds = 0.0;
+  std::uint64_t base_id = 0;    ///< identity hash of the chain's base file
+  std::uint64_t image_bytes = 0;  ///< size of the reconstructed image
+  std::uint32_t ndirty = 0;     ///< dirty blocks in this delta
+  std::uint32_t image_crc = 0;  ///< CRC-32 of the reconstructed image
+  std::uint32_t delta_crc = 0;  ///< CRC-32 of the index+block payload
+  std::uint32_t reserved = 0;
+};
+// Pin the on-disk layout like CheckpointHeader's: field order above is
+// chosen so the struct has no padding.
+static_assert(offsetof(DeltaHeader, seq) == 52);
+static_assert(offsetof(DeltaHeader, step) == 56);
+static_assert(offsetof(DeltaHeader, base_id) == 72);
+static_assert(offsetof(DeltaHeader, delta_crc) == 96);
+static_assert(sizeof(DeltaHeader) == 104);
+
+struct ChainReadOptions {
+  /// Reconstruct exactly this step (-1 = the furthest intact tip).  Used
+  /// by the cross-rank min-tip agreement: a rank whose chain runs past
+  /// the agreed step rewinds to it.  Throws when the chain has no
+  /// element at this step.
+  std::int64_t max_step = -1;
+};
+
+struct ChainReadResult {
+  CheckpointHeader header;  ///< header of the reconstructed state
+  int deltas_applied = 0;   ///< chain elements applied after the base
+  /// True when the chain ended at a corrupt/torn delta instead of a
+  /// missing one — the state is the last INTACT element (the documented
+  /// fallback), but callers may want to surface the detection.
+  bool truncated_by_corruption = false;
+};
+
+/// Reads the delta chain rooted at `path`: the full base file, then
+/// `<path>.d1`, `<path>.d2`, ... applied in order while each delta is
+/// present, intact (header + delta CRC + reconstructed-image CRC), tied
+/// to this base (base_id), contiguous (seq), and within max_step.  The
+/// first failing delta ends the chain and the state reconstructed so
+/// far wins — a corrupt delta therefore falls back to the last intact
+/// element, never garbage.  A plain full checkpoint (no `.d1`) behaves
+/// exactly like read_checkpoint.  Throws on a missing/corrupt BASE or
+/// when max_step >= 0 cannot be reconstructed exactly.
+ChainReadResult read_checkpoint_chain(const std::string& path,
+                                      const mesh::LatLonMesh& mesh,
+                                      const mesh::DomainDecomp& decomp,
+                                      state::State& xi,
+                                      std::vector<std::byte>* carry = nullptr,
+                                      const ChainReadOptions& opts = {});
+
+struct DeltaOptions {
+  /// Max delta files after a full base before the session rewrites a
+  /// fresh base (bounds recovery cost).  0 disables deltas entirely:
+  /// every cadence writes a full v3 file, bitwise identical to
+  /// write_checkpoint.
+  int chain_cap = 0;
+  /// Dirty-diff granularity [bytes].
+  std::size_t block_bytes = 4096;
+};
+
+struct CheckpointWriteStats {
+  std::uint64_t cadences = 0;      ///< write() calls
+  std::uint64_t full_writes = 0;   ///< cadences that wrote a full base
+  std::uint64_t delta_writes = 0;  ///< cadences that wrote a delta
+  std::uint64_t bytes_written = 0;  ///< actual file bytes
+  /// What writing a full file every cadence would have cost — the
+  /// bench's "steady-state checkpoint bytes" baseline.
+  std::uint64_t full_equivalent_bytes = 0;
+};
+
+/// Per-rank checkpoint writer with optional delta chaining.  The first
+/// write (and every write after chain_cap deltas) emits a full v3 base
+/// at `path`; in between, only the blocks that changed since the
+/// previous cadence go to `<path>.d<seq>`.  All writes are atomic and
+/// fsynced.  The session keeps the current full image in memory, which
+/// doubles as the buddy-replication payload.  A fresh session always
+/// starts with a full base, so a resumed attempt re-anchors the chain
+/// instead of extending one it never saw.
+class CheckpointSession {
+ public:
+  explicit CheckpointSession(std::string path, DeltaOptions opts = {});
+
+  /// Writes this cadence's checkpoint (full or delta per the chain
+  /// policy).  Throws std::runtime_error on any I/O failure.
+  void write(const mesh::LatLonMesh& mesh, const mesh::DomainDecomp& decomp,
+             const state::State& xi, std::int64_t step, double time_seconds,
+             std::span<const std::byte> carry = {});
+
+  /// The full v3 image of the last write() — what a buddy rank stores.
+  const std::vector<std::byte>& image() const { return image_; }
+  const CheckpointWriteStats& stats() const { return stats_; }
+
+ private:
+  std::string path_;
+  DeltaOptions opts_;
+  std::vector<std::byte> image_;
+  std::uint64_t base_id_ = 0;
+  int chain_len_ = 0;
+  CheckpointWriteStats stats_;
+};
+
 /// Rewrites a per-rank checkpoint set from `old_dims` blocks to
 /// `new_dims` blocks (rank layout x-fastest in both): every old rank's
-/// file is read into the global mesh, header consistency (step and model
-/// time identical across ranks) is verified, and the set is rewritten for
-/// the new decomposition under the same prefix.  Stale old-rank files
-/// beyond the new rank count are removed.  This is the degraded-pool
-/// recovery path: a job that lost ranks to quarantine resumes from the
-/// resharded set on a smaller process grid.  Core-carry blocks are NOT
-/// preserved (they are decomposition-specific); callers must only reshard
-/// jobs whose core carries no cross-step state.  Throws std::runtime_error
-/// on I/O failure, a mixed-step set, or any header mismatch.
+/// delta chain is read into the global mesh at the set's common step
+/// (the minimum intact tip when ranks' chains disagree, as a dead-rank
+/// set can), and the set is rewritten for the new decomposition under
+/// the same prefix.  The rewrite is crash-atomic: the new set is staged
+/// at `<rank-path>.new`, a `<prefix>.reshard` commit marker is
+/// published atomically, and only then are the staged files renamed
+/// over the old set — a crash before the marker leaves the old set
+/// resumable (stage files are swept), a crash after it is rolled
+/// forward by recover_resharded_checkpoints (which this function also
+/// runs first, so a pool retry self-heals).  Stale old-rank files
+/// beyond the new rank count and all delta files are removed at
+/// publish.  This is the degraded-pool recovery path: a job that lost
+/// ranks to quarantine resumes from the resharded set on a smaller
+/// process grid.  Core-carry blocks are NOT preserved (they are
+/// decomposition-specific); callers must only reshard jobs whose core
+/// carries no cross-step state.  Throws std::runtime_error on I/O
+/// failure, an unrecoverable set, or any header mismatch.
 void reshard_checkpoints(const std::string& prefix,
                          const mesh::LatLonMesh& mesh,
                          std::array<int, 3> old_dims,
                          std::array<int, 3> new_dims);
+
+/// Completes a reshard interrupted after its commit marker: renames any
+/// still-staged `<rank-path>.new` files over the final paths, removes
+/// stale old-rank and delta files, and deletes the marker.  Without a
+/// marker, sweeps pre-commit stage leftovers (the old set stays the
+/// truth).  Idempotent.  Returns true when a committed reshard was
+/// rolled forward.  The WorkerPool runs this over its checkpoint_dir at
+/// startup (age-gated, like the `*.ckpt.tmp` sweep).
+bool recover_resharded_checkpoints(const std::string& prefix);
+
+/// Test-only crash injection for the reshard protocol: when set, the
+/// hook is invoked at named protocol points ("staged:<r>", "committed",
+/// "published:<r>") and may throw to simulate a crash there.  Null (the
+/// default) costs nothing.
+void set_checkpoint_test_hook(std::function<void(const std::string&)> hook);
 
 }  // namespace ca::util

@@ -427,6 +427,435 @@ TEST(Checkpoint, CarryReaderFailsLoudlyOnFormatMismatch) {
   }
 }
 
+// --- durability counters ---------------------------------------------------
+
+TEST(Checkpoint, WritesAreFsyncedAndCounted) {
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  mesh::DomainDecomp d(mesh, {1, 1, 1}, {0, 0, 0});
+  state::State a(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  a.fill(1.0);
+  const std::string path = temp_prefix("fsync") + ".ckpt";
+
+  reset_checkpoint_io();
+  write_checkpoint(path, mesh, d, a, 1, 120.0);
+  const auto w = checkpoint_io();
+  EXPECT_EQ(w.files_written, 1u);
+  EXPECT_EQ(w.bytes_written, std::filesystem::file_size(path));
+  EXPECT_GE(w.fsyncs, 1u)
+      << "the checkpoint was renamed over the previous one without an "
+         "fsync: a power loss could commit a torn or empty file";
+  EXPECT_EQ(w.files_read, 0u);
+
+  state::State b(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  read_checkpoint(path, mesh, d, b);
+  const auto r = checkpoint_io();
+  EXPECT_EQ(r.files_read, 1u);
+  EXPECT_EQ(r.bytes_read, w.bytes_written);
+  reset_checkpoint_io();
+  std::remove(path.c_str());
+}
+
+// --- v4 delta chains -------------------------------------------------------
+
+/// Removes a chain's base and every delta file.
+void remove_chain(const std::string& path) {
+  std::remove(path.c_str());
+  for (int s = 1; std::remove(delta_path(path, s).c_str()) == 0; ++s) {
+  }
+}
+
+/// A deterministic full-field pattern, salted so successive steps differ.
+state::State patterned_state(const core::DycoreConfig& c, double salt) {
+  state::State a(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  for (int k = 0; k < c.nz; ++k)
+    for (int j = 0; j < c.ny; ++j)
+      for (int i = 0; i < c.nx; ++i) {
+        a.u()(i, j, k) = 0.1 * i - 0.2 * j + k + salt;
+        a.v()(i, j, k) = std::sin(0.3 * i * j) - salt;
+        a.phi()(i, j, k) = 1e-7 * i + 1e7 * k + 3.0 * salt;
+      }
+  for (int j = 0; j < c.ny; ++j)
+    for (int i = 0; i < c.nx; ++i) a.psa()(i, j) = 13.75 * i - j + salt;
+  return a;
+}
+
+TEST(CheckpointDelta, ChainRoundTripsBitwiseAndRewinds) {
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  mesh::DomainDecomp d(mesh, {1, 1, 1}, {0, 0, 0});
+  const std::string path = temp_prefix("chain") + ".ckpt";
+  remove_chain(path);
+
+  // Steps 1..4: a sparse edit per cadence, so deltas stay small.
+  CheckpointSession session(path, {.chain_cap = 8, .block_bytes = 4096});
+  state::State s = patterned_state(c, 0.0);
+  std::vector<state::State> snaps;
+  for (int step = 1; step <= 4; ++step) {
+    s.u()(step, step % c.ny, 0) += 1.0;  // one cell per cadence
+    session.write(mesh, d, s, step, 120.0 * step);
+    snaps.emplace_back(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+    snaps.back().assign(s, s.interior());
+  }
+  EXPECT_EQ(session.stats().cadences, 4u);
+  EXPECT_EQ(session.stats().full_writes, 1u);
+  EXPECT_EQ(session.stats().delta_writes, 3u);
+  EXPECT_LT(session.stats().bytes_written,
+            session.stats().full_equivalent_bytes)
+      << "sparse-edit deltas did not save any bytes";
+  ASSERT_TRUE(std::filesystem::exists(delta_path(path, 1)));
+  ASSERT_TRUE(std::filesystem::exists(delta_path(path, 3)));
+
+  // Tip reconstruction is bitwise.
+  state::State b(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  const auto tip = read_checkpoint_chain(path, mesh, d, b);
+  EXPECT_EQ(tip.header.step, 4);
+  EXPECT_EQ(tip.deltas_applied, 3);
+  EXPECT_FALSE(tip.truncated_by_corruption);
+  EXPECT_DOUBLE_EQ(
+      state::State::max_abs_diff(snaps[3], b, snaps[3].interior()), 0.0);
+
+  // Rewind to every interior element, bitwise each time.
+  for (int step = 1; step <= 3; ++step) {
+    state::State r(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+    const auto got =
+        read_checkpoint_chain(path, mesh, d, r, nullptr, {.max_step = step});
+    EXPECT_EQ(got.header.step, step);
+    EXPECT_DOUBLE_EQ(state::State::max_abs_diff(
+                         snaps[static_cast<std::size_t>(step - 1)], r,
+                         r.interior()),
+                     0.0)
+        << "rewind to step " << step << " was not bitwise";
+  }
+  // A step the chain never wrote must fail loudly, not approximate.
+  state::State r(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  EXPECT_THROW(
+      read_checkpoint_chain(path, mesh, d, r, nullptr, {.max_step = 9}),
+      std::runtime_error);
+  remove_chain(path);
+}
+
+TEST(CheckpointDelta, ChainCapRewritesAFreshBaseAndDropsStaleDeltas) {
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  mesh::DomainDecomp d(mesh, {1, 1, 1}, {0, 0, 0});
+  const std::string path = temp_prefix("chaincap") + ".ckpt";
+  remove_chain(path);
+
+  CheckpointSession session(path, {.chain_cap = 2, .block_bytes = 4096});
+  state::State s = patterned_state(c, 0.0);
+  for (int step = 1; step <= 6; ++step) {
+    s.u()(0, 0, 0) += 1.0;
+    session.write(mesh, d, s, step, 120.0 * step);
+  }
+  // Pattern: full, d1, d2, full, d1, d2.
+  EXPECT_EQ(session.stats().full_writes, 2u);
+  EXPECT_EQ(session.stats().delta_writes, 4u);
+  EXPECT_FALSE(std::filesystem::exists(delta_path(path, 3)))
+      << "the chain-cap base rewrite left a stale third delta behind";
+
+  state::State b(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  const auto tip = read_checkpoint_chain(path, mesh, d, b);
+  EXPECT_EQ(tip.header.step, 6);
+  EXPECT_EQ(tip.deltas_applied, 2);
+  EXPECT_DOUBLE_EQ(state::State::max_abs_diff(s, b, s.interior()), 0.0);
+  remove_chain(path);
+}
+
+TEST(CheckpointDelta, CorruptDeltaFallsBackToTheLastIntactElement) {
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  mesh::DomainDecomp d(mesh, {1, 1, 1}, {0, 0, 0});
+  const std::string path = temp_prefix("chainrot") + ".ckpt";
+  remove_chain(path);
+
+  CheckpointSession session(path, {.chain_cap = 8, .block_bytes = 4096});
+  state::State s = patterned_state(c, 0.0);
+  state::State at2(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  for (int step = 1; step <= 3; ++step) {
+    s.u()(1, 1, 1) += 1.0;
+    session.write(mesh, d, s, step, 120.0 * step);
+    if (step == 2) at2.assign(s, s.interior());
+  }
+
+  // Bit rot in the LAST byte of .d2's payload (past its header).
+  {
+    std::FILE* f = std::fopen(delta_path(path, 2).c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, -1, SEEK_END);
+    const int byte = std::fgetc(f);
+    std::fseek(f, -1, SEEK_CUR);
+    std::fputc(byte ^ 0x40, f);
+    std::fclose(f);
+  }
+  state::State b(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  const auto got = read_checkpoint_chain(path, mesh, d, b);
+  EXPECT_EQ(got.header.step, 2) << "the corrupt delta was not rejected";
+  EXPECT_EQ(got.deltas_applied, 1);
+  EXPECT_TRUE(got.truncated_by_corruption);
+  EXPECT_DOUBLE_EQ(state::State::max_abs_diff(at2, b, at2.interior()), 0.0)
+      << "fallback state is not the last intact element";
+  remove_chain(path);
+}
+
+TEST(CheckpointDelta, TornDeltaFallsBackToTheLastIntactElement) {
+  // A writer killed mid-delta leaves <path>.d2.tmp, never .d2 — but a
+  // power loss can also tear a published file on non-journaled setups;
+  // both must degrade to the previous element, never garbage.
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  mesh::DomainDecomp d(mesh, {1, 1, 1}, {0, 0, 0});
+  const std::string path = temp_prefix("chaintorn") + ".ckpt";
+  remove_chain(path);
+
+  CheckpointSession session(path, {.chain_cap = 8, .block_bytes = 4096});
+  state::State s = patterned_state(c, 0.0);
+  state::State at1(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  for (int step = 1; step <= 2; ++step) {
+    s.v()(2, 3, 4) -= 0.5;
+    session.write(mesh, d, s, step, 120.0 * step);
+    if (step == 1) at1.assign(s, s.interior());
+  }
+  std::filesystem::resize_file(
+      delta_path(path, 1),
+      std::filesystem::file_size(delta_path(path, 1)) / 2);
+
+  state::State b(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  const auto got = read_checkpoint_chain(path, mesh, d, b);
+  EXPECT_EQ(got.header.step, 1) << "the torn delta was not rejected";
+  EXPECT_EQ(got.deltas_applied, 0);
+  EXPECT_TRUE(got.truncated_by_corruption);
+  EXPECT_DOUBLE_EQ(state::State::max_abs_diff(at1, b, at1.interior()), 0.0);
+  remove_chain(path);
+}
+
+TEST(CheckpointDelta, StaleDeltasFromAnOldBaseAreIgnored) {
+  // Crash between a fresh session's base write and the old chain's
+  // cleanup: deltas of the OLD base survive on disk next to the new
+  // base.  Their base_id no longer matches, so the chain read must stop
+  // at the new base instead of applying old-trajectory blocks.
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  mesh::DomainDecomp d(mesh, {1, 1, 1}, {0, 0, 0});
+  const std::string path = temp_prefix("chainstale") + ".ckpt";
+  remove_chain(path);
+
+  {
+    CheckpointSession session(path, {.chain_cap = 8, .block_bytes = 4096});
+    state::State s = patterned_state(c, 0.0);
+    session.write(mesh, d, s, 1, 120.0);
+    s.u()(0, 0, 0) += 1.0;
+    session.write(mesh, d, s, 2, 240.0);  // -> .d1
+  }
+  // Preserve the old .d1 from the new session's full-write cleanup, then
+  // put it back: this is the on-disk picture of a cleanup that never ran.
+  const std::string stale = delta_path(path, 1);
+  const std::string keep = stale + ".keep";
+  ASSERT_EQ(std::rename(stale.c_str(), keep.c_str()), 0);
+  state::State fresh = patterned_state(c, 99.0);
+  {
+    CheckpointSession session(path, {.chain_cap = 8, .block_bytes = 4096});
+    session.write(mesh, d, fresh, 7, 840.0);  // fresh full base
+  }
+  ASSERT_EQ(std::rename(keep.c_str(), stale.c_str()), 0);
+
+  state::State b(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  const auto got = read_checkpoint_chain(path, mesh, d, b);
+  EXPECT_EQ(got.header.step, 7);
+  EXPECT_EQ(got.deltas_applied, 0)
+      << "a delta of the OLD base was applied to the new one";
+  EXPECT_FALSE(got.truncated_by_corruption)
+      << "a stale chain is not corruption; it is simply over";
+  EXPECT_DOUBLE_EQ(state::State::max_abs_diff(fresh, b, fresh.interior()),
+                   0.0);
+  remove_chain(path);
+}
+
+TEST(CheckpointDelta, AllDirtyCadenceDegeneratesToAFullBase) {
+  // When every block changed, a delta would cost MORE than the full file
+  // (indices + all blocks); the session must write a full base instead,
+  // so delta mode is never worse than full mode.
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  mesh::DomainDecomp d(mesh, {1, 1, 1}, {0, 0, 0});
+  const std::string path = temp_prefix("chaindense") + ".ckpt";
+  remove_chain(path);
+
+  CheckpointSession session(path, {.chain_cap = 8, .block_bytes = 4096});
+  session.write(mesh, d, patterned_state(c, 0.0), 1, 120.0);
+  session.write(mesh, d, patterned_state(c, 1.0), 2, 240.0);
+  EXPECT_EQ(session.stats().full_writes, 2u);
+  EXPECT_EQ(session.stats().delta_writes, 0u);
+  EXPECT_FALSE(std::filesystem::exists(delta_path(path, 1)));
+
+  // And the full file stays bitwise identical to write_checkpoint's.
+  const std::string ref = temp_prefix("chaindense_ref") + ".ckpt";
+  write_checkpoint(ref, mesh, d, patterned_state(c, 1.0), 2, 240.0);
+  std::FILE* fa = std::fopen(path.c_str(), "rb");
+  std::FILE* fb = std::fopen(ref.c_str(), "rb");
+  ASSERT_NE(fa, nullptr);
+  ASSERT_NE(fb, nullptr);
+  for (int ca_ = 0, cb = 0; ca_ != EOF || cb != EOF;) {
+    ca_ = std::fgetc(fa);
+    cb = std::fgetc(fb);
+    ASSERT_EQ(ca_, cb) << "session full base diverged from "
+                          "write_checkpoint's bytes";
+  }
+  std::fclose(fa);
+  std::fclose(fb);
+  std::remove(ref.c_str());
+  remove_chain(path);
+}
+
+// --- crash-atomic reshard --------------------------------------------------
+
+/// Writes a {1,2,1} checkpoint set whose field values are functions of
+/// GLOBAL coordinates, so any resharding preserves them exactly.
+void write_split_set(const std::string& prefix,
+                     const mesh::LatLonMesh& mesh, std::int64_t step,
+                     double salt) {
+  for (int r = 0; r < 2; ++r) {
+    mesh::DomainDecomp d(mesh, {1, 2, 1}, {0, r, 0});
+    state::State s(d.lnx(), d.lny(), d.lnz(), core::halos_for_depth(1));
+    for (int k = 0; k < d.lnz(); ++k)
+      for (int j = 0; j < d.lny(); ++j)
+        for (int i = 0; i < d.lnx(); ++i) {
+          const int gj = d.gj(j);
+          s.u()(i, j, k) = i + 100.0 * gj + k + salt;
+          s.v()(i, j, k) = -2.0 * i + gj - k;
+          s.phi()(i, j, k) = 0.5 * i * gj + salt;
+        }
+    for (int j = 0; j < d.lny(); ++j)
+      for (int i = 0; i < d.lnx(); ++i)
+        s.psa()(i, j) = 7.0 * i - d.gj(j) + salt;
+    write_checkpoint(checkpoint_path(prefix, r), mesh, d, s, step,
+                     120.0 * static_cast<double>(step));
+  }
+}
+
+/// Reads the post-reshard {1,1,1} file and checks it against the global
+/// pattern written by write_split_set.
+void expect_merged_set(const std::string& prefix,
+                       const core::DycoreConfig& c,
+                       const mesh::LatLonMesh& mesh, std::int64_t step,
+                       double salt) {
+  mesh::DomainDecomp full(mesh, {1, 1, 1}, {0, 0, 0});
+  state::State got(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  const auto hdr =
+      read_checkpoint(checkpoint_path(prefix, 0), mesh, full, got);
+  EXPECT_EQ(hdr.step, step);
+  for (int k = 0; k < c.nz; ++k)
+    for (int j = 0; j < c.ny; ++j)
+      for (int i = 0; i < c.nx; ++i)
+        ASSERT_EQ(got.u()(i, j, k), i + 100.0 * j + k + salt)
+            << "merged state wrong at " << i << "," << j << "," << k;
+}
+
+void remove_set(const std::string& prefix) {
+  for (int r = 0; r < 4; ++r) {
+    remove_chain(checkpoint_path(prefix, r));
+    std::remove((checkpoint_path(prefix, r) + ".new").c_str());
+  }
+  std::remove((prefix + ".reshard").c_str());
+}
+
+TEST(CheckpointReshard, CrashBeforeCommitLeavesTheOldSetResumable) {
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  const std::string prefix = temp_prefix("reshard_precommit");
+  remove_set(prefix);
+  write_split_set(prefix, mesh, 5, 1.0);
+
+  // Crash while staging the second rank's file: before the commit marker.
+  set_checkpoint_test_hook([](const std::string& event) {
+    if (event == "staged:0")
+      throw std::runtime_error("injected crash before commit");
+  });
+  EXPECT_THROW(reshard_checkpoints(prefix, mesh, {1, 2, 1}, {1, 1, 1}),
+               std::runtime_error);
+  set_checkpoint_test_hook(nullptr);
+  EXPECT_FALSE(std::filesystem::exists(prefix + ".reshard"))
+      << "a pre-commit crash must not leave a commit marker";
+
+  // Recovery finds no marker: the OLD set is still the truth (and the
+  // stage leftovers are swept).
+  EXPECT_FALSE(recover_resharded_checkpoints(prefix));
+  EXPECT_FALSE(
+      std::filesystem::exists(checkpoint_path(prefix, 0) + ".new"));
+  for (int r = 0; r < 2; ++r) {
+    mesh::DomainDecomp d(mesh, {1, 2, 1}, {0, r, 0});
+    state::State s(d.lnx(), d.lny(), d.lnz(), core::halos_for_depth(1));
+    const auto hdr =
+        read_checkpoint(checkpoint_path(prefix, r), mesh, d, s);
+    EXPECT_EQ(hdr.step, 5) << "old rank " << r << " file was damaged";
+  }
+  // The retry completes end-to-end (reshard self-heals via recover).
+  reshard_checkpoints(prefix, mesh, {1, 2, 1}, {1, 1, 1});
+  expect_merged_set(prefix, c, mesh, 5, 1.0);
+  remove_set(prefix);
+}
+
+TEST(CheckpointReshard, CrashAfterCommitRollsForward) {
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  const std::string prefix = temp_prefix("reshard_committed");
+  remove_set(prefix);
+  write_split_set(prefix, mesh, 6, 2.0);
+
+  // Crash right after the commit marker landed, before any publish.
+  set_checkpoint_test_hook([](const std::string& event) {
+    if (event == "committed")
+      throw std::runtime_error("injected crash after commit");
+  });
+  EXPECT_THROW(reshard_checkpoints(prefix, mesh, {1, 2, 1}, {1, 1, 1}),
+               std::runtime_error);
+  set_checkpoint_test_hook(nullptr);
+  ASSERT_TRUE(std::filesystem::exists(prefix + ".reshard"));
+
+  EXPECT_TRUE(recover_resharded_checkpoints(prefix))
+      << "a committed reshard must be rolled forward";
+  EXPECT_FALSE(std::filesystem::exists(prefix + ".reshard"));
+  EXPECT_FALSE(std::filesystem::exists(checkpoint_path(prefix, 1)))
+      << "the stale old-rank file survived the publish";
+  expect_merged_set(prefix, c, mesh, 6, 2.0);
+  EXPECT_FALSE(recover_resharded_checkpoints(prefix)) << "not idempotent";
+  remove_set(prefix);
+}
+
+TEST(CheckpointReshard, CrashMidPublishRollsForwardIdempotently) {
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  const std::string prefix = temp_prefix("reshard_midpublish");
+  remove_set(prefix);
+  write_split_set(prefix, mesh, 7, 3.0);
+
+  // {1,2,1} -> {2,1,1}: two staged files, crash between their renames.
+  int published = 0;
+  set_checkpoint_test_hook([&published](const std::string& event) {
+    if (event.rfind("published:", 0) == 0 && ++published == 2)
+      throw std::runtime_error("injected crash mid-publish");
+  });
+  EXPECT_THROW(reshard_checkpoints(prefix, mesh, {1, 2, 1}, {2, 1, 1}),
+               std::runtime_error);
+  set_checkpoint_test_hook(nullptr);
+  ASSERT_TRUE(std::filesystem::exists(prefix + ".reshard"));
+
+  EXPECT_TRUE(recover_resharded_checkpoints(prefix));
+  EXPECT_FALSE(std::filesystem::exists(prefix + ".reshard"));
+  for (int r = 0; r < 2; ++r) {
+    mesh::DomainDecomp d(mesh, {2, 1, 1}, {r, 0, 0});
+    state::State s(d.lnx(), d.lny(), d.lnz(), core::halos_for_depth(1));
+    const auto hdr =
+        read_checkpoint(checkpoint_path(prefix, r), mesh, d, s);
+    EXPECT_EQ(hdr.step, 7);
+    for (int k = 0; k < d.lnz(); ++k)
+      for (int j = 0; j < d.lny(); ++j)
+        for (int i = 0; i < d.lnx(); ++i)
+          ASSERT_EQ(s.u()(i, j, k), d.gi(i) + 100.0 * d.gj(j) + k + 3.0);
+  }
+  remove_set(prefix);
+}
+
 TEST(Checkpoint, RestartedDistributedRunIsIdentical) {
   // run 4 steps == run 2, checkpoint, restore into fresh cores, run 2.
   const auto c = cfg();

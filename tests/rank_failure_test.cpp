@@ -20,9 +20,11 @@
 #include "comm/topology.hpp"
 #include "core/exchange.hpp"
 #include "mesh/decomp.hpp"
+#include "service/replica.hpp"
 #include "service/runner.hpp"
 #include "service/service.hpp"
 #include "state/state.hpp"
+#include "util/checkpoint.hpp"
 #include "util/config.hpp"
 
 namespace ca {
@@ -410,6 +412,118 @@ TEST(RankFailureService, CAJobFailsLoudlyWhenTheBudgetCannotFitIt) {
   ASSERT_EQ(r.state, svc::JobState::kFailed);
   EXPECT_NE(r.error.find("reshard"), std::string::npos) << r.error;
   EXPECT_EQ(svc::validate_report(service.report()), "");
+}
+
+// --- in-memory buddy replication -------------------------------------------
+
+TEST(RankFailureService, ReplicatedKillRecoversFromBuddyRamWithoutDisk) {
+  // The tentpole acceptance scenario: with replication on, a killed
+  // rank's job resumes bit-for-bit from the surviving buddy's RAM copy —
+  // the victim's own image survives as the copy it streamed to rank
+  // (victim+1) % n every cadence — and the restore touches NO checkpoint
+  // file.  The I/O counters prove the "zero disk reads" claim instead of
+  // trusting the provenance enum alone.
+  for (const CoreCase& c : kCoreCases) {
+    if (c.core == svc::CoreKind::kSerial) continue;  // no peers to kill
+    SCOPED_TRACE(c.tag);
+    const std::string dir = temp_dir(std::string("replica_") + c.tag);
+    const svc::JobSpec spec =
+        faulted_spec(c.tag, c.core, c.dims, comm::FaultKind::kKillRank);
+    const state::State reference = solo_run(spec, dir + "/solo");
+
+    svc::ServiceOptions opt;
+    opt.slots = 2;
+    opt.rank_budget = 4;
+    opt.checkpoint_dir = dir;
+    opt.quarantine_seconds = 60.0;
+    opt.replicate = true;
+    opt.delta_chain = 4;  // delta chains and replication compose
+    svc::EnsembleService service(opt);
+
+    util::reset_checkpoint_io();
+    const int id = service.submit(spec);
+    service.wait(id);
+
+    const svc::JobResult r = service.result(id);
+    ASSERT_EQ(r.state, svc::JobState::kCompleted) << r.error;
+    EXPECT_GE(r.metrics.rank_recoveries, 1)
+        << "the kill never fired; the scenario is vacuous";
+    EXPECT_GE(r.metrics.ram_restores, 1)
+        << "recovery fell back to disk despite a complete RAM set";
+    EXPECT_EQ(r.metrics.disk_restores, 0);
+    EXPECT_EQ(util::checkpoint_io().files_read, 0u)
+        << "a RAM restore must not read any checkpoint file";
+    EXPECT_GT(r.metrics.restore_seconds, 0.0);
+    const double diff = state::State::max_abs_diff(
+        r.final_state, reference, reference.interior());
+    EXPECT_EQ(diff, 0.0)
+        << "RAM recovery diverged from the fault-free run";
+
+    const util::Json report = service.report();
+    EXPECT_EQ(svc::validate_report(report), "");
+    const util::Json* health = report.find("health");
+    ASSERT_NE(health, nullptr);
+    EXPECT_GT(health->find("replica_deposits")->as_double(), 0.0);
+    const util::Json* job = &report.find("jobs")->items()[0];
+    EXPECT_GE(job->find("ram_restores")->as_double(), 1.0);
+  }
+}
+
+TEST(RankFailureService, CorruptReplicasFallBackToDiskBitwise) {
+  // Runner-level twin with deterministic control of the replica store:
+  // first the RAM path (provenance kRam, zero file reads), then — after
+  // poisoning every stored copy — the identical resume must detect the
+  // CRC mismatch, fall back to the on-disk chain (provenance kDisk), and
+  // still finish bit-for-bit.
+  const std::string dir = temp_dir("replica_fallback");
+  svc::JobSpec spec = faulted_spec("replica_fallback", svc::CoreKind::kCA,
+                                   {1, 2, 1}, comm::FaultKind::kKillRank);
+  const state::State reference = solo_run(spec, dir + "/solo");
+
+  svc::ReplicaStore store;
+  svc::AttemptOptions o1;
+  o1.attempt = 1;
+  o1.checkpoint_prefix = dir + "/job";
+  o1.replicas = &store;
+  o1.delta_chain = 4;
+  const svc::AttemptResult a1 = svc::run_attempt(spec, o1);
+  ASSERT_EQ(a1.dead_rank, 0) << a1.error;
+  ASSERT_GT(store.deposits(), 0u) << "no cadence ever replicated";
+  // What the pool does on a dead rank: its RAM is gone.
+  store.invalidate_depositor(o1.checkpoint_prefix, 0);
+
+  svc::JobSpec clean = spec;
+  clean.node_faults.clear();
+
+  // RAM path first.
+  util::reset_checkpoint_io();
+  svc::AttemptOptions o2 = o1;
+  o2.attempt = 2;
+  o2.start_step = 1;
+  const svc::AttemptResult a2 = svc::run_attempt(clean, o2);
+  ASSERT_TRUE(a2.completed(spec.steps)) << a2.error;
+  EXPECT_EQ(a2.restored_from, svc::RestoreSource::kRam);
+  EXPECT_EQ(util::checkpoint_io().files_read, 0u);
+  EXPECT_EQ(state::State::max_abs_diff(a2.global, reference,
+                                       reference.interior()),
+            0.0);
+
+  // Re-kill nothing, but poison the store: CRC validation must reject
+  // every copy and the SAME resume must come off disk, still bitwise.
+  store.corrupt_for_test(o1.checkpoint_prefix, 0);
+  store.corrupt_for_test(o1.checkpoint_prefix, 1);
+  util::reset_checkpoint_io();
+  svc::AttemptOptions o3 = o2;
+  o3.attempt = 3;
+  const svc::AttemptResult a3 = svc::run_attempt(clean, o3);
+  ASSERT_TRUE(a3.completed(spec.steps)) << a3.error;
+  EXPECT_EQ(a3.restored_from, svc::RestoreSource::kDisk);
+  EXPECT_GT(util::checkpoint_io().files_read, 0u)
+      << "the disk fallback never touched a file?";
+  EXPECT_EQ(state::State::max_abs_diff(a3.global, reference,
+                                       reference.interior()),
+            0.0)
+      << "disk fallback diverged from the fault-free run";
 }
 
 TEST(RankFailureService, SubmitAfterRetirementDoesNotWedgeThePool) {

@@ -5,8 +5,10 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <thread>
 
 #include "service/job.hpp"
@@ -207,7 +209,29 @@ TEST(SchedulerPolicy, AgingLiftsAStarvedJobPastFreshPriority) {
   EXPECT_TRUE(std::isfinite(drained));
 }
 
+// Clears one CA_AGCM_* var for the enclosing scope and restores it on
+// exit, so an outer environment (the CI replication leg exports
+// CA_AGCM_SERVICE_REPLICATE / _DELTA_CHAIN) cannot shadow the file
+// entries under test.
+struct EnvGuard {
+  std::string name;
+  std::optional<std::string> old;
+  explicit EnvGuard(const char* n) : name(n) {
+    if (const char* v = std::getenv(n)) old = v;
+    ::unsetenv(n);
+  }
+  ~EnvGuard() {
+    if (old.has_value())
+      ::setenv(name.c_str(), old->c_str(), 1);
+    else
+      ::unsetenv(name.c_str());
+  }
+};
+
 TEST(PoolOptionsConfig, ReadsTheServiceKeys) {
+  EnvGuard g1("CA_AGCM_SERVICE_REPLICATE");
+  EnvGuard g2("CA_AGCM_SERVICE_DELTA_CHAIN");
+  EnvGuard g3("CA_AGCM_SERVICE_DELTA_BLOCK_BYTES");
   const auto cfg = util::Config::from_text(
       "service.slots = 3\n"
       "service.rank_budget = 8\n"
@@ -215,7 +239,10 @@ TEST(PoolOptionsConfig, ReadsTheServiceKeys) {
       "service.checkpoint_dir = /tmp/ca_cfg_test\n"
       "service.max_rank_strikes = 2\n"
       "service.quarantine_seconds = 1.5\n"
-      "service.aging_rate = 0.25\n");
+      "service.aging_rate = 0.25\n"
+      "service.replicate = true\n"
+      "service.delta_chain = 6\n"
+      "service.delta_block_bytes = 8192\n");
   const PoolOptions o = PoolOptions::from_config(cfg);
   EXPECT_EQ(o.slots, 3);
   EXPECT_EQ(o.rank_budget, 8);
@@ -224,10 +251,23 @@ TEST(PoolOptionsConfig, ReadsTheServiceKeys) {
   EXPECT_EQ(o.max_rank_strikes, 2);
   EXPECT_DOUBLE_EQ(o.quarantine_seconds, 1.5);
   EXPECT_DOUBLE_EQ(o.aging_rate, 0.25);
+  EXPECT_TRUE(o.replicate);
+  EXPECT_EQ(o.delta_chain, 6);
+  EXPECT_EQ(o.delta_block_bytes, 8192u);
   // Defaults hold when nothing is set.
   const PoolOptions d = PoolOptions::from_config(util::Config{});
   EXPECT_EQ(d.max_rank_strikes, PoolOptions{}.max_rank_strikes);
   EXPECT_DOUBLE_EQ(d.aging_rate, 0.0);
+  EXPECT_FALSE(d.replicate);
+  EXPECT_EQ(d.delta_chain, 0);
+  EXPECT_EQ(d.delta_block_bytes, 4096u);
+  // The CI replication leg turns the feature on via env, which wins
+  // over stored entries (the rule util::Config::env_name documents).
+  ::setenv("CA_AGCM_SERVICE_REPLICATE", "1", 1);
+  ::setenv("CA_AGCM_SERVICE_DELTA_CHAIN", "9", 1);
+  const PoolOptions e = PoolOptions::from_config(cfg);
+  EXPECT_TRUE(e.replicate);
+  EXPECT_EQ(e.delta_chain, 9) << "env must shadow the stored entry";
 }
 
 TEST(Service, SweepsStaleTmpCheckpointsAtStartup) {
