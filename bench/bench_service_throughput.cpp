@@ -48,6 +48,7 @@
 //   long_steps      steps of the bimodal long job (default 20)
 //   out             output path                 (default BENCH_service.json)
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -60,6 +61,7 @@
 #include <vector>
 
 #include "comm/fault.hpp"
+#include "obs/trace.hpp"
 #include "service/replica.hpp"
 #include "service/runner.hpp"
 #include "service/service.hpp"
@@ -199,6 +201,12 @@ std::string validate_bench(const util::Json& doc) {
     if (!problem.empty())
       return name->as_string() + " embedded report: " + problem;
   }
+  const util::Json* trace = doc.find("trace");
+  if (trace == nullptr || !trace->is_object())
+    return "missing trace object";
+  for (const char* key : {"path", "events", "span_coverage"})
+    if (trace->find(key) == nullptr)
+      return std::string("trace missing '") + key + "'";
   return {};
 }
 
@@ -681,6 +689,125 @@ int main(int argc, char** argv) {
     mixes.push_back(std::move(mix));
   }
 
+  // --- traced failover: merged timeline + span-coverage gate -----------
+  // Re-run the rank_failure scenario with obs.trace on and every rank's
+  // ring flushing into one collector.  The merged Chrome trace must be
+  // structurally valid, and on every rank timeline the union of the
+  // spans INSIDE each "campaign" span (steps, exchanges, waits,
+  // collectives, checkpoint writes) must cover >= 95% of the campaign's
+  // wall-clock — untraced step time means the timeline lies about where
+  // a failover run actually went.
+  double span_coverage = 0.0;
+  std::size_t trace_events = 0;
+  const std::string trace_path =
+      in.get_string("trace_out", "BENCH_service_trace.json");
+  {
+    obs::TraceCollector collector;
+    service::ServiceOptions topt = opt;
+    topt.obs.trace = true;
+    topt.obs.ring_events = 1 << 14;
+    topt.obs.dump_dir = dir;
+    topt.trace_sink = &collector;
+
+    service::JobSpec victim =
+        original_job(cfg, "victim_traced", 6, {1, 2, 1}, 0);
+    victim.checkpoint_every = 1;
+    {
+      comm::FaultRule r;
+      r.kind = comm::FaultKind::kKillRank;
+      r.src = 0;  // pool rank id
+      r.step = 1;
+      victim.node_faults.push_back(r);
+    }
+    victim.comm.recv_timeout = std::chrono::seconds(10);
+    victim.comm.heartbeat_timeout = std::chrono::milliseconds(250);
+
+    {
+      service::EnsembleService svc(topt);
+      const int id = svc.submit(victim);
+      svc.drain();
+      if (svc.state(id) != service::JobState::kCompleted) {
+        std::fprintf(stderr,
+                     "FAIL: traced failover victim did not complete\n");
+        ok = false;
+      }
+    }  // service dtor stops the pool, flushing the scheduler's ring
+
+    trace_events = collector.event_count();
+    const util::Json trace_doc = collector.chrome_trace();
+    const std::string trace_problem = obs::validate_chrome_trace(trace_doc);
+    if (!trace_problem.empty()) {
+      std::fprintf(stderr, "FAIL: merged trace invalid: %s\n",
+                   trace_problem.c_str());
+      ok = false;
+    }
+    if (!collector.write(trace_path)) {
+      std::fprintf(stderr, "FAIL: could not write %s\n", trace_path.c_str());
+      ok = false;
+    }
+
+    // Interval-union coverage per (pid, tid) timeline, min over ranks.
+    const util::Json* events = trace_doc.find("traceEvents");
+    std::vector<std::pair<int, int>> lines;
+    for (const auto& e : events->items()) {
+      if (e.find("ph")->as_string() != "X") continue;
+      const std::pair<int, int> key{
+          static_cast<int>(e.find("pid")->as_double()),
+          static_cast<int>(e.find("tid")->as_double())};
+      if (std::find(lines.begin(), lines.end(), key) == lines.end())
+        lines.push_back(key);
+    }
+    double min_cov = 1.0;
+    bool any_campaign = false;
+    for (const auto& [pid, tid] : lines) {
+      std::vector<std::array<double, 2>> wins, spans;
+      for (const auto& e : events->items()) {
+        if (e.find("ph")->as_string() != "X") continue;
+        if (static_cast<int>(e.find("pid")->as_double()) != pid ||
+            static_cast<int>(e.find("tid")->as_double()) != tid)
+          continue;
+        const double ts = e.find("ts")->as_double();
+        const double dur = e.find("dur")->as_double();
+        if (e.find("name")->as_string() == "campaign")
+          wins.push_back({ts, ts + dur});
+        else
+          spans.push_back({ts, ts + dur});
+      }
+      if (wins.empty()) continue;  // e.g. the scheduler's instant-only line
+      any_campaign = true;
+      double total = 0.0, covered = 0.0;
+      for (const auto& w : wins) {
+        total += w[1] - w[0];
+        std::vector<std::array<double, 2>> clipped;
+        for (const auto& s : spans) {
+          const double b = std::max(s[0], w[0]);
+          const double e2 = std::min(s[1], w[1]);
+          if (e2 > b) clipped.push_back({b, e2});
+        }
+        std::sort(clipped.begin(), clipped.end());
+        double cursor = w[0];
+        for (const auto& c : clipped) {
+          if (c[1] <= cursor) continue;
+          covered += c[1] - std::max(c[0], cursor);
+          cursor = c[1];
+        }
+      }
+      if (total > 0.0) min_cov = std::min(min_cov, covered / total);
+    }
+    span_coverage = any_campaign ? min_cov : 0.0;
+    std::printf(
+        "\ntraced failover: %zu events -> %s, span coverage %.2f%% "
+        "(min over rank timelines)\n",
+        trace_events, trace_path.c_str(), 1e2 * span_coverage);
+    if (!any_campaign || span_coverage < 0.95) {
+      std::fprintf(stderr,
+                   "FAIL: campaign span coverage %.2f%% (>= 95%% of step "
+                   "wall-clock required)\n",
+                   1e2 * span_coverage);
+      ok = false;
+    }
+  }
+
   // --- emit ------------------------------------------------------------
   util::Json doc = util::Json::object();
   doc["schema"] = kSchema;
@@ -721,6 +848,13 @@ int main(int argc, char** argv) {
     arr.push_back(std::move(e));
   }
   doc["mixes"] = std::move(arr);
+  {
+    util::Json trace = util::Json::object();
+    trace["path"] = trace_path;
+    trace["events"] = static_cast<double>(trace_events);
+    trace["span_coverage"] = span_coverage;
+    doc["trace"] = std::move(trace);
+  }
 
   {
     std::ofstream out(out_path);

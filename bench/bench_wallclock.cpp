@@ -41,6 +41,7 @@
 
 #include "comm/fault.hpp"
 #include "comm/runtime.hpp"
+#include "obs/trace.hpp"
 #include "core/ca_core.hpp"
 #include "core/exchange.hpp"
 #include "core/original_core.hpp"
@@ -206,6 +207,12 @@ std::string validate(const util::Json& doc) {
           "bitwise_resume"})
       if (c.find(key) == nullptr)
         return std::string("checkpoint entry missing '") + key + "'";
+  const util::Json* obs = doc.find("obs");
+  if (obs == nullptr || !obs->is_object()) return "missing obs object";
+  for (const char* key :
+       {"disabled_span_seconds", "spans_per_step", "overhead_fraction"})
+    if (obs->find(key) == nullptr)
+      return std::string("obs missing '") + key + "'";
   return {};
 }
 
@@ -595,6 +602,93 @@ int main(int argc, char** argv) {
     }
     doc["checkpoint"] = std::move(ckpts);
     fs::remove_all(ckpt_dir);
+  }
+
+  // Observability overhead gate: the tracing hooks stay in the build even
+  // with obs.trace off, so their residual cost — one branch per span —
+  // must be invisible next to a dynamics step.  Measure (a) the micro
+  // cost of a disabled span and (b) how many spans one step of the 1xN
+  // original core actually opens (counted on a traced twin run), and
+  // require (a) x (b) < 1% of that case's tracing-off per-step wall.
+  {
+    obs::TraceOptions off_opts;
+    off_opts.trace = false;
+    off_opts.dump_on_failure = false;
+    obs::Tracer off_tracer;
+    off_tracer.configure(off_opts, /*tid=*/0);
+    constexpr int kSpanIters = 1 << 21;
+    util::Timer span_timer;
+    for (int i = 0; i < kSpanIters; ++i) {
+      obs::Span s = off_tracer.span("noop", "bench");
+    }
+    const double disabled_span_seconds = span_timer.seconds() / kSpanIters;
+
+    // Traced twin: same mesh, same step count, trace on with a ring big
+    // enough that nothing drops; the busiest rank's recorded-event count
+    // bounds the spans any one critical path opens per step.
+    obs::TraceCollector collector;
+    comm::RunOptions topts;
+    topts.obs.trace = true;
+    topts.obs.dump_on_failure = false;
+    topts.obs.ring_events = 1 << 16;
+    topts.trace_sink = &collector;
+    std::uint64_t max_rank_events = 0;
+    std::mutex obs_mu;
+    comm::Runtime::run(ranks, topts, [&](comm::Context& ctx) {
+      core::OriginalCore core(cfg, ctx, core::DecompScheme::kYZ,
+                              {1, ranks, 1});
+      auto xi = core.make_state();
+      state::InitialOptions ic;
+      ic.kind = state::InitialCondition::kPlanetaryWave;
+      core.initialize(xi, ic);
+      core.run(xi, steps);
+      std::lock_guard<std::mutex> lock(obs_mu);
+      max_rank_events =
+          std::max<std::uint64_t>(max_rank_events, ctx.tracer().recorded());
+    });
+    const double spans_per_step =
+        static_cast<double>(max_rank_events) / steps;
+
+    // Tracing-off reference: the matching case measured above.
+    const std::string ref_label =
+        "original_yz_" + dims_tag({1, ranks, 1});
+    double ref_step_seconds = 0.0;
+    for (std::size_t i = 0; i < cases.size(); ++i)
+      if (cases[i].label == ref_label)
+        ref_step_seconds = results[i].wall / steps;
+    const double overhead_seconds = disabled_span_seconds * spans_per_step;
+    const double overhead_fraction =
+        ref_step_seconds > 0.0 ? overhead_seconds / ref_step_seconds : 0.0;
+    std::printf(
+        "\nobs overhead: %.1f ns/disabled span x %.0f spans/step = "
+        "%.3f us/step (%.4f%% of %s's %.2f ms step)\n",
+        1e9 * disabled_span_seconds, spans_per_step, 1e6 * overhead_seconds,
+        1e2 * overhead_fraction, ref_label.c_str(), 1e3 * ref_step_seconds);
+    if (ref_step_seconds <= 0.0) {
+      std::fprintf(stderr, "FAIL: obs gate found no tracing-off twin %s\n",
+                   ref_label.c_str());
+      ok = false;
+    } else if (overhead_fraction >= 0.01) {
+      std::fprintf(stderr,
+                   "FAIL: disabled-tracing overhead %.4f%% of a step "
+                   "(< 1%% required)\n",
+                   1e2 * overhead_fraction);
+      ok = false;
+    }
+    if (collector.event_count() == 0) {
+      std::fprintf(stderr, "FAIL: traced twin flushed no events\n");
+      ok = false;
+    }
+
+    util::Json obs = util::Json::object();
+    obs["disabled_span_seconds"] = disabled_span_seconds;
+    obs["spans_per_step"] = spans_per_step;
+    obs["overhead_seconds_per_step"] = overhead_seconds;
+    obs["reference_case"] = ref_label;
+    obs["reference_step_seconds"] = ref_step_seconds;
+    obs["overhead_fraction"] = overhead_fraction;
+    obs["traced_twin_events"] = collector.event_count();
+    doc["obs"] = std::move(obs);
   }
 
   {

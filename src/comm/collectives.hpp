@@ -68,26 +68,26 @@ void apply_op(std::span<T> acc, std::span<const T> in, ReduceOp op) {
 
 /// RAII marker: traffic inside a collective is attributed separately, and
 /// the outermost collective charges its wall-clock time to the context's
-/// "collective" timer (nested collectives, e.g. the bcast inside the
-/// linear-ordered allreduce, must not double-charge).
+/// "collective" phase via an obs span — one clock pair feeds both the
+/// bench's phase totals and the trace timeline (nested collectives, e.g.
+/// the bcast inside the linear-ordered allreduce, must not double-charge).
 class CollectiveScope {
  public:
   explicit CollectiveScope(Context& ctx)
       : ctx_(ctx), outermost_(!ctx.stats().in_collective()) {
     ctx_.stats().record_collective_call();
     ctx_.stats().enter_collective();
-    if (outermost_) ctx_.timers().start("collective");
+    if (outermost_)
+      span_ = ctx_.tracer().phase_span("collective", "comm", "collective");
   }
-  ~CollectiveScope() {
-    ctx_.stats().leave_collective();
-    if (outermost_) ctx_.timers().stop();
-  }
+  ~CollectiveScope() { ctx_.stats().leave_collective(); }
   CollectiveScope(const CollectiveScope&) = delete;
   CollectiveScope& operator=(const CollectiveScope&) = delete;
 
  private:
   Context& ctx_;
   bool outermost_;
+  obs::Span span_;
 };
 
 }  // namespace detail

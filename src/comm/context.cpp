@@ -24,6 +24,18 @@ Context::Context(World* world, int world_rank)
   std::vector<int> all(static_cast<std::size_t>(world->size()));
   std::iota(all.begin(), all.end(), 0);
   world_comm_ = Communicator(/*id=*/0, std::move(all), world_rank);
+  const RunOptions& opts = world_->options();
+  tracer_.configure(opts.obs, world_rank_, &timers_, opts.trace_sink,
+                    opts.trace_pid);
+  // The mailbox's defensive half (retransmit requests, checksum failures,
+  // watchdog verdicts) reports incidents through this rank's tracer; all
+  // of those paths run on this rank's own thread.
+  world_->mailbox(world_rank_).set_tracer(&tracer_);
+}
+
+Context::~Context() {
+  world_->mailbox(world_rank_).set_tracer(nullptr);
+  tracer_.flush();
 }
 
 int Context::world_size() const { return world_->size(); }
@@ -75,8 +87,10 @@ void Context::send(const Communicator& comm, int dst, int tag,
 
 void Context::notify_step() {
   const std::uint64_t step = step_count_++;
-  if (world_->options().heartbeat_timeout.count() > 0)
+  if (world_->options().heartbeat_timeout.count() > 0) {
     world_->health().stamp(world_rank_);
+    tracer_.instant("heartbeat", "comm");
+  }
   FaultPlan* plan = world_->fault_plan();
   if (plan == nullptr || !plan->enabled()) return;
   const int polls = plan->stall_polls(world_rank_, step);

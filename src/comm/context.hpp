@@ -15,6 +15,7 @@
 #include "comm/communicator.hpp"
 #include "comm/mailbox.hpp"
 #include "comm/stats.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace ca::comm {
@@ -41,6 +42,9 @@ class Request {
 class Context {
  public:
   Context(World* world, int world_rank);
+  ~Context();
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
 
   int world_rank() const { return world_rank_; }
   int world_size() const;
@@ -110,6 +114,13 @@ class Context {
   util::PhaseTimers& timers() { return timers_; }
   const util::PhaseTimers& timers() const { return timers_; }
 
+  /// This rank's observability tracer: spans for the phase/step timeline,
+  /// instants for comm incidents, and the flight-recorder ring dumped on
+  /// rank death.  Configured from RunOptions::obs; phase_span() feeds
+  /// timers() so bench phase totals and traces share one clock.
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+
   /// Step boundary hook for the fault-injection layer (cores call this
   /// once per time step): a kStall fault scheduled for (rank, step) puts
   /// this rank to sleep for the injected number of poll intervals, a
@@ -127,6 +138,7 @@ class Context {
   Communicator world_comm_;
   CommStats stats_;
   util::PhaseTimers timers_;
+  obs::Tracer tracer_;
   /// Next sequence number per (dst world rank, comm, tag); only used (and
   /// only grows) while a FaultPlan is active.
   std::map<std::tuple<int, std::uint64_t, int>, std::uint64_t> send_seq_;

@@ -5,6 +5,7 @@
 #include "comm/error.hpp"
 #include "comm/health.hpp"
 #include "comm/runtime.hpp"
+#include "obs/trace.hpp"
 
 namespace ca::comm {
 namespace {
@@ -111,6 +112,10 @@ void Mailbox::poll_locked(std::uint64_t comm_id, int src, int tag) {
       e.withheld = false;
       if (counters_ != nullptr)
         counters_->recovered_drop.fetch_add(1, std::memory_order_relaxed);
+      if (tracer_ != nullptr)
+        tracer_->instant("retransmit", "comm",
+                         "src=" + std::to_string(e.msg.src) +
+                             " tag=" + std::to_string(e.msg.tag));
     }
   }
 }
@@ -120,6 +125,10 @@ void Mailbox::verify(const Message& msg) const {
   if (payload_checksum(msg.payload) == msg.checksum) return;
   if (counters_ != nullptr)
     counters_->detected_checksum.fetch_add(1, std::memory_order_relaxed);
+  if (tracer_ != nullptr)
+    tracer_->instant("checksum_fail", "comm",
+                     "src=" + std::to_string(msg.src) +
+                         " tag=" + std::to_string(msg.tag));
   throw ChecksumError(msg.comm_id, msg.src, msg.tag);
 }
 
@@ -151,6 +160,9 @@ Message Mailbox::receive(std::uint64_t comm_id, int src, int tag) {
         if (counters_ != nullptr)
           counters_->detected_peer_dead.fetch_add(1,
                                                   std::memory_order_relaxed);
+        if (tracer_ != nullptr)
+          tracer_->instant("peer_dead", "comm",
+                           "rank=" + std::to_string(poisoned));
         throw PeerDeadError(poisoned,
                             poisoned == self_rank_
                                 ? "this rank was declared dead by its peers"
@@ -162,12 +174,19 @@ Message Mailbox::receive(std::uint64_t comm_id, int src, int tag) {
         if (counters_ != nullptr)
           counters_->detected_peer_dead.fetch_add(1,
                                                   std::memory_order_relaxed);
+        if (tracer_ != nullptr)
+          tracer_->instant("peer_dead", "comm",
+                           "rank=" + std::to_string(src) + " heartbeat stale");
         throw PeerDeadError(src, "heartbeat older than heartbeat_timeout");
       }
     }
     if (now >= deadline) {
       if (counters_ != nullptr)
         counters_->detected_timeout.fetch_add(1, std::memory_order_relaxed);
+      if (tracer_ != nullptr)
+        tracer_->instant("recv_timeout", "comm",
+                         "src=" + std::to_string(src) +
+                             " tag=" + std::to_string(tag));
       const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
           now - start);
       throw TimeoutError(comm_id, src, tag, waited.count());

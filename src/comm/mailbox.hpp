@@ -27,6 +27,10 @@
 #include "comm/fault.hpp"
 #include "comm/message.hpp"
 
+namespace ca::obs {
+class Tracer;
+}
+
 namespace ca::comm {
 
 struct RunOptions;
@@ -40,6 +44,12 @@ class Mailbox {
   /// RunOptions and run without a watchdog.
   void configure(const RunOptions* options, FaultCounters* counters,
                  HealthBoard* health = nullptr, int self_rank = -1);
+
+  /// Observability hook: the owning rank's tracer, which receives instant
+  /// events for the defensive paths (retransmit requests, checksum
+  /// failures, watchdog verdicts).  All of those run on the owner thread,
+  /// matching the tracer's threading contract.  Null disables reporting.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   void deliver(Message msg);
 
@@ -80,6 +90,7 @@ class Mailbox {
   const RunOptions* options_ = nullptr;  // null = defaults
   FaultCounters* counters_ = nullptr;
   HealthBoard* health_ = nullptr;  // null = no watchdog
+  obs::Tracer* tracer_ = nullptr;  // null = no incident reporting
   int self_rank_ = -1;
   mutable std::mutex mutex_;
   std::condition_variable cv_;

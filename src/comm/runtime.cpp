@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "comm/context.hpp"
+#include "comm/error.hpp"
 #include "comm/fault.hpp"
 #include "util/config.hpp"
 
@@ -21,12 +22,16 @@ RunOptions RunOptions::from_config(const util::Config& cfg) {
   opts.max_resends = cfg.get_int("comm.max_resends", 1);
   opts.heartbeat_timeout =
       std::chrono::milliseconds(cfg.get_long("comm.heartbeat_timeout", 0));
+  opts.obs = obs::TraceOptions::from_config(cfg);
   return opts;
 }
 
 World::World(int nranks, const RunOptions& options)
     : options_(options), health_(nranks) {
   assert(nranks > 0);
+  // Resolve the observability env overrides once per run so every rank's
+  // tracer (and the flight-dump decision on the unwind path) agrees.
+  options_.obs = options_.obs.env_resolved();
   FaultCounters* counters =
       options_.faults != nullptr ? &options_.faults->counters() : nullptr;
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
@@ -54,14 +59,24 @@ void Runtime::run(int nranks, const RunOptions& options,
 
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&world, &fn, r, &first_error, &error_mutex] {
+      // The Context outlives the try so the unwind path can reach this
+      // rank's flight recorder; its destructor flushes the trace ring.
+      Context ctx(&world, r);
       try {
-        Context ctx(&world, r);
         fn(ctx);
         world.health().mark_finished(r);
       } catch (...) {
         // Poison the run before recording the error: peers blocked on this
         // rank must unwind via PeerDeadError, not wait out their deadline.
         world.health().mark_dead(r);
+        // Comm-family failures (peer death, checksum, timeout, injected
+        // kill) dump the rank's last events as a postmortem.
+        try {
+          throw;
+        } catch (const CommError& e) {
+          ctx.tracer().dump_flight(e.what());
+        } catch (...) {
+        }
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }

@@ -17,6 +17,7 @@
 
 #include "comm/health.hpp"
 #include "comm/mailbox.hpp"
+#include "obs/trace.hpp"
 
 namespace ca::util {
 class Config;
@@ -46,10 +47,19 @@ struct RunOptions {
   /// Must exceed the longest communication-free compute span of the run,
   /// or healthy-but-busy ranks get flagged.
   std::chrono::milliseconds heartbeat_timeout{0};
+  /// Observability knobs for every rank of the run (tracing ring, flight
+  /// dumps).  World applies CA_AGCM_OBS_* env overrides on top, so even
+  /// call sites passing RunOptions{} honour an operator's obs.trace=1.
+  obs::TraceOptions obs{};
+  /// Merged-trace sink (not owned); rank rings flush here when obs.trace
+  /// is on.  trace_pid labels this run's timeline (the service passes the
+  /// job id; standalone runs keep 0).
+  obs::TraceCollector* trace_sink = nullptr;
+  int trace_pid = 0;
 
   /// Reads comm.timeout_ms / comm.poll_us / comm.max_resends /
-  /// comm.heartbeat_timeout (the fault plan itself comes from
-  /// FaultPlan::from_config).
+  /// comm.heartbeat_timeout plus the obs.* block (the fault plan itself
+  /// comes from FaultPlan::from_config).
   static RunOptions from_config(const util::Config& cfg);
 };
 

@@ -184,6 +184,7 @@ void CACore::step(state::State& xi) {
   // Step boundary of the fault-injection layer: a scheduled kStall fault
   // pauses this rank here, before the step's exchanges.
   comm_ctx_->notify_step();
+  obs::Span step_span = comm_ctx_->tracer().span("step", "core");
   const int M = config_.M;
   const int depth_y = 3 * M + 1;
   const double dt1 = config_.dt_adapt;
@@ -247,6 +248,7 @@ void CACore::step(state::State& xi) {
                       0,
                       decomp_.lnz()};
     if (!inner.empty()) {
+      obs::Span sp = comm_ctx_->tracer().span("interior", "compute");
       eval_tendency(xi, inner, Operator::kAdaptation, /*fresh_c=*/false);
       eta_.add_scaled(xi, dt1, tend_, inner);
     }
@@ -328,6 +330,7 @@ void CACore::step(state::State& xi) {
                           decomp_.at_surface() ? decomp_.lnz()
                                                : decomp_.lnz() - 2};
     if (!adv_inner.empty()) {
+      obs::Span sp = comm_ctx_->tracer().span("interior", "compute");
       eval_tendency(xi, adv_inner, Operator::kAdvection, false);
       eta_.add_scaled(xi, dt2, tend_, adv_inner);
     }
@@ -341,6 +344,7 @@ void CACore::step(state::State& xi) {
     // fill-derived cell still based on an unfinished face lies outside
     // this sub-range's footprint and is rewritten by a later pass before
     // being read, so the result is bitwise the drain-all path's.
+    obs::Span bsp = comm_ctx_->tracer().span("boundary", "compute");
     for (const mesh::Box& b : ops::subtract_box(aw1, adv_inner)) {
       exchanger_.finish_region(ops::grow_box(b, 4, 4, 3));
       wrap_vert_x(ws_);
@@ -351,6 +355,7 @@ void CACore::step(state::State& xi) {
     exchanger_.finish();
     wrap_vert_x(ws_);
     fill_boundaries(xi);
+    bsp.finish();
   } else {
     exchanger_.finish();
     wrap_vert_x(ws_);

@@ -95,10 +95,21 @@ int run_campaign(Core& core, comm::Context* comm_ctx, state::State& xi,
                         ? options.start_time_seconds
                         : options.start_step * core.config().dt_advect;
   int executed = 0;
+  // One span per campaign (= per attempt) frames this rank's timeline in
+  // the merged trace: everything the step loop does — steps, forcing,
+  // diagnostics, yield barriers, checkpoint writes — nests inside it.
+  obs::Span campaign_span;
+  if (comm_ctx != nullptr)
+    campaign_span = comm_ctx->tracer().span("campaign", "core");
   for (int step = options.start_step + 1; step <= options.steps; ++step) {
     if (options.on_step) options.on_step(step - options.start_step - 1);
     core.step(xi);
-    if (options.forcing != nullptr) options.forcing->apply(xi, fdt);
+    if (options.forcing != nullptr) {
+      obs::Span fsp;
+      if (comm_ctx != nullptr)
+        fsp = comm_ctx->tracer().span("forcing", "compute");
+      options.forcing->apply(xi, fdt);
+    }
     ++executed;
 
     if (options.diag_every > 0 && step % options.diag_every == 0 &&
@@ -151,12 +162,17 @@ int run_campaign(Core& core, comm::Context* comm_ctx, state::State& xi,
         core.save_carry(w);
         carry = w.take();
       }
-      if (options.write_checkpoint)
-        options.write_checkpoint(mesh, xi, step, t, carry);
-      else
-        util::write_checkpoint(
-            util::checkpoint_path(options.checkpoint_prefix, rank), mesh,
-            core.decomp(), xi, step, t, carry);
+      {
+        obs::Span ck;
+        if (comm_ctx != nullptr)
+          ck = comm_ctx->tracer().span("checkpoint_write", "checkpoint");
+        if (options.write_checkpoint)
+          options.write_checkpoint(mesh, xi, step, t, carry);
+        else
+          util::write_checkpoint(
+              util::checkpoint_path(options.checkpoint_prefix, rank), mesh,
+              core.decomp(), xi, step, t, carry);
+      }
       if (yield_now) break;
     }
   }

@@ -268,7 +268,8 @@ void HaloExchanger::begin(const std::vector<ExchangeItem>& items,
   // triples and FIFO matching would pair old messages with new requests.
   if (!recvs_.empty()) finish();
   ctx_->stats().set_phase(phase);
-  ctx_->timers().start("exchange");
+  obs::Span span =
+      ctx_->tracer().phase_span("exchange_post", "exchange", "exchange");
   items_ = items;
   recvs_.clear();
   segs_.clear();
@@ -291,7 +292,6 @@ void HaloExchanger::begin(const std::vector<ExchangeItem>& items,
       }
     }
   }
-  ctx_->timers().stop();
 }
 
 void HaloExchanger::unpack(const PendingRecv& pr) {
@@ -318,21 +318,26 @@ void HaloExchanger::complete(PendingRecv& pr) {
   // TimeoutError annotated with the exchange item instead of an infinite
   // spin on the request.  Blocked time is charged to "exchange_wait" —
   // the quantity the overlap hides — while unpacking stays in "exchange".
-  ctx_->timers().start("exchange_wait");
-  try {
-    ctx_->wait(pr.request);
-  } catch (const comm::TimeoutError& e) {
-    ctx_->timers().stop();
-    const UnpackSeg& first = segs_[pr.seg_begin];
-    throw comm::CommError(
-        std::string("halo exchange item ") + std::to_string(first.item) +
-        (coalesce_ ? " (coalesced message)" : "") + " from rank " +
-        std::to_string(pr.nbr) + " timed out: " + e.what());
+  // Both windows are obs spans, so the trace timeline shows the same
+  // seconds the bench's phase totals report.
+  {
+    obs::Span wait_span = ctx_->tracer().phase_span("exchange_wait",
+                                                    "exchange",
+                                                    "exchange_wait");
+    try {
+      ctx_->wait(pr.request);
+    } catch (const comm::TimeoutError& e) {
+      const UnpackSeg& first = segs_[pr.seg_begin];
+      throw comm::CommError(
+          std::string("halo exchange item ") + std::to_string(first.item) +
+          (coalesce_ ? " (coalesced message)" : "") + " from rank " +
+          std::to_string(pr.nbr) + " timed out: " + e.what());
+    }
   }
-  ctx_->timers().start("exchange");
+  obs::Span unpack_span =
+      ctx_->tracer().phase_span("exchange_unpack", "exchange", "exchange");
   unpack(pr);
   pr.done = true;
-  ctx_->timers().stop();
 }
 
 bool HaloExchanger::seg_intersects(const UnpackSeg& seg,
@@ -367,10 +372,10 @@ bool HaloExchanger::test() {
   for (auto& pr : recvs_) {
     if (pr.done) continue;
     if (ctx_->test(pr.request)) {
-      ctx_->timers().start("exchange");
+      obs::Span span =
+          ctx_->tracer().phase_span("exchange_unpack", "exchange", "exchange");
       unpack(pr);
       pr.done = true;
-      ctx_->timers().stop();
     } else {
       all = false;
     }

@@ -107,13 +107,18 @@ void OriginalCore::adaptation_tendency(state::State& psi,
     // collectives of C stay a single full-window call after the drain.
     exchanger_.post(halo_items(psi), "stencil");
     const mesh::Box inner = ops::shrink_window(window, 4, 4, 0);
-    ops::compute_local_diag(opctx_, psi, inner, ws_);
+    {
+      obs::Span sp = comm_ctx_->tracer().span("interior", "compute");
+      ops::compute_local_diag(opctx_, psi, inner, ws_);
+    }
+    obs::Span bsp = comm_ctx_->tracer().span("boundary", "compute");
     for (const mesh::Box& b : ops::subtract_box(window, inner)) {
       exchanger_.finish_region(ops::grow_box(b, 4, 4, 3));
       fill_physical(psi);
       ops::compute_local_diag(opctx_, psi, b, ws_);
     }
     exchanger_.finish();
+    bsp.finish();
     fill_physical(psi);
     compute_vert_diagnostics(opctx_, comm_ctx_, line_z, psi, window, ws_,
                              config_.z_allreduce, "collective");
@@ -140,8 +145,12 @@ void OriginalCore::advection_tendency(state::State& psi,
     // exchange is in flight, each boundary box once its faces landed.
     exchanger_.post(halo_items(psi), "stencil");
     const mesh::Box inner = ops::shrink_window(window, 4, 4, 2);
-    ops::compute_local_diag(opctx_, psi, inner, ws_);
-    ops::apply_advection(opctx_, psi, ws_.local, ws_.vert, tend, inner);
+    {
+      obs::Span sp = comm_ctx_->tracer().span("interior", "compute");
+      ops::compute_local_diag(opctx_, psi, inner, ws_);
+      ops::apply_advection(opctx_, psi, ws_.local, ws_.vert, tend, inner);
+    }
+    obs::Span bsp = comm_ctx_->tracer().span("boundary", "compute");
     for (const mesh::Box& b : ops::subtract_box(window, inner)) {
       exchanger_.finish_region(ops::grow_box(b, 4, 4, 3));
       fill_physical(psi);
@@ -149,6 +158,7 @@ void OriginalCore::advection_tendency(state::State& psi,
       ops::apply_advection(opctx_, psi, ws_.local, ws_.vert, tend, b);
     }
     exchanger_.finish();
+    bsp.finish();
     fill_physical(psi);
   } else {
     refresh_halos(psi, "stencil");
@@ -163,6 +173,7 @@ void OriginalCore::advection_tendency(state::State& psi,
 void OriginalCore::step(state::State& xi) {
   // Step boundary of the fault-injection layer (kStall faults).
   comm_ctx_->notify_step();
+  obs::Span step_span = comm_ctx_->tracer().span("step", "core");
   const mesh::Box interior = xi.interior();
   const double dt1 = config_.dt_adapt;
   const double dt2 = config_.dt_advect;
@@ -193,13 +204,18 @@ void OriginalCore::step(state::State& xi) {
   if (config_.overlap_exchange) {
     exchanger_.post(halo_items(xi), "stencil");
     const mesh::Box inner = ops::shrink_window(interior, 2, 2, 0);
-    ops::apply_smoothing(opctx_, xi, eta_, inner);
+    {
+      obs::Span sp = comm_ctx_->tracer().span("interior", "compute");
+      ops::apply_smoothing(opctx_, xi, eta_, inner);
+    }
+    obs::Span bsp = comm_ctx_->tracer().span("boundary", "compute");
     for (const mesh::Box& b : ops::subtract_box(interior, inner)) {
       exchanger_.finish_region(ops::grow_box(b, 4, 4, 3));
       fill_physical(xi);
       ops::apply_smoothing(opctx_, xi, eta_, b);
     }
     exchanger_.finish();
+    bsp.finish();
     fill_physical(xi);
   } else {
     refresh_halos(xi, "stencil");

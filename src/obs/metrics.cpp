@@ -1,0 +1,145 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ca::obs {
+namespace {
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t b;
+  __builtin_memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+double bits_double(std::uint64_t b) {
+  double v;
+  __builtin_memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+util::Json labels_json(const Labels& labels) {
+  util::Json j = util::Json::object();
+  for (const auto& [k, v] : labels) j[k] = v;
+  return j;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty())
+    throw std::invalid_argument("histogram: needs at least one bucket bound");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end())
+    throw std::invalid_argument(
+        "histogram: bucket bounds must be strictly ascending");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size());
+  for (std::size_t i = 0; i < bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  if (it == bounds_.end())
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+  else
+    buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+        1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(cur, double_bits(bits_double(cur) + v),
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const {
+  return bits_double(sum_bits_.load(std::memory_order_relaxed));
+}
+
+void MetricsRegistry::normalize(Labels& labels) {
+  std::sort(labels.begin(), labels.end());
+}
+
+template <typename T>
+T* MetricsRegistry::find(std::vector<Entry<T>>& entries,
+                         const std::string& name, const Labels& labels) {
+  for (auto& e : entries)
+    if (e.name == name && e.labels == labels) return e.instrument.get();
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Labels labels) {
+  normalize(labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Counter* c = find(counters_, name, labels)) return *c;
+  counters_.push_back({name, std::move(labels), std::make_unique<Counter>()});
+  return *counters_.back().instrument;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels) {
+  normalize(labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Gauge* g = find(gauges_, name, labels)) return *g;
+  gauges_.push_back({name, std::move(labels), std::make_unique<Gauge>()});
+  return *gauges_.back().instrument;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      Labels labels) {
+  normalize(labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Histogram* h = find(histograms_, name, labels)) return *h;
+  histograms_.push_back(
+      {name, std::move(labels), std::make_unique<Histogram>(std::move(bounds))});
+  return *histograms_.back().instrument;
+}
+
+util::Json MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::Json doc = util::Json::object();
+  util::Json counters = util::Json::array();
+  for (const auto& e : counters_) {
+    util::Json j = util::Json::object();
+    j["name"] = e.name;
+    j["labels"] = labels_json(e.labels);
+    j["value"] = static_cast<double>(e.instrument->value());
+    counters.push_back(std::move(j));
+  }
+  doc["counters"] = std::move(counters);
+  util::Json gauges = util::Json::array();
+  for (const auto& e : gauges_) {
+    util::Json j = util::Json::object();
+    j["name"] = e.name;
+    j["labels"] = labels_json(e.labels);
+    j["value"] = e.instrument->value();
+    gauges.push_back(std::move(j));
+  }
+  doc["gauges"] = std::move(gauges);
+  util::Json histograms = util::Json::array();
+  for (const auto& e : histograms_) {
+    util::Json j = util::Json::object();
+    j["name"] = e.name;
+    j["labels"] = labels_json(e.labels);
+    util::Json buckets = util::Json::array();
+    const auto& bounds = e.instrument->upper_bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      util::Json b = util::Json::object();
+      b["le"] = bounds[i];
+      b["count"] = static_cast<double>(e.instrument->bucket_count(i));
+      buckets.push_back(std::move(b));
+    }
+    util::Json inf = util::Json::object();
+    inf["le"] = "+Inf";
+    inf["count"] = static_cast<double>(e.instrument->overflow());
+    buckets.push_back(std::move(inf));
+    j["buckets"] = std::move(buckets);
+    j["count"] = static_cast<double>(e.instrument->count());
+    j["sum"] = e.instrument->sum();
+    histograms.push_back(std::move(j));
+  }
+  doc["histograms"] = std::move(histograms);
+  return doc;
+}
+
+}  // namespace ca::obs

@@ -1,0 +1,130 @@
+// Process-level metrics registry: named counters, gauges, and fixed-bucket
+// histograms with optional labels (rank, job, core, phase).  Registration
+// takes a lock; the returned handles are stable for the registry's lifetime
+// and update with a single relaxed atomic op, so they can live on the hot
+// path.  snapshot() renders the whole registry into util::Json for embedding
+// in service reports and bench artifacts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ca::obs {
+
+/// Sorted (key, value) label set; order-insensitive at registration.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing count (messages sent, retries, dumps...).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written level (queue depth, ranks retired, bytes resident...).
+class Gauge {
+ public:
+  void set(double v) {
+    bits_.store(encode(v), std::memory_order_relaxed);
+  }
+  void add(double delta) {
+    // Registry updates are single-writer in practice; a CAS loop keeps the
+    // gauge correct even when they are not.
+    std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(cur, encode(decode(cur) + delta),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return decode(bits_.load(std::memory_order_relaxed)); }
+
+ private:
+  static std::uint64_t encode(double v) {
+    std::uint64_t b;
+    static_assert(sizeof(b) == sizeof(v));
+    __builtin_memcpy(&b, &v, sizeof(b));
+    return b;
+  }
+  static double decode(std::uint64_t b) {
+    double v;
+    __builtin_memcpy(&v, &b, sizeof(v));
+    return v;
+  }
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram: bucket upper bounds are set at registration and
+/// never change, so observe() is a linear scan over a handful of atomics.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const;
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Cumulative count of observations <= bounds()[i]; the final entry of
+  /// snapshot() adds the +Inf overflow bucket.
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t overflow() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> overflow_{0};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  // double, CAS-accumulated
+};
+
+/// Named instrument registry.  Lookups with the same (name, labels) return
+/// the same instrument; references stay valid until the registry dies.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, Labels labels = {});
+  Gauge& gauge(const std::string& name, Labels labels = {});
+  /// Bounds must be strictly ascending; re-registration with different
+  /// bounds keeps the original ones (first registration wins).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       Labels labels = {});
+
+  /// {"counters": [...], "gauges": [...], "histograms": [...]}, each entry
+  /// {"name", "labels", ...values}.  Insertion-ordered and deterministic.
+  util::Json snapshot() const;
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<T> instrument;
+  };
+
+  static void normalize(Labels& labels);
+  template <typename T>
+  static T* find(std::vector<Entry<T>>& entries, const std::string& name,
+                 const Labels& labels);
+
+  mutable std::mutex mutex_;
+  std::vector<Entry<Counter>> counters_;
+  std::vector<Entry<Gauge>> gauges_;
+  std::vector<Entry<Histogram>> histograms_;
+};
+
+}  // namespace ca::obs

@@ -1,0 +1,217 @@
+// Tracing spans and the crash flight recorder.
+//
+// Each logical rank (and the service's scheduler thread) owns a Tracer: an
+// RAII span API writing into a bounded per-rank ring buffer.  Three consumers
+// share the same clock reads:
+//
+//   * util::PhaseTimers — spans opened with phase_span() add their duration
+//     to the rank's phase totals, so BENCH_wallclock.json numbers and trace
+//     timelines come from the same measurements;
+//   * the trace export — when obs.trace is on, rings spill into the run's
+//     TraceCollector, which merges all ranks into one Chrome trace_event
+//     JSON (load chrome://tracing or https://ui.perfetto.dev);
+//   * the flight recorder — the last N events stay in the ring and are
+//     dumped to obs_dump_rank<r>.json when a rank dies (PeerDeadError,
+//     ChecksumError, kill), a job exhausts its retries, or a checkpoint
+//     chain read falls back, turning incidents into readable postmortems.
+//
+// With obs fully off (obs.trace=0 obs.dump_on_failure=0, or the
+// CA_AGCM_OBS_OFF compile definition) span() reduces to a single branch and
+// no clock is read; phase_span() keeps the seed's PhaseTimers accounting.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+namespace ca::util {
+class Config;
+}
+
+namespace ca::obs {
+
+/// Runtime observability knobs, all env-overridable (CA_AGCM_OBS_*).
+struct TraceOptions {
+  /// Export spans to the run's TraceCollector (Chrome trace JSON).
+  bool trace = false;
+  /// Keep the flight-recorder ring armed and dump it on failures.
+  bool dump_on_failure = true;
+  /// Ring capacity (events per rank) for the flight recorder.
+  int ring_events = 256;
+  /// Directory receiving obs_dump_rank<r>.json flight dumps.
+  std::string dump_dir = ".";
+
+  /// Reads obs.trace / obs.dump_on_failure / obs.ring_events / obs.dump_dir.
+  static TraceOptions from_config(const util::Config& cfg);
+  /// This options value with CA_AGCM_OBS_* environment overrides applied on
+  /// top (same pattern as the service.replicate env default): programmatic
+  /// settings survive unless the operator exported an override.
+  TraceOptions env_resolved() const;
+};
+
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  double ts_us = 0.0;   // relative to the process-wide steady epoch
+  double dur_us = 0.0;
+  bool instant = false;
+  std::string detail;   // optional free-form annotation ("args.detail")
+};
+
+class TraceCollector;
+class Tracer;
+
+/// Movable RAII handle; closes (and records) the span on destruction.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { finish(); }
+
+  /// Closes the span early (idempotent).
+  void finish();
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, const char* name, const char* category,
+       const char* phase, double t0_us)
+      : tracer_(tracer), name_(name), category_(category), phase_(phase),
+        t0_us_(t0_us) {}
+
+  Tracer* tracer_ = nullptr;
+  const char* name_ = "";
+  const char* category_ = "";
+  const char* phase_ = nullptr;  // PhaseTimers key, null = trace-only
+  double t0_us_ = 0.0;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+
+  /// Arms the tracer.  tid identifies this ring in merged traces and dump
+  /// file names (world rank; -1 = the service scheduler).  phase_sink, when
+  /// set, receives phase_span() durations (the rank's PhaseTimers).
+  /// collector, when set and opts.trace is on, receives the full span
+  /// stream under (pid, tid).
+  void configure(const TraceOptions& opts, int tid,
+                 util::PhaseTimers* phase_sink = nullptr,
+                 TraceCollector* collector = nullptr, int pid = 0);
+
+  /// True when events are being recorded (trace export or flight ring).
+  bool recording() const { return recording_; }
+  const TraceOptions& options() const { return opts_; }
+  int tid() const { return tid_; }
+
+  /// Trace-only span: a single predicted-false branch when obs is off.
+  Span span(const char* name, const char* category = "core") {
+#ifdef CA_AGCM_OBS_OFF
+    (void)name;
+    (void)category;
+    return Span{};
+#else
+    if (!recording_) return Span{};
+    return Span(this, name, category, nullptr, now_us());
+#endif
+  }
+
+  /// Span that also accumulates into PhaseTimers under `phase` — the
+  /// bench's phase totals and the trace timeline share one clock pair.
+  Span phase_span(const char* name, const char* category, const char* phase) {
+#ifdef CA_AGCM_OBS_OFF
+    if (phase_sink_ == nullptr) return Span{};
+    return Span(this, name, category, phase, now_us());
+#else
+    if (!recording_ && phase_sink_ == nullptr) return Span{};
+    return Span(this, name, category, phase, now_us());
+#endif
+  }
+
+  /// Point event (heartbeat beat, retransmit request, scheduler decision).
+  void instant(const char* name, const char* category = "comm",
+               std::string detail = {});
+
+  /// Events recorded / overwritten-before-export since configure().
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Ring contents, oldest first.
+  std::vector<TraceEvent> ring_snapshot() const;
+
+  /// Pushes any ring remainder to the collector (when exporting).  Called
+  /// once when the owning rank finishes; safe to call repeatedly.
+  void flush();
+
+  /// Flight-recorder document for this ring (schema ca-agcm/obs-flight/v1).
+  util::Json flight_json(const std::string& reason) const;
+
+  /// Writes flight_json to <dump_dir>/obs_dump_rank<tid>.json (tid < 0 =>
+  /// obs_dump_service.json).  No-op returning "" when dump_on_failure is
+  /// off; returns the path written otherwise.
+  std::string dump_flight(const std::string& reason);
+
+  /// Microseconds since the process-wide steady epoch shared by every
+  /// tracer, so per-rank timelines merge without skew.
+  static double now_us();
+
+ private:
+  friend class Span;
+  void record(const char* name, const char* category, double ts_us,
+              double dur_us, bool instant, std::string detail);
+
+  TraceOptions opts_;
+  bool recording_ = false;
+  bool exporting_ = false;
+  int tid_ = 0;
+  int pid_ = 0;
+  util::PhaseTimers* phase_sink_ = nullptr;
+  TraceCollector* collector_ = nullptr;
+  std::vector<TraceEvent> ring_;
+  std::size_t ring_capacity_ = 0;
+  std::size_t head_ = 0;  // oldest entry once the ring has wrapped
+  bool wrapped_ = false;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Thread-safe sink merging every rank's spans of a run (pid = job id,
+/// tid = rank) into one Chrome trace_event document.
+class TraceCollector {
+ public:
+  void add(int pid, int tid, std::vector<TraceEvent> events);
+  void set_process_name(int pid, std::string name);
+  void set_thread_name(int pid, int tid, std::string name);
+
+  std::size_t event_count() const;
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"} — "X" complete events
+  /// and "i" instants, plus "M" metadata naming processes/threads.
+  util::Json chrome_trace() const;
+  /// Serializes chrome_trace() to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Item {
+    int pid;
+    int tid;
+    TraceEvent ev;
+  };
+  mutable std::mutex mutex_;
+  std::vector<Item> items_;
+  std::vector<std::pair<int, std::string>> process_names_;
+  std::vector<std::pair<std::pair<int, int>, std::string>> thread_names_;
+};
+
+/// Structural validation of a Chrome trace document ("" = valid, else a
+/// description of the first violation).  Used by tests and the bench gates.
+std::string validate_chrome_trace(const util::Json& doc);
+
+}  // namespace ca::obs

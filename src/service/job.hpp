@@ -114,6 +114,11 @@ struct JobMetrics {
   std::uint64_t collective_calls = 0;
   int attempts = 0;
   int preemptions = 0;
+  /// Scheduler dispatches of OTHER jobs that happened while this job sat
+  /// queued (summed over all of its queue residencies).  A wall-clock-free
+  /// fairness measure: aging bounds how many times a low-priority job can
+  /// be overtaken, regardless of how slow the machine is.
+  std::uint64_t dispatches_overtaken = 0;
   /// Attempts abandoned to a dead/hung rank and re-queued onto healthy
   /// ranks (checkpoint recovery; not counted against max_attempts).
   int rank_recoveries = 0;
@@ -177,6 +182,9 @@ struct Job {
   int bypassed = 0;
   std::chrono::steady_clock::time_point submitted_at{};
   std::chrono::steady_clock::time_point last_queued_at{};
+  /// Pool dispatch counter value at this job's latest queue entry; the
+  /// pop site accrues metrics.dispatches_overtaken from the difference.
+  std::uint64_t dispatch_mark = 0;
   std::chrono::steady_clock::time_point ready_at{};  ///< backoff gate
   int steps_done = 0;       ///< last checkpointed absolute step
   /// Decomposition the NEXT attempt runs with.  Starts as spec.dims and

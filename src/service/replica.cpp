@@ -125,7 +125,8 @@ void replicate_checkpoint(comm::Context* ctx, ReplicaStore& store,
   const int buddy = (me + 1) % n;        // receives my image
   const int ward = (me + n - 1) % n;     // I hold its image
   ctx->stats().set_phase("replicate");
-  ctx->timers().start("replicate");
+  obs::Span span =
+      ctx->tracer().phase_span("replicate", "checkpoint", "replicate");
   const ReplicaWireHeader out{step, time_seconds, image.size()};
   ctx->send(w, buddy, kTagReplicaHeader,
             std::as_bytes(std::span<const ReplicaWireHeader>(&out, 1)));
@@ -137,7 +138,7 @@ void replicate_checkpoint(comm::Context* ctx, ReplicaStore& store,
             std::as_writable_bytes(std::span<ReplicaWireHeader>(&in, 1)));
   std::vector<std::byte> body(in.bytes);
   ctx->recv(w, ward, kTagReplicaBody, body);
-  ctx->timers().stop();
+  span.finish();
   ctx->stats().set_phase("service");
   store.deposit(prefix, ward, me, in.step, in.time_seconds,
                 std::move(body));

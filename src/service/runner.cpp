@@ -17,6 +17,7 @@
 #include "core/exchange.hpp"
 #include "core/original_core.hpp"
 #include "core/serial_core.hpp"
+#include "obs/trace.hpp"
 #include "physics/held_suarez.hpp"
 #include "service/replica.hpp"
 #include "util/checkpoint.hpp"
@@ -107,10 +108,17 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
   util::Timer timer;
   try {
     if (spec.core == CoreKind::kSerial) {
+      // Serial attempts have no Context, so the runner owns a tracer
+      // directly: same knobs, tid 0, wired to the caller's collector.
+      obs::Tracer tracer;
+      tracer.configure(o.obs.env_resolved(), 0, nullptr, o.trace_sink,
+                       o.trace_pid);
+      obs::Span attempt_span = tracer.span("attempt", "service");
       core::SerialCore core(spec.config);
       auto xi = core.make_state();
       ResumePoint resume;
       if (start_step > 0) {
+        obs::Span restore_span = tracer.span("restore", "checkpoint");
         util::Timer restore_timer;
         const mesh::LatLonMesh mesh(spec.config.nx, spec.config.ny,
                                     spec.config.nz);
@@ -124,9 +132,11 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
               resume = check_resume_step(hdr.step, start_step, spec,
                                          hdr.time_seconds);
               from_ram = true;
-            } catch (const std::exception&) {
+            } catch (const std::exception& e) {
               // Corrupt/mismatched/out-of-range replica: the disk chain
               // below overwrites whatever the failed parse left in xi.
+              tracer.instant("ram_restore_fallback", "checkpoint",
+                             e.what());
             }
           }
         }
@@ -134,6 +144,13 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
           const auto chain = util::read_checkpoint_chain(
               util::checkpoint_path(checkpoint_prefix, 0), mesh,
               core.decomp(), xi);
+          if (chain.truncated_by_corruption) {
+            tracer.instant("checkpoint_chain_fallback", "checkpoint",
+                           "chain for job '" + spec.name +
+                               "' truncated by corruption at step " +
+                               std::to_string(chain.header.step));
+            tracer.dump_flight("checkpoint chain truncated by corruption");
+          }
           resume = check_resume_step(chain.header.step, start_step, spec,
                                      chain.header.time_seconds);
         }
@@ -181,15 +198,28 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
                 std::chrono::milliseconds(sf.hang_ms));
         };
       }
-      const int executed = core::run_campaign(core, nullptr, xi, opt);
+      int executed = 0;
+      try {
+        executed = core::run_campaign(core, nullptr, xi, opt);
+      } catch (const comm::CommError& e) {
+        // Serial campaigns die through the step hook (injected kills);
+        // mirror the rank-thread flight dump the distributed path gets.
+        tracer.dump_flight(e.what());
+        throw;
+      }
       res.end_step = resume.step + executed;
       if (res.end_step == spec.steps)
         res.global = std::move(xi);
       else
         res.yielded = true;
+      attempt_span.finish();
+      tracer.flush();
     } else {
       comm::RunOptions opts = spec.comm;
       opts.faults = inject ? &plan : nullptr;
+      opts.obs = o.obs;
+      opts.trace_sink = o.trace_sink;
+      opts.trace_pid = o.trace_pid;
       std::mutex mu;
       auto drive = [&](auto& core, comm::Context& ctx) {
         auto xi = core.make_state();
@@ -197,6 +227,7 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
         RestoreSource source = RestoreSource::kNone;
         double restore_s = 0.0;
         if (start_step > 0) {
+          obs::Span restore_span = ctx.tracer().span("restore", "checkpoint");
           util::Timer restore_timer;
           const mesh::LatLonMesh mesh(spec.config.nx, spec.config.ny,
                                       spec.config.nz);
@@ -223,8 +254,10 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
                   ram_step = hdr.step;
                   ram_time = hdr.time_seconds;
                 }
-              } catch (const std::exception&) {
+              } catch (const std::exception& e) {
                 ram_step = -1;
+                ctx.tracer().instant("ram_restore_fallback", "checkpoint",
+                                     e.what());
               }
             }
             if (ctx.world().size() > 1) {
@@ -253,6 +286,18 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
                                                      &carry);
             hdr_step = chain.header.step;
             hdr_time = chain.header.time_seconds;
+            if (chain.truncated_by_corruption) {
+              // The chain fell back to its last intact element.  That is
+              // a survivable, silent data-loss event — exactly what the
+              // flight recorder exists to surface.
+              ctx.tracer().instant(
+                  "checkpoint_chain_fallback", "checkpoint",
+                  "chain for job '" + spec.name +
+                      "' truncated by corruption at step " +
+                      std::to_string(hdr_step));
+              ctx.tracer().dump_flight(
+                  "checkpoint chain truncated by corruption");
+            }
             if (ctx.world().size() > 1) {
               const double local[2] = {static_cast<double>(hdr_step),
                                        -static_cast<double>(hdr_step)};
@@ -283,6 +328,15 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
                         {.max_step = min_tip});
                     hdr_step = rewound.header.step;
                     hdr_time = rewound.header.time_seconds;
+                    if (rewound.truncated_by_corruption) {
+                      ctx.tracer().instant(
+                          "checkpoint_chain_fallback", "checkpoint",
+                          "rewound chain for job '" + spec.name +
+                              "' truncated by corruption at step " +
+                              std::to_string(hdr_step));
+                      ctx.tracer().dump_flight(
+                          "checkpoint chain truncated by corruption");
+                    }
                   } catch (const std::exception&) {
                     fail = 1.0;
                   }

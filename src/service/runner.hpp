@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "comm/stats.hpp"
+#include "obs/trace.hpp"
 #include "service/job.hpp"
 
 namespace ca::service {
@@ -91,6 +92,17 @@ struct AttemptOptions {
   int delta_chain = 0;
   /// Dirty-diff granularity for delta checkpoints [bytes].
   std::size_t delta_block_bytes = 4096;
+  /// Observability of the attempt's rank group: span recording / flight
+  /// recorder knobs forwarded into comm::RunOptions (distributed jobs)
+  /// or a local Tracer (serial jobs).  Env overrides (CA_AGCM_OBS_*)
+  /// still apply on top inside the rank group.
+  obs::TraceOptions obs{};
+  /// Non-null receives every rank's span stream for a merged Chrome
+  /// trace; must outlive the attempt (the pool owns it).
+  obs::TraceCollector* trace_sink = nullptr;
+  /// Trace process id for this job's rank group (the pool passes the job
+  /// id so per-job timelines separate in the merged trace).
+  int trace_pid = 0;
 };
 
 /// Runs the job to spec.steps with the given attempt options.

@@ -135,6 +135,11 @@ util::Json EnsembleService::report() {
       static_cast<double>(pool_.replicas().stored_bytes());
   doc["health"] = std::move(health);
 
+  // The metrics snapshot (new in v4): the pool's obs registry, rendered
+  // whole so report consumers get every service counter/histogram without
+  // a key-by-key schema bump each time one is added.
+  doc["metrics"] = pool_.metrics().snapshot();
+
   util::Json arr = util::Json::array();
   for (const auto& j : jobs) {
     const JobResult r = pool_.snapshot(*j, /*take_state=*/false);
@@ -157,6 +162,11 @@ util::Json EnsembleService::report() {
     e["steps_done"] = r.steps_done;
     e["attempts"] = r.metrics.attempts;
     e["preemptions"] = r.metrics.preemptions;
+    // Dispatch-order fairness (new in v4): scheduler decisions that
+    // overtook this job while it waited — wall-clock-free, so bounds on
+    // it hold on any machine speed.
+    e["dispatches_overtaken"] =
+        static_cast<double>(r.metrics.dispatches_overtaken);
     e["rank_recoveries"] = r.metrics.rank_recoveries;
     // Restore provenance (new in v3): how resumed attempts got their
     // state back, and how long the restores took.
@@ -187,13 +197,16 @@ std::string validate_report(const util::Json& doc) {
   const util::Json* schema = doc.find("schema");
   if (schema == nullptr || !schema->is_string() ||
       (schema->as_string() != kReportSchema &&
+       schema->as_string() != kReportSchemaV3 &&
        schema->as_string() != kReportSchemaV2 &&
        schema->as_string() != kReportSchemaV1))
     return "missing/wrong schema tag";
   // v1 reports predate the health section and the per-job recovery
-  // fields, and v2 predates the restore-provenance fields; each revision
-  // only ADDS keys, so requirements are gated per revision.
-  const bool v3 = schema->as_string() == kReportSchema;
+  // fields, v2 predates the restore-provenance fields, and v3 predates
+  // the embedded metrics snapshot; each revision only ADDS keys, so
+  // requirements are gated per revision.
+  const bool v4 = schema->as_string() == kReportSchema;
+  const bool v3 = v4 || schema->as_string() == kReportSchemaV3;
   const bool v2 = v3 || schema->as_string() == kReportSchemaV2;
   const util::Json* svc = doc.find("service");
   if (svc == nullptr || !svc->is_object()) return "missing service object";
@@ -229,6 +242,14 @@ std::string validate_report(const util::Json& doc) {
         return "health rank entry has unknown status '" + st + "'";
     }
   }
+  if (v4) {
+    const util::Json* metrics = doc.find("metrics");
+    if (metrics == nullptr || !metrics->is_object())
+      return "missing metrics object";
+    for (const char* key : {"counters", "gauges", "histograms"})
+      if (metrics->find(key) == nullptr || !metrics->find(key)->is_array())
+        return std::string("metrics missing array '") + key + "'";
+  }
   const util::Json* jobs = doc.find("jobs");
   if (jobs == nullptr || !jobs->is_array()) return "missing jobs array";
   for (const auto& e : jobs->items()) {
@@ -248,6 +269,9 @@ std::string validate_report(const util::Json& doc) {
            {"ram_restores", "disk_restores", "restore_seconds"})
         if (e.find(key) == nullptr)
           return std::string("job missing '") + key + "'";
+    if (v4 && (e.find("dispatches_overtaken") == nullptr ||
+               !e.find("dispatches_overtaken")->is_number()))
+      return "job missing numeric 'dispatches_overtaken'";
     const std::string& state = e.find("state")->as_string();
     if (state != "queued" && state != "running" && state != "preempted" &&
         state != "backoff" && state != "completed" && state != "failed")

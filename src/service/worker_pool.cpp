@@ -65,6 +65,7 @@ PoolOptions PoolOptions::from_config(const util::Config& cfg) {
   o.delta_block_bytes = static_cast<std::size_t>(
       cfg.get_long("service.delta_block_bytes",
                    static_cast<long long>(o.delta_block_bytes)));
+  o.obs = obs::TraceOptions::from_config(cfg);
   return o;
 }
 
@@ -84,6 +85,14 @@ WorkerPool::WorkerPool(const PoolOptions& options)
     options_.delta_chain =
         env.get_int("service.delta_chain", options_.delta_chain);
   }
+  // Same env courtesy for the obs knobs (CA_AGCM_OBS_*): CI flips tracing
+  // on for pools constructed directly from PoolOptions, not just
+  // from_config ones.  tid -1 marks the scheduler timeline in merged
+  // traces and routes flight dumps to obs_dump_service.json.
+  options_.obs = options_.obs.env_resolved();
+  tracer_.configure(options_.obs, /*tid=*/-1, nullptr, options_.trace_sink);
+  if (options_.trace_sink != nullptr)
+    options_.trace_sink->set_thread_name(0, -1, "service scheduler");
   // Checkpoint paths are built under this directory; a missing one would
   // make every preemptible job burn its whole attempt budget on fopen
   // failures, so materialize it (or fail loudly) before any slot starts.
@@ -150,6 +159,11 @@ bool WorkerPool::submit(const std::shared_ptr<Job>& job, bool block) {
     job->checkpoint_prefix = options_.checkpoint_dir + "/ca_service_job" +
                              std::to_string(job->id);
   ++in_flight_;
+  metrics_.counter("service.jobs_submitted").add(1);
+  tracer_.instant("admit", "service",
+                  "job " + std::to_string(job->id) + " '" +
+                      job->spec.name + "' priority " +
+                      std::to_string(job->spec.priority));
   if (push_job_checked(job)) {
     // A high-priority submission that does not fit the free budget starts
     // evicting immediately — an idle worker may never see it otherwise.
@@ -220,6 +234,9 @@ void WorkerPool::shutdown() {
     for (auto& t : slots_)
       if (t.joinable()) t.join();
     slots_.clear();
+    // Slots are gone: nothing records into the scheduler ring any more,
+    // so the remainder can spill to the collector without the pool lock.
+    tracer_.flush();
   });
 }
 
@@ -349,15 +366,23 @@ void WorkerPool::quarantine_rank(int pool_rank, Clock::time_point now) {
   ++rh.strikes;
   ++rh.quarantines;
   ++quarantines_;
+  metrics_.counter("service.quarantines").add(1);
   if (rh.strikes >= options_.max_rank_strikes) {
     // Circuit breaker: this rank keeps killing attempts — retire it for
     // good and deal with the permanently smaller budget right away.
     rh.status = RankStatus::kRetired;
     ++ranks_retired_;
+    metrics_.counter("service.ranks_retired").add(1);
+    tracer_.instant("retire", "service",
+                    "pool rank " + std::to_string(pool_rank) + " after " +
+                        std::to_string(rh.strikes) + " strikes");
     handle_shrunken_budget();
   } else {
     rh.status = RankStatus::kQuarantined;
     rh.until = now + to_duration(std::max(0.0, options_.quarantine_seconds));
+    tracer_.instant("quarantine", "service",
+                    "pool rank " + std::to_string(pool_rank) + " strike " +
+                        std::to_string(rh.strikes));
   }
 }
 
@@ -409,6 +434,7 @@ std::string WorkerPool::reshape_job(Job& job, int budget) {
 void WorkerPool::fail_job(Job& job, const std::string& error) {
   job.error = error;
   job.state = JobState::kFailed;
+  metrics_.counter("service.jobs_failed").add(1);
   if (!job.checkpoint_prefix.empty())
     replicas_.erase_prefix(job.checkpoint_prefix);
   if (job.metrics.run_seconds > 0.0)
@@ -446,6 +472,9 @@ bool WorkerPool::push_job_checked(const std::shared_ptr<Job>& job) {
       return false;
     }
   }
+  // Queue residency starts here: overtakes accrue from this mark when the
+  // job is eventually popped.
+  job->dispatch_mark = dispatches_;
   scheduler_.push(job);
   return true;
 }
@@ -473,6 +502,11 @@ void WorkerPool::request_preemption(int priority, int needed) {
     if (needed <= 0) break;
     v->yield_requested.store(true, std::memory_order_relaxed);
     needed -= v->ranks();
+    metrics_.counter("service.preempt_requests").add(1);
+    tracer_.instant("preempt_request", "service",
+                    "job " + std::to_string(v->id) + " asked to yield " +
+                        std::to_string(v->ranks()) + " rank(s) for priority " +
+                        std::to_string(priority));
   }
 }
 
@@ -509,9 +543,23 @@ void WorkerPool::worker_loop() {
       max_concurrent_ =
           std::max(max_concurrent_, static_cast<int>(running_.size()));
       job->state = JobState::kRunning;
-      job->metrics.queue_wait_seconds +=
-          seconds_between(job->last_queued_at, now);
+      const double waited = seconds_between(job->last_queued_at, now);
+      job->metrics.queue_wait_seconds += waited;
+      // Dispatch-order fairness accounting: how many OTHER dispatches
+      // happened while this job sat in the queue.  Wall-clock-free, so
+      // the soak tests can bound aging behavior on any machine speed.
+      job->metrics.dispatches_overtaken += dispatches_ - job->dispatch_mark;
+      ++dispatches_;
       ++job->metrics.attempts;
+      metrics_.counter("service.dispatches").add(1);
+      metrics_
+          .histogram("service.queue_wait_seconds",
+                     {0.001, 0.01, 0.1, 1.0, 10.0})
+          .observe(waited);
+      tracer_.instant("dispatch", "service",
+                      "job " + std::to_string(job->id) + " attempt " +
+                          std::to_string(job->metrics.attempts) + " on " +
+                          std::to_string(job->ranks()) + " rank(s)");
       space_cv_.notify_all();
       lk.unlock();
       execute(job);
@@ -580,6 +628,15 @@ void WorkerPool::execute(const std::shared_ptr<Job>& job) {
     if (options_.replicate) o.replicas = &replicas_;
     o.delta_chain = options_.delta_chain;
     o.delta_block_bytes = options_.delta_block_bytes;
+    o.obs = options_.obs;
+    o.trace_sink = options_.trace_sink;
+    // One trace process per job: its ranks' timelines group under the job
+    // id in Perfetto, separate from other jobs sharing the pool.
+    o.trace_pid = job->id;
+    if (options_.trace_sink != nullptr)
+      options_.trace_sink->set_process_name(
+          job->id, "job " + std::to_string(job->id) + " '" +
+                       job->spec.name + "'");
     out = run_attempt(job->spec, o);
   } else {
     out.error = prep_error;
@@ -633,6 +690,11 @@ void WorkerPool::execute(const std::shared_ptr<Job>& job) {
     } else {
       ++jobs_recovered_;
       ++job->metrics.rank_recoveries;
+      metrics_.counter("service.rank_recoveries").add(1);
+      tracer_.instant("recovery", "service",
+                      "job " + std::to_string(job->id) +
+                          " re-queued after pool rank " +
+                          std::to_string(pool_id) + " died");
       // The pop path will ++attempts again; a rank death must not burn
       // the job's own attempt budget.
       --job->metrics.attempts;
@@ -648,6 +710,7 @@ void WorkerPool::execute(const std::shared_ptr<Job>& job) {
         job->ready_at = now;  // no backoff: the faulty rank sits out, not
                               // the job
         job->last_queued_at = now;
+        job->dispatch_mark = dispatches_;
         scheduler_.push(job);
       }
     }
@@ -655,6 +718,11 @@ void WorkerPool::execute(const std::shared_ptr<Job>& job) {
     job->error = out.error;  // latest failure retained either way
     if (job->metrics.attempts < job->spec.max_attempts) {
       ++retries_;
+      metrics_.counter("service.retries").add(1);
+      tracer_.instant("retry", "service",
+                      "job " + std::to_string(job->id) + " attempt " +
+                          std::to_string(job->metrics.attempts) +
+                          " failed: " + out.error);
       const double backoff =
           std::ldexp(job->spec.retry_backoff_seconds,
                      std::min(attempt - 1, 20));
@@ -670,10 +738,25 @@ void WorkerPool::execute(const std::shared_ptr<Job>& job) {
     } else {
       job->state = JobState::kFailed;
       terminal = true;
+      // Retry budget exhausted: a terminal failure the operator will want
+      // a postmortem for.  The scheduler ring holds the service-side story
+      // (dispatches, retries, quarantines leading up to it).
+      metrics_.counter("service.retry_exhausted").add(1);
+      tracer_.instant("retry_exhausted", "service",
+                      "job " + std::to_string(job->id) + " failed after " +
+                          std::to_string(job->metrics.attempts) +
+                          " attempts: " + out.error);
+      tracer_.dump_flight("retry budget exhausted for job " +
+                          std::to_string(job->id) + " '" + job->spec.name +
+                          "': " + out.error);
     }
   } else if (out.yielded) {
     ++preemptions_;
     ++job->metrics.preemptions;
+    metrics_.counter("service.preemptions").add(1);
+    tracer_.instant("yield", "service",
+                    "job " + std::to_string(job->id) + " yielded at step " +
+                        std::to_string(out.end_step));
     job->steps_done = out.end_step;
     job->yield_requested.store(false, std::memory_order_relaxed);
     job->state = JobState::kPreempted;
@@ -689,6 +772,10 @@ void WorkerPool::execute(const std::shared_ptr<Job>& job) {
   }
 
   if (terminal) {
+    metrics_
+        .counter(job->state == JobState::kCompleted ? "service.jobs_completed"
+                                                    : "service.jobs_failed")
+        .add(1);
     // Terminal jobs never resume; release their RAM images.
     replicas_.erase_prefix(job->checkpoint_prefix);
     if (job->metrics.run_seconds > 0.0)

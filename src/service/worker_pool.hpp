@@ -32,6 +32,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/job.hpp"
 #include "service/replica.hpp"
 #include "service/scheduler.hpp"
@@ -63,11 +65,17 @@ struct PoolOptions {
   int delta_chain = 0;
   /// Dirty-diff granularity for delta checkpoints [bytes].
   std::size_t delta_block_bytes = 4096;
+  /// Observability knobs forwarded to every attempt's rank group and to
+  /// the pool's own scheduler tracer (tid -1 in merged traces).
+  obs::TraceOptions obs{};
+  /// Non-null receives every job's span stream (pid = job id) plus the
+  /// scheduler timeline; must outlive the pool.
+  obs::TraceCollector* trace_sink = nullptr;
 
   /// Reads service.slots / rank_budget / queue_capacity / checkpoint_dir /
   /// max_rank_strikes / quarantine_seconds / aging_rate / replicate /
-  /// delta_chain / delta_block_bytes (each with the usual CA_AGCM_*
-  /// environment override).
+  /// delta_chain / delta_block_bytes plus the obs.* keys (each with the
+  /// usual CA_AGCM_* environment override).
   static PoolOptions from_config(const util::Config& cfg);
 };
 
@@ -94,6 +102,11 @@ class WorkerPool {
   /// options().replicate is set.
   ReplicaStore& replicas() { return replicas_; }
   const ReplicaStore& replicas() const { return replicas_; }
+
+  /// Service-level metrics registry (counters/histograms the report's v4
+  /// `metrics` section snapshots).  Thread-safe on its own locks.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   /// Enqueues a validated job.  Blocks while the queue is full
   /// (backpressure) when `block`; otherwise returns false immediately.
@@ -188,6 +201,11 @@ class WorkerPool {
   /// RAM replica cache shared by every job's attempts; own mutex, never
   /// touched under mu_ ordering constraints.
   ReplicaStore replicas_;
+  /// Service metrics (own locks) and the scheduler-decision tracer.  The
+  /// tracer's ring is only ever touched under mu_ (every instant site
+  /// holds the pool lock), flushed once after the slots join.
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   ///< workers: queue/budget changed
   std::condition_variable space_cv_;  ///< submitters: queue has space
@@ -206,6 +224,9 @@ class WorkerPool {
   int max_ranks_in_flight_ = 0;
   std::uint64_t preemptions_ = 0;
   std::uint64_t retries_ = 0;
+  /// Scheduler dispatch counter backing the jobs' dispatches_overtaken
+  /// metric (see Job::dispatch_mark).
+  std::uint64_t dispatches_ = 0;
   std::uint64_t jobs_recovered_ = 0;
   std::uint64_t quarantines_ = 0;
   int ranks_retired_ = 0;

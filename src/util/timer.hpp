@@ -31,6 +31,9 @@ class PhaseTimers {
   void start(const std::string& phase);
   /// Stops the currently running phase (no-op if none).
   void stop();
+  /// Adds an externally measured duration (obs:: spans charge their elapsed
+  /// time here so trace timelines and phase totals share one clock pair).
+  void add(const std::string& phase, double seconds);
   double total(const std::string& phase) const;
   const std::map<std::string, double>& totals() const { return totals_; }
   void clear();

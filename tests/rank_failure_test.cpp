@@ -11,6 +11,8 @@
 #include <array>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "comm/context.hpp"
@@ -26,6 +28,7 @@
 #include "state/state.hpp"
 #include "util/checkpoint.hpp"
 #include "util/config.hpp"
+#include "util/json.hpp"
 
 namespace ca {
 namespace {
@@ -159,6 +162,75 @@ TEST(RankFailureComm, KilledRankUnwindsInFlightAsyncPosts) {
   const auto s = plan.summary();
   EXPECT_EQ(s.injected_kill, 1u);
   EXPECT_GE(s.detected_peer_dead, 1u);
+}
+
+TEST(RankFailureComm, KilledRankLeavesPerRankFlightDumps) {
+  // The flight recorder: when a rank dies mid-run, every rank's last
+  // events must land in obs_dump_rank<r>.json — the victim's dump ends at
+  // its injected kill, the survivor's records the detection.
+  const std::string dir = (std::filesystem::temp_directory_path() /
+                           "ca_agcm_flight_kill")
+                              .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  comm::FaultPlan plan(3);
+  plan.add_rule(step_rule(comm::FaultKind::kKillRank, /*src=*/0, /*step=*/1));
+  comm::RunOptions opts;
+  opts.faults = &plan;
+  opts.recv_timeout = std::chrono::seconds(20);
+  opts.heartbeat_timeout = std::chrono::milliseconds(250);
+  opts.obs.dump_on_failure = true;
+  opts.obs.dump_dir = dir;
+  EXPECT_THROW(
+      comm::Runtime::run(2, opts,
+                         [](comm::Context& ctx) {
+                           const auto& w = ctx.world();
+                           std::array<double, 4> buf{};
+                           for (int step = 0; step < 3; ++step) {
+                             ctx.notify_step();  // rank 0 dies at step 1
+                             if (ctx.world_rank() == 0) {
+                               buf.fill(1.0);
+                               ctx.send_values<double>(w, 1, 6, buf);
+                             } else {
+                               ctx.recv_values<double>(w, 0, 6, buf);
+                             }
+                           }
+                         }),
+      comm::CommError);
+  for (int r = 0; r < 2; ++r) {
+    const std::string path =
+        dir + "/obs_dump_rank" + std::to_string(r) + ".json";
+    ASSERT_TRUE(std::filesystem::exists(path))
+        << "rank " << r << " left no flight dump";
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const util::Json doc = util::Json::parse(ss.str());
+    EXPECT_EQ(doc.find("schema")->as_string(), "ca-agcm/obs-flight/v1");
+    EXPECT_EQ(doc.find("rank")->as_double(), static_cast<double>(r));
+    EXPECT_FALSE(doc.find("reason")->as_string().empty());
+    ASSERT_FALSE(doc.find("events")->items().empty())
+        << "rank " << r << "'s dump has no events";
+  }
+  // The victim's last recorded events are its heartbeats up to the kill;
+  // the survivor's dump names the dead peer.
+  std::ifstream in0(dir + "/obs_dump_rank0.json");
+  std::stringstream ss0;
+  ss0 << in0.rdbuf();
+  const util::Json d0 = util::Json::parse(ss0.str());
+  bool victim_beat = false;
+  for (const util::Json& ev : d0.find("events")->items())
+    victim_beat |= ev.find("name")->as_string() == "heartbeat";
+  EXPECT_TRUE(victim_beat) << "victim dump lacks its pre-kill heartbeats";
+  std::ifstream in1(dir + "/obs_dump_rank1.json");
+  std::stringstream ss1;
+  ss1 << in1.rdbuf();
+  const util::Json d1 = util::Json::parse(ss1.str());
+  bool peer_dead = false;
+  for (const util::Json& ev : d1.find("events")->items())
+    peer_dead |= ev.find("name")->as_string() == "peer_dead";
+  EXPECT_TRUE(peer_dead) << "survivor dump lacks the peer_dead detection";
+  std::filesystem::remove_all(dir);
 }
 
 TEST(RankFailureComm, StepFaultFiresOnlyAtItsStep) {

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "comm/runtime.hpp"
+#include "obs/trace.hpp"
 #include "service/worker_pool.hpp"
 #include "util/array3d.hpp"
 #include "util/config.hpp"
@@ -195,6 +196,50 @@ TEST(Config, FailureToleranceKeysFoldAndOverride) {
   EXPECT_EQ(comm::RunOptions::from_config(cfg).heartbeat_timeout,
             std::chrono::milliseconds(100));
   EXPECT_EQ(service::PoolOptions::from_config(cfg).max_rank_strikes, 1);
+}
+
+TEST(Config, ObsKeysFoldAndOverride) {
+  // The observability knobs ride the same config/env machinery; pin the
+  // folded names and both resolution paths (from_config for configured
+  // runs, env_resolved for RunOptions{} call sites the CI leg flips on).
+  EXPECT_EQ(Config::env_name("obs.trace"), "CA_AGCM_OBS_TRACE");
+  EXPECT_EQ(Config::env_name("obs.dump_on_failure"),
+            "CA_AGCM_OBS_DUMP_ON_FAILURE");
+  EXPECT_EQ(Config::env_name("obs.ring_events"), "CA_AGCM_OBS_RING_EVENTS");
+  EXPECT_EQ(Config::env_name("obs.dump_dir"), "CA_AGCM_OBS_DUMP_DIR");
+
+  auto cfg = Config::from_text(
+      "obs.trace = true\n"
+      "obs.dump_on_failure = false\n"
+      "obs.ring_events = 32\n"
+      "obs.dump_dir = cfg_dumps\n");
+  obs::TraceOptions from_cfg = obs::TraceOptions::from_config(cfg);
+  EXPECT_TRUE(from_cfg.trace);
+  EXPECT_FALSE(from_cfg.dump_on_failure);
+  EXPECT_EQ(from_cfg.ring_events, 32);
+  EXPECT_EQ(from_cfg.dump_dir, "cfg_dumps");
+
+  setenv("CA_AGCM_OBS_TRACE", "0", 1);
+  setenv("CA_AGCM_OBS_RING_EVENTS", "64", 1);
+  setenv("CA_AGCM_OBS_DUMP_DIR", "env_dumps", 1);
+  // The environment wins over stored entries...
+  from_cfg = obs::TraceOptions::from_config(cfg);
+  EXPECT_FALSE(from_cfg.trace);
+  EXPECT_EQ(from_cfg.ring_events, 64);
+  EXPECT_EQ(from_cfg.dump_dir, "env_dumps");
+  // ...and over programmatic defaults; untouched knobs survive.
+  obs::TraceOptions prog;
+  prog.trace = true;
+  prog.dump_on_failure = false;
+  const obs::TraceOptions resolved = prog.env_resolved();
+  EXPECT_FALSE(resolved.trace);
+  EXPECT_FALSE(resolved.dump_on_failure);  // no env var: programmatic value
+  EXPECT_EQ(resolved.ring_events, 64);
+  EXPECT_EQ(resolved.dump_dir, "env_dumps");
+  unsetenv("CA_AGCM_OBS_TRACE");
+  unsetenv("CA_AGCM_OBS_RING_EVENTS");
+  unsetenv("CA_AGCM_OBS_DUMP_DIR");
+  EXPECT_TRUE(obs::TraceOptions::from_config(cfg).trace);
 }
 
 TEST(Json, BuildAndDump) {
