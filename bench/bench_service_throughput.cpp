@@ -1,4 +1,4 @@
-// Wall-clock benchmark of the ensemble service: six job mixes over one
+// Wall-clock benchmark of the ensemble service: seven job mixes over one
 // rank pool, emitting BENCH_service.json.
 //
 //   uniform        identical medium jobs; measures raw multiplexing
@@ -32,6 +32,12 @@
 //                  resume from buddy RAM vs from the on-disk chain and
 //                  reports both latencies (hard assert on provenance and
 //                  I/O counters, soft on the latency ordering — timing)
+//   bursty_elastic the same bursty workload run with service.elastic off
+//                  and on: a high-priority burst pins half the pool while
+//                  a wide preemptible CA job waits; with elasticity the
+//                  job is squeezed onto the idle ranks (bitwise, exact
+//                  mode keeps pz) and measured utilization must be
+//                  strictly higher than the baseline leg's
 //
 // Each mix runs through a fresh EnsembleService; the per-mix service
 // report (schema ca-agcm/service-report/v2) is embedded verbatim in the
@@ -179,8 +185,8 @@ std::string validate_bench(const util::Json& doc) {
       schema->as_string() != kSchema)
     return "missing/wrong schema tag";
   const util::Json* mixes = doc.find("mixes");
-  if (mixes == nullptr || !mixes->is_array() || mixes->size() != 6)
-    return "expected exactly six mixes";
+  if (mixes == nullptr || !mixes->is_array() || mixes->size() != 7)
+    return "expected exactly seven mixes";
   for (const auto& m : mixes->items()) {
     const util::Json* name = m.find("name");
     if (name == nullptr || !name->is_string()) return "mix missing name";
@@ -193,6 +199,12 @@ std::string validate_bench(const util::Json& doc) {
     if (name->as_string() == "replicated_failover")
       for (const char* key : {"ram_restore_seconds", "disk_restore_seconds",
                               "ram_restores", "disk_restores"})
+        if (m.find(key) == nullptr || !m.find(key)->is_number())
+          return name->as_string() + " missing numeric '" + key + "'";
+    if (name->as_string() == "bursty_elastic")
+      for (const char* key :
+           {"utilization_elastic_off", "utilization_elastic_on",
+            "elastic_shrinks", "elastic_grows"})
         if (m.find(key) == nullptr || !m.find(key)->is_number())
           return name->as_string() + " missing numeric '" + key + "'";
     const util::Json* report = m.find("report");
@@ -686,6 +698,101 @@ int main(int argc, char** argv) {
                            static_cast<double>(rv.metrics.ram_restores));
     mix.extra.emplace_back("disk_restores",
                            static_cast<double>(rv.metrics.disk_restores));
+    mixes.push_back(std::move(mix));
+  }
+
+  // --- mix 7: bursty_elastic -------------------------------------------
+  {
+    MixOutcome mix;
+    mix.name = "bursty_elastic";
+    // This mix pins elasticity per leg; the CI elastic leg's env override
+    // would otherwise turn the baseline leg into a second elastic leg.
+    ::unsetenv("CA_AGCM_SERVICE_ELASTIC");
+
+    // A high-priority burst pins half the pool while a wide, preemptible,
+    // checkpointing CA job waits for its full shape.  Without elasticity
+    // the other half of the budget idles for the whole burst (the CA job
+    // cannot preempt higher-priority work); with service.elastic=1 the
+    // scheduler squeezes the CA job onto the idle ranks (yz_grid keeps
+    // pz, so exact-mode CA stays bitwise through the reshard) and the
+    // measured utilization must be strictly higher.
+    service::JobSpec burst =
+        original_job(cfg, "burst", long_steps, {1, 2, 1}, 10);
+    service::JobSpec caj;
+    caj.name = "ca_wide";
+    caj.core = service::CoreKind::kCA;
+    caj.config = cfg;
+    caj.ca_options.fresh_c_on_block_face = false;   // exact mode: bitwise
+    caj.ca_options.approximate_iteration = false;   // under the y split
+    caj.dims = {1, 2, 2};
+    caj.steps = 3;
+    caj.priority = 0;
+    caj.checkpoint_every = 1;
+    const state::State solo = solo_state(caj, dir + "/solo_ca_wide");
+
+    double util_off = 0.0, util_on = 0.0;
+    std::uint64_t shrinks = 0, grows = 0;
+    const auto start = Clock::now();
+    for (const bool elastic : {false, true}) {
+      service::ServiceOptions eopt = opt;
+      eopt.elastic = elastic;
+      service::EnsembleService svc(eopt);
+      std::vector<int> ids;
+      ids.push_back(svc.submit(burst));
+      // The burst must hold its ranks before the wide job arrives, so
+      // the baseline leg really strands the other half of the budget.
+      if (!await_running(svc, ids.front())) {
+        std::fprintf(stderr, "FAIL: bursty_elastic burst never started\n");
+        mix.ok = false;
+      }
+      ids.push_back(svc.submit(caj));
+      svc.drain();
+
+      const service::JobResult rc = svc.result(ids.back());
+      if (rc.state != service::JobState::kCompleted) {
+        std::fprintf(stderr, "FAIL: bursty_elastic CA job (elastic=%d): %s\n",
+                     elastic, rc.error.c_str());
+        mix.ok = false;
+      } else if (state::State::max_abs_diff(rc.final_state, solo,
+                                            solo.interior()) != 0.0) {
+        std::fprintf(stderr,
+                     "FAIL: bursty_elastic CA job diverged (elastic=%d)\n",
+                     elastic);
+        mix.ok = false;
+      }
+      if (elastic) {
+        mix.wall = seconds_since(start);
+        summarize(mix, svc, ids);
+        util_on = service_metric(mix, "utilization");
+        shrinks = svc.elastic_shrinks();
+        grows = svc.elastic_grows();
+      } else {
+        const util::Json rep = svc.report();
+        util_off =
+            rep.find("service")->find("utilization")->as_double();
+      }
+    }
+    if (shrinks < 1) {
+      std::fprintf(stderr,
+                   "FAIL: bursty_elastic never squeezed the wide job\n");
+      mix.ok = false;
+    }
+    if (util_on <= util_off) {
+      std::fprintf(stderr,
+                   "FAIL: elasticity must raise utilization under the "
+                   "burst (%.3f with, %.3f without)\n",
+                   util_on, util_off);
+      mix.ok = false;
+    }
+    std::printf(
+        "bursty_elastic: utilization %.3f -> %.3f (%llu squeeze(s), "
+        "%llu re-grow(s))\n",
+        util_off, util_on, static_cast<unsigned long long>(shrinks),
+        static_cast<unsigned long long>(grows));
+    mix.extra.emplace_back("utilization_elastic_off", util_off);
+    mix.extra.emplace_back("utilization_elastic_on", util_on);
+    mix.extra.emplace_back("elastic_shrinks", static_cast<double>(shrinks));
+    mix.extra.emplace_back("elastic_grows", static_cast<double>(grows));
     mixes.push_back(std::move(mix));
   }
 

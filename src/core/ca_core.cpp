@@ -1,5 +1,6 @@
 #include "core/ca_core.hpp"
 
+#include <array>
 #include <stdexcept>
 
 #include "ops/adaptation.hpp"
@@ -231,8 +232,10 @@ void CACore::step(state::State& xi) {
   items.push_back({&ws_.vert.w, nullptr, 0, depth_y, 0});
   items.push_back({&ws_.vert.phi_geo, nullptr, 0, depth_y, 0});
   if (do_smooth && options_.fuse_smoothing) {
-    items.push_back({&pre_.phi(), nullptr, 0, 2, 0});
-    items.push_back({nullptr, &pre_.psa(), 0, 2, 0});
+    // Depth 4: S2 recomputes the +-2 halo rows as complete canonical
+    // folds, which read pre-smoothing rows out to +-4.
+    items.push_back({&pre_.phi(), nullptr, 0, 4, 0});
+    items.push_back({nullptr, &pre_.psa(), 0, 4, 0});
   }
   exchanger_.begin(items, "stencil");
 
@@ -404,41 +407,136 @@ void CACore::refresh_halos(state::State& s, const std::string& /*phase*/) {
 
 namespace {
 
-/// Carry-block tag: "CACARRY" + format version byte.  Bump the low byte
-/// when the field list or order changes.
-constexpr std::uint64_t kCarryMagic = 0x4341434152525901ull;
+/// The CA carry is written in the self-describing reshardable layout of
+/// util::kReshardableCarryMagic ("CACARRY" + format version 2): each
+/// field travels with its global extents, halo depths, and block origin
+/// so util::reshard_checkpoints can redistribute the set across a new
+/// Y-Z decomposition without knowing this core.  These helpers emit and
+/// validate the 13-word geometry prefix of one field.
+
+void put_field_geom(util::CarryWriter& w, bool is3d,
+                    std::array<std::uint64_t, 3> gn,
+                    std::array<std::uint64_t, 3> ln,
+                    std::array<std::uint64_t, 3> halo,
+                    std::array<std::uint64_t, 3> origin) {
+  w.put_u64(is3d ? 1 : 0);
+  for (const auto& trio : {gn, ln, halo, origin})
+    for (std::uint64_t v : trio) w.put_u64(v);
+}
+
+void expect_field_geom(util::CarryReader& r, bool is3d,
+                       std::array<std::uint64_t, 3> gn,
+                       std::array<std::uint64_t, 3> ln,
+                       std::array<std::uint64_t, 3> halo,
+                       std::array<std::uint64_t, 3> origin) {
+  bool ok = r.get_u64() == (is3d ? 1u : 0u);
+  for (const auto& trio : {gn, ln, halo, origin})
+    for (std::uint64_t v : trio) ok = r.get_u64() == v && ok;
+  if (!ok)
+    throw std::runtime_error(
+        "CA carry field geometry does not match this core's block "
+        "(carry written by a differently-configured or differently-"
+        "decomposed core?)");
+}
+
+std::array<std::uint64_t, 3> u3(int a, int b, int c) {
+  return {static_cast<std::uint64_t>(a), static_cast<std::uint64_t>(b),
+          static_cast<std::uint64_t>(c)};
+}
 
 }  // namespace
 
 void CACore::save_carry(util::CarryWriter& w) const {
-  w.put_u64(kCarryMagic);
+  w.put_u64(util::kReshardableCarryMagic);
+  // Minimum legal block extents under a split dimension — the
+  // constructor's own guards, declared so a reshard to an
+  // unrepresentable shape fails loudly inside util::.
+  w.put_u64(static_cast<std::uint64_t>(3 * config_.M + 1));
+  w.put_u64(3);
+  w.put_u64(2);  // scalars
   w.put_i64(step_count_);
-  w.put_u64(have_stale_c_ ? 1 : 0);
-  for (const auto* f : ws_.carry_fields_3d()) w.put_doubles(f->raw());
-  for (const auto* f : ws_.carry_fields_2d()) w.put_doubles(f->raw());
-  w.put_doubles(pre_.phi().raw());
-  w.put_doubles(pre_.psa().raw());
+  w.put_i64(have_stale_c_ ? 1 : 0);
+  const auto f3 = ws_.carry_fields_3d();
+  const auto f2 = ws_.carry_fields_2d();
+  w.put_u64(f3.size() + f2.size() + 2);
+  const std::array<std::uint64_t, 3> gn3 =
+      u3(mesh_.nx(), mesh_.ny(), mesh_.nz());
+  const std::array<std::uint64_t, 3> gn2 = u3(mesh_.nx(), mesh_.ny(), 1);
+  const std::array<std::uint64_t, 3> o3 =
+      u3(decomp_.xr().begin, decomp_.yr().begin, decomp_.zr().begin);
+  const std::array<std::uint64_t, 3> o2 =
+      u3(decomp_.xr().begin, decomp_.yr().begin, 0);
+  for (const auto* f : f3) {
+    put_field_geom(w, true, gn3, u3(f->nx(), f->ny(), f->nz()),
+                   u3(f->halo().x, f->halo().y, f->halo().z), o3);
+    w.put_doubles(f->raw());
+  }
+  for (const auto* f : f2) {
+    put_field_geom(w, false, gn2, u3(f->nx(), f->ny(), 1),
+                   u3(f->hx(), f->hy(), 0), o2);
+    w.put_doubles(f->raw());
+  }
+  const auto& pphi = pre_.phi();
+  put_field_geom(w, true, gn3, u3(pphi.nx(), pphi.ny(), pphi.nz()),
+                 u3(pphi.halo().x, pphi.halo().y, pphi.halo().z), o3);
+  w.put_doubles(pphi.raw());
+  const auto& ppsa = pre_.psa();
+  put_field_geom(w, false, gn2, u3(ppsa.nx(), ppsa.ny(), 1),
+                 u3(ppsa.hx(), ppsa.hy(), 0), o2);
+  w.put_doubles(ppsa.raw());
 }
 
 void CACore::restore_carry(util::CarryReader& r) {
-  if (r.get_u64() != kCarryMagic)
+  if (r.get_u64() != util::kReshardableCarryMagic)
     throw std::runtime_error(
         "checkpoint carry block is not a CA-core carry (wrong magic/"
         "version)");
+  if (r.get_u64() != static_cast<std::uint64_t>(3 * config_.M + 1) ||
+      r.get_u64() != 3)
+    throw std::runtime_error(
+        "CA carry declares different minimum block extents (written by a "
+        "differently-configured core?)");
+  if (r.get_u64() != 2)
+    throw std::runtime_error("CA carry has a malformed scalar count");
   const std::int64_t steps = r.get_i64();
   if (steps < 0)
     throw std::runtime_error("CA carry records a negative step count");
-  const std::uint64_t stale = r.get_u64();
-  if (stale > 1)
+  const std::int64_t stale = r.get_i64();
+  if (stale < 0 || stale > 1)
     throw std::runtime_error("CA carry has a malformed stale-C flag");
+  const auto f3 = ws_.carry_fields_3d();
+  const auto f2 = ws_.carry_fields_2d();
+  if (r.get_u64() != f3.size() + f2.size() + 2)
+    throw std::runtime_error("CA carry has a malformed field count");
   // Full raw spans (halos included): the resumed step's overlapped inner
   // update and its outgoing exchange rows read these arrays before any
-  // exchange refreshes them, and get_doubles rejects any size mismatch
-  // against this core's configuration.
-  for (auto* f : ws_.carry_fields_3d()) r.get_doubles(f->raw());
-  for (auto* f : ws_.carry_fields_2d()) r.get_doubles(f->raw());
-  r.get_doubles(pre_.phi().raw());
-  r.get_doubles(pre_.psa().raw());
+  // exchange refreshes them.  The geometry prefix pins every field to
+  // this core's exact block, and get_doubles rejects any size mismatch.
+  const std::array<std::uint64_t, 3> gn3 =
+      u3(mesh_.nx(), mesh_.ny(), mesh_.nz());
+  const std::array<std::uint64_t, 3> gn2 = u3(mesh_.nx(), mesh_.ny(), 1);
+  const std::array<std::uint64_t, 3> o3 =
+      u3(decomp_.xr().begin, decomp_.yr().begin, decomp_.zr().begin);
+  const std::array<std::uint64_t, 3> o2 =
+      u3(decomp_.xr().begin, decomp_.yr().begin, 0);
+  for (auto* f : f3) {
+    expect_field_geom(r, true, gn3, u3(f->nx(), f->ny(), f->nz()),
+                      u3(f->halo().x, f->halo().y, f->halo().z), o3);
+    r.get_doubles(f->raw());
+  }
+  for (auto* f : f2) {
+    expect_field_geom(r, false, gn2, u3(f->nx(), f->ny(), 1),
+                      u3(f->hx(), f->hy(), 0), o2);
+    r.get_doubles(f->raw());
+  }
+  auto& pphi = pre_.phi();
+  expect_field_geom(r, true, gn3, u3(pphi.nx(), pphi.ny(), pphi.nz()),
+                    u3(pphi.halo().x, pphi.halo().y, pphi.halo().z), o3);
+  r.get_doubles(pphi.raw());
+  auto& ppsa = pre_.psa();
+  expect_field_geom(r, false, gn2, u3(ppsa.nx(), ppsa.ny(), 1),
+                    u3(ppsa.hx(), ppsa.hy(), 0), o2);
+  r.get_doubles(ppsa.raw());
   r.expect_end();
   step_count_ = static_cast<int>(steps);
   have_stale_c_ = stale == 1;

@@ -32,25 +32,8 @@
 
 namespace ca::core {
 
-struct CAOptions {
-  /// Reuse the previous C products in the first update of each iteration
-  /// (off = fresh C everywhere: 3 collectives per iteration, for the
-  /// ablation benchmarks).
-  bool approximate_iteration = true;
-  /// Split the exchange around the inner computation (off = blocking
-  /// exchange before any computation).
-  bool overlap = true;
-  /// Fuse the split smoothing into the adaptation exchange (off = a
-  /// separate exchange for the smoothing, like the original algorithm).
-  bool fuse_smoothing = true;
-  /// Evaluate the fresh C collectives on the BLOCK face only (the paper's
-  /// scheme: collective volume exactly 2/3 of the original; the extended
-  /// windows' halo rows keep the exchanged stale C products, an error of
-  /// the same class as the approximate iteration).  Off = collectives on
-  /// the full extended faces: larger volume, but the algorithm becomes
-  /// exactly decomposition-invariant (used by the equivalence tests).
-  bool fresh_c_on_block_face = true;
-};
+// CAOptions lives in core/dycore_config.hpp (so the service's JobSpec
+// can carry it without this header's comm/ops dependencies).
 
 class CACore {
  public:
@@ -112,6 +95,20 @@ class CACore {
   //     the later smoothing S2 reads).
   // run_campaign detects these hooks with `requires` (like finalize /
   // refresh_halos) and saves/restores the blob with each checkpoint.
+  //
+  // The carry is written in the self-describing *reshardable* layout of
+  // util::kReshardableCarryMagic: every field travels with its global
+  // extents, halo depths, and block origin, so a degraded-pool
+  // util::reshard_checkpoints can redistribute it across a new Y-Z
+  // decomposition without knowing this core.  The column anchors
+  // (own/base/total) are decomposition-dependent values, but every
+  // stale evaluation reads only ws_.vert, and every fresh evaluation
+  // recomputes the anchors through the z-line collectives before any
+  // read — so geometric redistribution preserves the resumed
+  // trajectory (bitwise for same-pz reshards with fresh_c_on_block_face
+  // off; a pz change regroups the z-collective partial sums).  The
+  // declared minimum block extents (3M + 1 in y, 3 in z) make a
+  // genuinely unrepresentable reshard fail loudly in util::.
 
   /// Serializes the cross-step carry state into `w`.
   void save_carry(util::CarryWriter& w) const;

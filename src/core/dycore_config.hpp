@@ -47,6 +47,32 @@ struct DycoreConfig {
   bool overlap_exchange = false;
 };
 
+/// Algorithm switches of the communication-avoiding core (see
+/// core/ca_core.hpp).  Lives here, beside DycoreConfig, so the service's
+/// JobSpec can carry per-job CA options without pulling in the whole
+/// core.
+struct CAOptions {
+  /// Reuse the previous C products in the first update of each iteration
+  /// (off = fresh C everywhere: 3 collectives per iteration, for the
+  /// ablation benchmarks).
+  bool approximate_iteration = true;
+  /// Split the exchange around the inner computation (off = blocking
+  /// exchange before any computation).
+  bool overlap = true;
+  /// Fuse the split smoothing into the adaptation exchange (off = a
+  /// separate exchange for the smoothing, like the original algorithm).
+  bool fuse_smoothing = true;
+  /// Evaluate the fresh C collectives on the BLOCK face only (the paper's
+  /// scheme: collective volume exactly 2/3 of the original; the extended
+  /// windows' halo rows keep the exchanged stale C products, an error of
+  /// the same class as the approximate iteration).  Off = collectives on
+  /// the full extended faces: larger volume, but the algorithm becomes
+  /// bitwise invariant to the y split (used by the equivalence tests and
+  /// by jobs that must stay bitwise across a degraded-pool reshard; a
+  /// pz change still regroups the z-collective sums — round-off class).
+  bool fresh_c_on_block_face = true;
+};
+
 /// Halo layout for a core whose exchange covers D stencil updates
 /// (D = 1 for the original per-update exchange, D = 3M for the
 /// communication-avoiding adaptation phase).

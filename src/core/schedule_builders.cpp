@@ -303,8 +303,10 @@ perf::Schedule build_ca_schedule(const ScheduleParams& p,
     aitems.push_back(Item{0, depth_y, 0, false});     // w
     aitems.push_back(Item{0, depth_y, 0, false});     // phi_geo
     if (p.ca.fuse_smoothing) {
-      aitems.push_back(Item{0, 2, 0, false});  // pre Phi (y only)
-      aitems.push_back(Item{0, 2, 0, true});   // pre psa
+      // Depth 4: S2 recomputes the +-2 halo rows as complete canonical
+      // folds, which read pre-smoothing rows out to +-4.
+      aitems.push_back(Item{0, 4, 0, false});  // pre Phi (y only)
+      aitems.push_back(Item{0, 4, 0, true});   // pre psa
     }
     // Advection exchange items: xi + sdot.
     std::vector<Item> vitems;

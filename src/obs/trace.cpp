@@ -176,10 +176,22 @@ util::Json Tracer::flight_json(const std::string& reason) const {
 
 std::string Tracer::dump_flight(const std::string& reason) {
   if (!opts_.dump_on_failure) return "";
-  std::string path = opts_.dump_dir.empty() ? std::string(".") : opts_.dump_dir;
-  if (path.back() != '/') path += '/';
-  path += tid_ >= 0 ? "obs_dump_rank" + std::to_string(tid_) + ".json"
-                    : "obs_dump_service.json";
+  std::string dir = opts_.dump_dir.empty() ? std::string(".") : opts_.dump_dir;
+  if (dir.back() != '/') dir += '/';
+  const std::string stem =
+      tid_ >= 0 ? "obs_dump_rank" + std::to_string(tid_) : "obs_dump_service";
+  // The first incident for this timeline keeps the legacy name; later
+  // ones get a monotonic incident suffix instead of truncating it —
+  // clobbering the dump of the FIRST failure with a later (often
+  // secondary) one would destroy exactly the postmortem an operator
+  // needs.  The existence probe makes the sequence robust across Tracer
+  // instances: each attempt constructs its own rank tracers, so an
+  // in-memory counter would restart at 0 and clobber anyway.
+  std::string path = dir + stem + ".json";
+  for (int incident = 1; std::ifstream(path).good(); ++incident) {
+    if (incident > 9999) return "";  // runaway loop guard; give up loudly
+    path = dir + stem + ".incident" + std::to_string(incident) + ".json";
+  }
   std::ofstream out(path, std::ios::trunc);
   if (!out) return "";
   out << flight_json(reason).dump(2) << "\n";

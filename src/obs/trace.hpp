@@ -155,8 +155,12 @@ class Tracer {
   util::Json flight_json(const std::string& reason) const;
 
   /// Writes flight_json to <dump_dir>/obs_dump_rank<tid>.json (tid < 0 =>
-  /// obs_dump_service.json).  No-op returning "" when dump_on_failure is
-  /// off; returns the path written otherwise.
+  /// obs_dump_service.json).  A second incident for the same timeline
+  /// never clobbers the first: once the legacy name exists, later dumps
+  /// append a monotonic `.incident<seq>` suffix (probe-based, so the
+  /// sequence survives Tracer reconstruction across attempts).  No-op
+  /// returning "" when dump_on_failure is off; returns the path written
+  /// otherwise.
   std::string dump_flight(const std::string& reason);
 
   /// Microseconds since the process-wide steady epoch shared by every

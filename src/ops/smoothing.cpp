@@ -121,56 +121,49 @@ void apply_smoothing_later(const OpContext& ctx, const state::State& pre,
   const double b = ctx.params.smooth_beta / 16.0;
   const int lny = s.lny();
 
-  // Row -> missing offset range, for own partial rows and received halo
-  // rows.  Halo row -1 was the neighbor's row lny-1 (it was missing its
-  // southward offsets, which are OUR rows 0..1); halo row -2 misses d=+2.
-  auto add_missing_3d = [&](util::Array3D<double>& field,
-                            const util::Array3D<double>& pre_field, int j,
-                            int dlo, int dhi, int k, int i0, int i1) {
+  // Each affected row is recomputed as the COMPLETE canonical fold over
+  // d = -2..+2 from the pre-smoothing values, overwriting S1's partial
+  // result (own rows {0,1} / {lny-2,lny-1}) and the received partial rows
+  // (halo rows {-1,-2} / {lny,lny+1}).  Adding only the missing offsets on
+  // top of the partial sum would group the additions differently from the
+  // monolithic operator — a 1-ulp seam perturbation that makes y-decomposed
+  // trajectories drift from the serial ones and breaks bitwise resharding
+  // across py changes.  Reproducing apply_smoothing's exact addition order
+  // keeps them identical.  Reads pre rows j-2..j+2, i.e. pre halo rows to
+  // depth 4 for the +-2 halo rows — the fused exchange refreshes that deep.
+  auto redo_3d = [&](util::Array3D<double>& field,
+                     const util::Array3D<double>& pre_field, int j, int k,
+                     int i0, int i1) {
     for (int i = i0; i < i1; ++i) {
       double acc = 0.0;
-      for (int d = dlo; d <= dhi; ++d)
+      for (int d = -2; d <= 2; ++d)
         acc += smoothing_y_coeff(ctx.params, d) *
                x_factor3(pre_field, b, i, j + d, k);
-      field(i, j, k) += acc;
+      field(i, j, k) = acc;
     }
   };
-  auto add_missing_2d = [&](util::Array2D<double>& field,
-                            const util::Array2D<double>& pre_field, int j,
-                            int dlo, int dhi, int i0, int i1) {
+  auto redo_2d = [&](util::Array2D<double>& field,
+                     const util::Array2D<double>& pre_field, int j, int i0,
+                     int i1) {
     for (int i = i0; i < i1; ++i) {
       double acc = 0.0;
-      for (int d = dlo; d <= dhi; ++d)
+      for (int d = -2; d <= 2; ++d)
         acc += smoothing_y_coeff(ctx.params, d) *
                x_factor2(pre_field, b, i, j + d);
-      field(i, j) += acc;
+      field(i, j) = acc;
     }
   };
 
-  struct RowFix {
-    int j;
-    int dlo, dhi;  // the MISSING offsets to add now
-  };
-  std::vector<RowFix> fixes;
-  if (split_north) {
-    fixes.push_back({0, -2, -1});
-    fixes.push_back({1, -2, -2});
-    fixes.push_back({-1, 1, 2});   // neighbor's last row
-    fixes.push_back({-2, 2, 2});   // neighbor's second-to-last row
-  }
-  if (split_south) {
-    fixes.push_back({lny - 1, 1, 2});
-    fixes.push_back({lny - 2, 2, 2});
-    fixes.push_back({lny, -2, -1});
-    fixes.push_back({lny + 1, -2, -2});
-  }
+  std::vector<int> rows;
+  if (split_north)
+    for (int j : {-2, -1, 0, 1}) rows.push_back(j);
+  if (split_south)
+    for (int j : {lny - 2, lny - 1, lny, lny + 1}) rows.push_back(j);
 
-  for (const RowFix& fix : fixes) {
+  for (int j : rows) {
     for (int k = window.k0; k < window.k1; ++k)
-      add_missing_3d(s.phi(), pre.phi(), fix.j, fix.dlo, fix.dhi, k,
-                     window.i0, window.i1);
-    add_missing_2d(s.psa(), pre.psa(), fix.j, fix.dlo, fix.dhi, window.i0,
-                   window.i1);
+      redo_3d(s.phi(), pre.phi(), j, k, window.i0, window.i1);
+    redo_2d(s.psa(), pre.psa(), j, window.i0, window.i1);
   }
 }
 

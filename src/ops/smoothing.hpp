@@ -7,9 +7,13 @@
 // contributions  P2(phi)_j = sum_{d=-2..2} a_d * X(phi_{j+d})  with X the
 // x-factor and a_{0,+-1,+-2} = {1 - 6b, 4b, -b}, b = beta/16.  Former
 // smoothing (S1) applies the offsets available before the halo exchange;
-// later smoothing (S2) adds the missing ones from the received
-// pre-smoothing rows, fusing the smoothing exchange into the adaptation
-// exchange (Algorithm 2 lines 5-11).
+// later smoothing (S2) recomputes the seam rows as the complete canonical
+// fold from the received pre-smoothing rows, fusing the smoothing exchange
+// into the adaptation exchange (Algorithm 2 lines 5-11).  S2 deliberately
+// overwrites rather than accumulating the missing terms: reproducing the
+// monolithic operator's exact floating-point addition order keeps a
+// y-decomposed trajectory bitwise identical to the serial one, which is
+// what lets checkpoints reshard across py changes bit-for-bit.
 #pragma once
 
 #include "mesh/halo.hpp"
@@ -36,11 +40,12 @@ void apply_smoothing_former(const OpContext& ctx, state::State& s,
                             const mesh::Box& window, bool split_north,
                             bool split_south);
 
-/// Later smoothing S2: adds the missing y-offset contributions to
+/// Later smoothing S2: recomputes the complete P2 fold (canonical d=-2..2
+/// order, matching apply_smoothing bitwise) for
 ///   - own rows {0, 1} (north) / {lny-2, lny-1} (south), and
 ///   - received halo rows {-1, -2} / {lny, lny+1}
 /// reading pre-smoothing values from `pre` (a copy of the state before S1
-/// whose halo rows hold the neighbors' pre-smoothing rows).
+/// whose halo rows hold the neighbors' pre-smoothing rows to depth 4).
 void apply_smoothing_later(const OpContext& ctx, const state::State& pre,
                            state::State& s, const mesh::Box& window,
                            bool split_north, bool split_south);

@@ -38,7 +38,14 @@ struct DiagWorkspace {
   /// (paper eq. 13) plus the column anchors of the last fresh evaluation.
   /// LocalDiag is deliberately absent — it is recomputed fresh at every
   /// operator application.  The enumeration order is the on-disk carry
-  /// order of checkpoint v3; keep it stable (append-only).
+  /// order of checkpoint v3; keep it stable (append-only).  Each field
+  /// is serialized with per-field geometry metadata (global extents,
+  /// halo depths, block origin — util::kReshardableCarryMagic), which is
+  /// what lets a degraded-pool reshard redistribute the carry.  The
+  /// own/base/total anchors are z-decomposition-dependent values, but
+  /// they are recomputed by the collectives inside every fresh
+  /// evaluation before any read, and stale evaluations read only vert —
+  /// so geometric redistribution is safe for all of them.
   std::array<const util::Array3D<double>*, 3> carry_fields_3d() const {
     return {&vert.sdot, &vert.w, &vert.phi_geo};
   }

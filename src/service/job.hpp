@@ -31,6 +31,15 @@ struct JobSpec {
   core::DycoreConfig config;
   /// Decomposition scheme (original core only; CA is always Y-Z).
   core::DecompScheme scheme = core::DecompScheme::kYZ;
+  /// Algorithm switches of the CA core (CA jobs only).  Jobs that must
+  /// stay bitwise across a degraded-pool reshard or elastic
+  /// shrink/re-grow should clear fresh_c_on_block_face — paper mode's
+  /// block-face collectives make the trajectory decomposition-dependent
+  /// (same error class as the approximate iteration).  Exact mode is
+  /// bitwise invariant to the y split; a reshard that changes pz still
+  /// regroups the z-collective partial sums and lands in the same
+  /// round-off class as the original core's cross-shape resume (1e-8).
+  core::CAOptions ca_options{};
   /// Process grid {px, py, pz}; its product is the job's rank demand on
   /// the pool.  Must be {1,1,1} for the serial core.
   std::array<int, 3> dims{1, 1, 1};
@@ -187,10 +196,12 @@ struct Job {
   std::uint64_t dispatch_mark = 0;
   std::chrono::steady_clock::time_point ready_at{};  ///< backoff gate
   int steps_done = 0;       ///< last checkpointed absolute step
-  /// Decomposition the NEXT attempt runs with.  Starts as spec.dims and
+  /// Decomposition the NEXT attempt runs with.  Starts as spec.dims;
   /// shrinks when the pool re-factorizes the job for a permanently
-  /// degraded rank budget (original core only; the CA core's carry is
-  /// decomposition-specific, and serial jobs are always {1,1,1}).
+  /// degraded rank budget or an elastic squeeze under queue pressure,
+  /// and re-grows toward spec.dims when budget returns (distributed
+  /// cores only — the CA carry reshards geometrically; serial jobs are
+  /// always {1,1,1}).
   std::array<int, 3> active_dims;
   /// Non-zero when the on-disk checkpoint set still has the PREVIOUS
   /// decomposition's shape and must be resharded before the next attempt.

@@ -434,7 +434,7 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
           core::OriginalCore core(spec.config, ctx, spec.scheme, dims);
           drive(core, ctx);
         } else {
-          core::CACore core(spec.config, ctx, dims);
+          core::CACore core(spec.config, ctx, dims, spec.ca_options);
           drive(core, ctx);
         }
       });

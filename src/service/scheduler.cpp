@@ -65,6 +65,11 @@ const Job* Scheduler::peek_ready(TimePoint now) const {
   return best;
 }
 
+Job* Scheduler::peek_ready(TimePoint now) {
+  return const_cast<Job*>(
+      static_cast<const Scheduler*>(this)->peek_ready(now));
+}
+
 std::vector<std::shared_ptr<Job>> Scheduler::remove_over_demand(
     int max_ranks) {
   std::vector<std::shared_ptr<Job>> out;

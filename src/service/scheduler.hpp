@@ -65,6 +65,9 @@ class Scheduler {
   /// Best job past its backoff gate regardless of rank fit (what the
   /// pool's preemption logic wants to make room for); null when none.
   const Job* peek_ready(TimePoint now) const;
+  /// Mutable peek for the pool's elastic refit: the job stays queued, but
+  /// the pool may shrink its active_dims in place so the next pop fits.
+  Job* peek_ready(TimePoint now);
 
   /// Earliest backoff expiry among jobs still gated at `now`
   /// (TimePoint::max() when none are gated) — how long a idle worker may

@@ -103,6 +103,8 @@ util::Json EnsembleService::report() {
   svc["max_ranks_in_flight"] = pool_.max_ranks_in_flight();
   svc["preemptions"] = static_cast<double>(pool_.preemptions());
   svc["retries"] = static_cast<double>(pool_.retries());
+  svc["elastic_shrinks"] = static_cast<double>(pool_.elastic_shrinks());
+  svc["elastic_grows"] = static_cast<double>(pool_.elastic_grows());
   svc["rank_seconds_busy"] = pool_.rank_seconds_busy();
   svc["utilization"] =
       wall > 0.0 ? pool_.rank_seconds_busy() /

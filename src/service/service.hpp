@@ -67,6 +67,8 @@ class EnsembleService {
   int max_concurrent_jobs() const { return pool_.max_concurrent_jobs(); }
   std::uint64_t preemptions() const { return pool_.preemptions(); }
   std::uint64_t retries() const { return pool_.retries(); }
+  std::uint64_t elastic_shrinks() const { return pool_.elastic_shrinks(); }
+  std::uint64_t elastic_grows() const { return pool_.elastic_grows(); }
   std::uint64_t jobs_recovered() const { return pool_.jobs_recovered(); }
   std::uint64_t quarantines() const { return pool_.quarantines(); }
   int ranks_retired() const { return pool_.ranks_retired(); }

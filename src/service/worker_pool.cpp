@@ -61,6 +61,7 @@ PoolOptions PoolOptions::from_config(const util::Config& cfg) {
       cfg.get_double("service.quarantine_seconds", o.quarantine_seconds);
   o.aging_rate = cfg.get_double("service.aging_rate", o.aging_rate);
   o.replicate = cfg.get_bool("service.replicate", o.replicate);
+  o.elastic = cfg.get_bool("service.elastic", o.elastic);
   o.delta_chain = cfg.get_int("service.delta_chain", o.delta_chain);
   o.delta_block_bytes = static_cast<std::size_t>(
       cfg.get_long("service.delta_block_bytes",
@@ -82,6 +83,7 @@ WorkerPool::WorkerPool(const PoolOptions& options)
   {
     const util::Config env;
     options_.replicate = env.get_bool("service.replicate", options_.replicate);
+    options_.elastic = env.get_bool("service.elastic", options_.elastic);
     options_.delta_chain =
         env.get_int("service.delta_chain", options_.delta_chain);
   }
@@ -260,6 +262,16 @@ std::uint64_t WorkerPool::retries() const {
   return retries_;
 }
 
+std::uint64_t WorkerPool::elastic_shrinks() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return elastic_shrinks_;
+}
+
+std::uint64_t WorkerPool::elastic_grows() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return elastic_grows_;
+}
+
 double WorkerPool::rank_seconds_busy() const {
   std::lock_guard<std::mutex> lk(mu_);
   int busy = 0;
@@ -386,49 +398,68 @@ void WorkerPool::quarantine_rank(int pool_rank, Clock::time_point now) {
   }
 }
 
-std::string WorkerPool::reshape_job(Job& job, int budget) {
-  if (budget <= 0)
+std::string WorkerPool::refit_job(Job& job, int target) {
+  if (target <= 0)
     return "rank pool permanently degraded: no usable ranks remain";
-  if (job.ranks() <= budget) return {};
   const JobSpec& spec = job.spec;
-  if (spec.core == CoreKind::kCA)
-    return "rank pool permanently degraded below the job's decomposition; "
-           "the CA core's cross-step carry is decomposition-specific and "
-           "cannot be resharded";
-  // Original core: the checkpoint holds plain field state, so the job can
-  // restart on the largest valid process grid that still fits the budget.
-  for (int p = budget; p >= 1; --p) {
-    std::array<int, 3> d;
-    try {
-      const auto g = spec.scheme == core::DecompScheme::kXY
-                         ? util::xy_grid(p)
-                         : util::yz_grid(p, spec.config.nz);
-      d = {g[0], g[1], g[2]};
-    } catch (const std::exception&) {
-      continue;
+  // Never exceed the submitted shape: re-growth stops at spec.dims.
+  target = std::min(target, spec.ranks());
+  // The checkpoint holds plain field state for the serial/original cores
+  // and self-describing reshardable carry blocks for the CA core, so ANY
+  // job can restart on the largest valid process grid that still fits.
+  std::array<int, 3> d{1, 1, 1};
+  bool found = spec.core == CoreKind::kSerial;
+  for (int p = target; p >= 1 && !found; --p) {
+    std::array<int, 3> cand;
+    if (p == spec.ranks()) {
+      // The submitted shape itself is the preferred fit at full demand
+      // (a generated grid of the same rank count may factorize the mesh
+      // differently, and swapping shapes for no rank gain would only
+      // churn reshards).
+      cand = spec.dims;
+    } else {
+      try {
+        const auto g = spec.core != CoreKind::kCA &&
+                               spec.scheme == core::DecompScheme::kXY
+                           ? util::xy_grid(p)
+                           : util::yz_grid(p, spec.config.nz);
+        cand = {g[0], g[1], g[2]};
+      } catch (const std::exception&) {
+        continue;
+      }
     }
     JobSpec probe = spec;
-    probe.dims = d;
+    probe.dims = cand;
     // Validate against the ORIGINAL budget: node_faults may legitimately
-    // name a now-retired pool rank id, and p <= budget already holds.
+    // name a now-retired pool rank id, and p <= target already holds.
     if (!validate(probe, options_.rank_budget).empty()) continue;
-    if (d == job.active_dims) return {};
-    // Only an existing checkpoint set needs resharding; a job that never
-    // checkpointed restarts from step 0 under the new shape directly.
-    std::error_code ec;
-    if (std::filesystem::exists(
-            util::checkpoint_path(job.checkpoint_prefix, 0), ec)) {
-      // Chain-safe: keep the ORIGINAL on-disk shape if an earlier reshape
-      // was scheduled but its reshard has not run yet.
-      if (job.reshard_from == std::array<int, 3>{0, 0, 0})
-        job.reshard_from = job.active_dims;
-    }
-    job.active_dims = d;
-    return {};
+    d = cand;
+    found = true;
   }
-  return "rank pool permanently degraded: no valid decomposition of the "
-         "mesh fits the " +
-         std::to_string(budget) + " usable rank(s)";
+  if (!found)
+    return "rank pool permanently degraded: no valid decomposition of the "
+           "mesh fits the " +
+           std::to_string(target) + " usable rank(s)";
+  if (d == job.active_dims) return {};
+  // The RAM replicas hold the OLD decomposition's block shapes; after the
+  // refit they could only mis-parse, so drop them at the moment the shape
+  // changes (the re-written disk set is the sole restore source).
+  replicas_.erase_prefix(job.checkpoint_prefix);
+  // Only an existing checkpoint set needs resharding; a job that never
+  // checkpointed restarts from step 0 under the new shape directly.
+  std::error_code ec;
+  if (std::filesystem::exists(
+          util::checkpoint_path(job.checkpoint_prefix, 0), ec)) {
+    if (job.reshard_from == std::array<int, 3>{0, 0, 0})
+      job.reshard_from = job.active_dims;
+    else if (job.reshard_from == d)
+      // Refit back to the shape still on disk: nothing to reshard.
+      job.reshard_from = {0, 0, 0};
+    // Otherwise keep the ORIGINAL on-disk shape: an earlier refit was
+    // scheduled but its reshard has not run yet (chain-safe).
+  }
+  job.active_dims = d;
+  return {};
 }
 
 void WorkerPool::fail_job(Job& job, const std::string& error) {
@@ -451,7 +482,7 @@ void WorkerPool::handle_shrunken_budget() {
   const int usable = usable_rank_count();
   auto evicted = scheduler_.remove_over_demand(usable);
   for (auto& j : evicted) {
-    const std::string err = reshape_job(*j, usable);
+    const std::string err = refit_job(*j, usable);
     if (err.empty())
       scheduler_.push(std::move(j));
     else
@@ -466,7 +497,7 @@ bool WorkerPool::push_job_checked(const std::shared_ptr<Job>& job) {
   // retry re-queue.  Demand can exceed the usable count only once a rank
   // has retired (quarantined ranks still count as usable: they return).
   if (ranks_retired_ > 0 && job->ranks() > usable_rank_count()) {
-    const std::string err = reshape_job(*job, usable_rank_count());
+    const std::string err = refit_job(*job, usable_rank_count());
     if (!err.empty()) {
       fail_job(*job, err);
       return false;
@@ -520,6 +551,28 @@ void WorkerPool::worker_loop() {
     const auto gate = stopping_ ? Scheduler::TimePoint::max() : now;
     const auto next_revive = revive_ranks(now);
     if (auto job = scheduler_.pop_ready(gate, free_rank_count())) {
+      // Elastic re-growth: a job squeezed (or degraded-reshaped) below
+      // its submitted decomposition widens back toward spec.dims when the
+      // idle ranks allow it.  pop_ready admitted the job at its CURRENT
+      // demand, and free_rank_count() still counts the ranks this job is
+      // about to take, so growing up to that bound keeps the assignment
+      // below feasible.
+      if (options_.elastic && job->active_dims != job->spec.dims) {
+        const int room = std::min(free_rank_count(), job->spec.ranks());
+        if (room > job->ranks()) {
+          const auto narrow = job->active_dims;
+          if (refit_job(*job, room).empty() && job->active_dims != narrow) {
+            ++elastic_grows_;
+            metrics_.counter("service.elastic_grows").add(1);
+            tracer_.instant("elastic_grow", "service",
+                            "job " + std::to_string(job->id) + " re-grown " +
+                                std::to_string(narrow[0] * narrow[1] *
+                                               narrow[2]) +
+                                " -> " + std::to_string(job->ranks()) +
+                                " rank(s)");
+          }
+        }
+      }
       accrue_busy_time();
       // Back the attempt with concrete pool ranks (lowest ids first, so
       // tests can deterministically target a node by id); the runner maps
@@ -567,9 +620,32 @@ void WorkerPool::worker_loop() {
       continue;
     }
     if (stopping_ && in_flight_ == 0) return;
-    if (const Job* best = scheduler_.peek_ready(gate))
-      if (best->ranks() > free_rank_count())
+    if (Job* best = scheduler_.peek_ready(gate))
+      if (best->ranks() > free_rank_count()) {
+        // Elastic squeeze: a preemptible job that cannot fit the idle
+        // ranks runs narrow on them NOW instead of waiting for
+        // preemption to free its full shape — utilization over width.
+        // Only checkpointing jobs are squeezed (the refit rides on the
+        // checkpoint reshard); when no smaller valid shape fits the free
+        // ranks, fall through to preemption as before.
+        if (options_.elastic && free_rank_count() > 0 &&
+            best->spec.checkpoint_every > 0) {
+          const auto wide = best->active_dims;
+          if (refit_job(*best, free_rank_count()).empty() &&
+              best->active_dims != wide) {
+            ++elastic_shrinks_;
+            metrics_.counter("service.elastic_shrinks").add(1);
+            tracer_.instant("elastic_shrink", "service",
+                            "job " + std::to_string(best->id) +
+                                " squeezed " +
+                                std::to_string(wide[0] * wide[1] * wide[2]) +
+                                " -> " + std::to_string(best->ranks()) +
+                                " rank(s) for idle budget");
+            continue;  // pop it at its narrow shape right away
+          }
+        }
         request_preemption(best->spec.priority, best->ranks());
+      }
     const auto next =
         std::min(scheduler_.next_ready_after(gate), next_revive);
     if (next == Scheduler::TimePoint::max())
@@ -700,7 +776,7 @@ void WorkerPool::execute(const std::shared_ptr<Job>& job) {
       --job->metrics.attempts;
       std::string err;
       if (job->ranks() > usable_rank_count())
-        err = reshape_job(*job, usable_rank_count());
+        err = refit_job(*job, usable_rank_count());
       if (!err.empty()) {
         job->error = err;
         job->state = JobState::kFailed;

@@ -21,7 +21,15 @@
 //     permanently after max_rank_strikes quarantines.  The job re-queues
 //     WITHOUT burning an attempt and resumes from its last checkpoint on
 //     healthy ranks — re-factorized to a smaller process grid when its
-//     shape can no longer fit the surviving budget (original core only).
+//     shape can no longer fit the surviving budget.  This covers every
+//     distributed core: the CA core's cross-step carry travels in the
+//     checkpoint's reshardable carry blocks, so reshard_checkpoints
+//     redistributes it geometrically along with the field interiors;
+//   - elasticity (opt-in, PoolOptions::elastic): under queue pressure a
+//     preemptible job that cannot fit the idle ranks is squeezed to a
+//     smaller valid decomposition and runs narrow instead of waiting for
+//     preemption to free its full shape; when it is next dispatched with
+//     room to spare it re-grows toward its submitted dims.
 #pragma once
 
 #include <condition_variable>
@@ -60,6 +68,14 @@ struct PoolOptions {
   /// each rank deposits its image into the pool's ReplicaStore (self +
   /// ring buddy), and resumes prefer the RAM set over the disk files.
   bool replicate = false;
+  /// Voluntary rank elasticity (config key service.elastic, env
+  /// CA_AGCM_SERVICE_ELASTIC).  On: a preemptible job whose demand does
+  /// not fit the idle ranks is squeezed to the largest valid smaller
+  /// decomposition and runs narrow instead of waiting for preemption,
+  /// re-growing toward its submitted dims when room returns.  Off (the
+  /// default): decompositions change only when the usable budget shrinks
+  /// permanently (a rank retired).
+  bool elastic = false;
   /// Checkpoint delta chaining: > 0 writes at most that many dirty-block
   /// delta files between full bases (0 = full file every cadence).
   int delta_chain = 0;
@@ -74,8 +90,8 @@ struct PoolOptions {
 
   /// Reads service.slots / rank_budget / queue_capacity / checkpoint_dir /
   /// max_rank_strikes / quarantine_seconds / aging_rate / replicate /
-  /// delta_chain / delta_block_bytes plus the obs.* keys (each with the
-  /// usual CA_AGCM_* environment override).
+  /// elastic / delta_chain / delta_block_bytes plus the obs.* keys (each
+  /// with the usual CA_AGCM_* environment override).
   static PoolOptions from_config(const util::Config& cfg);
 };
 
@@ -134,6 +150,11 @@ class WorkerPool {
   int max_ranks_in_flight() const;
   std::uint64_t preemptions() const;
   std::uint64_t retries() const;
+  /// Elastic refits (options().elastic only): jobs squeezed below their
+  /// submitted decomposition to run on idle ranks, and re-grown toward it
+  /// when room returned.
+  std::uint64_t elastic_shrinks() const;
+  std::uint64_t elastic_grows() const;
   /// Integral of ranks-in-use over time [rank-seconds]; utilization is
   /// this over (rank_budget * service wall time).
   double rank_seconds_busy() const;
@@ -181,9 +202,13 @@ class WorkerPool {
   /// dead-rank attempt.
   void quarantine_rank(int pool_rank,
                        std::chrono::steady_clock::time_point now);
-  /// Under lock: shrink `job`'s decomposition to fit `budget` ranks.
-  /// Returns empty on success, else the reason the job cannot run.
-  std::string reshape_job(Job& job, int budget);
+  /// Under lock: refit `job`'s decomposition to the largest valid process
+  /// grid whose rank count fits `target` (capped at the submitted
+  /// spec.dims) — shrinking for a degraded budget or an elastic squeeze,
+  /// re-growing for an elastic expansion.  Schedules a checkpoint reshard
+  /// and drops the stale RAM replicas when the shape actually changes.
+  /// Returns empty on success, else the reason no shape fits.
+  std::string refit_job(Job& job, int target);
   /// Under lock: fail (or reshape) every queued job whose demand exceeds
   /// the permanently usable budget; called after a rank retires.
   void handle_shrunken_budget();
@@ -224,6 +249,8 @@ class WorkerPool {
   int max_ranks_in_flight_ = 0;
   std::uint64_t preemptions_ = 0;
   std::uint64_t retries_ = 0;
+  std::uint64_t elastic_shrinks_ = 0;
+  std::uint64_t elastic_grows_ = 0;
   /// Scheduler dispatch counter backing the jobs' dispatches_overtaken
   /// metric (see Job::dispatch_mark).
   std::uint64_t dispatches_ = 0;

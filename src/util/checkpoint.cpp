@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -169,6 +170,33 @@ std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
 /// content without the base format having to store anything new.
 std::uint64_t base_identity(std::span<const std::byte> image) {
   return crc32(image.first(std::min(sizeof(CheckpointHeader), image.size())));
+}
+
+/// Removes every delta sidecar of `base_path` (`<base>.d<seq>` for any
+/// seq) by a bounded directory scan rather than sequential probing: a
+/// hole in the sequence — a delta deleted by hand, or lost to a crash —
+/// must not shield the orphans behind it from the sweep forever.
+void remove_stale_deltas(const std::string& base_path) {
+  const std::filesystem::path base(base_path);
+  std::filesystem::path dir = base.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string want = base.filename().string() + ".d";
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec), end;
+  std::vector<std::string> victims;
+  for (; !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.size() <= want.size() ||
+        name.compare(0, want.size(), want) != 0)
+      continue;
+    const std::string tail = name.substr(want.size());
+    if (!std::all_of(tail.begin(), tail.end(), [](unsigned char c) {
+          return std::isdigit(c) != 0;
+        }))
+      continue;
+    victims.push_back(it->path().string());
+  }
+  for (const std::string& v : victims) std::remove(v.c_str());
 }
 
 }  // namespace
@@ -567,9 +595,8 @@ void CheckpointSession::write(const mesh::LatLonMesh& mesh,
     base_id_ = base_identity(img);
     // Retire the old chain.  Correctness does not depend on this — the
     // deltas already fail the new base_id — but leaving them would grow
-    // the directory forever.  Stop at the first missing seq.
-    for (int s = 1; std::remove(delta_path(path_, s).c_str()) == 0; ++s) {
-    }
+    // the directory forever.
+    remove_stale_deltas(path_);
     chain_len_ = 0;
     ++stats_.full_writes;
     stats_.bytes_written += img.size();
@@ -624,6 +651,247 @@ std::string reshard_marker_path(const std::string& prefix) {
   return prefix + ".reshard";
 }
 
+/// x-fastest rank layout shared by every reshard path.
+mesh::DomainDecomp reshard_rank_decomp(const mesh::LatLonMesh& mesh,
+                                       std::array<int, 3> dims, int r) {
+  const std::array<int, 3> coords{r % dims[0], (r / dims[0]) % dims[1],
+                                  r / (dims[0] * dims[1])};
+  return mesh::DomainDecomp(mesh, dims, coords);
+}
+
+std::string dims_str(std::array<int, 3> d) {
+  return "{" + std::to_string(d[0]) + "," + std::to_string(d[1]) + "," +
+         std::to_string(d[2]) + "}";
+}
+
+/// One field of a reshardable core-carry block (see the format doc at
+/// kReshardableCarryMagic).  Extent order is {x, y, z}; 2-D fields are
+/// pinned to one z layer with no z halo.
+struct CarryFieldGeom {
+  bool is3d = false;
+  std::array<std::uint64_t, 3> gn{}, ln{}, halo{}, origin{};
+  std::vector<double> data;
+};
+
+struct ParsedCarry {
+  std::uint64_t min_lny = 1, min_lnz = 1;
+  std::vector<std::int64_t> scalars;
+  std::vector<CarryFieldGeom> fields;
+};
+
+ParsedCarry parse_reshardable_carry(std::span<const std::byte> blob,
+                                    const std::string& what) {
+  CarryReader r(blob);
+  if (r.get_u64() != kReshardableCarryMagic)
+    throw std::runtime_error(
+        "reshard_checkpoints: " + what +
+        " carries a decomposition-opaque core-carry block (not the "
+        "reshardable format), so the set cannot be resharded");
+  ParsedCarry pc;
+  pc.min_lny = r.get_u64();
+  pc.min_lnz = r.get_u64();
+  const std::uint64_t nscalars = r.get_u64();
+  if (pc.min_lny == 0 || pc.min_lnz == 0 || nscalars > 1024)
+    throw std::runtime_error("reshard_checkpoints: malformed carry: " + what);
+  pc.scalars.reserve(nscalars);
+  for (std::uint64_t i = 0; i < nscalars; ++i)
+    pc.scalars.push_back(r.get_i64());
+  const std::uint64_t nfields = r.get_u64();
+  if (nfields > 4096)
+    throw std::runtime_error("reshard_checkpoints: malformed carry: " + what);
+  pc.fields.resize(nfields);
+  for (CarryFieldGeom& f : pc.fields) {
+    const std::uint64_t is3d = r.get_u64();
+    if (is3d > 1)
+      throw std::runtime_error(
+          "reshard_checkpoints: malformed carry field tag: " + what);
+    f.is3d = is3d == 1;
+    for (auto* trio : {&f.gn, &f.ln, &f.halo, &f.origin})
+      for (std::uint64_t& v : *trio) v = r.get_u64();
+    std::uint64_t count = 1;
+    for (int d = 0; d < 3; ++d) {
+      if (f.ln[d] == 0 || f.gn[d] == 0 || f.gn[d] > (1u << 24) ||
+          f.halo[d] > (1u << 24) || f.origin[d] + f.ln[d] > f.gn[d] ||
+          (!f.is3d && d == 2 &&
+           (f.gn[2] != 1 || f.ln[2] != 1 || f.halo[2] != 0)))
+        throw std::runtime_error(
+            "reshard_checkpoints: malformed carry field geometry: " + what);
+      count *= f.ln[d] + 2 * f.halo[d];
+    }
+    f.data.resize(count);
+    r.get_doubles(f.data);
+  }
+  r.expect_end();
+  return pc;
+}
+
+/// Redistributes a full set of reshardable carry blobs (one per old
+/// rank) onto the new decomposition.  Each field is assembled on a
+/// halo-padded global grid — owned interiors everywhere, plus the
+/// physical-boundary halo extensions from the edge blocks — and cut
+/// into the new blocks with unchanged halo depths, so internal-seam
+/// halos come out holding the owning block's values, exactly what a
+/// halo exchange would deliver.  Rows that map 1:1 are preserved
+/// bitwise.  Throws on opaque/inconsistent carries or a new shape below
+/// the carry's declared minimum block extents.
+std::vector<std::vector<std::byte>> reshard_carries(
+    const std::string& prefix, const mesh::LatLonMesh& mesh,
+    std::array<int, 3> old_dims, std::array<int, 3> new_dims,
+    const std::vector<std::vector<std::byte>>& blobs) {
+  const int old_count = old_dims[0] * old_dims[1] * old_dims[2];
+  const int new_count = new_dims[0] * new_dims[1] * new_dims[2];
+  if (old_dims[0] != 1 || new_dims[0] != 1)
+    throw std::runtime_error(
+        "reshard_checkpoints: core carries under " + prefix +
+        " can only be resharded across Y-Z process grids (px == 1), got " +
+        dims_str(old_dims) + " -> " + dims_str(new_dims));
+
+  std::vector<ParsedCarry> parsed;
+  parsed.reserve(static_cast<std::size_t>(old_count));
+  for (int r = 0; r < old_count; ++r)
+    parsed.push_back(parse_reshardable_carry(
+        blobs[static_cast<std::size_t>(r)],
+        "rank " + std::to_string(r) + " of " + prefix));
+  const ParsedCarry& ref = parsed[0];
+  for (int r = 1; r < old_count; ++r)
+    if (parsed[r].scalars != ref.scalars ||
+        parsed[r].fields.size() != ref.fields.size() ||
+        parsed[r].min_lny != ref.min_lny ||
+        parsed[r].min_lnz != ref.min_lnz)
+      throw std::runtime_error(
+          "reshard_checkpoints: inconsistent core-carry set under " +
+          prefix);
+
+  // Representability, loudly and before any work: a block smaller than
+  // the carry's declared minimum cannot hold the carried halo rows (for
+  // the CA core this is the ny/py >= 3M + 1 deep-halo bound).
+  for (int r = 0; r < new_count; ++r) {
+    const mesh::DomainDecomp d = reshard_rank_decomp(mesh, new_dims, r);
+    if ((new_dims[1] > 1 &&
+         static_cast<std::uint64_t>(d.lny()) < ref.min_lny) ||
+        (new_dims[2] > 1 &&
+         static_cast<std::uint64_t>(d.lnz()) < ref.min_lnz))
+      throw std::runtime_error(
+          "reshard_checkpoints: core carry under " + prefix +
+          " cannot be resharded to " + dims_str(new_dims) + ": block of "
+          "rank " + std::to_string(r) + " (" + std::to_string(d.lny()) +
+          " x " + std::to_string(d.lnz()) +
+          " in y x z) is below the carry's minimum block extents (" +
+          std::to_string(ref.min_lny) + " x " +
+          std::to_string(ref.min_lnz) + ")");
+  }
+
+  std::vector<std::vector<CarryFieldGeom>> cut(
+      static_cast<std::size_t>(new_count));
+  for (auto& v : cut) v.reserve(ref.fields.size());
+  for (std::size_t fi = 0; fi < ref.fields.size(); ++fi) {
+    const CarryFieldGeom& f0 = ref.fields[fi];
+    const std::int64_t hx = static_cast<std::int64_t>(f0.halo[0]);
+    const std::int64_t hy = static_cast<std::int64_t>(f0.halo[1]);
+    const std::int64_t hz = static_cast<std::int64_t>(f0.halo[2]);
+    const std::int64_t gnx = static_cast<std::int64_t>(f0.gn[0]);
+    const std::int64_t gny = static_cast<std::int64_t>(f0.gn[1]);
+    const std::int64_t gnz = static_cast<std::int64_t>(f0.gn[2]);
+    const std::int64_t gex = gnx + 2 * hx, gey = gny + 2 * hy;
+    std::vector<double> global(
+        static_cast<std::size_t>(gex) * gey * (gnz + 2 * hz), 0.0);
+    auto gat = [&](std::int64_t gi, std::int64_t gj,
+                   std::int64_t gk) -> double& {
+      return global[static_cast<std::size_t>(
+          ((gk + hz) * gey + (gj + hy)) * gex + (gi + hx))];
+    };
+
+    for (int r = 0; r < old_count; ++r) {
+      const CarryFieldGeom& fr = parsed[r].fields[fi];
+      if (fr.is3d != f0.is3d || fr.gn != f0.gn || fr.halo != f0.halo)
+        throw std::runtime_error(
+            "reshard_checkpoints: inconsistent carry field " +
+            std::to_string(fi) + " under " + prefix);
+      const std::array<int, 3> coords{r % old_dims[0],
+                                      (r / old_dims[0]) % old_dims[1],
+                                      r / (old_dims[0] * old_dims[1])};
+      const mesh::Range yb =
+          mesh::block_range(static_cast<int>(gny), old_dims[1], coords[1]);
+      const mesh::Range zb =
+          f0.is3d ? mesh::block_range(static_cast<int>(gnz), old_dims[2],
+                                      coords[2])
+                  : mesh::Range{0, 1};
+      if (fr.ln[0] != f0.gn[0] || fr.origin[0] != 0 ||
+          fr.ln[1] != static_cast<std::uint64_t>(yb.count) ||
+          fr.origin[1] != static_cast<std::uint64_t>(yb.begin) ||
+          fr.ln[2] != static_cast<std::uint64_t>(zb.count) ||
+          fr.origin[2] != static_cast<std::uint64_t>(zb.begin))
+        throw std::runtime_error(
+            "reshard_checkpoints: carry field " + std::to_string(fi) +
+            " of rank " + std::to_string(r) +
+            " does not match its checkpoint block under " + prefix);
+      const std::int64_t lny = yb.count, lnz = zb.count;
+      const std::int64_t y0 = yb.begin, z0 = zb.begin;
+      const std::int64_t lex = gnx + 2 * hx, ley = lny + 2 * hy;
+      const std::int64_t j_lo = y0 == 0 ? -hy : 0;
+      const std::int64_t j_hi = y0 + lny == gny ? lny + hy : lny;
+      const std::int64_t k_lo = z0 == 0 ? -hz : 0;
+      const std::int64_t k_hi = z0 + lnz == gnz ? lnz + hz : lnz;
+      for (std::int64_t k = k_lo; k < k_hi; ++k)
+        for (std::int64_t j = j_lo; j < j_hi; ++j)
+          for (std::int64_t i = -hx; i < gnx + hx; ++i)
+            gat(i, y0 + j, z0 + k) = fr.data[static_cast<std::size_t>(
+                ((k + hz) * ley + (j + hy)) * lex + (i + hx))];
+    }
+
+    for (int r = 0; r < new_count; ++r) {
+      const std::array<int, 3> coords{r % new_dims[0],
+                                      (r / new_dims[0]) % new_dims[1],
+                                      r / (new_dims[0] * new_dims[1])};
+      const mesh::Range yb =
+          mesh::block_range(static_cast<int>(gny), new_dims[1], coords[1]);
+      const mesh::Range zb =
+          f0.is3d ? mesh::block_range(static_cast<int>(gnz), new_dims[2],
+                                      coords[2])
+                  : mesh::Range{0, 1};
+      CarryFieldGeom nf;
+      nf.is3d = f0.is3d;
+      nf.gn = f0.gn;
+      nf.halo = f0.halo;
+      nf.ln = {f0.gn[0], static_cast<std::uint64_t>(yb.count),
+               static_cast<std::uint64_t>(zb.count)};
+      nf.origin = {0, static_cast<std::uint64_t>(yb.begin),
+                   static_cast<std::uint64_t>(zb.begin)};
+      const std::int64_t lny = yb.count, lnz = zb.count;
+      const std::int64_t lex = gnx + 2 * hx, ley = lny + 2 * hy;
+      nf.data.resize(static_cast<std::size_t>(lex) * ley * (lnz + 2 * hz));
+      for (std::int64_t k = -hz; k < lnz + hz; ++k)
+        for (std::int64_t j = -hy; j < lny + hy; ++j)
+          for (std::int64_t i = -hx; i < gnx + hx; ++i)
+            nf.data[static_cast<std::size_t>(((k + hz) * ley + (j + hy)) *
+                                                 lex +
+                                             (i + hx))] =
+                gat(i, yb.begin + j, zb.begin + k);
+      cut[static_cast<std::size_t>(r)].push_back(std::move(nf));
+    }
+  }
+
+  std::vector<std::vector<std::byte>> out(
+      static_cast<std::size_t>(new_count));
+  for (int r = 0; r < new_count; ++r) {
+    CarryWriter w;
+    w.put_u64(kReshardableCarryMagic);
+    w.put_u64(ref.min_lny);
+    w.put_u64(ref.min_lnz);
+    w.put_u64(ref.scalars.size());
+    for (std::int64_t s : ref.scalars) w.put_i64(s);
+    w.put_u64(ref.fields.size());
+    for (const CarryFieldGeom& f : cut[static_cast<std::size_t>(r)]) {
+      w.put_u64(f.is3d ? 1 : 0);
+      for (const auto* trio : {&f.gn, &f.ln, &f.halo, &f.origin})
+        for (std::uint64_t v : *trio) w.put_u64(v);
+      w.put_doubles(f.data);
+    }
+    out[static_cast<std::size_t>(r)] = w.take();
+  }
+  return out;
+}
+
 /// Post-commit half of the reshard protocol, shared by the fresh path
 /// and crash recovery: rename every still-staged file over its final
 /// path (a rank already published keeps its final file), drop stale
@@ -652,11 +920,8 @@ void publish_reshard(const std::string& prefix, int old_count,
     std::remove(checkpoint_path(prefix, r).c_str());
   // The old decomposition's delta chains are meaningless against the
   // resharded bases (their base_id no longer matches anyway).
-  for (int r = 0; r < max_count; ++r) {
-    const std::string base = checkpoint_path(prefix, r);
-    for (int s = 1; std::remove(delta_path(base, s).c_str()) == 0; ++s) {
-    }
-  }
+  for (int r = 0; r < max_count; ++r)
+    remove_stale_deltas(checkpoint_path(prefix, r));
   std::remove(reshard_marker_path(prefix).c_str());
   fsync_parent_dir(reshard_marker_path(prefix));
 }
@@ -729,9 +994,7 @@ void reshard_checkpoints(const std::string& prefix,
       }
   };
   auto rank_decomp = [&](std::array<int, 3> dims, int r) {
-    const std::array<int, 3> coords{r % dims[0], (r / dims[0]) % dims[1],
-                                    r / (dims[0] * dims[1])};
-    return mesh::DomainDecomp(mesh, dims, coords);
+    return reshard_rank_decomp(mesh, dims, r);
   };
 
   // Load every old rank's intact chain tip; a dead-rank set can have
@@ -741,13 +1004,16 @@ void reshard_checkpoints(const std::string& prefix,
   // makes the set genuinely inconsistent.
   std::vector<state::State> locals;
   std::vector<CheckpointHeader> headers;
+  std::vector<std::vector<std::byte>> carries(
+      static_cast<std::size_t>(old_count));
   locals.reserve(static_cast<std::size_t>(old_count));
   std::int64_t min_tip = 0;
   for (int r = 0; r < old_count; ++r) {
     const mesh::DomainDecomp d = rank_decomp(old_dims, r);
     locals.emplace_back(d.lnx(), d.lny(), d.lnz(), state::StateHalo{});
-    const ChainReadResult cr = read_checkpoint_chain(
-        checkpoint_path(prefix, r), mesh, d, locals.back());
+    const ChainReadResult cr =
+        read_checkpoint_chain(checkpoint_path(prefix, r), mesh, d,
+                              locals.back(), &carries[r]);
     headers.push_back(cr.header);
     min_tip = r == 0 ? cr.header.step : std::min(min_tip, cr.header.step);
   }
@@ -756,7 +1022,7 @@ void reshard_checkpoints(const std::string& prefix,
       const mesh::DomainDecomp d = rank_decomp(old_dims, r);
       try {
         headers[r] = read_checkpoint_chain(checkpoint_path(prefix, r),
-                                           mesh, d, locals[r], nullptr,
+                                           mesh, d, locals[r], &carries[r],
                                            {.max_step = min_tip})
                          .header;
       } catch (const std::exception& e) {
@@ -775,15 +1041,32 @@ void reshard_checkpoints(const std::string& prefix,
   const double time_seconds = headers[0].time_seconds;
   locals.clear();
 
+  // A set whose ranks all carry cross-step core state gets the carries
+  // redistributed alongside the prognostic fields; an all-empty set
+  // stays carry-free.  A mix means the ranks checkpointed differently
+  // configured cores — refuse rather than resume half a carry.
+  int with_carry = 0;
+  for (const auto& c : carries) with_carry += c.empty() ? 0 : 1;
+  std::vector<std::vector<std::byte>> new_carries(
+      static_cast<std::size_t>(new_count));
+  if (with_carry == old_count) {
+    new_carries = reshard_carries(prefix, mesh, old_dims, new_dims, carries);
+  } else if (with_carry != 0) {
+    throw std::runtime_error(
+        "reshard_checkpoints: inconsistent checkpoint set under " + prefix +
+        ": " + std::to_string(with_carry) + " of " +
+        std::to_string(old_count) + " ranks carry core state");
+  }
+
   // Stage the new set beside the old one; nothing the resume path reads
   // is touched until every staged file is durably on disk.
   for (int r = 0; r < new_count; ++r) {
     const mesh::DomainDecomp d = rank_decomp(new_dims, r);
     state::State local(d.lnx(), d.lny(), d.lnz(), state::StateHalo{});
     transfer(d, local, /*to_global=*/false);
-    atomic_write_file(
-        checkpoint_path(prefix, r) + ".new",
-        build_checkpoint_image(mesh, d, local, step, time_seconds));
+    atomic_write_file(checkpoint_path(prefix, r) + ".new",
+                      build_checkpoint_image(mesh, d, local, step,
+                                             time_seconds, new_carries[r]));
     fire_hook("staged:" + std::to_string(r));
   }
   // The commit point: one atomic rename publishes the marker.  Crash

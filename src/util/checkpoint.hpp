@@ -124,6 +124,34 @@ class CarryWriter {
   std::vector<std::byte> buf_;
 };
 
+/// Magic prefix of a *reshardable* core-carry block ("CACARRY" + format
+/// version 2).  A carry whose first 8 bytes are this value is fully
+/// self-describing, so reshard_checkpoints can redistribute it across a
+/// new Y-Z decomposition without knowing anything about the core that
+/// wrote it:
+///   u64 magic            = kReshardableCarryMagic
+///   u64 min_lny, min_lnz minimum legal block extents when the y/z
+///                        dimension is split (1 = unconstrained); a
+///                        reshard to smaller blocks fails loudly
+///   u64 n_scalars        then n_scalars i64 values, opaque to the
+///                        resharder but required identical on every rank
+///   u64 n_fields         then per field:
+///     u64 is3d           1 = 3-D field, 0 = 2-D (z extents forced to 1)
+///     u64 gnx, gny, gnz  global interior extents
+///     u64 lnx, lny, lnz  this rank's interior block
+///     u64 hx, hy, hz     halo depths (kept across a reshard)
+///     u64 x0, y0, z0     block origin in the global interior
+///     put_doubles(raw)   the full halo-inclusive x-fastest raw span,
+///                        (lnx+2hx)*(lny+2hy)*(lnz+2hz) doubles
+/// Resharding assembles each field on a halo-padded global grid from the
+/// owned interiors plus the physical-boundary halo extensions (interior
+/// rows win at internal block seams — exactly what a halo exchange would
+/// deliver), then cuts the new blocks with unchanged halo depths.  Rows
+/// that map 1:1 between the decompositions are preserved bitwise.  A
+/// carry with any other magic is decomposition-opaque and makes the
+/// whole set un-reshardable (loud failure).
+inline constexpr std::uint64_t kReshardableCarryMagic = 0x4341434152525902ull;
+
 /// Deserializer for the v3 core-carry block.  Every accessor throws
 /// std::runtime_error on overrun or count mismatch.
 class CarryReader {
@@ -334,9 +362,13 @@ class CheckpointSession {
 /// beyond the new rank count and all delta files are removed at
 /// publish.  This is the degraded-pool recovery path: a job that lost
 /// ranks to quarantine resumes from the resharded set on a smaller
-/// process grid.  Core-carry blocks are NOT preserved (they are
-/// decomposition-specific); callers must only reshard jobs whose core
-/// carries no cross-step state.  Throws std::runtime_error on I/O
+/// process grid.  Core-carry blocks ARE preserved when every rank wrote
+/// a reshardable carry (kReshardableCarryMagic): the carried fields are
+/// redistributed geometrically across the new blocks, bitwise where
+/// rows map 1:1.  A set whose carries are all empty reshards as before
+/// (no carry in the new set); a set with opaque (non-reshardable) or
+/// mixed carries, or a new shape below the carry's declared minimum
+/// block extents, fails loudly.  Throws std::runtime_error on I/O
 /// failure, an unrecoverable set, or any header mismatch.
 void reshard_checkpoints(const std::string& prefix,
                          const mesh::LatLonMesh& mesh,

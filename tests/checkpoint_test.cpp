@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "comm/runtime.hpp"
+#include "core/ca_core.hpp"
 #include "core/exchange.hpp"
 #include "core/original_core.hpp"
 #include "util/checkpoint.hpp"
@@ -707,6 +708,41 @@ TEST(CheckpointDelta, AllDirtyCadenceDegeneratesToAFullBase) {
   remove_chain(path);
 }
 
+TEST(CheckpointDelta, FreshBaseSweepsDeltasPastAHole) {
+  // The stale-delta sweep used to walk `.d1, .d2, ...` and stop at the
+  // first missing file.  A hole in the sequence (a delta removed by an
+  // operator, lost to a disk repair, or swept by a racing cleanup) then
+  // left every later delta behind forever — stale files that are never
+  // read (base_id mismatch) but grow the directory without bound.
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  mesh::DomainDecomp d(mesh, {1, 1, 1}, {0, 0, 0});
+  const std::string path = temp_prefix("chainhole") + ".ckpt";
+  remove_chain(path);
+
+  state::State s = patterned_state(c, 0.0);
+  {
+    CheckpointSession session(path, {.chain_cap = 8, .block_bytes = 4096});
+    for (int step = 1; step <= 5; ++step) {
+      s.u()(0, 0, 0) += 1.0;
+      session.write(mesh, d, s, step, 120.0 * step);  // base + d1..d4
+    }
+  }
+  ASSERT_TRUE(std::filesystem::exists(delta_path(path, 4)));
+  std::remove(delta_path(path, 2).c_str());  // pre-punched hole
+
+  // A fresh session's first write is a full base; its cleanup must sweep
+  // the whole old chain, including the deltas past the hole.
+  {
+    CheckpointSession session(path, {.chain_cap = 8, .block_bytes = 4096});
+    session.write(mesh, d, s, 9, 1080.0);
+  }
+  for (int seq : {1, 3, 4})
+    EXPECT_FALSE(std::filesystem::exists(delta_path(path, seq)))
+        << "stale delta .d" << seq << " survived past the hole";
+  remove_chain(path);
+}
+
 // --- crash-atomic reshard --------------------------------------------------
 
 /// Writes a {1,2,1} checkpoint set whose field values are functions of
@@ -904,6 +940,256 @@ TEST(Checkpoint, RestartedDistributedRunIsIdentical) {
       state::State::max_abs_diff(straight, restarted, straight.interior()),
       0.0)
       << "a restart must be bitwise transparent";
+}
+
+// --- CA carry reshard ------------------------------------------------------
+//
+// The CA core's cross-step carry (deferred smoothing rows, stale C
+// anchors, step counter) is written in the reshardable layout, so a
+// degraded-pool reshard can redistribute it across a new Y-Z
+// decomposition.  In exact mode (fresh_c_on_block_face off,
+// kLinearOrdered z sums) the CA trajectory is bitwise invariant to the
+// y split (S2 recomputes seam rows in the monolithic operator's exact
+// addition order), so any py-change reshard must be bitwise transparent
+// against an uninterrupted reference at the same pz.  Changing pz
+// regroups the z-collective partial sums (each z rank folds its own
+// levels before the rank-ordered combine), so pz-crossing reshards are
+// exact in the carried rows but the resumed trajectory re-associates
+// those sums — round-off class, same bound the core equivalence suite
+// uses.
+
+core::DycoreConfig ca_cfg() {
+  auto c = cfg();  // nx 24, ny 16, nz 8, M 2 -> min CA block: 7 in y, 3 in z
+  c.z_allreduce = comm::AllreduceAlgorithm::kLinearOrdered;
+  return c;
+}
+
+core::CAOptions exact_ca() {
+  core::CAOptions o;
+  o.fresh_c_on_block_face = false;
+  o.approximate_iteration = false;
+  return o;
+}
+
+/// Runs `upto` CA steps on `dims` and checkpoints state + carry per rank
+/// (no finalize: the deferred smoothing stays pending, as at a real
+/// preemption boundary).
+void ca_run_and_checkpoint(const core::DycoreConfig& c,
+                           std::array<int, 3> dims,
+                           const std::string& prefix, int upto) {
+  comm::Runtime::run(dims[0] * dims[1] * dims[2], [&](comm::Context& ctx) {
+    core::CACore core(c, ctx, dims, exact_ca());
+    auto xi = core.make_state();
+    core.initialize(xi, {.kind = state::InitialCondition::kPlanetaryWave});
+    for (int i = 0; i < upto; ++i) core.step(xi);
+    CarryWriter w;
+    core.save_carry(w);
+    write_checkpoint(checkpoint_path(prefix, ctx.world_rank()),
+                     mesh::LatLonMesh(c.nx, c.ny, c.nz), core.decomp(), xi,
+                     upto, upto * c.dt_advect, w.bytes());
+  });
+}
+
+/// Resumes the checkpoint set under `dims`, runs to `total`, finalizes,
+/// and returns the gathered global state.
+state::State ca_resume_and_finish(const core::DycoreConfig& c,
+                                  std::array<int, 3> dims,
+                                  const std::string& prefix, int total) {
+  state::State out;
+  comm::Runtime::run(dims[0] * dims[1] * dims[2], [&](comm::Context& ctx) {
+    core::CACore core(c, ctx, dims, exact_ca());
+    auto xi = core.make_state();
+    std::vector<std::byte> carry;
+    const auto hdr = read_checkpoint(
+        checkpoint_path(prefix, ctx.world_rank()),
+        mesh::LatLonMesh(c.nx, c.ny, c.nz), core.decomp(), xi, &carry);
+    ASSERT_FALSE(carry.empty()) << "resharded set lost the carry block";
+    CarryReader r(carry);
+    core.restore_carry(r);
+    core.refresh_halos(xi, "restart");
+    for (int i = static_cast<int>(hdr.step); i < total; ++i) core.step(xi);
+    core.finalize(xi);
+    auto g = core::gather_global(core.op_context(), ctx, core.topology(), xi);
+    if (ctx.world_rank() == 0) out = std::move(g);
+  });
+  return out;
+}
+
+/// Uninterrupted reference trajectory at `dims`.  Exact mode is bitwise
+/// invariant to the y split, so the reference for a reshard between two
+/// shapes only has to match their pz.
+state::State ca_reference(const core::DycoreConfig& c, int total,
+                          std::array<int, 3> dims = {1, 1, 1}) {
+  state::State out;
+  comm::Runtime::run(dims[0] * dims[1] * dims[2], [&](comm::Context& ctx) {
+    core::CACore core(c, ctx, dims, exact_ca());
+    auto xi = core.make_state();
+    core.initialize(xi, {.kind = state::InitialCondition::kPlanetaryWave});
+    for (int i = 0; i < total; ++i) core.step(xi);
+    core.finalize(xi);
+    auto g = core::gather_global(core.op_context(), ctx, core.topology(), xi);
+    if (ctx.world_rank() == 0) out = std::move(g);
+  });
+  return out;
+}
+
+TEST(CheckpointReshard, CACarryReshardMatrixIsBitwise) {
+  // py-changing reshards at every checkpoint step, shrink and re-grow,
+  // each bit-for-bit against an uninterrupted reference run at the
+  // matching pz (the bitwise equivalence class of the exact-mode CA
+  // trajectory).
+  const auto c = ca_cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  constexpr int kSteps = 4;
+
+  struct Move {
+    std::array<int, 3> from, to, ref;
+    const char* what;
+  };
+  const Move moves[] = {
+      {{1, 2, 1}, {1, 1, 1}, {1, 1, 1}, "shrink 2 -> 1"},
+      {{1, 1, 1}, {1, 2, 1}, {1, 1, 1}, "re-grow 1 -> 2"},
+      {{1, 2, 2}, {1, 1, 2}, {1, 1, 2}, "shrink 4 -> 2 under a z split"},
+      {{1, 1, 2}, {1, 2, 2}, {1, 1, 2}, "re-grow 2 -> 4 under a z split"},
+  };
+  for (const Move& m : moves) {
+    const state::State ref = ca_reference(c, kSteps, m.ref);
+    ASSERT_GT(ref.interior().volume(), 0);
+    for (int s = 1; s < kSteps; ++s) {  // every checkpoint step
+      const std::string prefix =
+          temp_prefix("ca_reshard_matrix") + std::to_string(s);
+      remove_set(prefix);
+      ca_run_and_checkpoint(c, m.from, prefix, s);
+      reshard_checkpoints(prefix, mesh, m.from, m.to);
+      const state::State got = ca_resume_and_finish(c, m.to, prefix, kSteps);
+      EXPECT_DOUBLE_EQ(
+          state::State::max_abs_diff(ref, got, ref.interior()), 0.0)
+          << m.what << " resharded at step " << s
+          << " did not resume bit-for-bit";
+      remove_set(prefix);
+    }
+  }
+}
+
+TEST(CheckpointReshard, CACarryPzCrossingReshardStaysInRoundOffClass) {
+  // Changing pz regroups the z-collective partial sums, so the resumed
+  // trajectory re-associates those folds: the carried rows move exactly,
+  // but the forward run can only match to round-off.  Same bound the
+  // core equivalence suite uses for decomposition invariance.
+  const auto c = ca_cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  constexpr int kSteps = 4;
+  const state::State ref = ca_reference(c, kSteps);
+
+  struct Move {
+    std::array<int, 3> from, to;
+    const char* what;
+  };
+  const Move moves[] = {
+      {{1, 2, 2}, {1, 1, 1}, "shrink 4 -> 1"},
+      {{1, 2, 1}, {1, 1, 2}, "re-split y -> z"},
+  };
+  for (const Move& m : moves)
+    for (int s = 1; s < kSteps; ++s) {
+      const std::string prefix =
+          temp_prefix("ca_reshard_zcross") + std::to_string(s);
+      remove_set(prefix);
+      ca_run_and_checkpoint(c, m.from, prefix, s);
+      reshard_checkpoints(prefix, mesh, m.from, m.to);
+      const state::State got = ca_resume_and_finish(c, m.to, prefix, kSteps);
+      EXPECT_LT(state::State::max_abs_diff(ref, got, ref.interior()), 1e-8)
+          << m.what << " resharded at step " << s
+          << " left the round-off class";
+      remove_set(prefix);
+    }
+}
+
+TEST(CheckpointReshard, CACarryCrashMidReshardRollsForwardBitwise) {
+  // A crash after the commit marker but before publish: recovery must
+  // roll the carry-bearing set forward, and the resumed run must still
+  // be bitwise.
+  const auto c = ca_cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  constexpr int kSteps = 4, kAt = 2;
+  const std::string prefix = temp_prefix("ca_reshard_crash");
+  remove_set(prefix);
+  ca_run_and_checkpoint(c, {1, 2, 1}, prefix, kAt);
+
+  set_checkpoint_test_hook([](const std::string& event) {
+    if (event == "committed")
+      throw std::runtime_error("injected crash after commit");
+  });
+  EXPECT_THROW(reshard_checkpoints(prefix, mesh, {1, 2, 1}, {1, 1, 1}),
+               std::runtime_error);
+  set_checkpoint_test_hook(nullptr);
+  ASSERT_TRUE(std::filesystem::exists(prefix + ".reshard"));
+  EXPECT_TRUE(recover_resharded_checkpoints(prefix));
+
+  const state::State got = ca_resume_and_finish(c, {1, 1, 1}, prefix, kSteps);
+  const state::State ref = ca_reference(c, kSteps);
+  EXPECT_DOUBLE_EQ(state::State::max_abs_diff(ref, got, ref.interior()), 0.0)
+      << "a reshard interrupted mid-publish lost carry bitwise-ness";
+  remove_set(prefix);
+}
+
+TEST(CheckpointReshard, CACarryBelowMinimumBlockFailsLoudly) {
+  // ny 16 over py 3 gives y blocks of 6/5/5, below the carry's declared
+  // minimum of 3M + 1 = 7: genuinely unrepresentable, must fail loudly
+  // and leave the old set intact.
+  const auto c = ca_cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  const std::string prefix = temp_prefix("ca_reshard_toosmall");
+  remove_set(prefix);
+  ca_run_and_checkpoint(c, {1, 1, 1}, prefix, 1);
+  EXPECT_THROW(reshard_checkpoints(prefix, mesh, {1, 1, 1}, {1, 3, 1}),
+               std::runtime_error);
+  // The failed reshard staged nothing: the old set still resumes.
+  const state::State got = ca_resume_and_finish(c, {1, 1, 1}, prefix, 2);
+  const state::State ref = ca_reference(c, 2);
+  EXPECT_DOUBLE_EQ(state::State::max_abs_diff(ref, got, ref.interior()), 0.0);
+  remove_set(prefix);
+}
+
+TEST(CheckpointReshard, OpaqueOrMixedCarryFailsLoudly) {
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+
+  // Opaque: a carry block with an unknown magic cannot be redistributed.
+  {
+    const std::string prefix = temp_prefix("reshard_opaque");
+    remove_set(prefix);
+    CarryWriter w;
+    w.put_u64(0xDEADBEEFull);  // not kReshardableCarryMagic
+    for (int r = 0; r < 2; ++r) {
+      mesh::DomainDecomp d(mesh, {1, 2, 1}, {0, r, 0});
+      state::State s(d.lnx(), d.lny(), d.lnz(), core::halos_for_depth(1));
+      s.fill(1.0);
+      write_checkpoint(checkpoint_path(prefix, r), mesh, d, s, 1, 120.0,
+                       w.bytes());
+    }
+    EXPECT_THROW(reshard_checkpoints(prefix, mesh, {1, 2, 1}, {1, 1, 1}),
+                 std::runtime_error);
+    remove_set(prefix);
+  }
+
+  // Mixed: one rank with a carry, one without — ambiguous, refuse loudly.
+  {
+    const auto cc = ca_cfg();
+    mesh::LatLonMesh m2(cc.nx, cc.ny, cc.nz);
+    const std::string prefix = temp_prefix("reshard_mixed");
+    remove_set(prefix);
+    ca_run_and_checkpoint(cc, {1, 2, 1}, prefix, 1);
+    // Rewrite rank 1's file without its carry block.
+    mesh::DomainDecomp d(m2, {1, 2, 1}, {0, 1, 0});
+    state::State s(d.lnx(), d.lny(), d.lnz(),
+                   core::halos_for_depth(3 * cc.M));
+    read_checkpoint(checkpoint_path(prefix, 1), m2, d, s);
+    write_checkpoint(checkpoint_path(prefix, 1), m2, d, s, 1,
+                     cc.dt_advect);
+    EXPECT_THROW(reshard_checkpoints(prefix, m2, {1, 2, 1}, {1, 1, 1}),
+                 std::runtime_error);
+    remove_set(prefix);
+  }
 }
 
 }  // namespace

@@ -191,6 +191,44 @@ TEST(Tracer, FlightDumpWritesReadablePostmortem) {
             "rank 1 silent past heartbeat");
 }
 
+TEST(Tracer, SecondIncidentNeverClobbersTheFirstDump) {
+  // Two incidents in one run — or two jobs whose rank ids collide — used
+  // to share obs_dump_rank<r>.json, the later truncating the earlier
+  // postmortem.  The first dump keeps the legacy name; later ones get a
+  // monotonic .incident<seq> suffix.  The sequence is probe-based, so it
+  // survives Tracer reconstruction across attempts (each attempt builds
+  // fresh tracers whose in-memory counters restart).
+  const std::string dir = temp_dir("dump_noclobber");
+  TraceOptions o = ring_opts();
+  o.dump_dir = dir;
+
+  Tracer first;
+  first.configure(o, /*tid=*/3);
+  first.instant("peer_dead", "comm", "incident one");
+  const std::string p0 = first.dump_flight("first incident");
+  EXPECT_EQ(p0, dir + "/obs_dump_rank3.json");
+
+  Tracer second;  // a fresh tracer, as a retried attempt would build
+  second.configure(o, /*tid=*/3);
+  second.instant("peer_dead", "comm", "incident two");
+  const std::string p1 = second.dump_flight("second incident");
+  EXPECT_EQ(p1, dir + "/obs_dump_rank3.incident1.json");
+  const std::string p2 = second.dump_flight("third incident");
+  EXPECT_EQ(p2, dir + "/obs_dump_rank3.incident2.json");
+
+  // The first postmortem is intact, and each dump kept its own reason.
+  auto reason_of = [](const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return util::Json::parse(ss.str()).find("reason")->as_string();
+  };
+  EXPECT_EQ(reason_of(p0), "first incident");
+  EXPECT_EQ(reason_of(p1), "second incident");
+  EXPECT_EQ(reason_of(p2), "third incident");
+}
+
 // --- merged multi-rank export ----------------------------------------------
 
 core::DycoreConfig small_cfg() {

@@ -50,6 +50,16 @@ core::DycoreConfig soak_config() {
   return c;
 }
 
+/// Exact-mode CA switches: block-wide fresh C and no stale-C reuse keep
+/// the trajectory bitwise invariant to the y split, so a py-changing
+/// reshard resumes bit-for-bit against any same-pz reference.
+core::CAOptions exact_ca_options() {
+  core::CAOptions o;
+  o.fresh_c_on_block_face = false;
+  o.approximate_iteration = false;
+  return o;
+}
+
 std::string temp_dir(const char* tag) {
   const auto p = std::filesystem::temp_directory_path() /
                  (std::string("ca_service_soak_") + tag);
@@ -77,6 +87,26 @@ void expect_bitwise(const state::State& got, const state::State& want,
   EXPECT_EQ(diff, 0.0) << name << ": service result diverged from solo run";
 }
 
+/// Pins a test to fixed job shapes: under the CI elastic leg's env
+/// override the scheduler may squeeze a queued wide job to a narrower
+/// decomposition, which paper-mode CA does not survive bitwise — that
+/// path is covered by the exact-mode CAElasticSqueezeAndRegrowBitwise
+/// test below.  Restores the variable on destruction.
+struct ScopedUnsetEnv {
+  explicit ScopedUnsetEnv(const char* name) : name_(name) {
+    const char* v = ::getenv(name);
+    had_ = v != nullptr;
+    if (had_) saved_ = v;
+    ::unsetenv(name);
+  }
+  ~ScopedUnsetEnv() {
+    if (had_) ::setenv(name_, saved_.c_str(), 1);
+  }
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
 void await_running(EnsembleService& svc, int id) {
   const auto start = Clock::now();
   while (svc.state(id) == JobState::kQueued) {
@@ -87,6 +117,7 @@ void await_running(EnsembleService& svc, int id) {
 }
 
 TEST(ServiceSoak, MixedQueueCompletesOrFailsTerminally) {
+  const ScopedUnsetEnv elastic_off("CA_AGCM_SERVICE_ELASTIC");
   const core::DycoreConfig cfg = soak_config();
   const std::string dir = temp_dir("mixed");
   const auto start = Clock::now();
@@ -226,6 +257,7 @@ TEST(ServiceSoak, CAPreemptResumeBitwise) {
   // low priority makes it the eviction victim as soon as the
   // high-priority job arrives, so the yield lands mid-run where the
   // carry actually matters (between the stale-C step pair).
+  const ScopedUnsetEnv elastic_off("CA_AGCM_SERVICE_ELASTIC");
   const core::DycoreConfig cfg = soak_config();
   const std::string dir = temp_dir("ca_preempt");
   const auto start = Clock::now();
@@ -269,6 +301,103 @@ TEST(ServiceSoak, CAPreemptResumeBitwise) {
   ASSERT_GE(rc.metrics.preemptions, 1)
       << "the CA job was never preempted; the scenario is vacuous";
   expect_bitwise(rc.final_state, reference, caj.name);
+}
+
+void await_completed(EnsembleService& svc, int id) {
+  const auto start = Clock::now();
+  while (svc.state(id) != JobState::kCompleted) {
+    ASSERT_LT(elapsed_seconds(start), 60.0) << "job " << id << " never done";
+    ASSERT_NE(svc.state(id), JobState::kFailed) << svc.result(id).error;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+TEST(ServiceSoak, CAElasticSqueezeAndRegrowBitwise) {
+  // Voluntary elasticity end to end.  A wide CA job arriving while a
+  // high-priority blocker holds half the budget is squeezed onto the idle
+  // ranks (it runs narrow NOW instead of waiting for its full shape);
+  // when it later re-enters the queue against a freed budget it re-grows
+  // to its submitted decomposition, resharding its checkpoint set across
+  // the py change.  Exact-mode CA is bitwise invariant to the y split and
+  // every shape in play keeps pz = 2, so the squeezed-then-regrown
+  // trajectory must land bit-for-bit on the uninterrupted {1,2,2} run.
+  const core::DycoreConfig cfg = soak_config();
+  const std::string dir = temp_dir("ca_elastic");
+  const auto start = Clock::now();
+
+  ServiceOptions opt;
+  opt.slots = 2;
+  opt.rank_budget = 4;
+  opt.checkpoint_dir = dir;
+  opt.elastic = true;
+
+  // Phase 1 blocker: holds 2 of the 4 ranks so the wide CA submit finds
+  // a non-empty but insufficient idle budget — the squeeze precondition.
+  JobSpec blocker;
+  blocker.name = "blocker";
+  blocker.core = CoreKind::kOriginal;
+  blocker.config = cfg;
+  blocker.dims = {1, 2, 1};
+  blocker.steps = 4;
+  blocker.priority = 10;
+
+  JobSpec caj;
+  caj.name = "ca_elastic";
+  caj.core = CoreKind::kCA;
+  caj.config = cfg;
+  caj.ca_options = exact_ca_options();
+  caj.dims = {1, 2, 2};  // squeeze target yz_grid(2, 8) = {1,1,2}: same pz
+  caj.steps = 12;
+  caj.priority = 0;
+  caj.checkpoint_every = 1;
+
+  // Phase 2 evictor: needs the whole budget, so the narrow CA job must
+  // yield; once the evictor finishes, the CA job re-enters against four
+  // idle ranks and the pop-side re-growth widens it back to spec.dims.
+  JobSpec evictor;
+  evictor.name = "evictor";
+  evictor.core = CoreKind::kOriginal;
+  evictor.config = cfg;
+  evictor.dims = {1, 2, 2};
+  evictor.steps = 2;
+  evictor.priority = 10;
+
+  const state::State reference = solo_run(caj, dir + "/solo_ca");
+
+  EnsembleService svc(opt);
+  const int B = svc.submit(blocker);
+  await_running(svc, B);
+  const int C = svc.submit(caj);
+  // The squeeze happens on the scheduler thread before the job is popped,
+  // so by the time it runs it already runs narrow.
+  await_running(svc, C);
+  ASSERT_GE(svc.elastic_shrinks(), 1u)
+      << "the wide CA job was not squeezed onto the idle ranks";
+  await_completed(svc, B);
+  const int E = svc.submit(evictor);
+  svc.drain();
+  EXPECT_LT(elapsed_seconds(start), kWallClockBound) << "soak hung";
+
+  EXPECT_EQ(svc.state(B), JobState::kCompleted);
+  EXPECT_EQ(svc.state(E), JobState::kCompleted);
+  const JobResult rc = svc.result(C);
+  ASSERT_EQ(rc.state, JobState::kCompleted) << rc.error;
+  EXPECT_GE(rc.metrics.preemptions, 1)
+      << "the evictor never displaced the narrow CA job";
+  EXPECT_GE(svc.elastic_grows(), 1u)
+      << "the CA job never re-grew to its submitted decomposition";
+  // Squeezes and re-grows ride on checkpoint reshards: the only
+  // re-dispatches are the preemption yields themselves, never a failed
+  // attempt (a mis-resharded carry would surface here as a retry).
+  EXPECT_EQ(rc.metrics.attempts, 1 + rc.metrics.preemptions);
+  expect_bitwise(rc.final_state, reference, caj.name);
+
+  const util::Json report = svc.report();
+  EXPECT_EQ(validate_report(report), "");
+  const util::Json* s = report.find("service");
+  ASSERT_NE(s, nullptr);
+  EXPECT_GE(s->find("elastic_shrinks")->as_double(), 1.0);
+  EXPECT_GE(s->find("elastic_grows")->as_double(), 1.0);
 }
 
 TEST(ServiceSoak, ConcurrentShutdownIsSafe) {
