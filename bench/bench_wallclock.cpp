@@ -43,7 +43,9 @@
 #include "comm/runtime.hpp"
 #include "obs/trace.hpp"
 #include "core/ca_core.hpp"
+#include "core/diagnostics.hpp"
 #include "core/exchange.hpp"
+#include "core/health.hpp"
 #include "core/original_core.hpp"
 #include "core/serial_core.hpp"
 #include "util/checkpoint.hpp"
@@ -213,6 +215,13 @@ std::string validate(const util::Json& doc) {
        {"disabled_span_seconds", "spans_per_step", "overhead_fraction"})
     if (obs->find(key) == nullptr)
       return std::string("obs missing '") + key + "'";
+  const util::Json* health = doc.find("health");
+  if (health == nullptr || !health->is_object())
+    return "missing health object";
+  for (const char* key :
+       {"check_seconds", "reference_step_seconds", "overhead_fraction"})
+    if (health->find(key) == nullptr)
+      return std::string("health missing '") + key + "'";
   return {};
 }
 
@@ -689,6 +698,68 @@ int main(int argc, char** argv) {
     obs["overhead_fraction"] = overhead_fraction;
     obs["traced_twin_events"] = collector.event_count();
     doc["obs"] = std::move(obs);
+  }
+
+  // Numerical-health sentinel overhead gate: at the service's default
+  // cadence (a check every step) the sentinel's whole per-step cost — one
+  // local_diagnostics sweep plus the verdict logic — must stay under 1%
+  // of a dynamics step.  At cadence 0 the campaign loop never evaluates
+  // any of it (the entire block sits behind health.enabled()), so the
+  // disabled overhead is zero by construction and is reported as such.
+  {
+    core::SerialCore score(cfg);
+    auto xi = score.make_state();
+    state::InitialOptions ic;
+    ic.kind = state::InitialCondition::kPlanetaryWave;
+    score.initialize(xi, ic);
+    score.run(xi, 1);  // measure on a physical state, not the IC
+    core::HealthOptions hopts;
+    hopts.cadence = 1;
+    core::HealthSentinel sentinel(hopts);
+    constexpr int kCheckIters = 200;
+    util::Timer check_timer;
+    for (int i = 0; i < kCheckIters; ++i) {
+      const core::GlobalDiag d =
+          core::local_diagnostics(score.op_context(), xi);
+      if (!sentinel.check(d).empty()) {
+        std::fprintf(stderr,
+                     "FAIL: sentinel tripped on a healthy bench state\n");
+        ok = false;
+        break;
+      }
+    }
+    const double check_seconds = check_timer.seconds() / kCheckIters;
+
+    // Reference: the serial case's per-step wall measured above (the
+    // sentinel check is rank-local up to one small allreduce, so the
+    // serial step is the honest denominator).
+    double ref_step_seconds = 0.0;
+    for (std::size_t i = 0; i < cases.size(); ++i)
+      if (cases[i].label == "serial") ref_step_seconds = results[i].wall / steps;
+    const double overhead_fraction =
+        ref_step_seconds > 0.0 ? check_seconds / ref_step_seconds : 0.0;
+    std::printf(
+        "health sentinel: %.2f us/check at cadence 1 (%.4f%% of the serial "
+        "%.2f ms step; exactly 0 at cadence 0)\n",
+        1e6 * check_seconds, 1e2 * overhead_fraction, 1e3 * ref_step_seconds);
+    if (ref_step_seconds <= 0.0) {
+      std::fprintf(stderr, "FAIL: health gate found no serial reference\n");
+      ok = false;
+    } else if (overhead_fraction >= 0.01) {
+      std::fprintf(stderr,
+                   "FAIL: sentinel overhead %.4f%% of a step at cadence 1 "
+                   "(< 1%% required)\n",
+                   1e2 * overhead_fraction);
+      ok = false;
+    }
+
+    util::Json health = util::Json::object();
+    health["check_seconds"] = check_seconds;
+    health["reference_case"] = "serial";
+    health["reference_step_seconds"] = ref_step_seconds;
+    health["overhead_fraction"] = overhead_fraction;
+    health["disabled_overhead_fraction"] = 0.0;  // cadence 0: nothing runs
+    doc["health"] = std::move(health);
   }
 
   {

@@ -42,6 +42,8 @@ bool scope_matches(const FaultRule& r, std::string_view phase, int src,
 
 FaultSummary FaultCounters::summary() const {
   FaultSummary s;
+  s.injected_state_corrupt = injected_state_corrupt.load();
+  s.detected_numeric = detected_numeric.load();
   s.injected_delay = injected_delay.load();
   s.injected_duplicate = injected_duplicate.load();
   s.injected_drop = injected_drop.load();
@@ -69,9 +71,11 @@ FaultPlan::Injection FaultPlan::decide(std::string_view phase, int src,
   for (std::size_t i = 0; i < rules_.size(); ++i) {
     const FaultRule& r = rules_[i];
     if (r.kind == FaultKind::kStall || r.kind == FaultKind::kKillRank ||
-        r.kind == FaultKind::kHangRank)
+        r.kind == FaultKind::kHangRank ||
+        r.kind == FaultKind::kCorruptState)
       continue;
     if (r.probability <= 0.0) continue;
+    if (r.attempt > 0 && r.attempt != attempt_) continue;
     if (!scope_matches(r, phase, src, dst, tag)) continue;
     if (roll(seed_, i, key_a, key_b, key_c, seq) >= r.probability) continue;
     switch (r.kind) {
@@ -102,6 +106,7 @@ FaultPlan::Injection FaultPlan::decide(std::string_view phase, int src,
       case FaultKind::kStall:
       case FaultKind::kKillRank:
       case FaultKind::kHangRank:
+      case FaultKind::kCorruptState:
         break;
     }
   }
@@ -113,6 +118,7 @@ int FaultPlan::stall_polls(int rank, std::uint64_t step) const {
   for (std::size_t i = 0; i < rules_.size(); ++i) {
     const FaultRule& r = rules_[i];
     if (r.kind != FaultKind::kStall || r.probability <= 0.0) continue;
+    if (r.attempt > 0 && r.attempt != attempt_) continue;
     if (r.src != kAnySource && r.src != rank) continue;
     if (roll(seed_, i, static_cast<std::uint64_t>(rank) + 1, step,
              0x5741ull, 0) >= r.probability)
@@ -131,6 +137,7 @@ FaultPlan::StepFault FaultPlan::step_fault(int rank,
     const FaultRule& r = rules_[i];
     if (r.kind != FaultKind::kKillRank && r.kind != FaultKind::kHangRank)
       continue;
+    if (r.attempt > 0 && r.attempt != attempt_) continue;
     if (r.src != kAnySource && r.src != rank) continue;
     if (r.step >= 0) {
       if (step != static_cast<std::uint64_t>(r.step)) continue;
@@ -148,6 +155,34 @@ FaultPlan::StepFault FaultPlan::step_fault(int rank,
       if (sf.hang_ms == 0)
         counters_->injected_hang.fetch_add(1, std::memory_order_relaxed);
       sf.hang_ms = std::max(sf.hang_ms, std::max(1, r.param));
+    }
+  }
+  return sf;
+}
+
+FaultPlan::StateFault FaultPlan::state_fault(int rank,
+                                             std::uint64_t step) const {
+  StateFault sf;
+  if (!enabled()) return sf;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& r = rules_[i];
+    if (r.kind != FaultKind::kCorruptState) continue;
+    if (r.attempt > 0 && r.attempt != attempt_) continue;
+    if (r.src != kAnySource && r.src != rank) continue;
+    if (r.step >= 0) {
+      if (step != static_cast<std::uint64_t>(r.step)) continue;
+    } else {
+      if (r.probability <= 0.0) continue;
+      if (roll(seed_, i, static_cast<std::uint64_t>(rank) + 1, step,
+               0xbadfull, 0) >= r.probability)
+        continue;
+    }
+    if (!sf.fire) {
+      sf.fire = true;
+      sf.field = std::clamp(r.param / 10, 0, 3);
+      sf.mode = std::clamp(r.param % 10, 0, 2);
+      counters_->injected_state_corrupt.fetch_add(1,
+                                                  std::memory_order_relaxed);
     }
   }
   return sf;
@@ -196,6 +231,24 @@ FaultPlan FaultPlan::from_config(const util::Config& cfg) {
   add_step(FaultKind::kKillRank, "kill_rank", "kill_step", 1);
   add_step(FaultKind::kHangRank, "hang_rank", "hang_step",
            f.get_int("hang_ms", 500));
+
+  // Numerical fault: poke one prognostic cell on the scoped rank.  Fires
+  // on attempt 1 only by default — the point of the chaos suite is to
+  // prove the ROLLBACK completes clean, so the retry must not re-poke.
+  {
+    const double p = f.get_double("corrupt_state", 0.0);
+    const int step = f.get_int("corrupt_state_step", -1);
+    if (p > 0.0 || step >= 0) {
+      FaultRule r = scope;
+      r.kind = FaultKind::kCorruptState;
+      r.probability = p;
+      r.step = step;
+      r.param = f.get_int("corrupt_state_field", 0) * 10 +
+                f.get_int("corrupt_state_mode", 0);
+      r.attempt = f.get_int("corrupt_state_attempt", 1);
+      plan.add_rule(r);
+    }
+  }
   return plan;
 }
 

@@ -51,6 +51,13 @@ enum class FaultKind {
   /// step boundary without stamping its heartbeat — long enough hangs
   /// trip the peers' watchdog exactly like a kill.
   kHangRank,
+  /// Numerical fault: an in-memory poke of one prognostic field cell on
+  /// the matching rank right after the step completes (NaN, Inf, or an
+  /// out-of-bounds value per `param` — see FaultPlan::state_fault).  The
+  /// comm layer never executes this one; the service's runner queries
+  /// state_fault() from the campaign's on_step_state hook and performs
+  /// the poke, which the numerical-health sentinel must then detect.
+  kCorruptState,
 };
 
 /// One injection rule.  Unset scopes (empty phase, kAnyTag, kAnySource)
@@ -67,10 +74,16 @@ struct FaultRule {
   /// kStall: poll intervals slept per stalled step; kHangRank:
   /// milliseconds the rank hangs.
   int param = 1;
-  /// kKillRank / kHangRank trigger step: >= 0 fires exactly at that step
-  /// boundary (0-based count of Context::notify_step calls within one
-  /// run); < 0 rolls `probability` at every step instead.
+  /// kKillRank / kHangRank / kCorruptState trigger step: >= 0 fires
+  /// exactly at that step boundary (0-based count of Context::notify_step
+  /// calls within one run); < 0 rolls `probability` at every step instead.
   int step = -1;
+  /// Attempt scope: 0 matches every attempt; n > 0 matches only the n-th
+  /// attempt (1-based, see FaultPlan::set_attempt).  Fixed-step rules
+  /// would otherwise re-fire identically on every retry — the per-attempt
+  /// reseed only perturbs probability rolls — so a transient fault that a
+  /// rollback must survive is expressed as `attempt = 1`.
+  int attempt = 0;
 };
 
 /// Shared event counters (atomic: senders inject, receivers detect and
@@ -83,9 +96,13 @@ struct FaultCounters {
   std::atomic<std::uint64_t> injected_stall{0};
   std::atomic<std::uint64_t> injected_kill{0};
   std::atomic<std::uint64_t> injected_hang{0};
+  std::atomic<std::uint64_t> injected_state_corrupt{0};
   std::atomic<std::uint64_t> detected_checksum{0};
   std::atomic<std::uint64_t> detected_timeout{0};
   std::atomic<std::uint64_t> detected_peer_dead{0};
+  /// NumericalError incidents the health sentinel raised while injection
+  /// was active (stamped by the service's runner, not the comm layer).
+  std::atomic<std::uint64_t> detected_numeric{0};
   std::atomic<std::uint64_t> recovered_delay{0};
   std::atomic<std::uint64_t> recovered_duplicate{0};
   std::atomic<std::uint64_t> recovered_drop{0};
@@ -102,7 +119,10 @@ class FaultPlan {
   /// faults.enabled, faults.seed, per-kind probabilities faults.drop /
   /// duplicate / delay / corrupt / stall, the shared scope faults.phase /
   /// tag / src / dst, and the parameters faults.delay_polls /
-  /// corrupt_bytes / stall_polls.
+  /// corrupt_bytes / stall_polls.  Numerical faults read
+  /// faults.corrupt_state (probability), corrupt_state_step,
+  /// corrupt_state_mode, corrupt_state_field, and corrupt_state_attempt
+  /// (default 1: fire on the first attempt only, so the retry is clean).
   static FaultPlan from_config(const util::Config& cfg);
 
   void add_rule(FaultRule rule) { rules_.push_back(std::move(rule)); }
@@ -137,12 +157,31 @@ class FaultPlan {
   };
   StepFault step_fault(int rank, std::uint64_t step) const;
 
+  /// Numerical fault decision right after a step (kCorruptState rules;
+  /// evaluated by the service runner's on_step_state hook).  `param`
+  /// encodes field * 10 + mode: field 0 = u, 1 = v, 2 = phi, 3 = psa;
+  /// mode 0 = NaN, 1 = Inf, 2 = out-of-bounds finite (1e30).
+  struct StateFault {
+    bool fire = false;
+    int field = 0;
+    int mode = 0;
+    bool any() const { return fire; }
+  };
+  StateFault state_fault(int rank, std::uint64_t step) const;
+
+  /// 1-based attempt number the next run executes under; rules with an
+  /// `attempt` scope match only when it equals this.  The runner calls
+  /// this right before each attempt, alongside the per-attempt reseed.
+  void set_attempt(int attempt) { attempt_ = attempt; }
+  int attempt() const { return attempt_; }
+
   FaultCounters& counters() const { return *counters_; }
   FaultSummary summary() const { return counters_->summary(); }
 
  private:
   bool enabled_ = true;
   std::uint64_t seed_ = 0;
+  int attempt_ = 1;
   std::vector<FaultRule> rules_;
   /// Shared so FaultPlan stays copyable (copies share the counters).
   std::shared_ptr<FaultCounters> counters_ =

@@ -4,11 +4,13 @@ namespace ca::comm {
 
 std::uint64_t FaultSummary::injected_total() const {
   return injected_delay + injected_duplicate + injected_drop +
-         injected_corrupt + injected_stall + injected_kill + injected_hang;
+         injected_corrupt + injected_stall + injected_kill + injected_hang +
+         injected_state_corrupt;
 }
 
 std::uint64_t FaultSummary::detected_total() const {
-  return detected_checksum + detected_timeout + detected_peer_dead;
+  return detected_checksum + detected_timeout + detected_peer_dead +
+         detected_numeric;
 }
 
 std::uint64_t FaultSummary::recovered_total() const {

@@ -38,10 +38,15 @@ struct FaultSummary {
   std::uint64_t injected_stall = 0;
   std::uint64_t injected_kill = 0;
   std::uint64_t injected_hang = 0;
+  /// In-memory prognostic-state pokes (kCorruptState numerical faults).
+  std::uint64_t injected_state_corrupt = 0;
   std::uint64_t detected_checksum = 0;
   std::uint64_t detected_timeout = 0;
   /// Receives abandoned by the heartbeat watchdog (PeerDeadError).
   std::uint64_t detected_peer_dead = 0;
+  /// NumericalError incidents raised by the health sentinel under
+  /// injection (the detection side of kCorruptState).
+  std::uint64_t detected_numeric = 0;
   std::uint64_t recovered_delay = 0;
   std::uint64_t recovered_duplicate = 0;
   std::uint64_t recovered_drop = 0;

@@ -17,6 +17,7 @@
 #include "comm/collectives.hpp"
 #include "comm/context.hpp"
 #include "core/diagnostics.hpp"
+#include "core/health.hpp"
 #include "mesh/latlon.hpp"
 #include "physics/held_suarez.hpp"
 #include "util/checkpoint.hpp"
@@ -60,6 +61,22 @@ struct CampaignOptions {
   /// Serial cores have no Context, so this is where the service's runner
   /// injects process-level faults (kill/hang) into serial campaigns.
   std::function<void(int step_index)> on_step;
+  /// Called right after each step (and its forcing) with the same
+  /// attempt-local index and MUTABLE state: the hook the service's runner
+  /// uses to inject corrupt_state faults (an in-memory poke of a
+  /// prognostic field) without the core layer knowing about fault plans.
+  /// Runs before the health check of the same step, so an injected
+  /// corruption is detectable within one sentinel cadence.
+  std::function<void(int step_index, state::State& xi)> on_step_state;
+  /// Numerical-health sentinel (default OFF here; the ensemble service
+  /// defaults it ON — see core/health.hpp).  Checked every
+  /// health.cadence steps, before every checkpoint write, and at the
+  /// final step; a tripped check throws NumericalError at the step
+  /// boundary on every rank together (the verdict derives from the
+  /// allreduced diagnostics, so ranks cannot disagree).  Because the
+  /// pre-write check gates every checkpoint, a sentinel-on campaign
+  /// never persists (or replicates) an unhealthy state.
+  HealthOptions health{};
   /// Optional override of the checkpoint write itself.  Null (the
   /// default) writes a full v3 file via util::write_checkpoint; the
   /// service's runner installs a hook here to route the cadence through
@@ -67,9 +84,13 @@ struct CampaignOptions {
   /// to a buddy rank.  The hook runs at exactly the point the default
   /// write would — after the collective yield barrier — so the
   /// consistency argument for the per-rank checkpoint set is unchanged.
+  /// `health_verdict` is the header flag the write must record
+  /// (util::CheckpointHeader::health): 1 when the sentinel verified the
+  /// state this step, 0 for unverified (sentinel off).
   std::function<void(const mesh::LatLonMesh& mesh, const state::State& xi,
                      std::int64_t step, double t,
-                     std::span<const std::byte> carry)>
+                     std::span<const std::byte> carry,
+                     std::uint32_t health_verdict)>
       write_checkpoint;
 };
 
@@ -95,6 +116,7 @@ int run_campaign(Core& core, comm::Context* comm_ctx, state::State& xi,
                         ? options.start_time_seconds
                         : options.start_step * core.config().dt_advect;
   int executed = 0;
+  HealthSentinel sentinel(options.health);
   // One span per campaign (= per attempt) frames this rank's timeline in
   // the merged trace: everything the step loop does — steps, forcing,
   // diagnostics, yield barriers, checkpoint writes — nests inside it.
@@ -111,6 +133,37 @@ int run_campaign(Core& core, comm::Context* comm_ctx, state::State& xi,
       options.forcing->apply(xi, fdt);
     }
     ++executed;
+    if (options.on_step_state)
+      options.on_step_state(step - options.start_step - 1, xi);
+
+    const bool checkpoint_due = options.checkpoint_every > 0 &&
+                                step % options.checkpoint_every == 0;
+    // Sentinel check: at the cadence, before EVERY checkpoint write (so
+    // an unhealthy state is never persisted or replicated — containment,
+    // not just detection), and at the final step (a completed job's
+    // gathered state is verified).  Absolute-step cadence, like the
+    // diagnostics/checkpoint cadences: a resumed run checks at exactly
+    // the steps an uninterrupted one would.  The throw happens BEFORE
+    // the yield allreduce below, and on every rank of the same step
+    // (identical reduced verdict), so no rank is stranded mid-collective.
+    if (options.health.enabled() &&
+        (step % options.health.cadence == 0 || checkpoint_due ||
+         step == options.steps)) {
+      obs::Span hs;
+      if (comm_ctx != nullptr) {
+        hs = comm_ctx->tracer().span("health_check", "core");
+        comm_ctx->stats().set_phase("health");
+      }
+      GlobalDiag d = local_diagnostics(core.op_context(), xi);
+      if (comm_ctx != nullptr)
+        d = reduce_diagnostics(*comm_ctx, comm_ctx->world(), d);
+      const std::string verdict = sentinel.check(d);
+      if (!verdict.empty()) {
+        if (comm_ctx != nullptr)
+          comm_ctx->tracer().instant("health_trip", "core", verdict);
+        throw NumericalError(step, verdict);
+      }
+    }
 
     if (options.diag_every > 0 && step % options.diag_every == 0 &&
         options.on_diagnostics) {
@@ -120,8 +173,7 @@ int run_campaign(Core& core, comm::Context* comm_ctx, state::State& xi,
       options.on_diagnostics(step, d);
     }
 
-    if (options.checkpoint_every > 0 &&
-        step % options.checkpoint_every == 0) {
+    if (checkpoint_due) {
       const int rank = comm_ctx != nullptr ? comm_ctx->world_rank() : 0;
       const double t =
           t0 + (step - options.start_step) * core.config().dt_advect;
@@ -166,12 +218,15 @@ int run_campaign(Core& core, comm::Context* comm_ctx, state::State& xi,
         obs::Span ck;
         if (comm_ctx != nullptr)
           ck = comm_ctx->tracer().span("checkpoint_write", "checkpoint");
+        // The sentinel check above gated this write, so a sentinel-on
+        // checkpoint is verified-healthy by construction.
+        const std::uint32_t verdict = options.health.enabled() ? 1u : 0u;
         if (options.write_checkpoint)
-          options.write_checkpoint(mesh, xi, step, t, carry);
+          options.write_checkpoint(mesh, xi, step, t, carry, verdict);
         else
           util::write_checkpoint(
               util::checkpoint_path(options.checkpoint_prefix, rank), mesh,
-              core.decomp(), xi, step, t, carry);
+              core.decomp(), xi, step, t, carry, verdict);
       }
       if (yield_now) break;
     }

@@ -1,6 +1,9 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace ca::obs {
@@ -22,6 +25,67 @@ util::Json labels_json(const Labels& labels) {
   util::Json j = util::Json::object();
   for (const auto& [k, v] : labels) j[k] = v;
   return j;
+}
+
+// Prometheus metric/label names allow [a-zA-Z0-9_:]; everything else
+// (the registry's dotted names, dashes) maps to '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9')
+    out.insert(out.begin(), '_');
+  return out;
+}
+
+// Shortest round-trippable rendering: integers print bare, everything
+// else tries %g and falls back to full precision when %g loses bits.
+std::string prom_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  if (std::strtod(buf, nullptr) == v) return buf;
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string prom_escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+// Renders the snapshot's labels object (plus an optional extra pair, used
+// for the histogram `le` label) as `{k="v",...}`, or "" with no labels.
+std::string prom_labels(const util::Json* labels,
+                        const std::string& extra_key = "",
+                        const std::string& extra_val = "") {
+  std::string body;
+  if (labels != nullptr && labels->is_object()) {
+    for (const auto& [k, v] : labels->members()) {
+      if (!body.empty()) body += ",";
+      body += prom_name(k) + "=\"" +
+              prom_escape(v.is_string() ? v.as_string() : v.dump(0)) + "\"";
+    }
+  }
+  if (!extra_key.empty()) {
+    if (!body.empty()) body += ",";
+    body += extra_key + "=\"" + prom_escape(extra_val) + "\"";
+  }
+  return body.empty() ? std::string() : "{" + body + "}";
 }
 
 }  // namespace
@@ -140,6 +204,60 @@ util::Json MetricsRegistry::snapshot() const {
   }
   doc["histograms"] = std::move(histograms);
   return doc;
+}
+
+std::string to_prometheus(const util::Json& snapshot) {
+  std::string out;
+  std::vector<std::string> typed;  // families that already got a TYPE line
+  auto type_line = [&](const std::string& name, const char* kind) {
+    if (std::find(typed.begin(), typed.end(), name) != typed.end()) return;
+    typed.push_back(name);
+    out += "# TYPE " + name + " " + kind + "\n";
+  };
+  auto entries = [&](const char* key) -> const std::vector<util::Json>& {
+    static const std::vector<util::Json> kEmpty;
+    const util::Json* s = snapshot.find(key);
+    return s != nullptr && s->is_array() ? s->items() : kEmpty;
+  };
+  auto scalar = [&](const util::Json& e, const char* kind) {
+    const util::Json* n = e.find("name");
+    if (n == nullptr || !n->is_string()) return;
+    const std::string name = prom_name(n->as_string());
+    type_line(name, kind);
+    const util::Json* v = e.find("value");
+    out += name + prom_labels(e.find("labels")) + " " +
+           prom_value(v != nullptr ? v->as_double() : 0.0) + "\n";
+  };
+  for (const auto& e : entries("counters")) scalar(e, "counter");
+  for (const auto& e : entries("gauges")) scalar(e, "gauge");
+  for (const auto& e : entries("histograms")) {
+    const util::Json* n = e.find("name");
+    if (n == nullptr || !n->is_string()) continue;
+    const std::string name = prom_name(n->as_string());
+    type_line(name, "histogram");
+    const util::Json* labels = e.find("labels");
+    double cumulative = 0.0;  // snapshot stores per-bucket counts
+    if (const util::Json* buckets = e.find("buckets")) {
+      for (const auto& b : buckets->items()) {
+        const util::Json* le = b.find("le");
+        const util::Json* c = b.find("count");
+        cumulative += c != nullptr ? c->as_double() : 0.0;
+        const std::string bound =
+            le == nullptr
+                ? "+Inf"
+                : (le->is_string() ? le->as_string() : prom_value(le->as_double()));
+        out += name + "_bucket" + prom_labels(labels, "le", bound) + " " +
+               prom_value(cumulative) + "\n";
+      }
+    }
+    const util::Json* sum = e.find("sum");
+    const util::Json* count = e.find("count");
+    out += name + "_sum" + prom_labels(labels) + " " +
+           prom_value(sum != nullptr ? sum->as_double() : 0.0) + "\n";
+    out += name + "_count" + prom_labels(labels) + " " +
+           prom_value(count != nullptr ? count->as_double() : 0.0) + "\n";
+  }
+  return out;
 }
 
 }  // namespace ca::obs

@@ -76,8 +76,9 @@ class Histogram {
   }
   double sum() const;
   const std::vector<double>& upper_bounds() const { return bounds_; }
-  /// Cumulative count of observations <= bounds()[i]; the final entry of
-  /// snapshot() adds the +Inf overflow bucket.
+  /// Count of observations landing in bucket i alone (NOT cumulative:
+  /// bounds()[i-1] < v <= bounds()[i]); snapshot() emits these per-bucket
+  /// counts plus a final +Inf entry holding the overflow.
   std::uint64_t bucket_count(std::size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
@@ -126,5 +127,14 @@ class MetricsRegistry {
   std::vector<Entry<Gauge>> gauges_;
   std::vector<Entry<Histogram>> histograms_;
 };
+
+/// Renders a MetricsRegistry::snapshot() document in the Prometheus text
+/// exposition format (0.0.4): one `# TYPE` line per metric family, metric
+/// and label names sanitized to [a-zA-Z0-9_:] ('.'/'-' become '_'), label
+/// values escaped per the spec.  Histogram series follow the convention:
+/// `_bucket{le="..."}` lines carry CUMULATIVE counts (the snapshot stores
+/// per-bucket counts, so this function accumulates), the final bucket is
+/// `le="+Inf"` and equals `_count`, and `_sum`/`_count` close the family.
+std::string to_prometheus(const util::Json& snapshot);
 
 }  // namespace ca::obs

@@ -94,6 +94,10 @@ void print_fault_summary(std::ostream& out, const comm::FaultSummary& s,
   // stem from either a kill or a hang), so the count rides the kill row.
   row("kill", s.injected_kill, s.detected_peer_dead, 0);
   row("hang", s.injected_hang, 0, 0);
+  // Numerical faults: in-memory state pokes detected by the health
+  // sentinel (NumericalError incidents).  "Recovery" for these is the
+  // service's rollback, counted per job, not per message — hence 0 here.
+  row("state", s.injected_state_corrupt, s.detected_numeric, 0);
 }
 
 int critical_rank(const SimResult& result) {

@@ -131,6 +131,11 @@ struct JobMetrics {
   /// Attempts abandoned to a dead/hung rank and re-queued onto healthy
   /// ranks (checkpoint recovery; not counted against max_attempts).
   int rank_recoveries = 0;
+  /// Attempts the health sentinel aborted (core::NumericalError) and the
+  /// pool rolled back to the last healthy checkpoint.  Charged against
+  /// the pool's service.numeric_retry budget, NOT against max_attempts —
+  /// a blowup is the trajectory's fault, not the infrastructure's.
+  int numeric_rollbacks = 0;
   /// Resumes served from in-memory buddy replicas (no checkpoint file
   /// was read) vs. from the on-disk checkpoint chain.
   int ram_restores = 0;

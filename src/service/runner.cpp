@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <limits>
 #include <mutex>
 #include <span>
 #include <stdexcept>
@@ -65,6 +66,34 @@ ResumePoint check_resume_step(std::int64_t header_step, int start_step,
   return {static_cast<int>(header_step), time_seconds};
 }
 
+/// Executes a kCorruptState injection: pokes one owned interior cell of
+/// the chosen prognostic field.  Cell (0,0,0) is always inside the
+/// region local_diagnostics scans, so the sentinel sees the poison at
+/// its next check (<= health.cadence steps later).
+void poke_state(state::State& xi, const comm::FaultPlan::StateFault& sf) {
+  double v = std::numeric_limits<double>::quiet_NaN();
+  if (sf.mode == 1) v = std::numeric_limits<double>::infinity();
+  if (sf.mode == 2) v = 1.0e30;  // finite but far past every bound
+  switch (sf.field) {
+    case 1: xi.v()(0, 0, 0) = v; break;
+    case 2: xi.phi()(0, 0, 0) = v; break;
+    case 3: xi.psa()(0, 0) = v; break;
+    default: xi.u()(0, 0, 0) = v; break;
+  }
+}
+
+/// Local (unreduced) health verdict on a just-restored state: the static
+/// bounds/finiteness check only — growth needs a trajectory, a restore
+/// has a single snapshot.  Per-rank: a NaN lives on ONE rank, so callers
+/// fold the verdict into their collective source agreement.
+bool restore_unhealthy(const core::HealthOptions& health,
+                       const ops::OpContext& op_ctx,
+                       const state::State& xi) {
+  if (!health.enabled()) return false;
+  const core::GlobalDiag d = core::local_diagnostics(op_ctx, xi);
+  return !core::HealthSentinel::check_static(health, d).empty();
+}
+
 }  // namespace
 
 AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
@@ -103,6 +132,10 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
     r.src = job_rank;
     plan.add_rule(r);
   }
+  // Attempt-scoped rules (corrupt_state defaults to attempt 1) need the
+  // plan to know which attempt this is: fixed-step rules are immune to
+  // the reseed above, so the scope is what makes them transient.
+  plan.set_attempt(attempt);
   const bool inject = plan.enabled();
 
   util::Timer timer;
@@ -140,6 +173,16 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
             }
           }
         }
+        if (from_ram &&
+            restore_unhealthy(o.health, core.op_context(), xi)) {
+          // Poisoned replica: never resume from it, and purge the job's
+          // whole replica set — every copy records the same poisoned
+          // trajectory.  The disk chain below can still rewind past it.
+          from_ram = false;
+          tracer.instant("ram_restore_unhealthy", "checkpoint",
+                         "replica of rank 0 failed the health check");
+          o.replicas->erase_prefix(checkpoint_prefix);
+        }
         if (!from_ram) {
           const auto chain = util::read_checkpoint_chain(
               util::checkpoint_path(checkpoint_prefix, 0), mesh,
@@ -151,8 +194,31 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
                                std::to_string(chain.header.step));
             tracer.dump_flight("checkpoint chain truncated by corruption");
           }
-          resume = check_resume_step(chain.header.step, start_step, spec,
-                                     chain.header.time_seconds);
+          // Poisoned-tip rewind: while the restored snapshot fails the
+          // static health check, step the chain back one checkpoint
+          // cadence at a time (the delta chain's max_step rewind) until a
+          // healthy element is found or the chain runs out.
+          std::int64_t tip = chain.header.step;
+          double tip_time = chain.header.time_seconds;
+          while (restore_unhealthy(o.health, core.op_context(), xi)) {
+            const std::int64_t target = tip - spec.checkpoint_every;
+            if (spec.checkpoint_every <= 0 || target < start_step ||
+                target <= 0)
+              throw std::runtime_error(
+                  "no healthy checkpoint to resume job '" + spec.name +
+                  "': the chain tip at step " + std::to_string(tip) +
+                  " and every rewindable element failed the health check");
+            tracer.instant("checkpoint_tip_poisoned", "checkpoint",
+                           "step " + std::to_string(tip) +
+                               " failed the health check; rewinding to " +
+                               std::to_string(target));
+            const auto rewound = util::read_checkpoint_chain(
+                util::checkpoint_path(checkpoint_prefix, 0), mesh,
+                core.decomp(), xi, nullptr, {.max_step = target});
+            tip = rewound.header.step;
+            tip_time = rewound.header.time_seconds;
+          }
+          resume = check_resume_step(tip, start_step, spec, tip_time);
         }
         core.fill_boundaries(xi);
         res.restored_from =
@@ -165,6 +231,7 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
       auto opt =
           campaign_options(spec, resume.step, resume.time_seconds,
                            checkpoint_prefix, &forcing, should_yield);
+      opt.health = o.health;
       // Session-based writes (delta chains / replication) replace the
       // campaign's plain full-file writer; the session must outlive the
       // campaign loop.
@@ -176,8 +243,8 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
             [&core, &session, &o, &checkpoint_prefix](
                 const mesh::LatLonMesh& m, const state::State& s,
                 std::int64_t step, double t,
-                std::span<const std::byte> carry) {
-              session.write(m, core.decomp(), s, step, t, carry);
+                std::span<const std::byte> carry, std::uint32_t health) {
+              session.write(m, core.decomp(), s, step, t, carry, health);
               if (o.replicas != nullptr)
                 replicate_checkpoint(nullptr, *o.replicas,
                                      checkpoint_prefix, step, t,
@@ -185,6 +252,11 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
             };
       }
       if (inject) {
+        opt.on_step_state = [&plan](int idx, state::State& s) {
+          const auto sf =
+              plan.state_fault(0, static_cast<std::uint64_t>(idx));
+          if (sf.fire) poke_state(s, sf);
+        };
         // Serial campaigns have no Context, so the process-level faults
         // (kill/hang) fire through the campaign's step hook instead; the
         // plan's step counter semantics match notify_step's.
@@ -204,6 +276,11 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
       } catch (const comm::CommError& e) {
         // Serial campaigns die through the step hook (injected kills);
         // mirror the rank-thread flight dump the distributed path gets.
+        tracer.dump_flight(e.what());
+        throw;
+      } catch (const core::NumericalError& e) {
+        // One flight dump per numeric incident: the recent spans around
+        // the blowup are the post-mortem the rollback erases.
         tracer.dump_flight(e.what());
         throw;
       }
@@ -259,6 +336,19 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
                 ctx.tracer().instant("ram_restore_fallback", "checkpoint",
                                      e.what());
               }
+            }
+            if (ram_step >= 0 &&
+                restore_unhealthy(o.health, core.op_context(), xi)) {
+              // Poisoned replica: reject it and purge the job's replica
+              // set (every copy records the same poisoned trajectory).
+              // The agreement below then drops the whole world to disk,
+              // where the chain can rewind past the poison.
+              ram_step = -1;
+              ctx.tracer().instant(
+                  "ram_restore_unhealthy", "checkpoint",
+                  "replica of rank " + std::to_string(ctx.world_rank()) +
+                      " failed the health check");
+              o.replicas->erase_prefix(checkpoint_prefix);
             }
             if (ctx.world().size() > 1) {
               const double local[2] = {static_cast<double>(ram_step),
@@ -354,6 +444,59 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
                       "; no common state to resume");
               }
             }
+            // Poisoned-tip rewind, collectively agreed: the ranks now
+            // hold a uniform-step set, so they run identical iterations
+            // of this loop — each round every rank contributes its local
+            // health verdict (a NaN lives on ONE rank), and if any is
+            // poisoned ALL ranks rewind one checkpoint cadence together.
+            // Either all proceed from a healthy common step or all fail
+            // the attempt together.
+            while (true) {
+              double bad = restore_unhealthy(o.health, core.op_context(),
+                                             xi)
+                               ? 1.0
+                               : 0.0;
+              double any_bad = bad;
+              if (ctx.world().size() > 1) {
+                ctx.stats().set_phase("service");
+                comm::allreduce<double>(
+                    ctx, ctx.world(), std::span<const double>(&bad, 1),
+                    std::span<double>(&any_bad, 1), comm::ReduceOp::kMax);
+              }
+              if (any_bad == 0.0) break;
+              const std::int64_t target = hdr_step - spec.checkpoint_every;
+              double fail = 0.0;
+              if (spec.checkpoint_every <= 0 || target < start_step ||
+                  target <= 0) {
+                fail = 1.0;
+              } else {
+                try {
+                  carry.clear();
+                  const auto rewound = util::read_checkpoint_chain(
+                      path, mesh, core.decomp(), xi, &carry,
+                      {.max_step = target});
+                  hdr_step = rewound.header.step;
+                  hdr_time = rewound.header.time_seconds;
+                } catch (const std::exception&) {
+                  fail = 1.0;
+                }
+              }
+              double any_fail = fail;
+              if (ctx.world().size() > 1)
+                comm::allreduce<double>(
+                    ctx, ctx.world(), std::span<const double>(&fail, 1),
+                    std::span<double>(&any_fail, 1), comm::ReduceOp::kMax);
+              if (any_fail > 0.0)
+                throw std::runtime_error(
+                    "no healthy checkpoint to resume job '" + spec.name +
+                    "': the chain tip and every rewindable element "
+                    "failed the health check");
+              ctx.tracer().instant(
+                  "checkpoint_tip_poisoned", "checkpoint",
+                  "rewound chain for job '" + spec.name + "' to step " +
+                      std::to_string(hdr_step) +
+                      " past a health-check failure");
+            }
             source = RestoreSource::kDisk;
           }
           // Header-step agreement first: the carry is per-rank data tied
@@ -390,6 +533,7 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
         auto opt =
             campaign_options(spec, resume.step, resume.time_seconds,
                              checkpoint_prefix, &forcing, should_yield);
+        opt.health = o.health;
         util::CheckpointSession session(
             util::checkpoint_path(checkpoint_prefix, ctx.world_rank()),
             {.chain_cap = o.delta_chain,
@@ -400,13 +544,21 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
               [&core, &session, &o, &checkpoint_prefix, pctx](
                   const mesh::LatLonMesh& m, const state::State& s,
                   std::int64_t step, double t,
-                  std::span<const std::byte> carry) {
-                session.write(m, core.decomp(), s, step, t, carry);
+                  std::span<const std::byte> carry, std::uint32_t health) {
+                session.write(m, core.decomp(), s, step, t, carry, health);
                 if (o.replicas != nullptr)
                   replicate_checkpoint(pctx, *o.replicas,
                                        checkpoint_prefix, step, t,
                                        session.image());
               };
+        }
+        if (inject) {
+          const int my_rank = ctx.world_rank();
+          opt.on_step_state = [&plan, my_rank](int idx, state::State& s) {
+            const auto sf =
+                plan.state_fault(my_rank, static_cast<std::uint64_t>(idx));
+            if (sf.fire) poke_state(s, sf);
+          };
         }
         const int executed = core::run_campaign(core, &ctx, xi, opt);
         const int end = resume.step + executed;
@@ -449,6 +601,17 @@ AttemptResult run_attempt(const JobSpec& spec, const AttemptOptions& o) {
     res.error = e.what();
     res.yielded = false;
     res.dead_rank = e.rank;
+  } catch (const core::NumericalError& e) {
+    // Every rank of a distributed run throws this together (the verdict
+    // derives from the allreduced diagnostics); the runtime joins them
+    // all and rethrows the first, so one catch = one incident.
+    res.error = e.what();
+    res.yielded = false;
+    res.numeric = true;
+    res.numeric_step = e.step;
+    if (inject)
+      plan.counters().detected_numeric.fetch_add(
+          1, std::memory_order_relaxed);
   } catch (const std::exception& e) {
     res.error = e.what();
     res.yielded = false;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "comm/stats.hpp"
+#include "core/health.hpp"
 #include "obs/trace.hpp"
 #include "service/job.hpp"
 
@@ -37,6 +38,14 @@ struct AttemptResult {
   int dead_rank = -1;
   /// Nonempty = the attempt failed with this diagnostic.
   std::string error;
+  /// The attempt failed NUMERICALLY (core::NumericalError: NaN/Inf,
+  /// out-of-bounds field, runaway integral) rather than from an
+  /// infrastructure fault.  The pool charges these against the separate
+  /// service.numeric_retry budget and rolls the job back to its last
+  /// healthy checkpoint instead of quarantining ranks.
+  bool numeric = false;
+  /// Step at which the sentinel tripped (-1 unless `numeric`).
+  int numeric_step = -1;
   double run_seconds = 0.0;
   /// Resume provenance: buddy RAM, disk, or a fresh start.
   RestoreSource restored_from = RestoreSource::kNone;
@@ -103,6 +112,13 @@ struct AttemptOptions {
   /// Trace process id for this job's rank group (the pool passes the job
   /// id so per-job timelines separate in the merged trace).
   int trace_pid = 0;
+  /// Numerical-health sentinel for the attempt's campaign (default OFF;
+  /// the pool injects its service-level default here).  When enabled,
+  /// restores are also verified: a resumed state that fails the static
+  /// bounds check is treated as a poisoned checkpoint — RAM replicas are
+  /// rejected in favor of disk, and a poisoned disk tip is rewound along
+  /// the delta chain (max_step) until a healthy cadence is found.
+  core::HealthOptions health{};
 };
 
 /// Runs the job to spec.steps with the given attempt options.

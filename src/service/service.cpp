@@ -15,9 +15,11 @@ util::Json fault_json(const comm::FaultSummary& s) {
   f["injected_stall"] = s.injected_stall;
   f["injected_kill"] = s.injected_kill;
   f["injected_hang"] = s.injected_hang;
+  f["injected_state_corrupt"] = s.injected_state_corrupt;
   f["detected_checksum"] = s.detected_checksum;
   f["detected_timeout"] = s.detected_timeout;
   f["detected_peer_dead"] = s.detected_peer_dead;
+  f["detected_numeric"] = s.detected_numeric;
   f["recovered_delay"] = s.recovered_delay;
   f["recovered_duplicate"] = s.recovered_duplicate;
   f["recovered_drop"] = s.recovered_drop;
@@ -135,6 +137,13 @@ util::Json EnsembleService::report() {
       static_cast<double>(pool_.replicas().deposits());
   health["replica_bytes"] =
       static_cast<double>(pool_.replicas().stored_bytes());
+  // Numeric health (new in v5): the sentinel's configuration and the
+  // rollback counter the blowup-recovery tests assert on.
+  health["sentinel_enabled"] = pool_.options().health.enabled();
+  health["sentinel_cadence"] = pool_.options().health.cadence;
+  health["numeric_retry"] = pool_.options().numeric_retry;
+  health["numeric_rollbacks"] =
+      static_cast<double>(pool_.numeric_rollbacks());
   doc["health"] = std::move(health);
 
   // The metrics snapshot (new in v4): the pool's obs registry, rendered
@@ -170,6 +179,9 @@ util::Json EnsembleService::report() {
     e["dispatches_overtaken"] =
         static_cast<double>(r.metrics.dispatches_overtaken);
     e["rank_recoveries"] = r.metrics.rank_recoveries;
+    // Numeric health (new in v5): sentinel-tripped attempts rolled back
+    // to this job's last healthy checkpoint.
+    e["numeric_rollbacks"] = r.metrics.numeric_rollbacks;
     // Restore provenance (new in v3): how resumed attempts got their
     // state back, and how long the restores took.
     e["ram_restores"] = r.metrics.ram_restores;
@@ -199,15 +211,18 @@ std::string validate_report(const util::Json& doc) {
   const util::Json* schema = doc.find("schema");
   if (schema == nullptr || !schema->is_string() ||
       (schema->as_string() != kReportSchema &&
+       schema->as_string() != kReportSchemaV4 &&
        schema->as_string() != kReportSchemaV3 &&
        schema->as_string() != kReportSchemaV2 &&
        schema->as_string() != kReportSchemaV1))
     return "missing/wrong schema tag";
   // v1 reports predate the health section and the per-job recovery
-  // fields, v2 predates the restore-provenance fields, and v3 predates
-  // the embedded metrics snapshot; each revision only ADDS keys, so
-  // requirements are gated per revision.
-  const bool v4 = schema->as_string() == kReportSchema;
+  // fields, v2 predates the restore-provenance fields, v3 predates the
+  // embedded metrics snapshot, and v4 predates the numeric-health
+  // fields; each revision only ADDS keys, so requirements are gated per
+  // revision.
+  const bool v5 = schema->as_string() == kReportSchema;
+  const bool v4 = v5 || schema->as_string() == kReportSchemaV4;
   const bool v3 = v4 || schema->as_string() == kReportSchemaV3;
   const bool v2 = v3 || schema->as_string() == kReportSchemaV2;
   const util::Json* svc = doc.find("service");
@@ -229,6 +244,11 @@ std::string validate_report(const util::Json& doc) {
         return std::string("health missing numeric '") + key + "'";
     if (v3)
       for (const char* key : {"replica_deposits", "replica_bytes"})
+        if (health->find(key) == nullptr || !health->find(key)->is_number())
+          return std::string("health missing numeric '") + key + "'";
+    if (v5)
+      for (const char* key :
+           {"sentinel_cadence", "numeric_retry", "numeric_rollbacks"})
         if (health->find(key) == nullptr || !health->find(key)->is_number())
           return std::string("health missing numeric '") + key + "'";
     const util::Json* ranks = health->find("ranks");
@@ -274,6 +294,9 @@ std::string validate_report(const util::Json& doc) {
     if (v4 && (e.find("dispatches_overtaken") == nullptr ||
                !e.find("dispatches_overtaken")->is_number()))
       return "job missing numeric 'dispatches_overtaken'";
+    if (v5 && (e.find("numeric_rollbacks") == nullptr ||
+               !e.find("numeric_rollbacks")->is_number()))
+      return "job missing numeric 'numeric_rollbacks'";
     const std::string& state = e.find("state")->as_string();
     if (state != "queued" && state != "running" && state != "preempted" &&
         state != "backoff" && state != "completed" && state != "failed")

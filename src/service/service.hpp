@@ -1,7 +1,7 @@
 // EnsembleService: the front door of the multi-run scheduler.  Callers
 // submit JobSpecs (validated here), the WorkerPool multiplexes them over
 // the shared rank budget, and the service keeps the full job ledger it
-// exports as a versioned JSON report ("ca-agcm/service-report/v4") with
+// exports as a versioned JSON report ("ca-agcm/service-report/v5") with
 // per-job metrics (queue wait, run seconds, steps/sec, comm traffic,
 // retries, preemptions, rank recoveries, fault summary), service-level
 // utilization, a `health` section covering per-rank quarantine state and
@@ -21,14 +21,17 @@
 
 namespace ca::service {
 
-inline constexpr const char* kReportSchema = "ca-agcm/service-report/v4";
+inline constexpr const char* kReportSchema = "ca-agcm/service-report/v5";
 /// Previous schema revisions; validate_report still accepts all of them.
-/// v3 lacks the embedded `metrics` snapshot (the pool's obs registry) and
-/// the per-job dispatches_overtaken counter; v2 additionally lacks the
-/// per-job restore provenance fields (ram_restores / disk_restores /
-/// restore_seconds) and the health section's replication counters; v1
-/// additionally lacks the health section and the per-job rank-recovery
-/// fields.
+/// v4 lacks the numeric-health fields (the health section's
+/// numeric_rollbacks / numeric_retry and the per-job numeric_rollbacks);
+/// v3 additionally lacks the embedded `metrics` snapshot (the pool's obs
+/// registry) and the per-job dispatches_overtaken counter; v2
+/// additionally lacks the per-job restore provenance fields
+/// (ram_restores / disk_restores / restore_seconds) and the health
+/// section's replication counters; v1 additionally lacks the health
+/// section and the per-job rank-recovery fields.
+inline constexpr const char* kReportSchemaV4 = "ca-agcm/service-report/v4";
 inline constexpr const char* kReportSchemaV3 = "ca-agcm/service-report/v3";
 inline constexpr const char* kReportSchemaV2 = "ca-agcm/service-report/v2";
 inline constexpr const char* kReportSchemaV1 = "ca-agcm/service-report/v1";

@@ -36,9 +36,11 @@ void add_summary(comm::FaultSummary& acc, const comm::FaultSummary& s) {
   acc.injected_stall += s.injected_stall;
   acc.injected_kill += s.injected_kill;
   acc.injected_hang += s.injected_hang;
+  acc.injected_state_corrupt += s.injected_state_corrupt;
   acc.detected_checksum += s.detected_checksum;
   acc.detected_timeout += s.detected_timeout;
   acc.detected_peer_dead += s.detected_peer_dead;
+  acc.detected_numeric += s.detected_numeric;
   acc.recovered_delay += s.recovered_delay;
   acc.recovered_duplicate += s.recovered_duplicate;
   acc.recovered_drop += s.recovered_drop;
@@ -66,6 +68,8 @@ PoolOptions PoolOptions::from_config(const util::Config& cfg) {
   o.delta_block_bytes = static_cast<std::size_t>(
       cfg.get_long("service.delta_block_bytes",
                    static_cast<long long>(o.delta_block_bytes)));
+  o.health = core::HealthOptions::from_config(cfg);
+  o.numeric_retry = cfg.get_int("service.numeric_retry", o.numeric_retry);
   o.obs = obs::TraceOptions::from_config(cfg);
   return o;
 }
@@ -86,6 +90,20 @@ WorkerPool::WorkerPool(const PoolOptions& options)
     options_.elastic = env.get_bool("service.elastic", options_.elastic);
     options_.delta_chain =
         env.get_int("service.delta_chain", options_.delta_chain);
+    // The sentinel knobs too (CA_AGCM_HEALTH_*): the CI chaos legs flip
+    // cadence/bounds for pools built directly from PoolOptions.
+    auto& h = options_.health;
+    h.cadence = env.get_int("health.cadence", h.cadence);
+    h.max_wind = env.get_double("health.max_wind", h.max_wind);
+    h.max_phi = env.get_double("health.max_phi", h.max_phi);
+    h.max_psa = env.get_double("health.max_psa", h.max_psa);
+    h.max_energy_growth =
+        env.get_double("health.max_energy_growth", h.max_energy_growth);
+    h.max_mass_growth =
+        env.get_double("health.max_mass_growth", h.max_mass_growth);
+    h.growth_warmup = env.get_int("health.growth_warmup", h.growth_warmup);
+    options_.numeric_retry =
+        env.get_int("service.numeric_retry", options_.numeric_retry);
   }
   // Same env courtesy for the obs knobs (CA_AGCM_OBS_*): CI flips tracing
   // on for pools constructed directly from PoolOptions, not just
@@ -173,6 +191,7 @@ bool WorkerPool::submit(const std::shared_ptr<Job>& job, bool block) {
       request_preemption(best->spec.priority, best->ranks());
     work_cv_.notify_all();
   }
+  update_gauges();
   return true;
 }
 
@@ -310,6 +329,18 @@ std::uint64_t WorkerPool::jobs_recovered() const {
   return jobs_recovered_;
 }
 
+std::uint64_t WorkerPool::numeric_rollbacks() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return numeric_rollbacks_;
+}
+
+void WorkerPool::update_gauges() {
+  metrics_.gauge("service.queue_depth")
+      .set(static_cast<double>(scheduler_.size()));
+  metrics_.gauge("service.free_ranks")
+      .set(static_cast<double>(free_rank_count()));
+}
+
 std::uint64_t WorkerPool::quarantines() const {
   std::lock_guard<std::mutex> lk(mu_);
   return quarantines_;
@@ -368,6 +399,7 @@ Clock::time_point WorkerPool::revive_ranks(Clock::time_point now) {
     else
       earliest = std::min(earliest, rh.until);
   }
+  update_gauges();
   return earliest;
 }
 
@@ -418,6 +450,23 @@ std::string WorkerPool::refit_job(Job& job, int target) {
       // churn reshards).
       cand = spec.dims;
     } else {
+      // pz-preserving preference: keep the submitted vertical split when
+      // p divides by it.  The CA core's exact mode is bitwise in the
+      // z-line reductions only while pz is unchanged, so an elastic
+      // squeeze that narrows py alone stays bit-identical by
+      // construction — yz_grid's factorization would only preserve pz by
+      // accident.  The probe below still validates the shape, and the
+      // generated grid remains the fallback when pz does not divide p.
+      const int pz = spec.dims[2];
+      if (spec.core == CoreKind::kCA && pz > 0 && p % pz == 0) {
+        JobSpec pzprobe = spec;
+        pzprobe.dims = {1, p / pz, pz};
+        if (validate(pzprobe, options_.rank_budget).empty()) {
+          d = pzprobe.dims;
+          found = true;
+          break;
+        }
+      }
       try {
         const auto g = spec.core != CoreKind::kCA &&
                                spec.scheme == core::DecompScheme::kXY
@@ -614,6 +663,7 @@ void WorkerPool::worker_loop() {
                           std::to_string(job->metrics.attempts) + " on " +
                           std::to_string(job->ranks()) + " rank(s)");
       space_cv_.notify_all();
+      update_gauges();
       lk.unlock();
       execute(job);
       lk.lock();
@@ -685,7 +735,9 @@ void WorkerPool::execute(const std::shared_ptr<Job>& job) {
   // Probe for a checkpoint set and let the attempt resume from its
   // headers (the source of truth) instead of recomputing from scratch.
   if (prep_error.empty() && start_step == 0 &&
-      job->spec.checkpoint_every > 0 && job->metrics.rank_recoveries > 0) {
+      job->spec.checkpoint_every > 0 &&
+      (job->metrics.rank_recoveries > 0 ||
+       job->metrics.numeric_rollbacks > 0)) {
     std::error_code ec;
     if (std::filesystem::exists(
             util::checkpoint_path(job->checkpoint_prefix, 0), ec))
@@ -704,6 +756,7 @@ void WorkerPool::execute(const std::shared_ptr<Job>& job) {
     if (options_.replicate) o.replicas = &replicas_;
     o.delta_chain = options_.delta_chain;
     o.delta_block_bytes = options_.delta_block_bytes;
+    o.health = options_.health;
     o.obs = options_.obs;
     o.trace_sink = options_.trace_sink;
     // One trace process per job: its ranks' timelines group under the job
@@ -790,6 +843,49 @@ void WorkerPool::execute(const std::shared_ptr<Job>& job) {
         scheduler_.push(job);
       }
     }
+  } else if (out.numeric) {
+    // The health sentinel aborted the attempt (NaN/Inf, runaway field or
+    // integral).  That is the trajectory's failure, not the comm
+    // layer's: it is charged against the separate service.numeric_retry
+    // budget, and the job rolls straight back to its last healthy
+    // checkpoint (sentinel-gated writes never persist a poisoned state,
+    // and the restore path re-verifies and rewinds any unverified tip).
+    job->error = out.error;
+    ++numeric_rollbacks_;
+    ++job->metrics.numeric_rollbacks;
+    metrics_.counter("service.numeric_rollbacks").add(1);
+    // Poison containment: the RAM replicas may hold cadences of the
+    // blown-up trajectory; purge them so the rollback restores from the
+    // verified disk chain only.
+    replicas_.erase_prefix(job->checkpoint_prefix);
+    tracer_.instant("numeric_rollback", "service",
+                    "job " + std::to_string(job->id) +
+                        " sentinel tripped at step " +
+                        std::to_string(out.numeric_step) + ": " + out.error);
+    // One flight dump per incident: the scheduler-side story of the
+    // blowup (dispatches, cadences, the trip) for the postmortem.
+    tracer_.dump_flight("numeric incident: job " + std::to_string(job->id) +
+                        " '" + job->spec.name + "': " + out.error);
+    if (job->metrics.numeric_rollbacks > options_.numeric_retry) {
+      job->state = JobState::kFailed;
+      terminal = true;
+      metrics_.counter("service.numeric_retry_exhausted").add(1);
+      tracer_.instant("numeric_retry_exhausted", "service",
+                      "job " + std::to_string(job->id) + " failed after " +
+                          std::to_string(job->metrics.numeric_rollbacks) +
+                          " numeric rollbacks: " + out.error);
+    } else {
+      // No backoff and NO attempt refund: the attempt number must
+      // advance so attempt-scoped fault rules (corrupt_state defaults to
+      // attempt 1) become transient, and the reseed perturbs
+      // probabilistic ones.  max_attempts is never consulted for
+      // numeric failures — the budgets are disjoint by design.
+      job->state = JobState::kBackoff;
+      job->ready_at = now;
+      job->last_queued_at = now;
+      job->dispatch_mark = dispatches_;
+      push_job_checked(job);
+    }
   } else if (!out.error.empty()) {
     job->error = out.error;  // latest failure retained either way
     if (job->metrics.attempts < job->spec.max_attempts) {
@@ -863,6 +959,7 @@ void WorkerPool::execute(const std::shared_ptr<Job>& job) {
     --in_flight_;
     done_cv_.notify_all();
   }
+  update_gauges();
   work_cv_.notify_all();
 }
 

@@ -40,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "service/job.hpp"
@@ -81,6 +82,18 @@ struct PoolOptions {
   int delta_chain = 0;
   /// Dirty-diff granularity for delta checkpoints [bytes].
   std::size_t delta_block_bytes = 4096;
+  /// Numerical-health sentinel for every attempt's campaign — ON by
+  /// default at the service layer (cadence 1): a production pool must
+  /// never complete a blown-up trajectory or persist/replicate a
+  /// poisoned state.  Knobs under health.* (env CA_AGCM_HEALTH_*);
+  /// cadence 0 turns the sentinel off entirely.
+  core::HealthOptions health{.cadence = 1};
+  /// Separate retry budget for NUMERIC rollbacks (config key
+  /// service.numeric_retry): how many times a job's sentinel trip may
+  /// roll it back to its last healthy checkpoint before it fails.
+  /// Distinct from JobSpec::max_attempts — comm faults and blowups have
+  /// different causes and different bounded budgets.
+  int numeric_retry = 2;
   /// Observability knobs forwarded to every attempt's rank group and to
   /// the pool's own scheduler tracer (tid -1 in merged traces).
   obs::TraceOptions obs{};
@@ -90,8 +103,9 @@ struct PoolOptions {
 
   /// Reads service.slots / rank_budget / queue_capacity / checkpoint_dir /
   /// max_rank_strikes / quarantine_seconds / aging_rate / replicate /
-  /// elastic / delta_chain / delta_block_bytes plus the obs.* keys (each
-  /// with the usual CA_AGCM_* environment override).
+  /// elastic / delta_chain / delta_block_bytes / numeric_retry plus the
+  /// health.* and obs.* keys (each with the usual CA_AGCM_* environment
+  /// override).
   static PoolOptions from_config(const util::Config& cfg);
 };
 
@@ -163,6 +177,9 @@ class WorkerPool {
   std::vector<RankHealthInfo> rank_health() const;
   /// Attempts abandoned to a dead rank and re-queued for recovery.
   std::uint64_t jobs_recovered() const;
+  /// Sentinel-tripped attempts rolled back to a healthy checkpoint
+  /// (NumericalError incidents, summed over jobs).
+  std::uint64_t numeric_rollbacks() const;
   /// Quarantine events (a rank may contribute several).
   std::uint64_t quarantines() const;
   /// Ranks permanently retired by the circuit breaker.
@@ -221,6 +238,9 @@ class WorkerPool {
   bool push_job_checked(const std::shared_ptr<Job>& job);
   /// Under lock: mark a job failed and notify (caller handles in_flight_).
   void fail_job(Job& job, const std::string& error);
+  /// Under lock: refresh the live service.queue_depth / service.free_ranks
+  /// gauges; called wherever the queue or the rank budget changes.
+  void update_gauges();
 
   PoolOptions options_;
   /// RAM replica cache shared by every job's attempts; own mutex, never
@@ -255,6 +275,7 @@ class WorkerPool {
   /// metric (see Job::dispatch_mark).
   std::uint64_t dispatches_ = 0;
   std::uint64_t jobs_recovered_ = 0;
+  std::uint64_t numeric_rollbacks_ = 0;
   std::uint64_t quarantines_ = 0;
   int ranks_retired_ = 0;
   double rank_seconds_busy_ = 0.0;

@@ -317,8 +317,9 @@ std::string delta_path(const std::string& path, int seq) {
 std::vector<std::byte> build_checkpoint_image(
     const mesh::LatLonMesh& mesh, const mesh::DomainDecomp& decomp,
     const state::State& xi, std::int64_t step, double time_seconds,
-    std::span<const std::byte> carry) {
+    std::span<const std::byte> carry, std::uint32_t health) {
   CheckpointHeader hdr;
+  hdr.health = health;
   hdr.nx = mesh.nx();
   hdr.ny = mesh.ny();
   hdr.nz = mesh.nz();
@@ -381,7 +382,7 @@ CheckpointHeader parse_checkpoint_image(std::span<const std::byte> image,
   if (hdr.version >= 3) {
     take(&hdr.carry_bytes, sizeof(hdr.carry_bytes));
     take(&hdr.carry_crc, sizeof(hdr.carry_crc));
-    take(&hdr.carry_reserved, sizeof(hdr.carry_reserved));
+    take(&hdr.health, sizeof(hdr.health));
   }
   if (hdr.nx != mesh.nx() || hdr.ny != mesh.ny() || hdr.nz != mesh.nz())
     throw std::runtime_error("checkpoint mesh mismatch: " + what);
@@ -432,10 +433,11 @@ void write_checkpoint(const std::string& path,
                       const mesh::DomainDecomp& decomp,
                       const state::State& xi, std::int64_t step,
                       double time_seconds,
-                      std::span<const std::byte> carry) {
+                      std::span<const std::byte> carry,
+                      std::uint32_t health) {
   atomic_write_file(
       path, build_checkpoint_image(mesh, decomp, xi, step, time_seconds,
-                                   carry));
+                                   carry, health));
 }
 
 CheckpointHeader read_checkpoint(const std::string& path,
@@ -562,9 +564,10 @@ void CheckpointSession::write(const mesh::LatLonMesh& mesh,
                               const mesh::DomainDecomp& decomp,
                               const state::State& xi, std::int64_t step,
                               double time_seconds,
-                              std::span<const std::byte> carry) {
-  std::vector<std::byte> img =
-      build_checkpoint_image(mesh, decomp, xi, step, time_seconds, carry);
+                              std::span<const std::byte> carry,
+                              std::uint32_t health) {
+  std::vector<std::byte> img = build_checkpoint_image(
+      mesh, decomp, xi, step, time_seconds, carry, health);
   ++stats_.cadences;
   stats_.full_equivalent_bytes += img.size();
   bool full = image_.empty() || opts_.chain_cap <= 0 ||
@@ -1039,6 +1042,10 @@ void reshard_checkpoints(const std::string& prefix,
   }
   const std::int64_t step = min_tip;
   const double time_seconds = headers[0].time_seconds;
+  // The resharded set is healthy only if EVERY source rank's file was
+  // verified healthy — a single unverified shard taints the merged state.
+  std::uint32_t health = 1;
+  for (const auto& h : headers) health = std::min(health, h.health);
   locals.clear();
 
   // A set whose ranks all carry cross-step core state gets the carries
@@ -1066,7 +1073,8 @@ void reshard_checkpoints(const std::string& prefix,
     transfer(d, local, /*to_global=*/false);
     atomic_write_file(checkpoint_path(prefix, r) + ".new",
                       build_checkpoint_image(mesh, d, local, step,
-                                             time_seconds, new_carries[r]));
+                                             time_seconds, new_carries[r],
+                                             health));
     fire_hook("staged:" + std::to_string(r));
   }
   // The commit point: one atomic rename publishes the marker.  Crash

@@ -80,7 +80,12 @@ struct CheckpointHeader {
   // --- version >= 3 only (not present in v1/v2 files) ---
   std::uint64_t carry_bytes = 0;  ///< size of the core-carry block
   std::uint32_t carry_crc = 0;    ///< CRC-32 of the core-carry block
-  std::uint32_t carry_reserved = 0;
+  /// Numerical-health verdict of the checkpointed state: 1 = verified
+  /// healthy by the campaign's HealthSentinel immediately before the
+  /// write, 0 = unverified (sentinel off, or a file from before the
+  /// sentinel existed — this reuses the v3 header's spare field, so the
+  /// on-disk layout is unchanged and old files read as "unverified").
+  std::uint32_t health = 0;
 };
 
 /// Size of the on-disk header prefix shared by every version (v1 files
@@ -100,6 +105,7 @@ static_assert(kCheckpointHeaderV1Bytes == 64);
 static_assert(offsetof(CheckpointHeader, reserved) == 68);
 static_assert(kCheckpointHeaderV2Bytes == 72);
 static_assert(offsetof(CheckpointHeader, carry_crc) == 80);
+static_assert(offsetof(CheckpointHeader, health) == 84);
 static_assert(sizeof(CheckpointHeader) == 88);
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`; the
@@ -180,13 +186,16 @@ class CarryReader {
 /// renamed over `path` only after a checked flush+close, so a crash
 /// mid-write cannot destroy the previous checkpoint.  `carry` is the
 /// optional core-carry block (CRC-guarded; empty for cores without
-/// cross-step state).  Throws std::runtime_error on any I/O failure.
+/// cross-step state).  `health` is the header's numerical-health verdict
+/// (see CheckpointHeader::health; 0 = unverified).  Throws
+/// std::runtime_error on any I/O failure.
 void write_checkpoint(const std::string& path,
                       const mesh::LatLonMesh& mesh,
                       const mesh::DomainDecomp& decomp,
                       const state::State& xi, std::int64_t step,
                       double time_seconds,
-                      std::span<const std::byte> carry = {});
+                      std::span<const std::byte> carry = {},
+                      std::uint32_t health = 0);
 
 /// Reads a checkpoint into xi (halos untouched; callers re-exchange or
 /// restore them via the core's carry).  Returns the header.  When `carry`
@@ -214,7 +223,7 @@ std::string delta_path(const std::string& path, int seq);
 std::vector<std::byte> build_checkpoint_image(
     const mesh::LatLonMesh& mesh, const mesh::DomainDecomp& decomp,
     const state::State& xi, std::int64_t step, double time_seconds,
-    std::span<const std::byte> carry = {});
+    std::span<const std::byte> carry = {}, std::uint32_t health = 0);
 
 /// Parses a checkpoint image (any readable version) into xi — the
 /// in-memory twin of read_checkpoint, with identical validation (magic,
@@ -329,10 +338,12 @@ class CheckpointSession {
   explicit CheckpointSession(std::string path, DeltaOptions opts = {});
 
   /// Writes this cadence's checkpoint (full or delta per the chain
-  /// policy).  Throws std::runtime_error on any I/O failure.
+  /// policy).  `health` lands in the image's header (and so in the
+  /// replication payload).  Throws std::runtime_error on any I/O failure.
   void write(const mesh::LatLonMesh& mesh, const mesh::DomainDecomp& decomp,
              const state::State& xi, std::int64_t step, double time_seconds,
-             std::span<const std::byte> carry = {});
+             std::span<const std::byte> carry = {},
+             std::uint32_t health = 0);
 
   /// The full v3 image of the last write() — what a buddy rank stores.
   const std::vector<std::byte>& image() const { return image_; }

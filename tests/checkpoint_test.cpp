@@ -2,9 +2,11 @@
 // bitwise-identical restarted run across ranks.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstddef>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -533,6 +535,66 @@ TEST(CheckpointDelta, ChainRoundTripsBitwiseAndRewinds) {
   EXPECT_THROW(
       read_checkpoint_chain(path, mesh, d, r, nullptr, {.max_step = 9}),
       std::runtime_error);
+  remove_chain(path);
+}
+
+TEST(Checkpoint, HealthVerdictRoundTripsInTheHeader) {
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  mesh::DomainDecomp d(mesh, {1, 1, 1}, {0, 0, 0});
+  const std::string path = temp_prefix("health") + ".ckpt";
+
+  state::State a = patterned_state(c, 1.0);
+  write_checkpoint(path, mesh, d, a, 7, 840.0, {}, /*health=*/1);
+  state::State b(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  EXPECT_EQ(read_checkpoint(path, mesh, d, b).health, 1u);
+
+  // The default is "unverified" — files written by a sentinel-off run
+  // (and pre-sentinel archives, which reused this spare field as zero)
+  // must read back as 0.
+  write_checkpoint(path, mesh, d, a, 7, 840.0);
+  EXPECT_EQ(read_checkpoint(path, mesh, d, b).health, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointDelta, PoisonedTipRewindsToTheLastHealthyStep) {
+  // The runner's rollback path in one test: a chain whose tip holds a
+  // poisoned state (written by a sentinel-off run, so nothing gated it)
+  // is rewound via max_step to the newest healthy cadence, bitwise.
+  const auto c = cfg();
+  mesh::LatLonMesh mesh(c.nx, c.ny, c.nz);
+  mesh::DomainDecomp d(mesh, {1, 1, 1}, {0, 0, 0});
+  const std::string path = temp_prefix("poisoned_tip") + ".ckpt";
+  remove_chain(path);
+
+  CheckpointSession session(path, {.chain_cap = 8, .block_bytes = 4096});
+  state::State s = patterned_state(c, 0.0);
+  state::State healthy(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  for (int step = 1; step <= 3; ++step) {
+    s.u()(step, step, 0) += 1.0;
+    session.write(mesh, d, s, step, 120.0 * step, {}, /*health=*/1);
+    if (step == 3) healthy.assign(s, s.interior());
+  }
+  // Step 4 blows up and the (hypothetical sentinel-off) writer persists
+  // it: NaN in the prognostic state, flagged unverified.
+  s.u()(4, 4, 0) = std::numeric_limits<double>::quiet_NaN();
+  session.write(mesh, d, s, 4, 480.0, {}, /*health=*/0);
+
+  state::State tip(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  const auto got = read_checkpoint_chain(path, mesh, d, tip);
+  EXPECT_EQ(got.header.step, 4);
+  EXPECT_EQ(got.header.health, 0u);
+  EXPECT_TRUE(std::isnan(tip.u()(4, 4, 0)));
+
+  // The rewind a numeric recovery performs: one cadence back, bitwise,
+  // and the rewound header carries the healthy verdict.
+  state::State r(c.nx, c.ny, c.nz, core::halos_for_depth(1));
+  const auto rew =
+      read_checkpoint_chain(path, mesh, d, r, nullptr, {.max_step = 3});
+  EXPECT_EQ(rew.header.step, 3);
+  EXPECT_EQ(rew.header.health, 1u);
+  EXPECT_DOUBLE_EQ(state::State::max_abs_diff(healthy, r, r.interior()), 0.0)
+      << "rewind past the poisoned tip was not bitwise";
   remove_chain(path);
 }
 

@@ -109,6 +109,58 @@ TEST(Metrics, SnapshotShape) {
   EXPECT_DOUBLE_EQ(h.find("sum")->as_double(), 0.5);
 }
 
+TEST(Metrics, PrometheusExpositionGoldenFormat) {
+  // Golden test of the text exposition: names sanitized, one TYPE line
+  // per family, labels rendered sorted, histogram buckets CUMULATIVE
+  // with the +Inf bucket equal to _count.
+  MetricsRegistry reg;
+  reg.counter("service.jobs_completed").add(3);
+  reg.counter("comm.msgs", {{"phase", "halo"}}).add(12);
+  reg.gauge("service.queue-depth").set(2);
+  Histogram& h = reg.histogram("step.seconds", {0.01, 0.1, 1.0},
+                               {{"core", "ca"}});
+  h.observe(0.005);
+  h.observe(0.05);
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(50.0);  // overflow
+
+  const std::string got = to_prometheus(reg.snapshot());
+  const std::string want =
+      "# TYPE service_jobs_completed counter\n"
+      "service_jobs_completed 3\n"
+      "# TYPE comm_msgs counter\n"
+      "comm_msgs{phase=\"halo\"} 12\n"
+      "# TYPE service_queue_depth gauge\n"
+      "service_queue_depth 2\n"
+      "# TYPE step_seconds histogram\n"
+      "step_seconds_bucket{core=\"ca\",le=\"0.01\"} 1\n"
+      "step_seconds_bucket{core=\"ca\",le=\"0.1\"} 3\n"
+      "step_seconds_bucket{core=\"ca\",le=\"1\"} 4\n"
+      "step_seconds_bucket{core=\"ca\",le=\"+Inf\"} 5\n"
+      "step_seconds_sum{core=\"ca\"} 50.605\n"
+      "step_seconds_count{core=\"ca\"} 5\n";
+  EXPECT_EQ(got, want);
+}
+
+TEST(Metrics, PrometheusExpositionMergesFamiliesAndEscapes) {
+  // Same name, different labels: ONE TYPE line, two sample lines.  Label
+  // values with quotes/backslashes/newlines are escaped per the spec.
+  MetricsRegistry reg;
+  reg.counter("retries", {{"job", "a"}}).add(1);
+  reg.counter("retries", {{"job", "b"}}).add(2);
+  reg.gauge("weird", {{"msg", "say \"hi\"\\\n"}}).set(1.5);
+  const std::string got = to_prometheus(reg.snapshot());
+  EXPECT_EQ(got,
+            "# TYPE retries counter\n"
+            "retries{job=\"a\"} 1\n"
+            "retries{job=\"b\"} 2\n"
+            "# TYPE weird gauge\n"
+            "weird{msg=\"say \\\"hi\\\"\\\\\\n\"} 1.5\n");
+  // An empty registry renders an empty document, not a parse hazard.
+  EXPECT_EQ(to_prometheus(MetricsRegistry{}.snapshot()), "");
+}
+
 // --- tracer / ring ----------------------------------------------------------
 
 TraceOptions ring_opts(int events = 64) {

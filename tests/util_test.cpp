@@ -198,6 +198,46 @@ TEST(Config, FailureToleranceKeysFoldAndOverride) {
   EXPECT_EQ(service::PoolOptions::from_config(cfg).max_rank_strikes, 1);
 }
 
+TEST(Config, NumericHealthKeysFoldAndOverride) {
+  // The sentinel knobs and the rollback budget are documented as
+  // env-overridable; pin the folded names and the end-to-end path into
+  // HealthOptions / PoolOptions.
+  EXPECT_EQ(Config::env_name("health.cadence"), "CA_AGCM_HEALTH_CADENCE");
+  EXPECT_EQ(Config::env_name("health.max_wind"), "CA_AGCM_HEALTH_MAX_WIND");
+  EXPECT_EQ(Config::env_name("health.max_energy_growth"),
+            "CA_AGCM_HEALTH_MAX_ENERGY_GROWTH");
+  EXPECT_EQ(Config::env_name("health.growth_warmup"),
+            "CA_AGCM_HEALTH_GROWTH_WARMUP");
+  EXPECT_EQ(Config::env_name("service.numeric_retry"),
+            "CA_AGCM_SERVICE_NUMERIC_RETRY");
+
+  setenv("CA_AGCM_HEALTH_CADENCE", "4", 1);
+  setenv("CA_AGCM_HEALTH_MAX_WIND", "2500", 1);
+  setenv("CA_AGCM_HEALTH_GROWTH_WARMUP", "5", 1);
+  setenv("CA_AGCM_SERVICE_NUMERIC_RETRY", "7", 1);
+  // Stored entries exist but the environment must win over them.
+  auto cfg = Config::from_text(
+      "health.cadence = 1\n"
+      "health.max_wind = 1e4\n"
+      "service.numeric_retry = 2\n");
+  const auto health = core::HealthOptions::from_config(cfg);
+  EXPECT_EQ(health.cadence, 4);
+  EXPECT_DOUBLE_EQ(health.max_wind, 2500.0);
+  EXPECT_EQ(health.growth_warmup, 5);
+  const auto pool_opts = service::PoolOptions::from_config(cfg);
+  EXPECT_EQ(pool_opts.health.cadence, 4);
+  EXPECT_EQ(pool_opts.numeric_retry, 7);
+  unsetenv("CA_AGCM_HEALTH_CADENCE");
+  unsetenv("CA_AGCM_HEALTH_MAX_WIND");
+  unsetenv("CA_AGCM_HEALTH_GROWTH_WARMUP");
+  unsetenv("CA_AGCM_SERVICE_NUMERIC_RETRY");
+  // With the environment cleared, the stored entries apply again — and
+  // the service-facing default stays "sentinel on" (cadence 1).
+  EXPECT_EQ(core::HealthOptions::from_config(cfg).cadence, 1);
+  EXPECT_EQ(service::PoolOptions::from_config(cfg).numeric_retry, 2);
+  EXPECT_EQ(core::HealthOptions::from_config(Config{}).cadence, 1);
+}
+
 TEST(Config, ObsKeysFoldAndOverride) {
   // The observability knobs ride the same config/env machinery; pin the
   // folded names and both resolution paths (from_config for configured
